@@ -1,0 +1,68 @@
+//! Tiny ASCII bar helpers for report tables.
+
+/// A horizontal bar of `width` cells filled proportionally to
+/// `value/max` (clamped). `max ≤ 0` renders an empty bar.
+pub fn hbar(value: f64, max: f64, width: usize) -> String {
+    let width = width.max(1);
+    let frac = if max > 0.0 {
+        (value / max).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (frac * width as f64).round() as usize;
+    let mut out = String::with_capacity(width * 3);
+    for _ in 0..filled.min(width) {
+        out.push('█');
+    }
+    for _ in filled.min(width)..width {
+        out.push('·');
+    }
+    out
+}
+
+/// A compact sparkline over `values` using eighth-block glyphs (empty
+/// input renders as an empty string).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbar_fills_proportionally() {
+        assert_eq!(hbar(0.0, 1.0, 4), "····");
+        assert_eq!(hbar(0.5, 1.0, 4), "██··");
+        assert_eq!(hbar(1.0, 1.0, 4), "████");
+        assert_eq!(hbar(2.0, 1.0, 4), "████"); // clamped
+        assert_eq!(hbar(1.0, 0.0, 4), "····"); // degenerate max
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series renders at the floor glyph, not NaN garbage.
+        assert_eq!(sparkline(&[2.0, 2.0]), "▁▁");
+    }
+}

@@ -1,0 +1,157 @@
+//! ASCII space-time diagrams.
+//!
+//! Renders an instance plus a schedule in the paper's space-time style
+//! (Figs. 2 and 6–9): one row per server, time on the horizontal axis,
+//! `=` for cache intervals, `*` for requests, and `|`/`+`/`v` verticals for
+//! transfers. The figure-reproduction binaries print these next to the
+//! numeric tables so the schedules can be eyeballed against the paper.
+
+use mcc_model::{Instance, Scalar, Schedule};
+
+/// Rendering options.
+#[derive(Copy, Clone, Debug)]
+pub struct DiagramOptions {
+    /// Character columns used for the time axis.
+    pub width: usize,
+}
+
+impl Default for DiagramOptions {
+    fn default() -> Self {
+        DiagramOptions { width: 72 }
+    }
+}
+
+/// Renders the schedule as an ASCII space-time diagram.
+pub fn render<S: Scalar>(inst: &Instance<S>, sched: &Schedule<S>) -> String {
+    render_with(inst, sched, DiagramOptions::default())
+}
+
+/// Renders with explicit options.
+pub fn render_with<S: Scalar>(
+    inst: &Instance<S>,
+    sched: &Schedule<S>,
+    opts: DiagramOptions,
+) -> String {
+    let m = inst.servers();
+    let width = opts.width.max(16);
+    // The drawn horizon includes speculative tails that extend past t_n.
+    let mut horizon = inst.horizon().to_f64();
+    for h in &sched.caches {
+        horizon = horizon.max(h.to.to_f64());
+    }
+    for t in &sched.transfers {
+        horizon = horizon.max(t.at.to_f64());
+    }
+    if horizon <= 0.0 {
+        horizon = 1.0;
+    }
+    let col = |t: f64| -> usize {
+        (((t / horizon) * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+
+    let mut grid: Vec<Vec<char>> = vec![vec!['.'; width]; m];
+    // Cache intervals.
+    for h in &sched.caches {
+        let (a, b) = (col(h.from.to_f64()), col(h.to.to_f64()));
+        let row = &mut grid[h.server.index()];
+        for cell in row.iter_mut().take(b + 1).skip(a) {
+            *cell = '=';
+        }
+    }
+    // Transfers: '+' at the source, 'v' at the destination, '|' between.
+    for t in &sched.transfers {
+        let c = col(t.at.to_f64());
+        let (lo, hi) = {
+            let a = t.src.index();
+            let b = t.dst.index();
+            (a.min(b), a.max(b))
+        };
+        for (r, row) in grid.iter_mut().enumerate().take(hi + 1).skip(lo) {
+            row[c] = if r == t.src.index() {
+                '+'
+            } else if r == t.dst.index() {
+                'v'
+            } else {
+                '|'
+            };
+        }
+    }
+    // Requests drawn last so they stay visible.
+    for i in 1..=inst.n() {
+        let c = col(inst.t(i).to_f64());
+        grid[inst.server(i).index()][c] = '*';
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time 0 {:-<rest$} {:.2}\n",
+        "",
+        horizon,
+        rest = width.saturating_sub(8)
+    ));
+    for (j, row) in grid.iter().enumerate() {
+        out.push_str(&format!("s^{:<2} ", j + 1));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      (= cache, * request, + transfer src, v transfer dst)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_model::{Instance, ServerId};
+
+    fn fig2() -> (Instance<f64>, Schedule<f64>) {
+        let inst =
+            Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@1.0 s1@1.4 s4@1.8 s1@2.2 s3@2.6")
+                .unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(ServerId(0), 0.0, 1.4);
+        sched.cache(ServerId(2), 1.0, 2.6);
+        sched.transfer(ServerId(0), ServerId(1), 0.5);
+        sched.transfer(ServerId(0), ServerId(2), 1.0);
+        sched.transfer(ServerId(2), ServerId(3), 1.8);
+        sched.transfer(ServerId(2), ServerId(0), 2.2);
+        (inst, sched)
+    }
+
+    #[test]
+    fn renders_all_rows_and_legend() {
+        let (inst, sched) = fig2();
+        let text = render(&inst, &sched);
+        for j in 1..=4 {
+            assert!(text.contains(&format!("s^{j}")), "{text}");
+        }
+        assert!(text.contains("(= cache"));
+    }
+
+    #[test]
+    fn requests_and_caches_are_visible() {
+        let (inst, sched) = fig2();
+        let text = render(&inst, &sched);
+        assert!(text.contains('*'));
+        assert!(text.contains('='));
+        assert!(text.contains('v'));
+    }
+
+    #[test]
+    fn rows_have_uniform_width() {
+        let (inst, sched) = fig2();
+        let text = render_with(&inst, &sched, DiagramOptions { width: 40 });
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("s^")).collect();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.chars().count(), 5 + 40, "row `{r}`");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let text = render(&inst, &Schedule::new());
+        assert!(text.contains("s^1"));
+        assert!(text.contains("s^2"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # mcc-analysis — result post-processing and reporting
+//!
+//! Summary statistics, competitive-ratio aggregation, ASCII space-time
+//! diagrams in the paper's style, and Markdown/CSV report assembly used by
+//! the table/figure-reproduction binaries in `mcc-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bars;
+pub mod diagram;
+pub mod ratio;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use bars::{hbar, sparkline};
+pub use diagram::{render, render_with, DiagramOptions};
+pub use ratio::{measure, RatioCell, RatioSample};
+pub use report::{Report, Section};
+pub use stats::{loglog_slope, Summary};
+pub use table::{fnum, Table};

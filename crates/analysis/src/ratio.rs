@@ -1,0 +1,130 @@
+//! Competitive-ratio aggregation across seeds and workloads.
+
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{run_policy, OnlinePolicy};
+use mcc_model::Instance;
+
+use crate::stats::Summary;
+
+/// Cost ratio of one online run against the off-line optimum.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RatioSample {
+    /// Online policy cost.
+    pub online: f64,
+    /// Off-line optimal cost `C(n)`.
+    pub opt: f64,
+}
+
+impl RatioSample {
+    /// `online/opt` (1.0 when both are zero).
+    pub fn ratio(&self) -> f64 {
+        if self.opt <= 0.0 {
+            1.0
+        } else {
+            self.online / self.opt
+        }
+    }
+
+    /// `online/(opt + λ)`-style additive-constant-adjusted ratio: the form
+    /// in which the (corrected) Theorem 3 bound is tight; see
+    /// `mcc_core::online::reduction`.
+    pub fn adjusted_ratio(&self, lambda: f64) -> f64 {
+        if self.opt <= 0.0 {
+            1.0
+        } else {
+            (self.online - lambda).max(0.0) / self.opt
+        }
+    }
+}
+
+/// Measures one policy against the optimum on one instance.
+pub fn measure<P: OnlinePolicy<f64> + ?Sized>(policy: &mut P, inst: &Instance<f64>) -> RatioSample {
+    let run = run_policy(policy, inst);
+    RatioSample {
+        online: run.total_cost,
+        opt: optimal_cost(inst),
+    }
+}
+
+/// Aggregated ratios for one (policy, workload) cell.
+#[derive(Clone, Debug, Default)]
+pub struct RatioCell {
+    /// Raw `online/opt` ratios.
+    pub ratios: Summary,
+    /// Additive-constant-adjusted ratios (`(online − λ)/opt`).
+    pub adjusted: Summary,
+    /// Online costs.
+    pub online: Summary,
+    /// Optimal costs.
+    pub opt: Summary,
+}
+
+impl RatioCell {
+    /// Accumulates one sample.
+    pub fn push(&mut self, sample: RatioSample, lambda: f64) {
+        self.ratios.push(sample.ratio());
+        self.adjusted.push(sample.adjusted_ratio(lambda));
+        self.online.push(sample.online);
+        self.opt.push(sample.opt);
+    }
+
+    /// The worst raw ratio seen.
+    pub fn worst(&self) -> f64 {
+        self.ratios.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::online::SpeculativeCaching;
+
+    #[test]
+    fn ratio_sample_math() {
+        let s = RatioSample {
+            online: 6.0,
+            opt: 2.0,
+        };
+        assert_eq!(s.ratio(), 3.0);
+        assert_eq!(s.adjusted_ratio(1.0), 2.5);
+        let zero = RatioSample {
+            online: 0.0,
+            opt: 0.0,
+        };
+        assert_eq!(zero.ratio(), 1.0);
+    }
+
+    #[test]
+    fn measure_sc_on_small_instance() {
+        let inst = Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap();
+        let s = measure(&mut SpeculativeCaching::paper(), &inst);
+        assert!((s.opt - 8.9).abs() < 1e-9);
+        assert!(s.online >= s.opt);
+        assert!(s.ratio() <= 3.0 + 1.0 / s.opt); // corrected Theorem 3
+    }
+
+    #[test]
+    fn cell_accumulates() {
+        let mut cell = RatioCell::default();
+        cell.push(
+            RatioSample {
+                online: 2.0,
+                opt: 1.0,
+            },
+            1.0,
+        );
+        cell.push(
+            RatioSample {
+                online: 3.0,
+                opt: 1.0,
+            },
+            1.0,
+        );
+        assert_eq!(cell.worst(), 3.0);
+        assert_eq!(cell.ratios.count(), 2);
+        assert!((cell.ratios.mean() - 2.5).abs() < 1e-12);
+    }
+}

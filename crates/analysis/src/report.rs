@@ -1,0 +1,198 @@
+//! Experiment report assembly.
+//!
+//! Every table/figure generator produces [`Table`]s plus free-form notes;
+//! a [`Report`] collects them and writes Markdown (and per-table CSV) under
+//! a target directory — `reproduce_all` assembles the complete
+//! EXPERIMENTS-style output this way.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::table::Table;
+
+/// One experiment's output: id, prose, tables, optional preformatted
+/// blocks (diagrams).
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Experiment id (`F6`, `E2`, …).
+    pub id: String,
+    /// Section heading.
+    pub title: String,
+    /// Prose paragraphs.
+    pub notes: Vec<String>,
+    /// Preformatted blocks (ASCII diagrams, raw listings).
+    pub blocks: Vec<String>,
+    /// Result tables.
+    pub tables: Vec<Table>,
+}
+
+impl Section {
+    /// Starts a section.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Section {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            blocks: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a prose paragraph.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Adds a preformatted block.
+    pub fn block(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(text.into());
+        self
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Renders the section as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        for n in &self.notes {
+            out.push_str(n);
+            out.push_str("\n\n");
+        }
+        for b in &self.blocks {
+            out.push_str("```text\n");
+            out.push_str(b);
+            if !b.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("```\n\n");
+        }
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A collection of sections written to disk together.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Report {
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a section.
+    pub fn push(&mut self, section: Section) -> &mut Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// All sections.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Renders the whole report as one Markdown document.
+    pub fn to_markdown(&self, title: &str) -> String {
+        let mut out = format!("# {title}\n\n");
+        for s in &self.sections {
+            out.push_str(&s.to_markdown());
+        }
+        out
+    }
+
+    /// Writes `report.md` plus one CSV per table into `dir`.
+    pub fn write_to(&self, dir: &Path, title: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let md_path = dir.join("report.md");
+        fs::write(&md_path, self.to_markdown(title))?;
+        for s in &self.sections {
+            for (k, t) in s.tables.iter().enumerate() {
+                let name = format!(
+                    "{}-{}{}.csv",
+                    sanitize(&s.id),
+                    sanitize(t.title()),
+                    if s.tables.len() > 1 {
+                        format!("-{k}")
+                    } else {
+                        String::new()
+                    }
+                );
+                fs::write(dir.join(name), t.to_csv())?;
+            }
+        }
+        Ok(md_path)
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect::<String>()
+        .split('-')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_section() -> Section {
+        let mut s = Section::new("E9", "Predictability sweep");
+        s.note("Higher rho helps the off-line side.");
+        s.block("s^1 ===*===\ns^2 ...*...");
+        let mut t = Table::new("Ratios", &["rho", "ratio"]);
+        t.row(&["0.5".into(), "1.8".into()]);
+        s.table(t);
+        s
+    }
+
+    #[test]
+    fn section_markdown_contains_everything() {
+        let md = demo_section().to_markdown();
+        assert!(md.contains("## E9 — Predictability sweep"));
+        assert!(md.contains("Higher rho"));
+        assert!(md.contains("```text"));
+        assert!(md.contains("### Ratios"));
+    }
+
+    #[test]
+    fn report_writes_md_and_csv() {
+        let dir = std::env::temp_dir().join("mcc-report-test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut r = Report::new();
+        r.push(demo_section());
+        let md = r.write_to(&dir, "Demo Report").unwrap();
+        let body = fs::read_to_string(md).unwrap();
+        assert!(body.starts_with("# Demo Report"));
+        assert!(dir.join("e9-ratios.csv").exists());
+    }
+
+    #[test]
+    fn sanitize_handles_odd_titles() {
+        assert_eq!(sanitize("SC vs. OPT (λ sweep)"), "sc-vs-opt-sweep");
+        // Section ids like "F3/F4" must not create path separators.
+        assert_eq!(sanitize("F3/F4"), "f3-f4");
+    }
+}

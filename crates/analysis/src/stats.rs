@@ -1,0 +1,181 @@
+//! Summary statistics for experiment outputs.
+
+/// Streaming summary accumulator (Welford's algorithm for the variance).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.values.push(v);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for < 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum (NaN-free inputs assumed; +∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on sorted samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// `mean ± stddev (min … max)` display string with the given precision.
+    pub fn display(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$} ({:.p$} … {:.p$})",
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max(),
+            p = precision
+        )
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)`: the empirical scaling
+/// exponent used by the E1 complexity-fit table.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.stddev() - 1.2909944487).abs() < 1e-6);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        // Nearest rank at q = 0.5 over 4 samples: round(1.5) = index 2.
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn empty_summary_is_harmless() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.display(1), "2.0 ± 1.4 (1.0 … 3.0)");
+    }
+
+    #[test]
+    fn loglog_slope_recovers_exponent() {
+        // y = 7·x²
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| (k as f64, 7.0 * (k as f64).powi(2)))
+            .collect();
+        assert!((loglog_slope(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_degenerate() {
+        assert!(loglog_slope(&[(1.0, 1.0)]).is_nan());
+        assert!(loglog_slope(&[]).is_nan());
+    }
+}

@@ -1,0 +1,166 @@
+//! Aligned Markdown/CSV table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: row from display-ables.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned Markdown (pipe table) with the title as a
+    /// heading.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "### {}\n", self.title).unwrap();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        writeln!(out, "{}", fmt_row(&self.headers, &widths)).unwrap();
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(out, "| {} |", sep.join(" | ")).unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas or quotes are
+    /// double-quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let header: Vec<String> = self.headers.iter().map(|h| quote(h)).collect();
+        writeln!(out, "{}", header.join(",")).unwrap();
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            writeln!(out, "{}", cells.join(",")).unwrap();
+        }
+        out
+    }
+}
+
+/// Formats an `f64` tightly for table cells (trims trailing zeros).
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.4}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "2.5".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| name   | value |"));
+        assert!(md.contains("| longer | 2.5   |"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", &["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        t.row(&["has \"quote\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"has \"\"quote\"\"\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        Table::new("x", &["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn fnum_trims() {
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(2.5), "2.5");
+        assert_eq!(fnum(2.500001), "2.5");
+        assert_eq!(fnum(0.12345), "0.1235");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn row_display_helper() {
+        let mut t = Table::new("d", &["a", "b"]);
+        t.row_display(&[&1.5f64, &"x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

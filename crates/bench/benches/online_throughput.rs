@@ -1,0 +1,61 @@
+//! E6 (criterion form): online per-request cost — the paper claims SC
+//! serves each request in O(1) time with O(m) space.
+//!
+//! `cargo bench -p mcc-bench --bench online_throughput`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc_core::online::{run_policy, Follow, SpeculativeCaching};
+use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
+
+fn sc_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/sc-throughput(m=32)");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let inst = PoissonWorkload::uniform(
+            CommonParams {
+                servers: 32,
+                requests: n,
+                mu: 1.0,
+                lambda: 1.0,
+            },
+            1.0,
+        )
+        .generate(7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sc", n), &inst, |b, inst| {
+            b.iter(|| run_policy(&mut SpeculativeCaching::paper(), inst).total_cost)
+        });
+        if n <= 100_000 {
+            group.bench_with_input(BenchmarkId::new("follow", n), &inst, |b, inst| {
+                b.iter(|| run_policy(&mut Follow::new(), inst).total_cost)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn sc_space_is_per_server(c: &mut Criterion) {
+    // Per-request work scales with live copies (≤ m), not with n: compare
+    // fixed n across server counts.
+    let mut group = c.benchmark_group("online/sc-vs-m(n=100000)");
+    group.sample_size(10);
+    for &m in &[4usize, 32, 256] {
+        let inst = PoissonWorkload::uniform(
+            CommonParams {
+                servers: m,
+                requests: 100_000,
+                mu: 1.0,
+                lambda: 1.0,
+            },
+            1.0,
+        )
+        .generate(7);
+        group.bench_with_input(BenchmarkId::new("sc", m), &inst, |b, inst| {
+            b.iter(|| run_policy(&mut SpeculativeCaching::paper(), inst).total_cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sc_throughput, sc_space_is_per_server);
+criterion_main!(benches);

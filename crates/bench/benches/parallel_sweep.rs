@@ -1,0 +1,57 @@
+//! E10 (criterion form): parallel scaling of the simulation substrate's
+//! sweep runner.
+//!
+//! `cargo bench -p mcc-bench --bench parallel_sweep`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc_core::online::{Follow, KeepEverywhere, SpeculativeCaching, StayAtOrigin};
+use mcc_simnet::{factory, sweep, GridCell, PolicyFactory};
+use mcc_workloads::{standard_suite, CommonParams, Workload};
+
+fn build_policies() -> Vec<(String, PolicyFactory)> {
+    vec![
+        ("sc".into(), factory(SpeculativeCaching::<f64>::paper())),
+        ("follow".into(), factory(Follow::new())),
+        ("stay".into(), factory(StayAtOrigin::new())),
+        ("keep".into(), factory(KeepEverywhere::new())),
+    ]
+}
+
+fn parallel_scaling(c: &mut Criterion) {
+    let common = CommonParams {
+        servers: 8,
+        requests: 400,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let workloads: Vec<Box<dyn Workload>> = standard_suite(common);
+    let policies = build_policies();
+
+    let mut group = c.benchmark_group("simnet/sweep(20 cells x 8 seeds)");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cells = Vec::new();
+                    for (name, f) in &policies {
+                        for w in &workloads {
+                            cells.push(GridCell {
+                                policy_name: name.clone(),
+                                policy: f,
+                                workload: w.as_ref(),
+                            });
+                        }
+                    }
+                    sweep(cells, 0..8, threads).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! E5: adversarial ratio search.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::adversary::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

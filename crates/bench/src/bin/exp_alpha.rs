@@ -1,0 +1,7 @@
+//! E8: speculative-window ablation.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::alpha::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

@@ -1,0 +1,7 @@
+//! E4: cost breakdown and live-copy structure.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::breakdown::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

@@ -1,0 +1,7 @@
+//! E11: classic fixed-capacity caching priced in the cloud cost model.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::classic::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

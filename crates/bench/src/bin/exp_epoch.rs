@@ -1,0 +1,7 @@
+//! E7: epoch-size sensitivity.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::epoch::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

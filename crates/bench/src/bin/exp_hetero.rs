@@ -1,0 +1,7 @@
+//! E13: heterogeneous-cost extension sweep.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::hetero::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

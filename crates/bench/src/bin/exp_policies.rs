@@ -1,0 +1,7 @@
+//! E3: online policy shoot-out.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::policies::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

@@ -1,0 +1,7 @@
+//! E9: predictability vs. off-line advantage.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::predictability::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

@@ -1,0 +1,7 @@
+//! E12: the value of predicted trajectories (plan-and-repair).
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::prediction::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

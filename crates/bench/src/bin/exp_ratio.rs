@@ -1,0 +1,7 @@
+//! E2: empirical competitive-ratio sweep.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::ratio_sweep::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

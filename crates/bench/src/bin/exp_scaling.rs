@@ -1,0 +1,7 @@
+//! E1: off-line runtime scaling.
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::scaling::section(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (service illustration).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_offline::fig1().to_markdown());
+}

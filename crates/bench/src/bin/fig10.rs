@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10 (sigma-prime refinement).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_online::fig10().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (standard-form optimal schedule).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_offline::fig2().to_markdown());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figs. 3-4 (D(i) branch cases).
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::figs_offline::fig3_fig4().to_markdown()
+    );
+}

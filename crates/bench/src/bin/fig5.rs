@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (pointer structures).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_offline::fig5().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (running example, golden C/D vectors).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_offline::fig6().to_markdown());
+}

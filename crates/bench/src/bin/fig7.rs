@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (SC epoch example).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_online::fig7().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (Double-Transfer schedule).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_online::fig8().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 (reduced schedules, Theorem 3 chain).
+fn main() {
+    print!("{}", mcc_bench::exp::figs_online::fig9().to_markdown());
+}

@@ -1,0 +1,52 @@
+//! Regenerates every table and figure of the paper plus the extended
+//! evaluation, printing the report and writing Markdown + CSVs under
+//! `target/report/`.
+//!
+//! Usage: `cargo run --release -p mcc-bench --bin reproduce_all [--quick]`
+
+use mcc_analysis::Report;
+use mcc_bench::exp::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("reproducing with scale {scale:?} (pass --quick for the small grid)");
+
+    let mut report = Report::new();
+    let sections = vec![
+        exp::tables::table1(scale),
+        exp::tables::table2(),
+        exp::figs_offline::fig1(),
+        exp::figs_offline::fig2(),
+        exp::figs_offline::fig3_fig4(),
+        exp::figs_offline::fig5(),
+        exp::figs_offline::fig6(),
+        exp::figs_online::fig7(),
+        exp::figs_online::fig8(),
+        exp::figs_online::fig9(),
+        exp::figs_online::fig10(),
+        exp::scaling::section(scale),
+        exp::ratio_sweep::section(scale),
+        exp::policies::section(scale),
+        exp::breakdown::section(scale),
+        exp::adversary::section(scale),
+        exp::epoch::section(scale),
+        exp::alpha::section(scale),
+        exp::predictability::section(scale),
+        exp::classic::section(scale),
+        exp::prediction::section(scale),
+        exp::hetero::section(scale),
+    ];
+    for (k, s) in sections.into_iter().enumerate() {
+        eprintln!("[{}/22] {} — {}", k + 1, s.id, s.title);
+        report.push(s);
+    }
+
+    let title = "Reproduction report — Data Caching in Next Generation Mobile Cloud Services";
+    print!("{}", report.to_markdown(title));
+
+    let dir = std::path::Path::new("target/report");
+    match report.write_to(dir, title) {
+        Ok(path) => eprintln!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

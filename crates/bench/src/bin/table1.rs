@@ -1,0 +1,7 @@
+//! Regenerates Table I (classic vs. cloud caching, measured columns).
+fn main() {
+    print!(
+        "{}",
+        mcc_bench::exp::tables::table1(mcc_bench::exp::Scale::from_args()).to_markdown()
+    );
+}

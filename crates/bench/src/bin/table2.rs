@@ -1,0 +1,4 @@
+//! Regenerates Table II (notation → API mapping).
+fn main() {
+    print!("{}", mcc_bench::exp::tables::table2().to_markdown());
+}

@@ -1,0 +1,150 @@
+//! E5 — adversarial search for Speculative Caching's empirically worst
+//! competitive ratio.
+//!
+//! Theorem 3 (with the additive-λ correction) guarantees ≤ 3; the
+//! interesting question a reproduction can answer is how close an
+//! adversary actually gets. The structured family round-robins over `m`
+//! servers with gaps `g·Δt`; the sweep scans `g` and `m` and reports the
+//! frontier.
+
+use mcc_analysis::{fnum, Section, Summary, Table};
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{analyze, run_policy, SpeculativeCaching};
+use mcc_workloads::{AdversarialScWorkload, CommonParams, Workload};
+
+use super::Scale;
+
+/// One (m, gap-factor) cell.
+#[derive(Clone, Debug)]
+pub struct AdversaryCell {
+    /// Servers in the rotation.
+    pub servers: usize,
+    /// Gap as a multiple of Δt.
+    pub gap_factor: f64,
+    /// Ratio summary over seeds.
+    pub ratios: Summary,
+}
+
+/// Scans the structured adversary family.
+pub fn measure(scale: Scale) -> Vec<AdversaryCell> {
+    let mut out = Vec::new();
+    let m_grid = [2usize, 3, 4, 8];
+    let g_grid = [0.5, 0.9, 0.99, 1.01, 1.1, 1.5, 2.0, 3.0];
+    for &m in &m_grid {
+        for &g in &g_grid {
+            let common = CommonParams {
+                servers: m,
+                requests: scale.requests.min(600),
+                mu: 1.0,
+                lambda: 1.0,
+            };
+            let w = AdversarialScWorkload::new(common, g);
+            let mut ratios = Summary::new();
+            for seed in 0..scale.seeds {
+                let inst = w.generate(seed);
+                let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+                let opt = optimal_cost(&inst);
+                if opt > 0.0 {
+                    ratios.push(run.total_cost / opt);
+                }
+            }
+            out.push(AdversaryCell {
+                servers: m,
+                gap_factor: g,
+                ratios,
+            });
+        }
+    }
+    out
+}
+
+/// E5 section.
+pub fn section(scale: Scale) -> Section {
+    let cells = measure(scale);
+    let mut t = Table::new(
+        "SC/OPT on the round-robin adversary",
+        &["m", "gap ·Δt", "mean ratio", "worst ratio"],
+    );
+    let mut worst = (1.0f64, 0usize, 0.0f64);
+    for c in &cells {
+        if c.ratios.max() > worst.0 {
+            worst = (c.ratios.max(), c.servers, c.gap_factor);
+        }
+        t.row(&[
+            c.servers.to_string(),
+            fnum(c.gap_factor),
+            fnum(c.ratios.mean()),
+            fnum(c.ratios.max()),
+        ]);
+    }
+
+    // Verify the full analysis chain at the worst point.
+    let common = CommonParams {
+        servers: worst.1.max(2),
+        requests: scale.requests.min(600),
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let w = AdversarialScWorkload::new(common, worst.2.max(0.5));
+    let inst = w.generate(0);
+    let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+    let report = analyze(&inst, &run);
+
+    let mut s = Section::new("E5", "Adversarial lower bound on SC's competitive ratio");
+    s.note(format!(
+        "Empirical worst ratio {} at m = {}, gap = {}Δt — the bound of 3 is \
+         not tight for this algorithm on this family: a miss costs at most \
+         bridge (≤ λ) + transfer (λ) + wasted tail (λ) = 3λ, but OPT also \
+         pays more than the marginal bound λ per request here. At the worst \
+         point, the full Theorem 3 chain check reports: {}.",
+        fnum(worst.0),
+        worst.1,
+        fnum(worst.2),
+        match report.check_chain(1e-7) {
+            Ok(()) => "all inequalities hold".to_string(),
+            Err(e) => format!("VIOLATION: {e}"),
+        }
+    ));
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_never_exceeds_corrected_bound() {
+        for c in measure(Scale::quick()) {
+            assert!(
+                c.ratios.max() <= 3.05,
+                "m={} g={} ratio {}",
+                c.servers,
+                c.gap_factor,
+                c.ratios.max()
+            );
+        }
+    }
+
+    #[test]
+    fn near_window_gaps_are_the_bad_regime() {
+        let cells = measure(Scale::quick());
+        let at = |m: usize, g: f64| {
+            cells
+                .iter()
+                .find(|c| c.servers == m && (c.gap_factor - g).abs() < 1e-9)
+                .map(|c| c.ratios.mean())
+                .unwrap()
+        };
+        // Gaps just past the window waste the full tail; much longer gaps
+        // amortize it away.
+        assert!(at(4, 1.1) > at(4, 3.0), "1.1Δt should be worse than 3Δt");
+    }
+
+    #[test]
+    fn section_reports_worst_point() {
+        let md = section(Scale::quick()).to_markdown();
+        assert!(md.contains("Empirical worst ratio"));
+        assert!(md.contains("all inequalities hold"), "{md}");
+    }
+}

@@ -1,0 +1,170 @@
+//! E8 — ablation of the speculative window: `window = α·Δt`.
+//!
+//! The paper fixes α = 1 (the ski-rental break-even). The ablation sweeps
+//! α to show the choice is no accident: small α under-speculates
+//! (transfer-heavy), large α over-speculates (tail-heavy), and the
+//! worst-case guarantee degrades on both sides.
+
+use mcc_analysis::{fnum, hbar, Section, Summary, Table};
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{run_policy, SpeculativeCaching};
+use mcc_workloads::{
+    standard_suite, AdversarialScWorkload, CommonParams, UnderSpeculationWorkload, Workload,
+};
+
+use super::Scale;
+
+/// The α grid swept (and that the tuned adversaries target).
+pub const ALPHAS: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// The evaluation pool: the standard suite plus, for every α in the grid,
+/// one adversary punishing under-speculation at that window
+/// (`UnderSpeculationWorkload`) and one punishing over-speculation
+/// (round-robin revisits just past `α·Δt`). A minimax claim about α is
+/// only meaningful against adversaries tuned to *every* α, not just the
+/// paper's.
+fn workload_pool(common: CommonParams) -> Vec<Box<dyn Workload>> {
+    let mut pool = standard_suite(common);
+    for &a in &ALPHAS {
+        pool.push(Box::new(UnderSpeculationWorkload::new(common, a)));
+        // Over-speculation punisher: full tails wasted at window α·Δt need
+        // revisit gaps just beyond it; the round-robin family revisits a
+        // server after m·gap_factor·Δt, so tune the per-hop gap down by m.
+        let per_hop = (1.05 * a / common.servers as f64).max(0.05);
+        pool.push(Box::new(AdversarialScWorkload::new(common, per_hop)));
+    }
+    pool
+}
+
+/// One α row aggregated over the whole workload suite.
+#[derive(Clone, Debug)]
+pub struct AlphaRow {
+    /// Window multiplier.
+    pub alpha: f64,
+    /// Ratios across workloads × seeds.
+    pub ratios: Summary,
+    /// Worst single ratio.
+    pub worst_workload: String,
+}
+
+/// Runs the ablation.
+pub fn measure(scale: Scale) -> Vec<AlphaRow> {
+    let common = CommonParams {
+        servers: scale.servers,
+        requests: scale.requests,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let mut rows = Vec::new();
+    for &alpha in &ALPHAS {
+        let mut ratios = Summary::new();
+        let mut worst = (1.0f64, String::new());
+        for w in workload_pool(common) {
+            for seed in 0..scale.seeds {
+                let inst = w.generate(seed);
+                let run = run_policy(&mut SpeculativeCaching::with_options(alpha, None), &inst);
+                let opt = optimal_cost(&inst);
+                if opt > 0.0 {
+                    let r = run.total_cost / opt;
+                    ratios.push(r);
+                    if r > worst.0 {
+                        worst = (r, w.name());
+                    }
+                }
+            }
+        }
+        rows.push(AlphaRow {
+            alpha,
+            ratios,
+            worst_workload: worst.1,
+        });
+    }
+    rows
+}
+
+/// E8 section.
+pub fn section(scale: Scale) -> Section {
+    let rows = measure(scale);
+    let mut t = Table::new(
+        "SC(α)/OPT across the workload suite",
+        &["α", "mean", "p95", "worst", "worst (0…6 band)", "worst on"],
+    );
+    for r in &rows {
+        t.row(&[
+            fnum(r.alpha),
+            fnum(r.ratios.mean()),
+            fnum(r.ratios.quantile(0.95)),
+            fnum(r.ratios.max()),
+            hbar(r.ratios.max() - 1.0, 5.0, 12),
+            r.worst_workload.clone(),
+        ]);
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.ratios.max().partial_cmp(&b.ratios.max()).expect("no NaN"))
+        .expect("non-empty");
+    let mut s = Section::new("E8", "Speculative-window ablation (α·Δt)");
+    s.note(format!(
+        "Evaluated against the standard suite plus adversaries tuned to \
+         every α in the grid (under- and over-speculation punishers). \
+         Best worst-case α: {} — the paper's break-even α = 1 is \
+         (near-)minimax: short windows are savaged by revisit gaps just \
+         outside them (transfer λ + wasted tail αλ where OPT caches for \
+         ≈ 1.2αλ), long windows by never-revisited copies wasting αλ \
+         tails. On friendly workloads alone, smaller α actually wins on \
+         average — the window buys worst-case safety, not average-case \
+         cost.",
+        fnum(best.alpha)
+    ));
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_one_is_near_minimax_against_tuned_adversaries() {
+        let rows = measure(Scale::quick());
+        let worst_at = |alpha: f64| {
+            rows.iter()
+                .find(|r| r.alpha == alpha)
+                .map(|r| r.ratios.max())
+                .unwrap()
+        };
+        // Short windows are punished hard by their tuned adversary; α = 1
+        // must clearly beat them and not be dominated by long windows.
+        assert!(
+            worst_at(1.0) < worst_at(0.1),
+            "α=1 worst {} must beat α=0.1 worst {}",
+            worst_at(1.0),
+            worst_at(0.1)
+        );
+        assert!(
+            worst_at(1.0) < worst_at(0.25),
+            "α=1 worst {} must beat α=0.25 worst {}",
+            worst_at(1.0),
+            worst_at(0.25)
+        );
+        assert!(
+            worst_at(1.0) <= worst_at(4.0) + 0.35,
+            "within slack of the long window"
+        );
+    }
+
+    #[test]
+    fn only_alpha_one_carries_the_paper_guarantee() {
+        // The 3-competitive proof is specific to α = 1; other windows may
+        // exceed it (and the short windows do, against their punishers).
+        let rows = measure(Scale::quick());
+        let a1 = rows.iter().find(|r| r.alpha == 1.0).unwrap();
+        assert!(a1.ratios.max() <= 3.05, "α = 1 bound: {}", a1.ratios.max());
+        let a01 = rows.iter().find(|r| r.alpha == 0.1).unwrap();
+        assert!(
+            a01.ratios.max() > 3.0,
+            "the tuned adversary should push α = 0.1 past the α = 1 bound (got {})",
+            a01.ratios.max()
+        );
+    }
+}

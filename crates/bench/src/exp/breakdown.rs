@@ -1,0 +1,139 @@
+//! E4 — cost attribution and live-copy structure versus λ/μ.
+
+use mcc_analysis::{fnum, Section, Summary, Table};
+use mcc_core::online::{run_policy, SpeculativeCaching};
+use mcc_simnet::{Breakdown, CopyTimeline};
+use mcc_workloads::{CommonParams, MarkovWorkload, PoissonWorkload, Workload};
+
+use super::Scale;
+
+/// One λ/μ point's aggregated attribution.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload label.
+    pub workload: String,
+    /// λ/μ swept value.
+    pub lambda_over_mu: f64,
+    /// Useful caching share of total cost.
+    pub caching_share: Summary,
+    /// Speculative-tail share.
+    pub tail_share: Summary,
+    /// Transfer share.
+    pub transfer_share: Summary,
+    /// Time-average live copies.
+    pub avg_copies: Summary,
+    /// Peak live copies.
+    pub peak_copies: Summary,
+}
+
+/// Runs the sweep.
+pub fn measure(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &lom in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+        let common = CommonParams {
+            servers: scale.servers,
+            requests: scale.requests,
+            mu: 1.0,
+            lambda: lom,
+        };
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(PoissonWorkload::uniform(common, 1.0)),
+            Box::new(MarkovWorkload::new(common, 1.0, 0.93)),
+        ];
+        for w in workloads {
+            let mut row = Row {
+                workload: w.name(),
+                lambda_over_mu: lom,
+                caching_share: Summary::new(),
+                tail_share: Summary::new(),
+                transfer_share: Summary::new(),
+                avg_copies: Summary::new(),
+                peak_copies: Summary::new(),
+            };
+            for seed in 0..scale.seeds {
+                let inst = w.generate(seed);
+                let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+                let b = Breakdown::from_record(&run.record, inst.cost());
+                let total = b.total().max(1e-12);
+                row.caching_share.push(b.useful_caching / total);
+                row.tail_share.push(b.speculative_tails / total);
+                row.transfer_share.push(b.transfers / total);
+                let tl = CopyTimeline::from_record(&run.record);
+                row.avg_copies.push(tl.average(inst.horizon()));
+                row.peak_copies.push(tl.peak() as f64);
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// E4 section.
+pub fn section(scale: Scale) -> Section {
+    let rows = measure(scale);
+    let mut t = Table::new(
+        "SC cost attribution and replication level vs. λ/μ",
+        &[
+            "workload",
+            "λ/μ",
+            "useful caching",
+            "spec. tails",
+            "transfers",
+            "avg copies",
+            "peak copies",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.workload.clone(),
+            fnum(r.lambda_over_mu),
+            fnum(r.caching_share.mean()),
+            fnum(r.tail_share.mean()),
+            fnum(r.transfer_share.mean()),
+            fnum(r.avg_copies.mean()),
+            fnum(r.peak_copies.mean()),
+        ]);
+    }
+    let mut s = Section::new("E4", "Cost breakdown and live-copy structure");
+    s.note(
+        "Cheap transfers (low λ/μ) push SC toward transfer-dominated costs \
+         with few copies; expensive transfers (high λ/μ) make the window \
+         Δt = λ/μ long, so replicas persist — caching dominates and the \
+         average copy count rises. Shares are of total cost; copies are \
+         time-averaged.",
+    );
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_and_copies_are_sane() {
+        for r in measure(Scale::quick()) {
+            let sum = r.caching_share.mean() + r.tail_share.mean() + r.transfer_share.mean();
+            assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {sum}");
+            assert!(r.avg_copies.mean() >= 0.9, "{}", r.avg_copies.mean());
+            assert!(r.peak_copies.mean() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn replication_rises_with_lambda() {
+        let rows = measure(Scale::quick());
+        let poisson: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.workload.starts_with("poisson"))
+            .collect();
+        let low = poisson.iter().find(|r| r.lambda_over_mu == 0.1).unwrap();
+        let high = poisson.iter().find(|r| r.lambda_over_mu == 10.0).unwrap();
+        assert!(
+            high.avg_copies.mean() > low.avg_copies.mean(),
+            "longer windows must mean more live copies ({} vs {})",
+            high.avg_copies.mean(),
+            low.avg_copies.mean()
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! E3 — the online policy shoot-out: SC against the baselines, normalized
+//! by the off-line optimum, per workload family.
+
+use mcc_analysis::{fnum, Section, Summary, Table};
+use mcc_core::online::{Follow, KeepEverywhere, SpeculativeCaching, StayAtOrigin};
+use mcc_simnet::{factory, sweep, GridCell, PolicyFactory};
+use mcc_workloads::{standard_suite, CommonParams};
+
+use super::Scale;
+
+/// Named policy set for the shoot-out.
+pub fn policy_set() -> Vec<(String, PolicyFactory)> {
+    vec![
+        ("sc".into(), factory(SpeculativeCaching::<f64>::paper())),
+        ("follow".into(), factory(Follow::new())),
+        ("stay-at-origin".into(), factory(StayAtOrigin::new())),
+        ("keep-everywhere".into(), factory(KeepEverywhere::new())),
+    ]
+}
+
+/// A (policy, workload) cell with aggregated normalized costs.
+#[derive(Clone, Debug)]
+pub struct ShootoutCell {
+    /// Policy label.
+    pub policy: String,
+    /// Workload label.
+    pub workload: String,
+    /// `online/opt` ratios across seeds.
+    pub ratios: Summary,
+}
+
+/// Runs the shoot-out (parallel across cells).
+pub fn measure(scale: Scale) -> Vec<ShootoutCell> {
+    let common = CommonParams {
+        servers: scale.servers,
+        requests: scale.requests,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let mut workloads = standard_suite(common);
+    // The follow-punisher: two servers alternating at gaps ε ≪ Δt. The
+    // single migrating copy pays λ per request where replicating once
+    // costs pennies; SC absorbs it inside the speculative window.
+    workloads.push(Box::new(super::epoch::pathological_workload(
+        scale.requests.min(400),
+    )));
+    let policies = policy_set();
+    let mut cells = Vec::new();
+    for (name, f) in &policies {
+        for w in &workloads {
+            cells.push(GridCell {
+                policy_name: name.clone(),
+                policy: f,
+                workload: w.as_ref(),
+            });
+        }
+    }
+    let results = sweep(cells, 0..scale.seeds, 0);
+    results
+        .into_iter()
+        .map(|cell| {
+            let mut ratios = Summary::new();
+            for r in &cell.results {
+                ratios.push(r.ratio);
+            }
+            ShootoutCell {
+                policy: cell.policy_name,
+                workload: cell.workload_name,
+                ratios,
+            }
+        })
+        .collect()
+}
+
+/// E3 section.
+pub fn section(scale: Scale) -> Section {
+    let cells = measure(scale);
+    let mut t = Table::new(
+        "Online cost / off-line optimum (mean ± sd)",
+        &["workload", "policy", "mean", "sd", "worst"],
+    );
+    for c in &cells {
+        t.row(&[
+            c.workload.clone(),
+            c.policy.clone(),
+            fnum(c.ratios.mean()),
+            fnum(c.ratios.stddev()),
+            fnum(c.ratios.max()),
+        ]);
+    }
+
+    // Who wins per workload?
+    let mut winners: Vec<String> = Vec::new();
+    let mut by_workload: std::collections::BTreeMap<String, Vec<&ShootoutCell>> =
+        std::collections::BTreeMap::new();
+    for c in &cells {
+        by_workload.entry(c.workload.clone()).or_default().push(c);
+    }
+    let mut sc_wins = 0usize;
+    for (w, cs) in &by_workload {
+        let best = cs
+            .iter()
+            .min_by(|a, b| {
+                a.ratios
+                    .mean()
+                    .partial_cmp(&b.ratios.mean())
+                    .expect("no NaN")
+            })
+            .expect("non-empty");
+        if best.policy == "sc" {
+            sc_wins += 1;
+        }
+        winners.push(format!("{w}: {}", best.policy));
+    }
+
+    // SC's selling point is the bounded worst case, not the average: find
+    // each policy's worst cell.
+    let mut worst_by_policy: std::collections::BTreeMap<String, f64> =
+        std::collections::BTreeMap::new();
+    for c in &cells {
+        let e = worst_by_policy.entry(c.policy.clone()).or_insert(1.0);
+        *e = e.max(c.ratios.max());
+    }
+    let worst_line = worst_by_policy
+        .iter()
+        .map(|(p, r)| format!("{p}: {}", fnum(*r)))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let mut s = Section::new("E3", "Online policy shoot-out");
+    s.note(format!(
+        "Best mean policy per workload — {}. Speculative Caching wins \
+         {}/{} families on the *mean* — on friendly traffic its \
+         speculative tails are pure overhead and a fixed extreme looks \
+         better. The story is the worst cell per policy ({}): every \
+         baseline has a workload that blows it up (follow on alternating \
+         revisits, stay-at-origin on remote bursts, keep-everywhere \
+         almost everywhere), while SC never leaves the proven ≤ 3 band. \
+         That bounded worst case is what the ski-rental window buys.",
+        winners.join("; "),
+        sc_wins,
+        by_workload.len(),
+        worst_line,
+    ));
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shootout_runs_and_sc_is_never_catastrophic() {
+        let cells = measure(Scale::quick());
+        assert_eq!(cells.len(), 4 * 6); // 4 policies x (5 suite + follow-punisher)
+        for c in &cells {
+            if c.policy == "sc" {
+                assert!(c.ratios.max() <= 3.05, "{}: {}", c.workload, c.ratios.max());
+            }
+            assert!(c.ratios.mean() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sc_beats_baselines_on_bursty_traffic() {
+        let cells = measure(Scale::quick());
+        let get = |p: &str, w_prefix: &str| {
+            cells
+                .iter()
+                .find(|c| c.policy == p && c.workload.starts_with(w_prefix))
+                .map(|c| c.ratios.mean())
+                .expect("cell exists")
+        };
+        let sc = get("sc", "bursty");
+        assert!(
+            sc <= get("stay-at-origin", "bursty") + 1e-9,
+            "SC should beat stay-at-origin on bursty traffic"
+        );
+        assert!(
+            sc <= get("keep-everywhere", "bursty") + 1e-9,
+            "SC should beat keep-everywhere on bursty traffic"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! E9 — trajectory predictability versus the off-line advantage.
+//!
+//! The paper's motivation: mobile accesses are highly predictable (≈93 %,
+//! Song et al.), so an off-line schedule computed from the predicted
+//! trajectory is realistic. This experiment asks what the predictability
+//! *itself* buys, sweeping the Markov-tour regularity ρ at two arrival
+//! densities (sparse: revisit gaps ≫ Δt; dense: revisit gaps ≈ Δt).
+//!
+//! Measured outcome (a nuanced negative result worth reporting): the
+//! off-line advantage — SC/OPT around 1.5–2.0× — is roughly **flat in ρ**
+//! and its slight tilt even changes sign with density. Regular tours also
+//! *raise* OPT's absolute cost per request: a perfectly periodic visitor
+//! never produces the near-immediate revisits a random walk sprinkles in,
+//! which the optimum caches almost for free. The value the paper's
+//! motivation monetizes is therefore the *availability* of the trajectory
+//! (off-line vs. online — a stable 35–50 % saving here), not its
+//! regularity.
+
+use mcc_analysis::{fnum, Section, Summary, Table};
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{run_policy, SpeculativeCaching};
+use mcc_workloads::{CommonParams, MarkovWorkload, Workload};
+
+use super::Scale;
+
+/// One (regime, ρ) row.
+#[derive(Clone, Debug)]
+pub struct RhoRow {
+    /// Regime label (`sparse` / `dense`).
+    pub regime: &'static str,
+    /// Arrival rate used.
+    pub rate: f64,
+    /// Trajectory predictability.
+    pub rho: f64,
+    /// SC/OPT ratios.
+    pub ratios: Summary,
+    /// Absolute optimal costs (per request).
+    pub opt_per_request: Summary,
+}
+
+/// Runs the sweep.
+pub fn measure(scale: Scale) -> Vec<RhoRow> {
+    let common = CommonParams {
+        servers: scale.servers,
+        requests: scale.requests,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let rhos = [0.0, 0.25, 0.5, 0.75, 0.93, 1.0];
+    // Sparse: tour revisit gap ≈ m·Δt. Dense: revisit gap ≈ Δt.
+    let regimes: [(&'static str, f64); 2] = [("sparse", 1.0), ("dense", common.servers as f64)];
+    let mut rows = Vec::new();
+    for (regime, rate) in regimes {
+        for &rho in &rhos {
+            let w = MarkovWorkload::new(common, rate, rho);
+            let mut ratios = Summary::new();
+            let mut opt_pr = Summary::new();
+            for seed in 0..scale.seeds {
+                let inst = w.generate(seed);
+                let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+                let opt = optimal_cost(&inst);
+                if opt > 0.0 {
+                    ratios.push(run.total_cost / opt);
+                    opt_pr.push(opt / inst.n().max(1) as f64);
+                }
+            }
+            rows.push(RhoRow {
+                regime,
+                rate,
+                rho,
+                ratios,
+                opt_per_request: opt_pr,
+            });
+        }
+    }
+    rows
+}
+
+/// E9 section.
+pub fn section(scale: Scale) -> Section {
+    let rows = measure(scale);
+    let mut t = Table::new(
+        "Off-line advantage vs. trajectory predictability",
+        &[
+            "regime",
+            "rate",
+            "ρ",
+            "SC/OPT mean",
+            "SC/OPT worst",
+            "OPT cost / request",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.regime.to_string(),
+            fnum(r.rate),
+            fnum(r.rho),
+            fnum(r.ratios.mean()),
+            fnum(r.ratios.max()),
+            fnum(r.opt_per_request.mean()),
+        ]);
+    }
+    let mut s = Section::new("E9", "Predictability and the value of the trajectory");
+    s.note(
+        "The off-line advantage (SC/OPT) is roughly flat in ρ in both \
+         density regimes — knowing the trajectory is worth a stable 35–50 % \
+         cost saving whether or not the trajectory is regular. What ρ does \
+         change is OPT's absolute cost: a perfectly periodic tour (ρ = 1) \
+         eliminates the near-immediate same-server revisits that a random \
+         walk produces and that the optimum caches almost for free, so \
+         `OPT/request` *rises* with ρ. The paper's motivation is thus read \
+         correctly as 'trajectories are predictable, hence obtainable in \
+         advance' — the DP monetizes foreknowledge, not regularity.",
+    );
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_grid_and_respects_bound() {
+        let rows = measure(Scale::quick());
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.ratios.max() <= 3.05, "rho {}: {}", r.rho, r.ratios.max());
+            assert!(r.ratios.mean() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn regular_tours_raise_opt_per_request() {
+        // Robust direction across regimes: ρ = 1 removes cheap revisits.
+        let rows = measure(Scale::quick());
+        for regime in ["sparse", "dense"] {
+            let at = |rho: f64| {
+                rows.iter()
+                    .find(|r| r.regime == regime && r.rho == rho)
+                    .map(|r| r.opt_per_request.mean())
+                    .unwrap()
+            };
+            assert!(
+                at(1.0) > at(0.0),
+                "{regime}: OPT/request should rise with ρ ({} vs {})",
+                at(1.0),
+                at(0.0)
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! E12 — the value of predicted trajectories: plan off-line on a
+//! *predicted* sequence, execute against reality, and find where planning
+//! beats the online algorithm.
+//!
+//! Pipeline per seed: generate a training trace and an evaluation trace
+//! from the same mobility model (predictability ρ); fit the Markov
+//! location predictor on the training trace; build the predicted sequence
+//! (actual timestamps, maximum-likelihood locations — isolating *spatial*
+//! prediction, which is what ρ controls); plan the optimal schedule for
+//! the prediction; execute it against the actual trace with repair
+//! semantics (`mcc_simnet::planned`). Compare the realized cost against
+//! the hindsight optimum and against online Speculative Caching.
+//!
+//! This is the experiment the paper's introduction implies: "93 % of human
+//! mobility is predictable" is only useful if planning on predictions
+//! actually beats not planning at all. The measured decomposition is
+//! sharper than expected: knowing the *times* alone already beats the
+//! online algorithm on friendly traffic (a mispredicted location degrades
+//! to one plain λ repair, cheaper than SC's up-to-3λ misses), and location
+//! accuracy then closes the remaining gap down to the hindsight optimum.
+
+use mcc_analysis::{fnum, Section, Summary, Table};
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{run_policy, SpeculativeCaching};
+use mcc_model::{Instance, Request};
+use mcc_simnet::plan_and_execute;
+use mcc_workloads::{CommonParams, MarkovPredictor, MarkovWorkload, Workload};
+
+use super::Scale;
+
+/// One ρ row of the experiment.
+#[derive(Clone, Debug)]
+pub struct PredictionRow {
+    /// Mobility predictability.
+    pub rho: f64,
+    /// Predictor top-1 accuracy on the evaluation trace.
+    pub accuracy: Summary,
+    /// Realized planned cost / hindsight OPT.
+    pub planned_ratio: Summary,
+    /// Online SC cost / hindsight OPT.
+    pub online_ratio: Summary,
+    /// Fraction of actual requests covered by the plan for free.
+    pub coverage: Summary,
+}
+
+/// Builds the predicted instance: actual timestamps, ML-predicted servers.
+///
+/// The session-start location (the user's whereabouts when planning
+/// happens) is observed — without it an open-loop chain can start out of
+/// phase with a perfectly periodic tour and mispredict everything while
+/// per-transition accuracy is 100 %. From there the chain is open-loop:
+/// each location is predicted from the *predicted* predecessor, so
+/// prediction errors compound realistically at ρ < 1.
+pub fn predicted_instance(predictor: &MarkovPredictor, actual: &Instance<f64>) -> Instance<f64> {
+    let mut prev: Option<usize> = None;
+    let requests: Vec<Request<f64>> = actual
+        .requests()
+        .iter()
+        .map(|r| {
+            let predicted = match prev {
+                None => r.server.index(), // observed session start
+                Some(p) => predictor.predict_next(p),
+            };
+            prev = Some(predicted);
+            Request::at(predicted, r.time)
+        })
+        .collect();
+    Instance::new(actual.servers(), *actual.cost(), requests)
+        .expect("prediction preserves instance validity")
+}
+
+/// Runs the sweep.
+pub fn measure(scale: Scale) -> Vec<PredictionRow> {
+    let common = CommonParams {
+        servers: scale.servers.min(12),
+        requests: scale.requests,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let rhos = [0.0, 0.25, 0.5, 0.75, 0.93, 1.0];
+    let mut rows = Vec::new();
+    for &rho in &rhos {
+        let w = MarkovWorkload::new(common, 1.0, rho);
+        let mut row = PredictionRow {
+            rho,
+            accuracy: Summary::new(),
+            planned_ratio: Summary::new(),
+            online_ratio: Summary::new(),
+            coverage: Summary::new(),
+        };
+        for seed in 0..scale.seeds.min(40) {
+            // Train and evaluate on different traces of the same user.
+            let train = w.generate(seed * 2);
+            let actual = w.generate(seed * 2 + 1);
+            let predictor = MarkovPredictor::fit(&train);
+            row.accuracy.push(predictor.accuracy_on(&actual));
+
+            let predicted = predicted_instance(&predictor, &actual);
+            let outcome = plan_and_execute(&predicted, &actual);
+            let opt = optimal_cost(&actual);
+            let online = run_policy(&mut SpeculativeCaching::paper(), &actual).total_cost;
+            if opt > 0.0 {
+                row.planned_ratio.push(outcome.total() / opt);
+                row.online_ratio.push(online / opt);
+                row.coverage
+                    .push(outcome.covered as f64 / actual.n().max(1) as f64);
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// E12 section.
+pub fn section(scale: Scale) -> Section {
+    let rows = measure(scale);
+    let mut t = Table::new(
+        "Plan-on-prediction vs. online (costs normalized by hindsight OPT)",
+        &[
+            "ρ",
+            "predictor accuracy",
+            "plan coverage",
+            "planned/OPT",
+            "online SC/OPT",
+            "planning wins?",
+        ],
+    );
+    let mut break_even: Option<f64> = None;
+    for r in &rows {
+        let wins = r.planned_ratio.mean() < r.online_ratio.mean();
+        if wins && break_even.is_none() {
+            break_even = Some(r.rho);
+        }
+        t.row(&[
+            fnum(r.rho),
+            fnum(r.accuracy.mean()),
+            fnum(r.coverage.mean()),
+            fnum(r.planned_ratio.mean()),
+            fnum(r.online_ratio.mean()),
+            if wins { "yes".into() } else { "no".to_string() },
+        ]);
+    }
+    let mut s = Section::new(
+        "E12",
+        "The value of predicted trajectories (plan-and-repair)",
+    );
+    s.note(format!(
+        "Planning beats online SC from ρ ≈ {} upward — in this setup that \
+         is *every* ρ, because the experiment grants the planner the \
+         request times (isolating spatial prediction, which is what ρ \
+         controls): even location-blind plans keep cheap timed coverage \
+         and degrade to one λ repair per miss, while SC's misses cost up \
+         to 3λ in bridge + transfer + wasted tail. Location accuracy then \
+         does the rest: at the paper's motivating ρ = 0.93 the predictor \
+         is ~{}% accurate and the plan realizes ~{}× OPT (vs. ~{}× for \
+         online SC); at ρ = 1 it converges to the hindsight optimum.",
+        break_even.map(fnum).unwrap_or_else(|| "—".into()),
+        rows.iter()
+            .find(|r| r.rho == 0.93)
+            .map(|r| fnum(100.0 * r.accuracy.mean()))
+            .unwrap_or_default(),
+        rows.iter()
+            .find(|r| r.rho == 0.93)
+            .map(|r| fnum(r.planned_ratio.mean()))
+            .unwrap_or_default(),
+        rows.iter()
+            .find(|r| r.rho == 0.93)
+            .map(|r| fnum(r.online_ratio.mean()))
+            .unwrap_or_default(),
+    ));
+    s.table(t);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictability_plans_near_optimally() {
+        let rows = measure(Scale::quick());
+        let r1 = rows.iter().find(|r| r.rho == 1.0).unwrap();
+        assert!(r1.accuracy.mean() > 0.95, "accuracy {}", r1.accuracy.mean());
+        assert!(
+            r1.planned_ratio.mean() < 1.15,
+            "near-perfect prediction should realize near-OPT ({})",
+            r1.planned_ratio.mean()
+        );
+        assert!(r1.planned_ratio.mean() < r1.online_ratio.mean());
+    }
+
+    #[test]
+    fn location_accuracy_closes_the_gap() {
+        let rows = measure(Scale::quick());
+        let r0 = rows.iter().find(|r| r.rho == 0.0).unwrap();
+        let r1 = rows.iter().find(|r| r.rho == 1.0).unwrap();
+        assert!(
+            r1.planned_ratio.mean() < r0.planned_ratio.mean(),
+            "better location prediction must lower the realized cost \
+             ({} at rho=1 vs {} at rho=0)",
+            r1.planned_ratio.mean(),
+            r0.planned_ratio.mean()
+        );
+        // Even the location-blind plan stays feasible and bounded.
+        assert!(r0.planned_ratio.mean() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn coverage_tracks_accuracy() {
+        let rows = measure(Scale::quick());
+        let lo = rows.iter().find(|r| r.rho == 0.0).unwrap();
+        let hi = rows.iter().find(|r| r.rho == 1.0).unwrap();
+        assert!(hi.coverage.mean() > lo.coverage.mean());
+        assert!(hi.accuracy.mean() > lo.accuracy.mean());
+    }
+}

@@ -1,0 +1,235 @@
+//! T1/T2: the paper's tables.
+
+use std::time::Instant;
+
+use mcc_analysis::{fnum, loglog_slope, Section, Summary, Table};
+use mcc_core::offline::optimal_cost;
+use mcc_core::offline::{solve_fast, solve_naive};
+use mcc_core::online::{run_policy, SpeculativeCaching};
+use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
+
+use super::Scale;
+
+/// T1 — Table I: classic network caching vs. cloud data caching, with the
+/// measurable rows replaced by measured values from this implementation.
+pub fn table1(scale: Scale) -> Section {
+    // Measure the off-line algorithm's empirical time exponent in n
+    // (medians of repeated runs; small n is too noise-dominated to fit).
+    let mut pts = Vec::new();
+    let n_grid: &[usize] = if scale.requests >= 1000 {
+        &[2_000, 4_000, 8_000, 16_000]
+    } else {
+        &[100, 200, 400]
+    };
+    for &n in n_grid {
+        let w = PoissonWorkload::uniform(
+            CommonParams {
+                servers: 8,
+                requests: n,
+                mu: 1.0,
+                lambda: 1.0,
+            },
+            1.0,
+        );
+        let inst = w.generate(1);
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let _ = solve_fast(&inst);
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-7));
+        }
+        pts.push((n as f64, best));
+    }
+    let exponent = loglog_slope(&pts);
+
+    // Measure SC's worst observed ratio on a small sweep.
+    let mut worst: f64 = 1.0;
+    for seed in 0..scale.seeds {
+        let w = PoissonWorkload::uniform(
+            CommonParams {
+                servers: scale.servers,
+                requests: scale.requests.min(400),
+                mu: 1.0,
+                lambda: 1.0,
+            },
+            1.0,
+        );
+        let inst = w.generate(seed);
+        let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        let opt = optimal_cost(&inst);
+        if opt > 0.0 {
+            worst = worst.max(run.total_cost / opt);
+        }
+    }
+
+    let mut t = Table::new(
+        "Classic network caching vs. cloud data caching",
+        &["", "Classic Caching", "Cloud Data Caching (this repo)"],
+    );
+    t.row(&[
+        "Network".into(),
+        "Fully Connected".into(),
+        "Fully Connected".into(),
+    ]);
+    t.row(&[
+        "Cost Model".into(),
+        "Transfer Cost".into(),
+        "Caching & Transfer Costs (μ, λ)".into(),
+    ]);
+    t.row(&[
+        "Operation".into(),
+        "Page Fault".into(),
+        "Caching, Transfer & Replication".into(),
+    ]);
+    t.row(&[
+        "Cache Size".into(),
+        "Fixed Number k".into(),
+        "Dynamic Number".into(),
+    ]);
+    t.row(&[
+        "Opt. Goal".into(),
+        "Total Fault Cost".into(),
+        "Total Service Cost".into(),
+    ]);
+    t.row(&[
+        "Locality".into(),
+        "Spatial-Temporal".into(),
+        "Spatial-Temporal Trajectory".into(),
+    ]);
+    t.row(&[
+        "Opt. Off-line".into(),
+        "Belady's Alg.".into(),
+        format!("O(mn) DP; measured time exponent in n ≈ {}", fnum(exponent)),
+    ]);
+    t.row(&[
+        "Comp. Online".into(),
+        "k-competitive".into(),
+        format!("3-competitive; worst measured ratio {}", fnum(worst)),
+    ]);
+
+    let mut s = Section::new("T1", "Classic vs. cloud data caching (Table I)");
+    s.note(
+        "The two measurable claims are replaced by measurements: the \
+         empirical log-log time exponent of the O(mn) solver in n (at fixed \
+         m), and the worst online/off-line cost ratio observed for \
+         Speculative Caching.",
+    );
+    s.table(t);
+    s
+}
+
+/// T2 — Table II: the paper's notation mapped to this crate's API.
+pub fn table2() -> Section {
+    let mut t = Table::new("Notation → API", &["symbol", "meaning", "implementation"]);
+    let rows: &[(&str, &str, &str)] = &[
+        (
+            "r_i = (s_i, t_i)",
+            "the i-th request",
+            "mcc_model::Request / Instance::server, Instance::t",
+        ),
+        (
+            "r_0 = (s^1, 0)",
+            "boundary request",
+            "Instance logical index 0",
+        ),
+        ("δt_{i,j}", "time difference", "Instance::delta_t"),
+        ("p(i)", "previous request on the same server", "Prescan::p"),
+        ("σ_i", "server interval t_i − t_{p(i)}", "Prescan::sigma"),
+        ("Tr(s_i, s_j, x)", "transfer", "mcc_model::Transfer"),
+        ("H(s, x, y)", "cache interval", "mcc_model::CacheInterval"),
+        ("μ", "caching cost rate", "CostModel::mu"),
+        ("λ", "transfer cost", "CostModel::lambda"),
+        (
+            "ω_j^i",
+            "speculative caching tail cost",
+            "CopyRecord::tail (× μ)",
+        ),
+        (
+            "β",
+            "upload cost",
+            "CostModel::upload (space-time graph only)",
+        ),
+        (
+            "Ψ*(n), Π(Ψ)",
+            "optimal schedule and cost",
+            "offline::optimal_schedule / Schedule::cost",
+        ),
+        (
+            "b_i",
+            "marginal cost bound min(λ, μσ_i)",
+            "Prescan::b / CostModel::marginal_bound",
+        ),
+        ("B_i", "running bound Σ b_j", "Prescan::big_b"),
+        ("C(i), D(i)", "DP tables", "offline::DpSolution::{c, d}"),
+        (
+            "π(i), κ",
+            "cover index set / pivot",
+            "offline::PivotSource, DStep::Pivot",
+        ),
+        ("Δt = λ/μ", "speculative window", "CostModel::delta_t"),
+    ];
+    for (sym, meaning, api) in rows {
+        t.row(&[sym.to_string(), meaning.to_string(), api.to_string()]);
+    }
+    let mut s = Section::new("T2", "Notation (Table II)");
+    s.note("Documentation-only: every symbol in the paper's Table II has a 1:1 API counterpart.");
+    s.table(t);
+    s
+}
+
+/// Shared helper: worst/mean ratio rows for a set of workloads (also used
+/// by E2's quick summary in `table1`).
+pub fn ratio_summary(workloads: &[Box<dyn Workload>], seeds: u64) -> Summary {
+    let mut all = Summary::new();
+    for w in workloads {
+        for seed in 0..seeds {
+            let inst = w.generate(seed);
+            let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+            let opt = optimal_cost(&inst);
+            if opt > 0.0 {
+                all.push(run.total_cost / opt);
+            }
+        }
+    }
+    all
+}
+
+/// Quick self-check used in tests: the naive and fast solvers agree on a
+/// fresh workload draw (belt-and-braces beyond the proptest suites).
+pub fn solvers_agree_once(seed: u64) -> bool {
+    let w = PoissonWorkload::uniform(CommonParams::small().with_size(6, 80), 1.0);
+    let inst = w.generate(seed);
+    let a = solve_fast(&inst).optimal_cost();
+    let b = solve_naive(&inst).optimal_cost();
+    (a - b).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_builds_with_measured_cells() {
+        let sec = table1(Scale::quick());
+        let md = sec.to_markdown();
+        assert!(md.contains("3-competitive; worst measured ratio"));
+        assert!(md.contains("measured time exponent"));
+    }
+
+    #[test]
+    fn table2_covers_the_notation() {
+        let sec = table2();
+        assert!(sec.tables[0].len() >= 15);
+        let md = sec.to_markdown();
+        assert!(md.contains("Prescan::sigma"));
+    }
+
+    #[test]
+    fn helper_checks() {
+        assert!(solvers_agree_once(7));
+        let suite = mcc_workloads::standard_suite(CommonParams::small().with_size(3, 30));
+        let s = ratio_summary(&suite, 2);
+        assert!(s.count() > 0);
+        assert!(s.max() <= 3.2, "worst ratio {}", s.max());
+    }
+}

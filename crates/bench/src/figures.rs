@@ -1,0 +1,105 @@
+//! Fixed instances reconstructed from the paper's figures.
+//!
+//! The paper gives worked examples rather than datasets; where the figure
+//! pins enough numbers, the instance is reconstructed exactly (Fig. 6's
+//! arithmetic determines every time and server), and where it is only
+//! illustrative (Fig. 1), a faithful instance with the same structure is
+//! used.
+
+use mcc_model::Instance;
+
+/// Fig. 1: three fully connected servers, twelve requests, item initially
+/// on `s^1`. The figure is illustrative (no numbers are given); this
+/// instance mirrors its structure: interleaved requests on all three
+/// servers with both cache-friendly bursts and isolated accesses.
+pub fn fig1_instance() -> Instance<f64> {
+    Instance::from_compact(
+        "m=3 mu=1 lambda=1 | s1@0.4 s2@0.8 s2@1.1 s3@1.5 s1@2.0 s3@2.4 s3@3.4 s2@3.9 s1@4.3 s2@4.8 s3@5.2 s1@5.6",
+    )
+    .expect("fig1 fixture is valid")
+}
+
+/// Fig. 2: the standard-form schedule example. The figure pins the optimal
+/// split: caching `1.4μ + 0.2μ + 1.6μ = 3.2` and `4λ = 4.0` at
+/// `μ = λ = 1` (total 7.2). This request placement reproduces that split:
+/// `s^1` holds `[0, 1.4]`, `s^2` briefly `[0.5, 0.7]`, `s^3` holds
+/// `[1.0, 2.6]`, and four transfers end on requests.
+pub fn fig2_instance() -> Instance<f64> {
+    Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s2@0.7 s3@1.0 s1@1.4 s4@1.8 s2@2.4 s3@2.6")
+        .expect("fig2 fixture is valid")
+}
+
+/// The cost split Fig. 2 reports for its optimal schedule.
+pub const FIG2_CACHING: f64 = 3.2;
+/// Fig. 2's transfer cost (4 transfers at λ = 1).
+pub const FIG2_TRANSFERS: f64 = 4.0;
+
+/// Fig. 6: the running example of the off-line algorithm (m = 4,
+/// μ = λ = 1). The paper's worked arithmetic pins every request:
+/// C = [0, 1.5, 2.8, 4.1, 4.4, 6.5, 7.1, 8.9] and
+/// D(4..7) = [4.4, 6.5, 7.1, 9.2] force
+/// t = 0.5, 0.8, 1.1, 1.4, 2.6, 3.2, 4.0 on servers
+/// s², s³, s⁴, s¹, s², s², s³.
+pub fn fig6_instance() -> Instance<f64> {
+    Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0")
+        .expect("fig6 fixture is valid")
+}
+
+/// Fig. 6's golden C vector.
+pub const FIG6_C: [f64; 8] = [0.0, 1.5, 2.8, 4.1, 4.4, 6.5, 7.1, 8.9];
+/// Fig. 6's golden finite D entries (indices 4..=7).
+pub const FIG6_D_TAIL: [f64; 4] = [4.4, 6.5, 7.1, 9.2];
+
+/// Fig. 7: the SC epoch example — an online sequence over four servers
+/// that produces an epoch of five transfers under `Δt = λ/μ = 1`.
+/// The figure's exact times are not printed; this fixture reproduces the
+/// structure: five misses (transfers) interleaved with within-window hits
+/// and lapsing copies.
+pub fn fig7_instance() -> Instance<f64> {
+    Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s2@0.8 s3@1.3 s1@2.6 s2@3.1 s4@4.5 s4@4.9")
+        .expect("fig7 fixture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::offline::{optimal_schedule, solve_fast};
+    use mcc_core::online::{run_policy, SpeculativeCaching};
+
+    #[test]
+    fn fig2_optimum_matches_paper_split() {
+        let inst = fig2_instance();
+        let (sched, cost) = optimal_schedule(&inst);
+        assert!(
+            (cost - (FIG2_CACHING + FIG2_TRANSFERS)).abs() < 1e-9,
+            "cost {cost}"
+        );
+        assert!((sched.caching_cost(inst.cost()) - FIG2_CACHING).abs() < 1e-9);
+        assert!((sched.transfer_cost(inst.cost()) - FIG2_TRANSFERS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_tables_match_paper() {
+        let sol = solve_fast(&fig6_instance());
+        for (i, c) in FIG6_C.iter().enumerate() {
+            assert!((sol.c[i] - c).abs() < 1e-9, "C({i})");
+        }
+        for (k, d) in FIG6_D_TAIL.iter().enumerate() {
+            assert!((sol.d[k + 4] - d).abs() < 1e-9, "D({})", k + 4);
+        }
+    }
+
+    #[test]
+    fn fig7_produces_five_transfers() {
+        let inst = fig7_instance();
+        let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        assert_eq!(run.transfers(), 5, "fig7 fixture must epoch at 5 transfers");
+    }
+
+    #[test]
+    fn fig1_has_twelve_requests_on_three_servers() {
+        let inst = fig1_instance();
+        assert_eq!(inst.n(), 12);
+        assert_eq!(inst.servers(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! # mcc-bench — table/figure reproduction and the extended evaluation
+//!
+//! Every table and figure in the paper, plus the extended experiments
+//! E1–E10 indexed in DESIGN.md, implemented as library functions returning
+//! report [`mcc_analysis::Section`]s. The `src/bin` binaries are thin
+//! wrappers; `reproduce_all` assembles the full report under
+//! `target/report/`.
+
+pub mod exp;
+pub mod figures;

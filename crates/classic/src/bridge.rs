@@ -1,0 +1,175 @@
+//! The bridge between classic capacity caching and the paper's
+//! cost-driven model — Table I, executable.
+//!
+//! A data-caching instance maps to a page sequence (server = page). A
+//! classic policy with fixed capacity `k` then induces a *cloud schedule*:
+//! the `k` cached "pages" are servers holding live copies; a fault is a
+//! transfer in; an eviction deletes a copy. Costing that schedule under
+//! `(μ, λ)` and validating it with the standard referee lets the
+//! experiment E11 ask the question Table I implies: how much does a fixed
+//! `k` cost against the dynamically sized optimum?
+
+use mcc_model::{Instance, Scalar, Schedule, ServerId};
+
+use crate::paging::{run_paging, EvictionPolicy, PageSequence};
+
+/// Extracts the page sequence (server indices) of an instance.
+pub fn page_sequence<S: Scalar>(inst: &Instance<S>) -> PageSequence {
+    PageSequence::new(
+        inst.servers(),
+        inst.requests().iter().map(|r| r.server.0).collect(),
+    )
+}
+
+/// Runs a classic policy at capacity `k` over the instance's server
+/// sequence and materializes the induced cloud schedule.
+///
+/// Conventions making the schedule feasible under the referee:
+/// * the origin's initial copy seeds the cache (it is "page 0 in cache"),
+///   so a first request on the origin is a hit;
+/// * a fault transfers from the most recently *used* live copy;
+/// * an eviction closes the victim's interval at the fault instant;
+/// * all surviving copies close at the horizon `t_n`.
+pub fn classic_schedule<S: Scalar, P: EvictionPolicy + ?Sized>(
+    inst: &Instance<S>,
+    policy: &mut P,
+    k: usize,
+) -> Schedule<S> {
+    assert!(k >= 1);
+    let seq = page_sequence(inst);
+    // Replay the policy to learn fault/eviction decisions, then rebuild
+    // the timeline with real timestamps. The policy run starts from an
+    // empty cache; we seed the origin by prepending a virtual request.
+    let mut padded = Vec::with_capacity(seq.len() + 1);
+    padded.push(ServerId::ORIGIN.0);
+    padded.extend_from_slice(seq.requests());
+    let padded_seq = PageSequence::new(inst.servers().max(1), padded);
+    let run = run_paging(policy, &padded_seq, k);
+
+    let mut sched = Schedule::new();
+    let mut open: Vec<Option<S>> = vec![None; inst.servers()]; // open time
+    let mut last_use: Vec<S> = vec![S::ZERO; inst.servers()];
+    open[ServerId::ORIGIN.index()] = Some(S::ZERO);
+
+    // Walk the real requests (padded index i+1 corresponds to r_{i+1}).
+    let mut evictions = run.evictions.iter().peekable();
+    let mut mru = ServerId::ORIGIN;
+    for i in 1..=inst.n() {
+        let t = inst.t(i);
+        let s = inst.server(i);
+        let faulted = run.fault_at[i];
+        if faulted {
+            debug_assert!(open[s.index()].is_none(), "fault on a live server");
+            // Pick the transfer source while every copy is still open (the
+            // victim itself may be the source — e.g. k = 1 migration — in
+            // which case touching it first keeps coverage seamless).
+            let src = if mru != s && open[mru.index()].is_some() {
+                mru
+            } else {
+                // Fall back to any live copy.
+                ServerId::from_index(
+                    open.iter()
+                        .position(|o| o.is_some())
+                        .expect("at least one copy is always live"),
+                )
+            };
+            last_use[src.index()] = t;
+            sched.transfer(src, s, t);
+            // Then apply the eviction scheduled at this padded position.
+            while let Some(&&(pos, victim)) = evictions.peek() {
+                if pos != i {
+                    break;
+                }
+                evictions.next();
+                let v = ServerId(victim);
+                if let Some(from) = open[v.index()].take() {
+                    sched.cache(v, from, last_use[v.index()].max2(from));
+                }
+            }
+            open[s.index()] = Some(t);
+        }
+        debug_assert!(open[s.index()].is_some());
+        last_use[s.index()] = t;
+        mru = s;
+    }
+    // Close survivors at their last use (no speculative tails in the
+    // classic world), keeping at least coverage to t_n via the MRU copy.
+    let horizon = inst.horizon();
+    for idx in 0..open.len() {
+        if let Some(from) = open[idx].take() {
+            let to = if ServerId::from_index(idx) == mru {
+                horizon
+            } else {
+                last_use[idx].max2(from)
+            };
+            sched.cache(ServerId::from_index(idx), from, to);
+        }
+    }
+    sched.normalize();
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Belady, Lru};
+    use mcc_model::validate;
+
+    fn demo() -> Instance<f64> {
+        Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn page_sequence_extraction() {
+        let seq = page_sequence(&demo());
+        assert_eq!(seq.requests(), &[1, 2, 3, 0, 1, 1, 2]);
+        assert_eq!(seq.pages(), 4);
+    }
+
+    #[test]
+    fn classic_schedules_validate_for_all_k() {
+        let inst = demo();
+        for k in 1..=4 {
+            let sched = classic_schedule(&inst, &mut Belady::new(), k);
+            validate(&inst, &sched)
+                .unwrap_or_else(|e| panic!("belady k={k}: infeasible schedule: {e:?}"));
+            let sched = classic_schedule(&inst, &mut Lru::new(), k);
+            validate(&inst, &sched)
+                .unwrap_or_else(|e| panic!("lru k={k}: infeasible schedule: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn full_capacity_means_no_evictions() {
+        let inst = demo();
+        let sched = classic_schedule(&inst, &mut Lru::new(), 4);
+        // With k = m every server keeps its copy once fetched: exactly
+        // m − 1 transfers (cold fetches).
+        assert_eq!(sched.transfers.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one_migrates_on_every_server_change() {
+        let inst = demo();
+        let sched = classic_schedule(&inst, &mut Lru::new(), 1);
+        // Server changes: 1→2→3→0→1, 1 (hit), →2: 6 changes = 6 transfers.
+        assert_eq!(sched.transfers.len(), 6);
+    }
+
+    #[test]
+    fn fixed_k_never_beats_the_dynamic_optimum() {
+        let inst = demo();
+        let opt = mcc_core::offline::optimal_cost(&inst);
+        for k in 1..=4 {
+            let sched = classic_schedule(&inst, &mut Belady::new(), k);
+            let cost = validate(&inst, &sched).unwrap().total;
+            assert!(
+                cost >= opt - 1e-9,
+                "classic k={k} cost {cost} undercut the optimum {opt}"
+            );
+        }
+    }
+}

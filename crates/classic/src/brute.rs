@@ -1,0 +1,99 @@
+//! Exhaustive minimal-fault oracle for differential-testing Belady's MIN.
+//!
+//! Enumerates every eviction choice with memoization on
+//! `(position, cache contents)` — the same oracle role
+//! `mcc_core::offline::brute` plays for the cost-world DP.
+
+use std::collections::HashMap;
+
+use crate::paging::PageSequence;
+
+/// Hard size cap (the state space is `O(n · pages^k)`).
+pub const MAX_BRUTE_LEN: usize = 16;
+
+/// Exact minimum number of faults for the sequence at capacity `k`.
+///
+/// # Panics
+///
+/// Panics on sequences longer than [`MAX_BRUTE_LEN`].
+pub fn min_faults(seq: &PageSequence, k: usize) -> usize {
+    assert!(
+        seq.len() <= MAX_BRUTE_LEN,
+        "min_faults is a test oracle: n ≤ {MAX_BRUTE_LEN}"
+    );
+    assert!(k >= 1);
+    let mut memo: HashMap<(usize, Vec<u32>), usize> = HashMap::new();
+    solve(seq.requests(), 0, &mut Vec::with_capacity(k), k, &mut memo)
+}
+
+fn solve(
+    reqs: &[u32],
+    i: usize,
+    cache: &mut Vec<u32>,
+    k: usize,
+    memo: &mut HashMap<(usize, Vec<u32>), usize>,
+) -> usize {
+    if i == reqs.len() {
+        return 0;
+    }
+    let mut key_cache = cache.clone();
+    key_cache.sort_unstable();
+    let key = (i, key_cache);
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+
+    let p = reqs[i];
+    let result = if cache.contains(&p) {
+        solve(reqs, i + 1, cache, k, memo)
+    } else if cache.len() < k {
+        cache.push(p);
+        let r = 1 + solve(reqs, i + 1, cache, k, memo);
+        cache.pop();
+        r
+    } else {
+        let mut best = usize::MAX;
+        for victim in 0..cache.len() {
+            let evicted = cache[victim];
+            cache[victim] = p;
+            best = best.min(1 + solve(reqs, i + 1, cache, k, memo));
+            cache[victim] = evicted;
+        }
+        best
+    };
+    memo.insert(key, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::run_paging;
+    use crate::policies::Belady;
+
+    #[test]
+    fn matches_belady_on_textbook_example() {
+        let s = PageSequence::new(4, vec![0, 1, 2, 0, 1, 3, 0, 1, 2, 3]);
+        assert_eq!(min_faults(&s, 3), 5);
+        assert_eq!(run_paging(&mut Belady::new(), &s, 3).faults, 5);
+    }
+
+    #[test]
+    fn capacity_covers_working_set() {
+        let s = PageSequence::new(3, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(min_faults(&s, 3), 3); // cold misses only
+    }
+
+    #[test]
+    fn single_slot_faults_on_every_change() {
+        let s = PageSequence::new(2, vec![0, 1, 0, 1, 1]);
+        assert_eq!(min_faults(&s, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "test oracle")]
+    fn refuses_long_sequences() {
+        let s = PageSequence::new(2, vec![0; 40]);
+        min_faults(&s, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mcc-classic — classic capacity-based caching, and the bridge to the
+//! cost-driven cloud model
+//!
+//! Table I of the paper contrasts *classic network caching* (fixed cache
+//! size `k`, page faults, hit-ratio objective, Belady's off-line optimum,
+//! k-competitive online algorithms) with *cloud data caching* (priced
+//! dynamic copies). This crate makes the left column executable:
+//!
+//! * [`paging`] — the fixed-capacity paging model and fault accounting;
+//! * [`policies`] — Belady's MIN, LRU, FIFO, LFU, randomized Marker;
+//! * [`brute`] — an exhaustive minimal-fault oracle (differential tests);
+//! * [`bridge`] — maps a classic policy's behaviour into a *feasible cloud
+//!   schedule* so the E11 experiment can price fixed-`k` caching against
+//!   the paper's dynamically sized optimum under the same `(μ, λ)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod brute;
+pub mod paging;
+pub mod policies;
+
+pub use bridge::{classic_schedule, page_sequence};
+pub use brute::{min_faults, MAX_BRUTE_LEN};
+pub use paging::{run_paging, EvictionPolicy, PageSequence, PagingRun};
+pub use policies::{Belady, Fifo, Lfu, Lru, Marker};

@@ -1,0 +1,211 @@
+//! The classic paging model: a fixed-capacity cache served by eviction
+//! policies, measured in faults.
+//!
+//! This is Table I's left column made executable: fully connected network,
+//! transfer-cost-only model, page faults, fixed cache size `k`, hit-ratio
+//! objective. The [`crate::bridge`] module maps it into the paper's
+//! cost-driven world for a head-to-head.
+
+use std::collections::HashMap;
+
+/// A paging request sequence over pages `0..pages`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageSequence {
+    pages: usize,
+    requests: Vec<u32>,
+}
+
+impl PageSequence {
+    /// Builds a sequence; every request must reference a page `< pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a request is out of range or `pages == 0`.
+    pub fn new(pages: usize, requests: Vec<u32>) -> Self {
+        assert!(pages > 0, "page universe must be non-empty");
+        assert!(
+            requests.iter().all(|&p| (p as usize) < pages),
+            "request references page outside the universe"
+        );
+        PageSequence { pages, requests }
+    }
+
+    /// Number of distinct pages in the universe.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// The raw request slice.
+    pub fn requests(&self) -> &[u32] {
+        &self.requests
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of distinct pages actually requested (the unavoidable cold
+    /// misses for any policy with an initially empty cache).
+    pub fn distinct(&self) -> usize {
+        let mut seen = vec![false; self.pages];
+        let mut count = 0;
+        for &p in &self.requests {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// For each position, the index of the next request of the same page
+    /// (`usize::MAX` when never requested again). O(n).
+    pub fn next_use_table(&self) -> Vec<usize> {
+        let mut next = vec![usize::MAX; self.requests.len()];
+        let mut last_seen: HashMap<u32, usize> = HashMap::new();
+        for (i, &p) in self.requests.iter().enumerate().rev() {
+            if let Some(&j) = last_seen.get(&p) {
+                next[i] = j;
+            }
+            last_seen.insert(p, i);
+        }
+        next
+    }
+}
+
+/// The outcome of running a paging policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PagingRun {
+    /// Policy label.
+    pub policy: String,
+    /// Cache capacity used.
+    pub capacity: usize,
+    /// Total faults (including cold misses).
+    pub faults: usize,
+    /// Per-request fault flags.
+    pub fault_at: Vec<bool>,
+    /// `(position, evicted page)` pairs, in order.
+    pub evictions: Vec<(usize, u32)>,
+}
+
+impl PagingRun {
+    /// Hit ratio over the sequence (1.0 for an empty sequence).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.fault_at.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.faults as f64 / self.fault_at.len() as f64
+    }
+}
+
+/// An eviction policy: chooses the victim when the cache is full.
+///
+/// `future` carries the remaining request suffix (after the current
+/// position) for *off-line* policies like Belady; online policies must
+/// ignore it.
+pub trait EvictionPolicy {
+    /// Policy label.
+    fn name(&self) -> String;
+
+    /// Resets internal state for a fresh run.
+    fn reset(&mut self, capacity: usize);
+
+    /// Called on every request *after* the cache is updated, hit or fault.
+    fn on_access(&mut self, page: u32, position: usize) {
+        let _ = (page, position);
+    }
+
+    /// Picks the index (into `cache`) of the page to evict.
+    fn choose_victim(&mut self, cache: &[u32], position: usize, future: &[u32]) -> usize;
+}
+
+/// Runs a policy over a sequence with capacity `k ≥ 1`.
+pub fn run_paging<P: EvictionPolicy + ?Sized>(
+    policy: &mut P,
+    seq: &PageSequence,
+    k: usize,
+) -> PagingRun {
+    assert!(k >= 1, "cache capacity must be at least one page");
+    policy.reset(k);
+    let mut cache: Vec<u32> = Vec::with_capacity(k);
+    let mut fault_at = Vec::with_capacity(seq.len());
+    let mut evictions = Vec::new();
+    let mut faults = 0usize;
+    for (i, &p) in seq.requests().iter().enumerate() {
+        let hit = cache.contains(&p);
+        if !hit {
+            faults += 1;
+            if cache.len() == k {
+                let victim = policy.choose_victim(&cache, i, &seq.requests()[i + 1..]);
+                debug_assert!(victim < cache.len());
+                evictions.push((i, cache[victim]));
+                cache.swap_remove(victim);
+            }
+            cache.push(p);
+        }
+        fault_at.push(!hit);
+        policy.on_access(p, i);
+    }
+    PagingRun {
+        policy: policy.name(),
+        capacity: k,
+        faults,
+        fault_at,
+        evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Fifo;
+
+    #[test]
+    fn sequence_basics() {
+        let s = PageSequence::new(4, vec![0, 1, 0, 2, 3, 0]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.distinct(), 4);
+        assert_eq!(
+            s.next_use_table(),
+            vec![2, usize::MAX, 5, usize::MAX, usize::MAX, usize::MAX]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn rejects_out_of_range_pages() {
+        PageSequence::new(2, vec![0, 5]);
+    }
+
+    #[test]
+    fn cold_misses_are_counted() {
+        let s = PageSequence::new(3, vec![0, 1, 2, 0, 1, 2]);
+        let run = run_paging(&mut Fifo::new(), &s, 3);
+        // Capacity covers the working set: only the 3 cold misses fault.
+        assert_eq!(run.faults, 3);
+        assert!(run.evictions.is_empty());
+        assert!((run.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_one_faults_on_every_alternation() {
+        let s = PageSequence::new(2, vec![0, 1, 0, 1]);
+        let run = run_paging(&mut Fifo::new(), &s, 1);
+        assert_eq!(run.faults, 4);
+        assert_eq!(run.evictions.len(), 3);
+    }
+
+    #[test]
+    fn empty_sequence_is_all_hits() {
+        let s = PageSequence::new(1, vec![]);
+        let run = run_paging(&mut Fifo::new(), &s, 2);
+        assert_eq!(run.faults, 0);
+        assert_eq!(run.hit_ratio(), 1.0);
+    }
+}

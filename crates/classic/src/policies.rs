@@ -1,0 +1,293 @@
+//! The classic eviction policies: Belady's MIN (off-line optimal), LRU,
+//! FIFO, LFU, and the randomized marking algorithm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::paging::EvictionPolicy;
+
+/// Belady's MIN / OPT (1966): evict the cached page whose next use is
+/// farthest in the future. Off-line (reads the future suffix); optimal in
+/// fault count.
+#[derive(Clone, Debug, Default)]
+pub struct Belady;
+
+impl Belady {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Belady
+    }
+}
+
+impl EvictionPolicy for Belady {
+    fn name(&self) -> String {
+        "belady".into()
+    }
+
+    fn reset(&mut self, _capacity: usize) {}
+
+    fn choose_victim(&mut self, cache: &[u32], _position: usize, future: &[u32]) -> usize {
+        let mut best = 0usize;
+        let mut best_next = 0usize; // farther is better; MAX = never
+        for (idx, &page) in cache.iter().enumerate() {
+            let next = future.iter().position(|&f| f == page).unwrap_or(usize::MAX);
+            if next == usize::MAX {
+                return idx; // never used again: perfect victim
+            }
+            if next > best_next || idx == 0 {
+                best = idx;
+                best_next = next;
+            }
+        }
+        best
+    }
+}
+
+/// Least-recently-used.
+#[derive(Clone, Debug, Default)]
+pub struct Lru {
+    last_access: HashMap<u32, usize>,
+}
+
+impl Lru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Lru::default()
+    }
+}
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> String {
+        "lru".into()
+    }
+
+    fn reset(&mut self, _capacity: usize) {
+        self.last_access.clear();
+    }
+
+    fn on_access(&mut self, page: u32, position: usize) {
+        self.last_access.insert(page, position);
+    }
+
+    fn choose_victim(&mut self, cache: &[u32], _position: usize, _future: &[u32]) -> usize {
+        cache
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| self.last_access.get(p).copied().unwrap_or(0))
+            .map(|(idx, _)| idx)
+            .expect("cache is full when a victim is needed")
+    }
+}
+
+/// First-in-first-out.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    admitted: HashMap<u32, usize>,
+    clock: usize,
+}
+
+impl Fifo {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fifo::default()
+    }
+}
+
+impl EvictionPolicy for Fifo {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn reset(&mut self, _capacity: usize) {
+        self.admitted.clear();
+        self.clock = 0;
+    }
+
+    fn on_access(&mut self, page: u32, _position: usize) {
+        // Admission time: first time we see the page while it is cached.
+        self.clock += 1;
+        self.admitted.entry(page).or_insert(self.clock);
+    }
+
+    fn choose_victim(&mut self, cache: &[u32], _position: usize, _future: &[u32]) -> usize {
+        let idx = cache
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| self.admitted.get(p).copied().unwrap_or(0))
+            .map(|(idx, _)| idx)
+            .expect("cache is full when a victim is needed");
+        self.admitted.remove(&cache[idx]); // re-admission gets a fresh slot
+        idx
+    }
+}
+
+/// Least-frequently-used (ties broken by least recent use).
+#[derive(Clone, Debug, Default)]
+pub struct Lfu {
+    counts: HashMap<u32, usize>,
+    last_access: HashMap<u32, usize>,
+}
+
+impl Lfu {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Lfu::default()
+    }
+}
+
+impl EvictionPolicy for Lfu {
+    fn name(&self) -> String {
+        "lfu".into()
+    }
+
+    fn reset(&mut self, _capacity: usize) {
+        self.counts.clear();
+        self.last_access.clear();
+    }
+
+    fn on_access(&mut self, page: u32, position: usize) {
+        *self.counts.entry(page).or_insert(0) += 1;
+        self.last_access.insert(page, position);
+    }
+
+    fn choose_victim(&mut self, cache: &[u32], _position: usize, _future: &[u32]) -> usize {
+        cache
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| {
+                (
+                    self.counts.get(p).copied().unwrap_or(0),
+                    self.last_access.get(p).copied().unwrap_or(0),
+                )
+            })
+            .map(|(idx, _)| idx)
+            .expect("cache is full when a victim is needed")
+    }
+}
+
+/// The randomized marking algorithm (O(log k)-competitive in expectation):
+/// on a fault evict a uniformly random *unmarked* page; when all pages are
+/// marked, start a new phase (unmark everything).
+#[derive(Clone, Debug)]
+pub struct Marker {
+    rng: StdRng,
+    seed: u64,
+    marked: HashMap<u32, bool>,
+}
+
+impl Marker {
+    /// Creates the policy with a reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        Marker {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            marked: HashMap::new(),
+        }
+    }
+}
+
+impl EvictionPolicy for Marker {
+    fn name(&self) -> String {
+        "marker".into()
+    }
+
+    fn reset(&mut self, _capacity: usize) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.marked.clear();
+    }
+
+    fn on_access(&mut self, page: u32, _position: usize) {
+        self.marked.insert(page, true);
+    }
+
+    fn choose_victim(&mut self, cache: &[u32], _position: usize, _future: &[u32]) -> usize {
+        let unmarked: Vec<usize> = cache
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !self.marked.get(p).copied().unwrap_or(false))
+            .map(|(idx, _)| idx)
+            .collect();
+        if unmarked.is_empty() {
+            // Phase boundary: unmark all cached pages and retry.
+            for p in cache {
+                self.marked.insert(*p, false);
+            }
+            return self.rng.gen_range(0..cache.len());
+        }
+        unmarked[self.rng.gen_range(0..unmarked.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::{run_paging, PageSequence};
+
+    fn seq(reqs: &[u32]) -> PageSequence {
+        let pages = reqs.iter().max().map(|&m| m as usize + 1).unwrap_or(1);
+        PageSequence::new(pages, reqs.to_vec())
+    }
+
+    #[test]
+    fn belady_classic_example() {
+        // 0 1 2 0 1 3 0 1 2 3 with k = 3: cold misses 0,1,2, then MIN
+        // evicts 2 for 3 (farthest next use) and 0 for 2 (never used
+        // again) — 5 faults total, matching the exhaustive oracle.
+        let s = seq(&[0, 1, 2, 0, 1, 3, 0, 1, 2, 3]);
+        let run = run_paging(&mut Belady::new(), &s, 3);
+        assert_eq!(run.faults, 5);
+    }
+
+    #[test]
+    fn lru_on_sequential_scan_is_pessimal() {
+        // The classic LRU worst case: cyclic scan of k+1 pages faults on
+        // every request, while Belady faults far less.
+        let s = seq(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+        let lru = run_paging(&mut Lru::new(), &s, 3);
+        let opt = run_paging(&mut Belady::new(), &s, 3);
+        assert_eq!(lru.faults, 12, "LRU thrashes on a cyclic scan");
+        assert!(opt.faults < lru.faults);
+    }
+
+    #[test]
+    fn lru_exploits_temporal_locality() {
+        let s = seq(&[0, 0, 0, 1, 1, 0, 2, 0, 1, 0]);
+        let run = run_paging(&mut Lru::new(), &s, 2);
+        // Cold misses 0,1 then fault on 2 (evict 1), fault on 1 (evict 2).
+        assert_eq!(run.faults, 4);
+    }
+
+    #[test]
+    fn fifo_differs_from_lru_on_reaccess() {
+        // FIFO ignores re-access: 0 is oldest even though just used.
+        let s = seq(&[0, 1, 0, 2, 0]);
+        let fifo = run_paging(&mut Fifo::new(), &s, 2);
+        let lru = run_paging(&mut Lru::new(), &s, 2);
+        assert!(
+            fifo.faults >= lru.faults,
+            "fifo {} lru {}",
+            fifo.faults,
+            lru.faults
+        );
+    }
+
+    #[test]
+    fn lfu_keeps_hot_pages() {
+        let s = seq(&[0, 0, 0, 0, 1, 2, 1, 3, 1, 4, 0]);
+        let run = run_paging(&mut Lfu::new(), &s, 2);
+        // Page 0 is hot and must survive the churn of 2,3,4.
+        let evicted_zero = run.evictions.iter().any(|&(_, p)| p == 0);
+        assert!(!evicted_zero, "{:?}", run.evictions);
+    }
+
+    #[test]
+    fn marker_is_reproducible_and_valid() {
+        let s = seq(&[0, 1, 2, 3, 0, 1, 2, 3, 1, 0, 3, 2]);
+        let a = run_paging(&mut Marker::new(7), &s, 3);
+        let b = run_paging(&mut Marker::new(7), &s, 3);
+        assert_eq!(a, b);
+        let opt = run_paging(&mut Belady::new(), &s, 3);
+        assert!(a.faults >= opt.faults);
+    }
+}

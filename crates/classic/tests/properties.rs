@@ -1,0 +1,145 @@
+//! Property tests for the classic-caching substrate.
+
+use mcc_classic::{
+    classic_schedule, min_faults, page_sequence, run_paging, Belady, Fifo, Lfu, Lru, Marker,
+    PageSequence,
+};
+use proptest::prelude::*;
+
+fn small_sequence() -> impl Strategy<Value = (PageSequence, usize)> {
+    (1usize..=5, 0usize..=14).prop_flat_map(|(pages, n)| {
+        let reqs = proptest::collection::vec(0u32..pages as u32, n);
+        let k = 1usize..=4;
+        (Just(pages), reqs, k).prop_map(|(pages, reqs, k)| (PageSequence::new(pages, reqs), k))
+    })
+}
+
+fn small_cloud_instance() -> impl Strategy<Value = mcc_model::Instance<f64>> {
+    (2usize..=4, 1usize..=10).prop_flat_map(|(m, n)| {
+        let servers = proptest::collection::vec(0..m, n);
+        let gaps = proptest::collection::vec(0.05f64..2.0, n);
+        let lambda = 0.2f64..3.0;
+        (Just(m), servers, gaps, lambda).prop_map(|(m, servers, gaps, lambda)| {
+            let mut t = 0.0;
+            let reqs: Vec<mcc_model::Request<f64>> = servers
+                .into_iter()
+                .zip(gaps)
+                .map(|(s, g)| {
+                    t += g;
+                    mcc_model::Request::at(s, t)
+                })
+                .collect();
+            mcc_model::Instance::new(m, mcc_model::CostModel::new(1.0, lambda).unwrap(), reqs)
+                .unwrap()
+        })
+    })
+}
+
+fn medium_instance() -> impl Strategy<Value = mcc_model::Instance<f64>> {
+    (2usize..=6, 1usize..=40).prop_flat_map(|(m, n)| {
+        let servers = proptest::collection::vec(0..m, n);
+        let gaps = proptest::collection::vec(0.01f64..2.0, n);
+        (Just(m), servers, gaps).prop_map(|(m, servers, gaps)| {
+            let mut t = 0.0;
+            let reqs: Vec<mcc_model::Request<f64>> = servers
+                .into_iter()
+                .zip(gaps)
+                .map(|(s, g)| {
+                    t += g;
+                    mcc_model::Request::at(s, t)
+                })
+                .collect();
+            mcc_model::Instance::new(m, mcc_model::CostModel::unit(), reqs).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Belady's MIN achieves the exhaustive minimum fault count.
+    #[test]
+    fn belady_is_optimal((seq, k) in small_sequence()) {
+        let belady = run_paging(&mut Belady::new(), &seq, k);
+        let oracle = min_faults(&seq, k);
+        prop_assert_eq!(belady.faults, oracle, "belady must match the oracle");
+    }
+
+    /// Every online policy faults at least as often as Belady and at most
+    /// once per request; cold misses are a universal lower bound.
+    #[test]
+    fn online_policies_are_bounded((seq, k) in small_sequence()) {
+        let opt = run_paging(&mut Belady::new(), &seq, k).faults;
+        let cold = if k >= seq.distinct() { seq.distinct() } else { 0 };
+        for run in [
+            run_paging(&mut Lru::new(), &seq, k),
+            run_paging(&mut Fifo::new(), &seq, k),
+            run_paging(&mut Lfu::new(), &seq, k),
+            run_paging(&mut Marker::new(11), &seq, k),
+        ] {
+            prop_assert!(run.faults >= opt, "{} beat Belady", run.policy);
+            prop_assert!(run.faults <= seq.len(), "{} over-faulted", run.policy);
+            prop_assert!(run.faults >= cold);
+        }
+    }
+
+    /// LRU's classical guarantee on these sizes: faults ≤ k·OPT + k.
+    #[test]
+    fn lru_is_k_competitive((seq, k) in small_sequence()) {
+        let opt = run_paging(&mut Belady::new(), &seq, k).faults;
+        let lru = run_paging(&mut Lru::new(), &seq, k).faults;
+        prop_assert!(lru <= k * opt + k, "LRU {lru} > {k}·{opt} + {k}");
+    }
+
+    /// Bridged classic schedules are feasible cloud schedules and never
+    /// undercut the cost-driven optimum.
+    #[test]
+    fn bridged_schedules_validate_and_bound(inst in medium_instance(), k in 1usize..=4) {
+        let k = k.min(inst.servers());
+        let opt = mcc_core::offline::optimal_cost(&inst);
+        for sched in [
+            classic_schedule(&inst, &mut Belady::new(), k),
+            classic_schedule(&inst, &mut Lru::new(), k),
+        ] {
+            let v = mcc_model::validate_with(
+                &inst,
+                &sched,
+                mcc_model::ValidateOptions { tol: 1e-9 },
+            )
+            .map_err(|e| TestCaseError::fail(format!("infeasible: {e:?} on {}", inst.to_compact())))?;
+            prop_assert!(v.total >= opt - 1e-7, "classic undercut OPT on {}", inst.to_compact());
+        }
+    }
+
+    /// The capped exact optimum separates cap-cost from policy-cost:
+    /// C(n) ≤ C_K ≤ cost(Belady(k)) for every k on small instances.
+    #[test]
+    fn capped_optimum_floors_classic_policies(inst in small_cloud_instance(), k in 1usize..=3) {
+        let k = k.min(inst.servers());
+        let uncapped = mcc_core::offline::brute_force_cost(&inst);
+        let capped = mcc_core::offline::capped_optimal_cost(&inst, k);
+        let belady = mcc_model::validate_with(
+            &inst,
+            &classic_schedule(&inst, &mut Belady::new(), k),
+            mcc_model::ValidateOptions { tol: 1e-9 },
+        )
+        .map_err(|e| TestCaseError::fail(format!("infeasible: {e:?}")))?
+        .total;
+        prop_assert!(uncapped <= capped + 1e-9, "C ≤ C_K on {}", inst.to_compact());
+        prop_assert!(
+            capped <= belady + 1e-7,
+            "C_K = {capped} > Belady(k) = {belady} on {}",
+            inst.to_compact()
+        );
+    }
+
+    /// The padded-origin convention: page sequences round-trip server ids.
+    #[test]
+    fn page_sequence_matches_servers(inst in medium_instance()) {
+        let seq = page_sequence(&inst);
+        prop_assert_eq!(seq.len(), inst.n());
+        for (i, &p) in seq.requests().iter().enumerate() {
+            prop_assert_eq!(p, inst.server(i + 1).0);
+        }
+    }
+}

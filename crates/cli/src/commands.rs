@@ -1,0 +1,522 @@
+//! Command implementations (pure: input args → rendered output).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use mcc_analysis::{fnum, render, Table};
+use mcc_core::offline::{optimal_schedule, solve_fast};
+use mcc_core::online::{
+    analyze, run_policy, Follow, KeepEverywhere, OnlinePolicy, SpeculativeCaching, StayAtOrigin,
+};
+use mcc_model::{Instance, Prescan};
+use mcc_workloads::{
+    AdversarialScWorkload, BurstyWorkload, CommonParams, MarkovWorkload, PoissonWorkload, Workload,
+    ZipfWorkload,
+};
+
+use crate::args::ParsedArgs;
+
+/// Usage text.
+pub fn help() -> String {
+    "mcc — cost-driven mobile-cloud data caching (Wang et al., ICPP 2017)
+
+USAGE:
+  mcc solve    <trace> [--diagram] [--schedule]
+  mcc online   <trace> [--policy P] [--diagram] [--analyze]
+  mcc compare  <trace>
+  mcc generate <family> [--servers N] [--requests N] [--mu X] [--lambda X]
+               [--seed N] [--rate X] [--rho X] [--zipf S] [--gap G]
+               [--out FILE | --json]
+  mcc info     <trace>
+  mcc classic  <trace> [--k N]
+  mcc sweep    <family> [--seeds N] [generate options]
+
+TRACES:   a .json / .csv trace file, a compact-format text file, or an inline
+          instance: -c \"m=2 mu=1 lambda=1 | s2@0.5 s1@2.0\"
+POLICIES: sc | sc:alpha=A | sc:epoch=N | sc:randomized=SEED |
+          follow | stay-at-origin | keep-everywhere
+FAMILIES: poisson | zipf | markov | bursty | adversarial
+"
+    .to_string()
+}
+
+/// Loads the instance named by the operand / inline argument.
+pub fn load_instance(args: &ParsedArgs) -> Result<Instance<f64>, String> {
+    if let Some(inline) = &args.inline {
+        return Instance::from_compact(inline).map_err(|e| e.to_string());
+    }
+    let path = args
+        .operand
+        .as_deref()
+        .ok_or("missing trace (path or -c \"...\")")?;
+    let p = Path::new(path);
+    if !p.exists() {
+        return Err(format!("no such trace file: {path}"));
+    }
+    if path.ends_with(".json") {
+        mcc_workloads::trace::load_json(p).map_err(|e| e.to_string())
+    } else if path.ends_with(".csv") {
+        mcc_workloads::trace::load_csv(p).map_err(|e| e.to_string())
+    } else {
+        mcc_workloads::trace::load_compact(p).map_err(|e| e.to_string())
+    }
+}
+
+/// Builds the policy named by `--policy`.
+pub fn build_policy(spec: &str) -> Result<Box<dyn OnlinePolicy<f64>>, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    match (name, param) {
+        ("sc", None) => Ok(Box::new(SpeculativeCaching::paper())),
+        ("sc", Some(p)) => {
+            let (key, val) = p
+                .split_once('=')
+                .ok_or_else(|| format!("bad policy parameter `{p}` (want key=value)"))?;
+            match key {
+                "alpha" => {
+                    let a: f64 = val.parse().map_err(|_| format!("bad alpha `{val}`"))?;
+                    Ok(Box::new(SpeculativeCaching::with_options(a, None)))
+                }
+                "epoch" => {
+                    let n: usize = val.parse().map_err(|_| format!("bad epoch `{val}`"))?;
+                    Ok(Box::new(SpeculativeCaching::with_epochs(n)))
+                }
+                "randomized" => {
+                    let seed: u64 = val.parse().map_err(|_| format!("bad seed `{val}`"))?;
+                    Ok(Box::new(SpeculativeCaching::randomized(1.0, seed)))
+                }
+                other => Err(format!("unknown sc parameter `{other}`")),
+            }
+        }
+        ("follow", None) => Ok(Box::new(Follow::new())),
+        ("stay-at-origin", None) => Ok(Box::new(StayAtOrigin::new())),
+        ("keep-everywhere", None) => Ok(Box::new(KeepEverywhere::new())),
+        _ => Err(format!("unknown policy `{spec}`")),
+    }
+}
+
+/// `mcc solve`.
+pub fn solve(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let (sched, cost) = optimal_schedule(&inst);
+    let checked = mcc_model::validate(&inst, &sched)
+        .map_err(|e| format!("internal error: optimal schedule failed validation: {e:?}"))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "optimal cost C(n) = {} (caching {}, transfers {} over {} moves)",
+        fnum(cost),
+        fnum(checked.caching),
+        fnum(checked.transfer),
+        sched.transfers.len()
+    )
+    .unwrap();
+    if args.has_flag("schedule") {
+        for h in &sched.caches {
+            writeln!(out, "  H({}, {}, {})", h.server, fnum(h.from), fnum(h.to)).unwrap();
+        }
+        for t in &sched.transfers {
+            writeln!(out, "  Tr({}, {}, {})", t.src, t.dst, fnum(t.at)).unwrap();
+        }
+    }
+    if args.has_flag("diagram") {
+        out.push_str(&render(&inst, &sched));
+    }
+    Ok(out)
+}
+
+/// `mcc online`.
+pub fn online(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let mut policy = build_policy(args.opt_or("policy", "sc"))?;
+    let run = run_policy(policy.as_mut(), &inst);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: cost {} ({} transfers, {} cache hits)",
+        run.policy,
+        fnum(run.total_cost),
+        run.transfers(),
+        run.cache_hits()
+    )
+    .unwrap();
+    if args.has_flag("analyze") {
+        let report = analyze(&inst, &run);
+        writeln!(out, "  off-line optimum: {}", fnum(report.opt_cost)).unwrap();
+        writeln!(out, "  competitive ratio: {}", fnum(report.ratio())).unwrap();
+        writeln!(
+            out,
+            "  theorem chain: {}",
+            match report.check_chain(1e-9) {
+                Ok(()) => "verified (Π(SC) ≤ 3·Π(OPT) + λ)".to_string(),
+                Err(e) => format!("VIOLATED — {e}"),
+            }
+        )
+        .unwrap();
+    }
+    if args.has_flag("diagram") {
+        out.push_str(&render(&inst, &run.schedule));
+    }
+    Ok(out)
+}
+
+/// `mcc compare`.
+pub fn compare(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let opt = mcc_core::offline::optimal_cost(&inst);
+    let mut table = Table::new(
+        "Policies vs. hindsight optimum",
+        &["policy", "cost", "vs OPT", "transfers", "hits"],
+    );
+    for spec in ["sc", "follow", "stay-at-origin", "keep-everywhere"] {
+        let mut policy = build_policy(spec)?;
+        let run = run_policy(policy.as_mut(), &inst);
+        table.row(&[
+            run.policy.clone(),
+            fnum(run.total_cost),
+            format!(
+                "{}x",
+                fnum(if opt > 0.0 { run.total_cost / opt } else { 1.0 })
+            ),
+            run.transfers().to_string(),
+            run.cache_hits().to_string(),
+        ]);
+    }
+    table.row(&["OPT".into(), fnum(opt), "1x".into(), "—".into(), "—".into()]);
+    Ok(table.to_markdown())
+}
+
+/// `mcc generate`.
+pub fn generate(args: &ParsedArgs) -> Result<String, String> {
+    let workload = build_workload(args)?;
+    let inst = workload.generate(args.num_or("seed", 0u64)?);
+    match args.options.get("out") {
+        Some(path) => {
+            let p = Path::new(path);
+            if path.ends_with(".json") {
+                mcc_workloads::trace::save_json(&inst, p).map_err(|e| e.to_string())?;
+            } else if path.ends_with(".csv") {
+                mcc_workloads::trace::save_csv(&inst, p).map_err(|e| e.to_string())?;
+            } else {
+                mcc_workloads::trace::save_compact(&inst, p).map_err(|e| e.to_string())?;
+            }
+            Ok(format!(
+                "wrote {} requests from {} to {path}\n",
+                inst.n(),
+                workload.name()
+            ))
+        }
+        None if args.has_flag("json") => {
+            serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())
+        }
+        None => Ok(inst.to_compact() + "\n"),
+    }
+}
+
+/// `mcc classic`: fixed-capacity policies (Belady/LRU/FIFO/LFU) priced
+/// under the trace's (μ, λ), against the dynamic optimum.
+pub fn classic(args: &ParsedArgs) -> Result<String, String> {
+    use mcc_classic::{classic_schedule, page_sequence, run_paging, Belady, Fifo, Lfu, Lru};
+    let inst = load_instance(args)?;
+    let k: usize = args.num_or("k", inst.servers().min(4))?;
+    if k == 0 || k > inst.servers() {
+        return Err(format!("--k must be in 1..={}", inst.servers()));
+    }
+    let opt = mcc_core::offline::optimal_cost(&inst);
+    let seq = page_sequence(&inst);
+    let mut table = Table::new(
+        format!("Classic policies at k = {k} (cloud-priced)"),
+        &[
+            "policy",
+            "faults",
+            "hit ratio",
+            "cloud cost",
+            "vs dynamic OPT",
+        ],
+    );
+    macro_rules! row {
+        ($p:expr) => {{
+            let mut policy = $p;
+            let paging = run_paging(&mut policy, &seq, k);
+            let sched = classic_schedule(&inst, &mut policy, k);
+            let cost = mcc_model::validate(&inst, &sched)
+                .map_err(|e| format!("internal error: bridged schedule invalid: {e:?}"))?
+                .total;
+            table.row(&[
+                paging.policy.clone(),
+                paging.faults.to_string(),
+                fnum(paging.hit_ratio()),
+                fnum(cost),
+                format!("{}x", fnum(if opt > 0.0 { cost / opt } else { 1.0 })),
+            ]);
+        }};
+    }
+    row!(Belady::new());
+    row!(Lru::new());
+    row!(Fifo::new());
+    row!(Lfu::new());
+    table.row(&[
+        "dynamic OPT".into(),
+        "—".into(),
+        "—".into(),
+        fnum(opt),
+        "1x".into(),
+    ]);
+    Ok(table.to_markdown())
+}
+
+/// `mcc sweep`: run every built-in policy over `--seeds` seeds of a
+/// workload family and report mean/worst ratios against the optimum.
+pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
+    let workload = build_workload(args)?;
+    let seeds: u64 = args.num_or("seeds", 10u64)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let mut table = Table::new(
+        format!("{} × {seeds} seeds", workload.name()),
+        &["policy", "mean ratio", "worst ratio", "mean cost"],
+    );
+    for spec in ["sc", "follow", "stay-at-origin", "keep-everywhere"] {
+        let mut ratios = mcc_analysis::Summary::new();
+        let mut costs = mcc_analysis::Summary::new();
+        for seed in 0..seeds {
+            let inst = workload.generate(seed);
+            let mut policy = build_policy(spec)?;
+            let run = run_policy(policy.as_mut(), &inst);
+            let opt = mcc_core::offline::optimal_cost(&inst);
+            if opt > 0.0 {
+                ratios.push(run.total_cost / opt);
+            }
+            costs.push(run.total_cost);
+        }
+        table.row(&[
+            spec.to_string(),
+            fnum(ratios.mean()),
+            fnum(ratios.max()),
+            fnum(costs.mean()),
+        ]);
+    }
+    Ok(table.to_markdown())
+}
+
+/// Builds the workload described by generate-style options.
+fn build_workload(args: &ParsedArgs) -> Result<Box<dyn Workload>, String> {
+    let family = args.operand.as_deref().ok_or("missing workload family")?;
+    let common = CommonParams {
+        servers: args.num_or("servers", 8usize)?,
+        requests: args.num_or("requests", 200usize)?,
+        mu: args.num_or("mu", 1.0f64)?,
+        lambda: args.num_or("lambda", 1.0f64)?,
+    };
+    let rate = args.num_or("rate", 1.0f64)?;
+    Ok(match family {
+        "poisson" => Box::new(PoissonWorkload::uniform(common, rate)),
+        "zipf" => Box::new(ZipfWorkload::new(
+            common,
+            rate,
+            args.num_or("zipf", 1.1f64)?,
+        )),
+        "markov" => Box::new(MarkovWorkload::new(
+            common,
+            rate,
+            args.num_or("rho", 0.93f64)?,
+        )),
+        "bursty" => Box::new(BurstyWorkload::new(common, 8.0, 0.05, 2.0)),
+        "adversarial" => Box::new(AdversarialScWorkload::new(
+            common,
+            args.num_or("gap", 1.05f64)?,
+        )),
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+/// `mcc info`.
+pub fn info(args: &ParsedArgs) -> Result<String, String> {
+    let inst = load_instance(args)?;
+    let scan = Prescan::compute(&inst);
+    let sol = solve_fast(&inst);
+    let mut per_server = vec![0usize; inst.servers()];
+    for r in inst.requests() {
+        per_server[r.server.index()] += 1;
+    }
+    let busiest = per_server.iter().enumerate().max_by_key(|&(_, c)| *c);
+    let cheap_sigma = (1..=inst.n())
+        .filter(
+            |&i| matches!(scan.sigma[i], Some(s) if inst.cost().caching(s) < inst.cost().lambda),
+        )
+        .count();
+    let mut out = String::new();
+    writeln!(out, "servers (m):             {}", inst.servers()).unwrap();
+    writeln!(out, "requests (n):            {}", inst.n()).unwrap();
+    writeln!(out, "horizon (t_n):           {}", fnum(inst.horizon())).unwrap();
+    writeln!(
+        out,
+        "cost model:              mu = {}, lambda = {}, Δt = {}",
+        fnum(inst.cost().mu),
+        fnum(inst.cost().lambda),
+        fnum(inst.cost().delta_t())
+    )
+    .unwrap();
+    if let Some((j, c)) = busiest {
+        writeln!(out, "busiest server:          s^{} ({} requests)", j + 1, c).unwrap();
+    }
+    writeln!(out, "cache-friendly requests: {cheap_sigma} (μσ < λ)").unwrap();
+    writeln!(
+        out,
+        "running bound B_n:       {}",
+        fnum(scan.total_lower_bound())
+    )
+    .unwrap();
+    writeln!(out, "optimal cost C(n):       {}", fnum(sol.optimal_cost())).unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &str) -> Result<String, String> {
+        crate::run(
+            &line
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn run_inline(cmd: &str, compact: &str, extra: &[&str]) -> Result<String, String> {
+        let mut argv = vec![cmd.to_string(), "-c".to_string(), compact.to_string()];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        crate::run(&argv)
+    }
+
+    const FIG6: &str = "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0";
+
+    #[test]
+    fn solve_reports_the_fig6_optimum() {
+        let out = run_inline("solve", FIG6, &["--schedule"]).unwrap();
+        assert!(out.contains("optimal cost C(n) = 8.9"), "{out}");
+        assert!(out.contains("Tr("));
+    }
+
+    #[test]
+    fn online_with_analysis() {
+        let out = run_inline("online", FIG6, &["--analyze"]).unwrap();
+        assert!(out.contains("sc: cost"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+    }
+
+    #[test]
+    fn online_policy_variants_parse() {
+        for spec in [
+            "sc:alpha=2",
+            "sc:epoch=5",
+            "sc:randomized=7",
+            "follow",
+            "keep-everywhere",
+        ] {
+            let out = run_inline("online", FIG6, &["--policy", spec]).unwrap();
+            assert!(out.contains("cost"), "{spec}: {out}");
+        }
+        assert!(build_policy("sc:alpha=x").is_err());
+        assert!(build_policy("nope").is_err());
+    }
+
+    #[test]
+    fn compare_lists_all_policies() {
+        let out = run_inline("compare", FIG6, &[]).unwrap();
+        for p in ["sc", "follow", "stay-at-origin", "keep-everywhere", "OPT"] {
+            assert!(out.contains(p), "{out}");
+        }
+    }
+
+    #[test]
+    fn generate_roundtrips_through_solve() {
+        let out = run_line("generate poisson --servers 4 --requests 20 --seed 3").unwrap();
+        let compact = out.trim();
+        let solved = run_inline("solve", compact, &[]).unwrap();
+        assert!(solved.contains("optimal cost"));
+    }
+
+    #[test]
+    fn generate_writes_files() {
+        let dir = std::env::temp_dir().join("mcc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let line = format!(
+            "generate markov --servers 4 --requests 15 --rho 0.8 --out {}",
+            path.display()
+        );
+        let out = run_line(&line).unwrap();
+        assert!(out.contains("wrote 15 requests"));
+        // And the written file loads back through `info`.
+        let info = run_line(&format!("info {}", path.display())).unwrap();
+        assert!(info.contains("requests (n):            15"), "{info}");
+    }
+
+    #[test]
+    fn classic_prices_fixed_k_policies() {
+        let out = run_inline("classic", FIG6, &["--k", "2"]).unwrap();
+        for p in ["belady", "lru", "fifo", "lfu", "dynamic OPT"] {
+            assert!(out.contains(p), "{out}");
+        }
+        assert!(out.contains("k = 2"));
+        assert!(run_inline("classic", FIG6, &["--k", "9"]).is_err());
+    }
+
+    #[test]
+    fn csv_traces_roundtrip_through_the_cli() {
+        let dir = std::env::temp_dir().join("mcc-cli-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let line = format!(
+            "generate zipf --servers 5 --requests 25 --out {}",
+            path.display()
+        );
+        run_line(&line).unwrap();
+        let info = run_line(&format!("info {}", path.display())).unwrap();
+        assert!(info.contains("requests (n):            25"), "{info}");
+    }
+
+    #[test]
+    fn sweep_reports_policy_table() {
+        let out = run_line("sweep markov --servers 4 --requests 40 --seeds 3 --rho 0.9").unwrap();
+        for p in ["sc", "follow", "stay-at-origin", "keep-everywhere"] {
+            assert!(out.contains(p), "{out}");
+        }
+        assert!(out.contains("markov(rho=0.9) × 3 seeds"), "{out}");
+        assert!(run_line("sweep klingon").is_err());
+        assert!(run_line("sweep poisson --seeds 0").is_err());
+    }
+
+    #[test]
+    fn info_reports_bounds() {
+        let out = run_inline("info", FIG6, &[]).unwrap();
+        assert!(out.contains("running bound B_n:       6.6"), "{out}");
+        assert!(out.contains("optimal cost C(n):       8.9"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_line("solve /no/such/file")
+            .unwrap_err()
+            .contains("no such trace"));
+        assert!(run_line("generate klingon")
+            .unwrap_err()
+            .contains("unknown family"));
+        let p = parse(&["online".to_string()]).unwrap();
+        assert!(online(&p).is_err());
+    }
+
+    #[test]
+    fn help_covers_every_command() {
+        let h = help();
+        for c in ["solve", "online", "compare", "generate", "info"] {
+            assert!(h.contains(c));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # mcc-cli — the `mcc` command-line tool
+//!
+//! A thin, dependency-light front end over the workspace:
+//!
+//! ```text
+//! mcc solve    <trace> [--diagram] [--schedule]      off-line optimum
+//! mcc online   <trace> [--policy P] [--analyze]      run an online policy
+//! mcc compare  <trace>                               all policies vs. OPT
+//! mcc generate <family> [--servers N] [--requests N] [--mu X] [--lambda X]
+//!              [--seed N] [--out FILE]               workload → trace
+//! mcc info     <trace>                               instance statistics
+//! mcc classic  <trace> [--k N]                       fixed-k policies priced
+//! mcc sweep    <family> [--seeds N] [...generate opts] policy sweep table
+//! ```
+//!
+//! `<trace>` is a `.json` trace file, a compact-format file, or an inline
+//! compact string passed via `-c "m=2 mu=1 lambda=1 | s2@0.5"`. Policies:
+//! `sc`, `sc:alpha=A`, `sc:epoch=N`, `sc:randomized=SEED`, `follow`,
+//! `stay-at-origin`, `keep-everywhere`.
+//!
+//! All commands are implemented as pure functions returning the rendered
+//! output, so the test suite drives them without process spawning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParsedArgs};
+
+/// Entry point shared by `main` and the tests: parse and dispatch.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let parsed = parse(argv)?;
+    match parsed.command {
+        Command::Solve => commands::solve(&parsed),
+        Command::Online => commands::online(&parsed),
+        Command::Compare => commands::compare(&parsed),
+        Command::Generate => commands::generate(&parsed),
+        Command::Info => commands::info(&parsed),
+        Command::Classic => commands::classic(&parsed),
+        Command::Sweep => commands::sweep(&parsed),
+        Command::Help => Ok(commands::help()),
+    }
+}

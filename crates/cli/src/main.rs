@@ -1,0 +1,12 @@
+//! The `mcc` binary: parse, dispatch, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match mcc_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

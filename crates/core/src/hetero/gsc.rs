@@ -1,0 +1,258 @@
+//! Generalized Speculative Caching for heterogeneous costs.
+//!
+//! The homogeneous algorithm keeps every copy for `Δt = λ/μ` — the time
+//! at which holding has cost exactly one (re-)transfer. The natural
+//! generalization gives each server its own break-even window
+//! `Δt_j = (min_k λ_{kj}) / μ_j`: a copy on `j` is worth keeping while
+//! holding it costs no more than fetching it back the cheapest way.
+//! Misses are served from the live copy with the cheapest transfer charge
+//! into the requesting server. The last copy never dies.
+//!
+//! No competitive ratio is claimed (the paper's proof uses transfer
+//! interchangeability); experiment E13 measures the ratio against the
+//! restricted exact optimum as heterogeneity grows.
+
+use mcc_model::ServerId;
+
+use super::types::HeteroInstance;
+
+/// Outcome of one generalized-SC run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GscRun {
+    /// Total cost (caching + transfers, tails included).
+    pub total_cost: f64,
+    /// Transfer count.
+    pub transfers: usize,
+    /// Requests served by a live local copy.
+    pub cache_hits: usize,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Copy {
+    opened: f64,
+    last_touch: f64,
+    expiry: f64,
+}
+
+/// Runs generalized Speculative Caching over a heterogeneous instance.
+pub fn run_generalized_sc(inst: &HeteroInstance) -> GscRun {
+    let m = inst.servers();
+    let cost = inst.cost();
+    let mut copies: Vec<Option<Copy>> = vec![None; m];
+    copies[ServerId::ORIGIN.index()] = Some(Copy {
+        opened: 0.0,
+        last_touch: 0.0,
+        expiry: cost.window(ServerId::ORIGIN.index()).min(f64::MAX),
+    });
+    let mut caching_cost = 0.0;
+    let mut transfer_cost = 0.0;
+    let mut transfers = 0usize;
+    let mut cache_hits = 0usize;
+
+    let close = |copies: &mut Vec<Option<Copy>>, j: usize, at: f64, acc: &mut f64, mu: f64| {
+        if let Some(c) = copies[j].take() {
+            debug_assert!(at >= c.opened);
+            *acc += mu * (at - c.opened);
+        }
+    };
+
+    for i in 1..=inst.n() {
+        let t = inst.t(i);
+        let s = inst.server(i).index();
+
+        // Lapse copies whose window ended before t — except the last one,
+        // which extends (the ≥ 1-copy invariant). With per-server windows
+        // there are no synchronized pair events; process in expiry order.
+        loop {
+            let live: Vec<usize> = (0..m).filter(|&j| copies[j].is_some()).collect();
+            let lapsed = live
+                .iter()
+                .copied()
+                .filter(|&j| copies[j].expect("live").expiry < t)
+                .min_by(|&a, &b| {
+                    let (ca, cb) = (copies[a].expect("live"), copies[b].expect("live"));
+                    // Equal expiries come from one transfer's source+target
+                    // pair; close the older copy (the source) first so the
+                    // target survives, matching the paper's tie-break.
+                    ca.expiry
+                        .partial_cmp(&cb.expiry)
+                        .expect("finite expiry")
+                        .then(ca.opened.partial_cmp(&cb.opened).expect("finite open"))
+                });
+            match lapsed {
+                Some(j) if live.len() > 1 => {
+                    let at = copies[j].expect("live").expiry;
+                    close(&mut copies, j, at, &mut caching_cost, cost.mu[j]);
+                }
+                Some(j) => {
+                    // Sole copy: extend through t.
+                    let c = copies[j].as_mut().expect("live");
+                    c.expiry = t + cost.window(j);
+                    break;
+                }
+                None => break,
+            }
+        }
+
+        if let Some(c) = copies[s].as_mut() {
+            // Hit.
+            c.last_touch = t;
+            c.expiry = t + cost.window(s);
+            cache_hits += 1;
+            continue;
+        }
+        // Miss: cheapest live source into s.
+        let src = (0..m)
+            .filter(|&j| copies[j].is_some() && j != s)
+            .min_by(|&a, &b| {
+                // Cheapest charge; among equals prefer the most recently
+                // touched copy (the previous request's server, homogeneous
+                // case — matching the paper's source rule).
+                let (ca, cb) = (copies[a].expect("live"), copies[b].expect("live"));
+                cost.lambda[a][s]
+                    .partial_cmp(&cost.lambda[b][s])
+                    .expect("finite lambda")
+                    .then(
+                        cb.last_touch
+                            .partial_cmp(&ca.last_touch)
+                            .expect("finite touch"),
+                    )
+                    // A transfer touches its source and opens its target at
+                    // the same instant; preferring the later-opened copy
+                    // picks the target — the previous request's server,
+                    // matching the paper's source rule exactly.
+                    .then(cb.opened.partial_cmp(&ca.opened).expect("finite open"))
+            })
+            .expect("at least one copy is always live");
+        {
+            let c = copies[src].as_mut().expect("live");
+            c.last_touch = t;
+            c.expiry = c.expiry.max(t + cost.window(src));
+        }
+        transfer_cost += cost.lambda[src][s];
+        transfers += 1;
+        copies[s] = Some(Copy {
+            opened: t,
+            last_touch: t,
+            expiry: t + cost.window(s),
+        });
+    }
+
+    // Run out the final windows (each copy closes at last_touch + Δt_j,
+    // mirroring the homogeneous truncation; an infinite window — m = 1 —
+    // closes at the last touch, there being nowhere to re-fetch from).
+    for j in 0..m {
+        if let Some(c) = copies[j] {
+            let w = cost.window(j);
+            let at = if w.is_finite() {
+                c.last_touch + w
+            } else {
+                c.last_touch
+            };
+            close(&mut copies, j, at, &mut caching_cost, cost.mu[j]);
+        }
+    }
+
+    GscRun {
+        total_cost: caching_cost + transfer_cost,
+        transfers,
+        cache_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::solve::restricted_optimal_cost;
+    use crate::hetero::types::{HeteroCost, HeteroInstance};
+    use crate::online::{run_policy, SpeculativeCaching};
+    use mcc_model::Request;
+
+    #[test]
+    fn homogeneous_case_matches_the_paper_algorithm() {
+        let inst = mcc_model::Instance::<f64>::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap();
+        let h = HeteroInstance::from_homogeneous(&inst);
+        let g = run_generalized_sc(&h);
+        let paper = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        assert_eq!(g.transfers, paper.transfers());
+        assert_eq!(g.cache_hits, paper.cache_hits());
+        assert!(
+            (g.total_cost - paper.total_cost).abs() < 1e-9,
+            "generalized {} vs paper {}",
+            g.total_cost,
+            paper.total_cost
+        );
+    }
+
+    #[test]
+    fn cheap_servers_keep_copies_longer() {
+        // s^2 caches almost for free: its window is enormous, so a revisit
+        // after a long gap is still a hit.
+        let cost = HeteroCost::new(vec![1.0, 0.01], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inst = HeteroInstance::new(
+            cost,
+            vec![
+                Request::at(1, 1.0),
+                Request::at(0, 2.5),
+                Request::at(1, 50.0),
+            ],
+        )
+        .unwrap();
+        let g = run_generalized_sc(&inst);
+        // Transfers: →s^2 at 1.0 and →s^1 at 2.5 (s^1's own window is 1, so
+        // its copy lapsed at 2.0); the revisit at 50 hits (window on s^2 is
+        // 1/0.01 = 100).
+        assert_eq!(g.transfers, 2);
+        assert_eq!(g.cache_hits, 1);
+    }
+
+    #[test]
+    fn expensive_servers_drop_copies_quickly() {
+        // s^2 caches at rate 100: window 0.01 — a revisit 0.5 later misses.
+        let cost = HeteroCost::new(vec![1.0, 100.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inst = HeteroInstance::new(
+            cost,
+            vec![
+                Request::at(1, 1.0),
+                Request::at(0, 1.2),
+                Request::at(1, 1.7),
+            ],
+        )
+        .unwrap();
+        let g = run_generalized_sc(&inst);
+        // r_2 on s^1 hits (the origin's own window is 1), but the revisit
+        // on s^2 misses: its 0.01-window copy lapsed long before 1.7.
+        assert_eq!(g.transfers, 2, "the expensive copy must not be retained");
+        assert_eq!(g.cache_hits, 1);
+    }
+
+    #[test]
+    fn never_beats_the_restricted_optimum() {
+        let cost = HeteroCost::new(
+            vec![1.0, 2.0, 0.5],
+            vec![
+                vec![0.0, 1.0, 2.0],
+                vec![1.0, 0.0, 1.5],
+                vec![2.0, 1.5, 0.0],
+            ],
+        )
+        .unwrap();
+        let inst = HeteroInstance::new(
+            cost,
+            vec![
+                Request::at(1, 0.4),
+                Request::at(2, 0.9),
+                Request::at(1, 1.1),
+                Request::at(0, 2.0),
+                Request::at(2, 2.2),
+            ],
+        )
+        .unwrap();
+        let g = run_generalized_sc(&inst);
+        let opt = restricted_optimal_cost(&inst);
+        assert!(g.total_cost >= opt - 1e-9, "{} < {}", g.total_cost, opt);
+    }
+}

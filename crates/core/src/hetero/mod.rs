@@ -1,0 +1,34 @@
+//! Heterogeneous-cost extension (the paper's future-work direction).
+//!
+//! The paper's model is homogeneous by assumption — one `μ` for every
+//! server, one `λ` for every pair — and both its algorithms lean on that:
+//! Observation 1 (standard form) and the marginal-bound machinery assume
+//! transfers are interchangeable. Its predecessor line of work (citation 4 in the
+//! paper) moves toward clouds with heterogeneous, constrained resources.
+//! This module takes the first step in that direction and is explicit
+//! about what is and is not guaranteed:
+//!
+//! * [`HeteroCost`] — per-server caching rates `μ_j` and per-pair transfer
+//!   charges `λ_{jk}` (triangle inequality required, so direct transfers
+//!   dominate relays);
+//! * [`restricted_optimal_cost`] — an exhaustive exact optimum over the
+//!   *no-parking standard-form* class (every request served by its own
+//!   server's cache or one direct transfer; copies never reposition
+//!   proactively). With heterogeneous `μ` proactive parking on a cheap
+//!   server can beat this class, so the value is an **upper bound** on the
+//!   true optimum — and still a sound comparison baseline for online
+//!   policies, which live in the same class;
+//! * [`hetero_lower_bound`] — the generalized running bound
+//!   `Σ min(cheapest incoming λ, μ_{s_i}·σ_i)`, a true lower bound;
+//! * [`run_generalized_sc`] — Speculative Caching with per-server windows
+//!   `Δt_j = (min_k λ_{kj}) / μ_j` (each copy is kept while re-fetching
+//!   it would cost no less). No competitive proof is claimed; experiment
+//!   E13 measures how the ratio degrades with heterogeneity spread.
+
+mod gsc;
+mod solve;
+mod types;
+
+pub use gsc::{run_generalized_sc, GscRun};
+pub use solve::{hetero_lower_bound, restricted_optimal_cost, MAX_HETERO_M, MAX_HETERO_N};
+pub use types::{HeteroCost, HeteroInstance};

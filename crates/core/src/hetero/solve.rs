@@ -1,0 +1,197 @@
+//! Exact solver (restricted class) and lower bound for heterogeneous
+//! costs.
+
+use std::collections::HashMap;
+
+use mcc_model::ServerId;
+
+use super::types::HeteroInstance;
+
+/// Size cap for the exhaustive restricted solver.
+pub const MAX_HETERO_N: usize = 14;
+/// Server-count cap for the exhaustive restricted solver.
+pub const MAX_HETERO_M: usize = 6;
+
+const NEVER: u16 = u16::MAX;
+
+/// Exact minimum cost over the *no-parking standard-form* class: each
+/// request served by its own server's (lazily extended) copy or by one
+/// direct transfer from a parked copy; copies never reposition
+/// proactively. An **upper bound** on the unrestricted heterogeneous
+/// optimum (proactive parking on cheap-`μ` servers can beat this class),
+/// and exactly the homogeneous optimum when costs are homogeneous
+/// (Observation 1).
+pub fn restricted_optimal_cost(inst: &HeteroInstance) -> f64 {
+    assert!(
+        inst.n() <= MAX_HETERO_N && inst.servers() <= MAX_HETERO_M,
+        "restricted_optimal_cost is exhaustive: n ≤ {MAX_HETERO_N}, m ≤ {MAX_HETERO_M}"
+    );
+    let mut memo: HashMap<(u16, Box<[u16]>), f64> = HashMap::new();
+    let mut state: Vec<u16> = vec![NEVER; inst.servers()];
+    state[ServerId::ORIGIN.index()] = 0;
+    solve(inst, 1, &mut state, &mut memo)
+}
+
+fn solve(
+    inst: &HeteroInstance,
+    i: usize,
+    state: &mut Vec<u16>,
+    memo: &mut HashMap<(u16, Box<[u16]>), f64>,
+) -> f64 {
+    if i > inst.n() {
+        return 0.0;
+    }
+    let key = (i as u16, state.clone().into_boxed_slice());
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+    let s_i = inst.server(i).index();
+    let t_i = inst.t(i);
+    let cost = inst.cost();
+    let mut best = f64::INFINITY;
+
+    if state[s_i] != NEVER {
+        let bridge = cost.mu[s_i] * (t_i - inst.t(state[s_i] as usize));
+        let saved = state[s_i];
+        state[s_i] = i as u16;
+        best = best.min(bridge + solve(inst, i + 1, state, memo));
+        state[s_i] = saved;
+    }
+    for j in 0..inst.servers() {
+        if j == s_i || state[j] == NEVER {
+            continue;
+        }
+        let bridge = cost.mu[j] * (t_i - inst.t(state[j] as usize));
+        let saved_j = state[j];
+        let saved_s = state[s_i];
+        state[j] = i as u16;
+        state[s_i] = i as u16;
+        best = best.min(bridge + cost.lambda[j][s_i] + solve(inst, i + 1, state, memo));
+        state[j] = saved_j;
+        state[s_i] = saved_s;
+    }
+    memo.insert(key, best);
+    best
+}
+
+/// The generalized running bound: a true lower bound on any feasible
+/// heterogeneous schedule.
+///
+/// Serving `r_i` costs at least `min(cheapest incoming λ, μ_{s_i}·σ_i)` —
+/// either the item arrives by some transfer (≥ the cheapest incoming
+/// charge) or it was held on `s_i` since the previous local event (≥ the
+/// local rate times the server interval; first-on-server requests have no
+/// such option).
+pub fn hetero_lower_bound(inst: &HeteroInstance) -> f64 {
+    let mut last_on: Vec<Option<usize>> = vec![None; inst.servers()];
+    last_on[ServerId::ORIGIN.index()] = Some(0);
+    let mut total = 0.0;
+    for i in 1..=inst.n() {
+        let s = inst.server(i).index();
+        let transfer = inst.cost().cheapest_into(s);
+        let hold = match last_on[s] {
+            Some(p) => inst.cost().mu[s] * (inst.t(i) - inst.t(p)),
+            None => f64::INFINITY,
+        };
+        total += transfer.min(hold);
+        last_on[s] = Some(i);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::types::HeteroCost;
+    use mcc_model::Request;
+
+    #[test]
+    fn homogeneous_case_matches_the_paper_dp() {
+        let inst = mcc_model::Instance::<f64>::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap();
+        let h = HeteroInstance::from_homogeneous(&inst);
+        let restricted = restricted_optimal_cost(&h);
+        assert!((restricted - 8.9).abs() < 1e-9, "restricted {restricted}");
+        assert!(hetero_lower_bound(&h) <= restricted + 1e-9);
+    }
+
+    #[test]
+    fn cheap_transfer_paths_are_used() {
+        // Transfers into s^2 cost 0.1 from s^1 but 5 from s^3; two requests
+        // on s^2 far apart should be served by two cheap transfers.
+        let cost = HeteroCost::new(
+            vec![0.001, 10.0, 10.0],
+            vec![
+                vec![0.0, 0.1, 5.0],
+                vec![0.1, 0.0, 5.0],
+                vec![5.0, 5.0, 0.0],
+            ],
+        )
+        .unwrap();
+        let inst =
+            HeteroInstance::new(cost, vec![Request::at(1, 1.0), Request::at(1, 2.0)]).unwrap();
+        let c = restricted_optimal_cost(&inst);
+        // Hold s^1 (rate 0.001) throughout, transfer 0.1 twice:
+        // 0.002 + 0.2 vs caching on s^2 for 1.0 at rate 10.
+        assert!((c - 0.202).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn expensive_mu_pushes_toward_transfers_and_vice_versa() {
+        let reqs = vec![Request::at(1, 1.0), Request::at(1, 1.2)];
+        let cheap_cache =
+            HeteroCost::new(vec![1.0, 0.01], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let c1 = restricted_optimal_cost(&HeteroInstance::new(cheap_cache, reqs.clone()).unwrap());
+        // Hold s^1 for 1.0 + transfer + cache 0.2 at 0.01: 1 + 1 + 0.002.
+        assert!((c1 - 2.002).abs() < 1e-9, "{c1}");
+
+        let dear_cache =
+            HeteroCost::new(vec![1.0, 50.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let c2 = restricted_optimal_cost(&HeteroInstance::new(dear_cache, reqs).unwrap());
+        // Caching 0.2 on s^2 at 50 costs 10; re-transferring (1) with the
+        // s^1 bridge (0.2) wins: 1 + 1 + 0.2 + 1 = 3.2.
+        assert!((c2 - 3.2).abs() < 1e-9, "{c2}");
+    }
+
+    #[test]
+    fn lower_bound_is_sound_and_tightish() {
+        let cost = HeteroCost::new(
+            vec![1.0, 2.0, 0.5],
+            vec![
+                vec![0.0, 1.0, 2.0],
+                vec![1.0, 0.0, 1.5],
+                vec![2.0, 1.5, 0.0],
+            ],
+        )
+        .unwrap();
+        let inst = HeteroInstance::new(
+            cost,
+            vec![
+                Request::at(1, 0.4),
+                Request::at(2, 0.9),
+                Request::at(1, 1.1),
+                Request::at(0, 2.0),
+            ],
+        )
+        .unwrap();
+        let lb = hetero_lower_bound(&inst);
+        let ub = restricted_optimal_cost(&inst);
+        assert!(lb <= ub + 1e-9, "lb {lb} > ub {ub}");
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive")]
+    fn refuses_oversized() {
+        let inst = HeteroInstance::new(
+            HeteroCost::homogeneous(2, 1.0, 1.0),
+            (0..30)
+                .map(|k| Request::at(k % 2, 1.0 + k as f64))
+                .collect(),
+        )
+        .unwrap();
+        restricted_optimal_cost(&inst);
+    }
+}

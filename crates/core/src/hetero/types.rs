@@ -1,0 +1,222 @@
+//! Types for the heterogeneous-cost extension.
+
+use mcc_model::{ModelError, Request, ServerId};
+
+/// Per-server caching rates and per-pair transfer charges.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeteroCost {
+    /// `mu[j]`: caching cost per unit time on server `j`.
+    pub mu: Vec<f64>,
+    /// `lambda[j][k]`: transfer cost from `j` to `k` (diagonal unused).
+    pub lambda: Vec<Vec<f64>>,
+}
+
+impl HeteroCost {
+    /// Validates rates: positive finite `μ`, positive finite off-diagonal
+    /// `λ` satisfying the triangle inequality (so direct transfers
+    /// dominate relays and the restricted solver's move set is closed).
+    pub fn new(mu: Vec<f64>, lambda: Vec<Vec<f64>>) -> Result<Self, ModelError> {
+        let m = mu.len();
+        if m == 0 {
+            return Err(ModelError::NoServers);
+        }
+        if mu.iter().any(|&x| !(x > 0.0) || !x.is_finite()) {
+            return Err(ModelError::BadCostModel {
+                detail: "every mu must be finite and > 0",
+            });
+        }
+        if lambda.len() != m || lambda.iter().any(|row| row.len() != m) {
+            return Err(ModelError::BadCostModel {
+                detail: "lambda must be m x m",
+            });
+        }
+        for (j, row) in lambda.iter().enumerate() {
+            for (k, &l) in row.iter().enumerate() {
+                if j != k && (!(l > 0.0) || !l.is_finite()) {
+                    return Err(ModelError::BadCostModel {
+                        detail: "every off-diagonal lambda must be finite and > 0",
+                    });
+                }
+            }
+        }
+        for a in 0..m {
+            for b in 0..m {
+                for c in 0..m {
+                    if a != b
+                        && b != c
+                        && a != c
+                        && lambda[a][c] > lambda[a][b] + lambda[b][c] + 1e-12
+                    {
+                        return Err(ModelError::BadCostModel {
+                            detail: "lambda must satisfy the triangle inequality",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(HeteroCost { mu, lambda })
+    }
+
+    /// The homogeneous special case (for differential tests against the
+    /// paper's solvers).
+    pub fn homogeneous(m: usize, mu: f64, lambda: f64) -> Self {
+        HeteroCost {
+            mu: vec![mu; m],
+            lambda: vec![vec![lambda; m]; m],
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// Cheapest incoming transfer charge to `j` (`∞`-free: m ≥ 2 assumed
+    /// where called; returns `f64::INFINITY` for m = 1).
+    pub fn cheapest_into(&self, j: usize) -> f64 {
+        (0..self.servers())
+            .filter(|&k| k != j)
+            .map(|k| self.lambda[k][j])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The per-server speculative window `Δt_j = cheapest_into(j) / μ_j`.
+    pub fn window(&self, j: usize) -> f64 {
+        self.cheapest_into(j) / self.mu[j]
+    }
+}
+
+/// A problem instance under heterogeneous costs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeteroInstance {
+    cost: HeteroCost,
+    requests: Vec<Request<f64>>,
+}
+
+impl HeteroInstance {
+    /// Validates and builds (same request rules as the homogeneous
+    /// [`mcc_model::Instance`]: strictly increasing positive times,
+    /// servers in range; item initially at [`ServerId::ORIGIN`]).
+    pub fn new(cost: HeteroCost, requests: Vec<Request<f64>>) -> Result<Self, ModelError> {
+        let m = cost.servers();
+        let mut prev = 0.0f64;
+        for (k, r) in requests.iter().enumerate() {
+            if r.server.index() >= m {
+                return Err(ModelError::ServerOutOfRange {
+                    request: k + 1,
+                    server: r.server,
+                    servers: m,
+                });
+            }
+            if !(r.time > prev) || !r.time.is_finite() {
+                return Err(ModelError::NonMonotoneTime { request: k + 1 });
+            }
+            prev = r.time;
+        }
+        Ok(HeteroInstance { cost, requests })
+    }
+
+    /// Lifts a homogeneous instance (for differential tests).
+    pub fn from_homogeneous(inst: &mcc_model::Instance<f64>) -> Self {
+        HeteroInstance {
+            cost: HeteroCost::homogeneous(inst.servers(), inst.cost().mu, inst.cost().lambda),
+            requests: inst.requests().to_vec(),
+        }
+    }
+
+    /// The cost structure.
+    pub fn cost(&self) -> &HeteroCost {
+        &self.cost
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.cost.servers()
+    }
+
+    /// Number of requests.
+    pub fn n(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Time of logical request `i ∈ 0..=n` (`t_0 = 0`).
+    pub fn t(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.requests[i - 1].time
+        }
+    }
+
+    /// Server of logical request `i` (`s_0` = origin).
+    pub fn server(&self, i: usize) -> ServerId {
+        if i == 0 {
+            ServerId::ORIGIN
+        } else {
+            self.requests[i - 1].server
+        }
+    }
+
+    /// The raw requests.
+    pub fn requests(&self) -> &[Request<f64>] {
+        &self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_rates() {
+        assert!(HeteroCost::new(vec![1.0, 2.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).is_ok());
+        assert!(HeteroCost::new(vec![], vec![]).is_err());
+        assert!(HeteroCost::new(vec![1.0, -1.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).is_err());
+        assert!(HeteroCost::new(vec![1.0, 1.0], vec![vec![0.0, 0.0], vec![1.0, 0.0]]).is_err());
+        assert!(HeteroCost::new(vec![1.0], vec![vec![0.0], vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_triangle_violations() {
+        // 0→2 costs 10 but 0→1→2 costs 2.
+        let bad = HeteroCost::new(
+            vec![1.0; 3],
+            vec![
+                vec![0.0, 1.0, 10.0],
+                vec![1.0, 0.0, 1.0],
+                vec![10.0, 1.0, 0.0],
+            ],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn windows_follow_cheapest_incoming() {
+        let c = HeteroCost::new(vec![2.0, 0.5], vec![vec![0.0, 4.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(c.cheapest_into(0), 1.0);
+        assert_eq!(c.cheapest_into(1), 4.0);
+        assert_eq!(c.window(0), 0.5); // 1.0 / 2.0
+        assert_eq!(c.window(1), 8.0); // 4.0 / 0.5
+    }
+
+    #[test]
+    fn homogeneous_lift_roundtrips() {
+        let inst = mcc_model::Instance::<f64>::from_compact("m=3 mu=2 lambda=1.5 | s2@0.5 s3@1.0")
+            .unwrap();
+        let h = HeteroInstance::from_homogeneous(&inst);
+        assert_eq!(h.servers(), 3);
+        assert_eq!(h.n(), 2);
+        assert_eq!(h.cost().mu, vec![2.0; 3]);
+        assert_eq!(h.cost().lambda[0][2], 1.5);
+        assert_eq!(h.t(2), 1.0);
+        assert_eq!(h.server(0), ServerId::ORIGIN);
+    }
+
+    #[test]
+    fn instance_validation_matches_homogeneous_rules() {
+        let c = HeteroCost::homogeneous(2, 1.0, 1.0);
+        assert!(HeteroInstance::new(c.clone(), vec![Request::at(0, 1.0)]).is_ok());
+        assert!(HeteroInstance::new(c.clone(), vec![Request::at(5, 1.0)]).is_err());
+        assert!(HeteroInstance::new(c, vec![Request::at(0, 1.0), Request::at(1, 0.5)]).is_err());
+    }
+}

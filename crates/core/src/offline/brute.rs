@@ -1,0 +1,155 @@
+//! Exhaustive exact reference solver for differential testing.
+//!
+//! By Observation 1 there is an optimal schedule in *standard form*: every
+//! transfer ends at a request, on the requesting server. Such a schedule is
+//! fully described by one decision per request:
+//!
+//! * **Cache** — extend the copy parked on the request's own server since
+//!   that server's last event, paying `μ·(t_i − t_last)`; or
+//! * **Transfer(j)** — extend server `j`'s parked copy up to `t_i`
+//!   (paying the bridging `μ·(t_i − t_last(j))`) and transfer, paying `λ`.
+//!
+//! "Parked" copies are extended lazily: keeping an unused copy costs
+//! nothing until it is next used, which is exactly the deletion-is-free
+//! semantics of the cost model, and the serving copy always bridges each
+//! inter-request gap, so the ≥ 1-live-copy invariant holds by construction.
+//!
+//! The search enumerates all decision vectors with memoization on
+//! `(next request, last-event index per server)`. Exponential in the worst
+//! case — this is a test oracle for `n ≲ 12`, not a production solver. Its
+//! entire value is that it shares **no code** with the DP recurrences.
+
+use std::collections::HashMap;
+
+use mcc_model::{Instance, Scalar, ServerId};
+
+/// Hard ceiling on problem size; beyond this the state space explodes.
+pub const MAX_BRUTE_N: usize = 16;
+/// Hard ceiling on server count for the exhaustive solver.
+pub const MAX_BRUTE_M: usize = 8;
+
+/// Sentinel: server has never held the item.
+const NEVER: u16 = u16::MAX;
+
+/// Computes the exact optimal cost by exhaustive search.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_BRUTE_N` or `m > MAX_BRUTE_M`; the solver is a test
+/// oracle and refuses sizes it cannot finish.
+pub fn brute_force_cost<S: Scalar>(inst: &Instance<S>) -> S {
+    assert!(
+        inst.n() <= MAX_BRUTE_N && inst.servers() <= MAX_BRUTE_M,
+        "brute_force_cost is a test oracle: n ≤ {MAX_BRUTE_N}, m ≤ {MAX_BRUTE_M}"
+    );
+    let mut memo: HashMap<(u16, Box<[u16]>), S> = HashMap::new();
+    let mut state: Vec<u16> = vec![NEVER; inst.servers()];
+    state[ServerId::ORIGIN.index()] = 0; // boundary event r_0 at t = 0
+    solve(inst, 1, &mut state, &mut memo)
+}
+
+fn solve<S: Scalar>(
+    inst: &Instance<S>,
+    i: usize,
+    state: &mut Vec<u16>,
+    memo: &mut HashMap<(u16, Box<[u16]>), S>,
+) -> S {
+    if i > inst.n() {
+        return S::ZERO;
+    }
+    let key = (i as u16, state.clone().into_boxed_slice());
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+
+    let s_i = inst.server(i).index();
+    let t_i = inst.t(i);
+    let cost = inst.cost();
+    let mut best = S::INFINITY;
+
+    // Choice 1: serve by the cache on the request's own server.
+    if state[s_i] != NEVER {
+        let last = state[s_i] as usize;
+        let bridge = cost.caching(t_i - inst.t(last));
+        let saved = state[s_i];
+        state[s_i] = i as u16;
+        let rest = solve(inst, i + 1, state, memo);
+        state[s_i] = saved;
+        best = best.min2(bridge + rest);
+    }
+
+    // Choice 2: serve by a transfer from any server with a parked copy.
+    for j in 0..inst.servers() {
+        if j == s_i || state[j] == NEVER {
+            continue;
+        }
+        let last = state[j] as usize;
+        let bridge = cost.caching(t_i - inst.t(last));
+        let saved_j = state[j];
+        let saved_s = state[s_i];
+        state[j] = i as u16;
+        state[s_i] = i as u16;
+        let rest = solve(inst, i + 1, state, memo);
+        state[j] = saved_j;
+        state[s_i] = saved_s;
+        best = best.min2(bridge + cost.lambda + rest);
+    }
+
+    memo.insert(key, best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sequence_costs_nothing() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        assert_eq!(brute_force_cost(&inst), 0.0);
+    }
+
+    #[test]
+    fn single_remote_request() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5").unwrap();
+        // Hold on the origin for 0.5, then transfer: 1.5.
+        assert_eq!(brute_force_cost(&inst), 1.5);
+    }
+
+    #[test]
+    fn single_local_request() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s1@0.5").unwrap();
+        assert_eq!(brute_force_cost(&inst), 0.5);
+    }
+
+    #[test]
+    fn fig6_exact_optimum() {
+        let inst = Instance::<f64>::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap();
+        assert!((brute_force_cost(&inst) - 8.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_beats_single_copy_migration() {
+        // Two servers alternate rapid requests; keeping both copies warm
+        // (one transfer, then pure caching both sides) beats ping-ponging a
+        // single copy with a transfer per request.
+        let inst =
+            Instance::<f64>::from_compact("m=2 mu=1 lambda=10 | s1@1 s2@2 s1@3 s2@4 s1@5 s2@6")
+                .unwrap();
+        // One transfer at t=2 (hold origin 0..2 = 2, λ = 10), then both
+        // servers cache to their last request: s^1 holds 2..5 (3), s^2 holds
+        // 2..6 (4). Total 2 + 10 + 3 + 4 = 19.
+        assert!((brute_force_cost(&inst) - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "test oracle")]
+    fn refuses_oversized_instances() {
+        let reqs: Vec<(usize, f64)> = (0..40).map(|k| (k % 2, 1.0 + k as f64)).collect();
+        let inst = mcc_model::unit_instance(2, &reqs);
+        brute_force_cost(&inst);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact optimum under a replication cap: at most `K` simultaneous
+//! copies.
+//!
+//! Not in the paper — it bridges the two columns of its Table I. Classic
+//! caching fixes the copy *set size* at `k` and then optimizes evictions;
+//! the paper's model lets the copy count float. The capped optimum
+//! `C_K(n)` sits between them: dynamic scheduling, bounded replication.
+//! Comparing `Belady(k)` → `C_K` → `C(n)` (experiment E11) decomposes the
+//! fixed-`k` penalty into "the cap" and "the policy".
+//!
+//! Exhaustive with memoization (state: position, per-server last event,
+//! alive mask) — a test/experiment oracle for small instances, like its
+//! uncapped sibling [`super::brute`]. `C_K` is nonincreasing in `K` and
+//! equals the uncapped optimum for `K ≥ m`.
+
+use std::collections::HashMap;
+
+use mcc_model::{Instance, Scalar, ServerId};
+
+/// Size caps for the exhaustive capped solver.
+pub const MAX_CAPPED_N: usize = 14;
+/// Server-count cap for the exhaustive capped solver.
+pub const MAX_CAPPED_M: usize = 6;
+
+const NEVER: u16 = u16::MAX;
+
+/// Exact minimum cost with at most `cap ≥ 1` simultaneous live copies.
+///
+/// # Panics
+///
+/// Panics on oversized instances or `cap == 0`.
+pub fn capped_optimal_cost<S: Scalar>(inst: &Instance<S>, cap: usize) -> S {
+    assert!(cap >= 1, "at least one copy must be allowed");
+    assert!(
+        inst.n() <= MAX_CAPPED_N && inst.servers() <= MAX_CAPPED_M,
+        "capped_optimal_cost is exhaustive: n ≤ {MAX_CAPPED_N}, m ≤ {MAX_CAPPED_M}"
+    );
+    let mut memo: HashMap<(u16, Box<[u16]>, u8), S> = HashMap::new();
+    // last_event[j]: logical index of the last event on j (NEVER = none);
+    // alive[j] tracked as a bitmask alongside.
+    let mut last = vec![NEVER; inst.servers()];
+    last[ServerId::ORIGIN.index()] = 0;
+    let alive: u8 = 1 << ServerId::ORIGIN.index();
+    solve(inst, 1, &mut last, alive, cap, &mut memo)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve<S: Scalar>(
+    inst: &Instance<S>,
+    i: usize,
+    last: &mut Vec<u16>,
+    alive: u8,
+    cap: usize,
+    memo: &mut HashMap<(u16, Box<[u16]>, u8), S>,
+) -> S {
+    if i > inst.n() {
+        return S::ZERO;
+    }
+    let key = (i as u16, last.clone().into_boxed_slice(), alive);
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+
+    let s_i = inst.server(i).index();
+    let t_i = inst.t(i);
+    let cost = inst.cost();
+    let mut best = S::INFINITY;
+
+    // Serve by the live local copy.
+    if alive & (1 << s_i) != 0 {
+        let bridge = cost.caching(t_i - inst.t(last[s_i] as usize));
+        let saved = last[s_i];
+        last[s_i] = i as u16;
+        let rest = solve(inst, i + 1, last, alive, cap, memo);
+        last[s_i] = saved;
+        best = best.min2(bridge + rest);
+    }
+    // Also try serving by a transfer from any live copy — even when a
+    // local copy exists, its bridge may be dearer than λ plus a fresher
+    // source's bridge. Delivering onto a server that already holds the
+    // copy merges (no admission); otherwise the cap may force a drop.
+    for j in 0..inst.servers() {
+        if j == s_i || alive & (1 << j) == 0 {
+            continue;
+        }
+        let bridge = cost.caching(t_i - inst.t(last[j] as usize));
+        let saved_j = last[j];
+        let saved_s = last[s_i];
+        last[j] = i as u16;
+        last[s_i] = i as u16;
+        let local_already = alive & (1 << s_i) != 0;
+        let count = alive.count_ones() as usize;
+        if local_already || count < cap {
+            let rest = solve(inst, i + 1, last, alive | (1 << s_i), cap, memo);
+            best = best.min2(bridge + cost.lambda + rest);
+        } else {
+            // At the cap: drop one live copy (the source included — that
+            // is the migrate case; its bridge is already paid).
+            for victim in 0..inst.servers() {
+                if alive & (1 << victim) == 0 || victim == s_i {
+                    continue;
+                }
+                let next_alive = (alive & !(1 << victim)) | (1 << s_i);
+                let rest = solve(inst, i + 1, last, next_alive, cap, memo);
+                best = best.min2(bridge + cost.lambda + rest);
+            }
+        }
+        last[j] = saved_j;
+        last[s_i] = saved_s;
+    }
+    memo.insert(key, best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::brute_force_cost;
+
+    fn fig6() -> Instance<f64> {
+        Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cap_m_equals_the_uncapped_optimum() {
+        let inst = fig6();
+        assert!((capped_optimal_cost(&inst, 4) - brute_force_cost(&inst)).abs() < 1e-9);
+        assert!((capped_optimal_cost(&inst, 4) - 8.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_is_nonincreasing_in_the_cap() {
+        let inst = fig6();
+        let mut prev = f64::INFINITY;
+        for cap in 1..=4 {
+            let c = capped_optimal_cost(&inst, cap);
+            assert!(c <= prev + 1e-9, "C_{cap} = {c} > C_{} = {prev}", cap - 1);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn single_copy_cap_forces_migration() {
+        // Two servers alternating with cheap caching: uncapped keeps both
+        // copies (one transfer); cap = 1 must migrate on every alternation.
+        let inst =
+            Instance::<f64>::from_compact("m=2 mu=1 lambda=10 | s1@1 s2@2 s1@3 s2@4 s1@5 s2@6")
+                .unwrap();
+        let unc = brute_force_cost(&inst);
+        assert!((unc - 19.0).abs() < 1e-9);
+        let capped = capped_optimal_cost(&inst, 1);
+        // Migrate: hold 6 time units total + 5 transfers = 6 + 50.
+        assert!((capped - 56.0).abs() < 1e-9, "{capped}");
+        assert!((capped_optimal_cost(&inst, 2) - unc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_beats_every_classic_policy_at_the_same_k() {
+        // The capped optimum is the floor for any fixed-size-k classic
+        // policy (they live in a subset of its schedule space).
+        let inst = fig6();
+        for k in 1..=4usize {
+            let capped = capped_optimal_cost(&inst, k);
+            let uncapped = brute_force_cost(&inst);
+            assert!(capped >= uncapped - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive")]
+    fn refuses_oversized() {
+        let reqs: Vec<(usize, f64)> = (0..40).map(|k| (k % 2, 1.0 + k as f64)).collect();
+        let inst = mcc_model::unit_instance(2, &reqs);
+        capped_optimal_cost(&inst, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! The O(mn) fast solver (Theorem 2), plus an O(n + m)-space variant.
+//!
+//! The paper's data structure: per-server request lists `Q_j` and a matrix
+//! `A[n, m]` of pointers, where `A[i][j]` addresses the most recent request
+//! on server `s^j` with logical index ≤ i. During the DP pass, request `i`
+//! needs — for every server `j` — the unique interval on `j` that spans
+//! `t_{p(i)}`; that is the *successor* of `A[p(i)][j]` in `Q_j`, found in
+//! O(1). Pre-scan O(mn) time/space, DP pass O(m) per request: O(mn) total.
+//!
+//! [`solve_fast_compact`] trades the matrix for binary searches over the
+//! `Q_j` lists: O(n + m) space, O(m log n) work per request. The scaling
+//! benchmark (E1) measures both, as the space/time trade-off is exactly the
+//! knob a deployment would care about.
+
+use mcc_model::{Instance, Prescan, Scalar};
+
+use super::tables::{run_dp, DpSolution, PivotSource};
+
+/// Sentinel for "no request on this server yet" in the pointer matrix.
+const NONE_POS: u32 = u32::MAX;
+
+/// The paper's pointer structure: `pos[i·m + j]` is the position *within*
+/// `by_server[j]` of the last request with logical index ≤ i.
+pub(crate) struct PointerMatrix {
+    m: usize,
+    pos: Vec<u32>,
+}
+
+impl PointerMatrix {
+    /// Builds the matrix in one O(mn) pre-scan.
+    pub(crate) fn build<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> Self {
+        let n = inst.n();
+        let m = inst.servers();
+        let mut pos = vec![NONE_POS; (n + 1) * m];
+        // Row 0: only the boundary request r_0 on the origin.
+        pos[mcc_model::ServerId::ORIGIN.index()] = 0;
+        let mut cursor: Vec<u32> = vec![NONE_POS; m];
+        cursor[mcc_model::ServerId::ORIGIN.index()] = 0;
+        for i in 1..=n {
+            let s = inst.server(i).index();
+            // Position of r_i within its own server list.
+            cursor[s] = match cursor[s] {
+                NONE_POS => 0,
+                c => c + 1,
+            };
+            debug_assert_eq!(scan.by_server[s][cursor[s] as usize] as usize, i);
+            let (prev_rows, row) = pos.split_at_mut(i * m);
+            row[..m].copy_from_slice(&prev_rows[(i - 1) * m..i * m]);
+            row[s] = cursor[s];
+        }
+        PointerMatrix { m, pos }
+    }
+
+    /// Position in `by_server[j]` of the last request with index ≤ i.
+    #[inline]
+    fn last_at_or_before(&self, i: usize, j: usize) -> u32 {
+        self.pos[i * self.m + j]
+    }
+}
+
+/// Pivot enumeration via the pointer matrix: O(m) per request, O(mn) space.
+struct MatrixPivots<'a> {
+    matrix: PointerMatrix,
+    by_server: &'a [Vec<u32>],
+    server_of: Vec<u32>,
+}
+
+impl PivotSource for MatrixPivots<'_> {
+    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
+        let own = self.server_of[i] as usize;
+        // Own-server pivot: κ = p(i) itself (its cache trivially "spans"
+        // t_{p(i)}; chaining extends the same server's cache).
+        if p_i >= 1 {
+            f(p_i);
+        }
+        for j in 0..self.by_server.len() {
+            if j == own {
+                continue;
+            }
+            let pos = self.matrix.last_at_or_before(p_i, j);
+            if pos == NONE_POS {
+                // First request on j (if any) has D = +∞; skip.
+                continue;
+            }
+            let list = &self.by_server[j];
+            if let Some(&kappa) = list.get(pos as usize + 1) {
+                let kappa = kappa as usize;
+                if kappa < i {
+                    // by_server[j][pos] ≤ p_i < κ, so p(κ) < p(i) ≤ κ < i. ✓
+                    f(kappa);
+                }
+            }
+        }
+    }
+}
+
+/// Pivot enumeration via binary search: O(m log n) per request, O(1) extra
+/// space beyond the shared pre-scan.
+struct BsearchPivots<'a> {
+    by_server: &'a [Vec<u32>],
+    server_of: Vec<u32>,
+}
+
+impl PivotSource for BsearchPivots<'_> {
+    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
+        let own = self.server_of[i] as usize;
+        if p_i >= 1 {
+            f(p_i);
+        }
+        for (j, list) in self.by_server.iter().enumerate() {
+            if j == own || list.is_empty() {
+                continue;
+            }
+            // First entry > p_i.
+            let next = list.partition_point(|&k| k as usize <= p_i);
+            if next == 0 {
+                continue; // no request on j at or before p_i ⇒ κ has D = +∞
+            }
+            if let Some(&kappa) = list.get(next) {
+                let kappa = kappa as usize;
+                if kappa < i {
+                    f(kappa);
+                }
+            }
+        }
+    }
+}
+
+fn server_of_table<S: Scalar>(inst: &Instance<S>) -> Vec<u32> {
+    (0..=inst.n()).map(|i| inst.server(i).0).collect()
+}
+
+/// Solves the off-line data-caching problem in O(mn) time and space
+/// (Theorem 2), using the paper's pointer-matrix structure.
+pub fn solve_fast<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
+    let scan = Prescan::compute(inst);
+    solve_fast_with(inst, &scan)
+}
+
+/// [`solve_fast`] reusing a precomputed [`Prescan`].
+pub fn solve_fast_with<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> DpSolution<S> {
+    let mut pivots = MatrixPivots {
+        matrix: PointerMatrix::build(inst, scan),
+        by_server: &scan.by_server,
+        server_of: server_of_table(inst),
+    };
+    run_dp(inst, scan, &mut pivots)
+}
+
+/// Space-lean variant: O(n + m) space, O(mn log n) time.
+pub fn solve_fast_compact<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
+    let scan = Prescan::compute(inst);
+    solve_fast_compact_with(inst, &scan)
+}
+
+/// [`solve_fast_compact`] reusing a precomputed [`Prescan`].
+pub fn solve_fast_compact_with<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> DpSolution<S> {
+    let mut pivots = BsearchPivots {
+        by_server: &scan.by_server,
+        server_of: server_of_table(inst),
+    };
+    run_dp(inst, scan, &mut pivots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::naive::solve_naive;
+
+    fn fig6() -> Instance<f64> {
+        Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig6_golden_optimum() {
+        let sol = solve_fast(&fig6());
+        assert!((sol.optimal_cost() - 8.9).abs() < 1e-9);
+        let sol = solve_fast_compact(&fig6());
+        assert!((sol.optimal_cost() - 8.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_on_fig6_tables() {
+        let inst = fig6();
+        let fast = solve_fast(&inst);
+        let compact = solve_fast_compact(&inst);
+        let naive = solve_naive(&inst);
+        for i in 0..=inst.n() {
+            assert_eq!(fast.c[i], naive.c[i], "C({i})");
+            assert_eq!(compact.c[i], naive.c[i], "C({i}) compact");
+            // D can be infinite; compare bit-identically via total order.
+            assert!(fast.d[i] == naive.d[i] || (!fast.d[i].is_finite() && !naive.d[i].is_finite()));
+        }
+    }
+
+    #[test]
+    fn pointer_matrix_positions() {
+        let inst = fig6();
+        let scan = mcc_model::Prescan::compute(&inst);
+        let m = PointerMatrix::build(&inst, &scan);
+        // After r_0 only the origin has an entry.
+        assert_eq!(m.last_at_or_before(0, 0), 0);
+        assert_eq!(m.last_at_or_before(0, 1), NONE_POS);
+        // After r_5 (= second request on s^2), position on server 2 is 1.
+        assert_eq!(m.last_at_or_before(5, 1), 1);
+        // Server s^3 saw r_2 only up to index 6.
+        assert_eq!(m.last_at_or_before(6, 2), 0);
+        // Server s^1 has boundary + r_4.
+        assert_eq!(m.last_at_or_before(7, 0), 1);
+    }
+
+    #[test]
+    fn single_server_pure_caching() {
+        // Everything on the origin: the optimum is to hold the item through
+        // the horizon, cost μ·t_n, no transfers.
+        let inst =
+            Instance::<f64>::from_compact("m=1 mu=2 lambda=1 | s1@1.0 s1@2.0 s1@5.0").unwrap();
+        let sol = solve_fast(&inst);
+        assert_eq!(sol.optimal_cost(), 10.0);
+    }
+
+    #[test]
+    fn two_servers_ping_pong_prefers_transfers_when_caching_dear() {
+        // With μ huge, holding between far-apart requests is worse than
+        // transferring back and forth; every request after the first pays
+        // roughly λ plus the minimal bridging hold.
+        let inst =
+            Instance::<f64>::from_compact("m=2 mu=10 lambda=1 | s2@1.0 s1@2.0 s2@3.0 s1@4.0")
+                .unwrap();
+        let fast = solve_fast(&inst).optimal_cost();
+        let naive = solve_naive(&inst).optimal_cost();
+        assert_eq!(fast, naive);
+    }
+}

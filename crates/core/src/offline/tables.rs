@@ -1,0 +1,204 @@
+//! The recurrence system shared by every off-line DP solver.
+//!
+//! Both the O(mn) fast solver and the O(n²) naive sweep evaluate the same
+//! recurrences (Section IV of the paper):
+//!
+//! ```text
+//! C(0) = 0
+//! C(i) = min{ D(i),  C(i−1) + μ·δt_{i−1,i} + λ }                     (2)
+//!
+//! D(i) = +∞                                   if p(i) is the −∞ dummy
+//! D(i) = min{ C(p(i)) + μσ_i + B_{i−1} − B_{p(i)},                    (5)
+//!             min_{κ ∈ π(i)}  D(κ) + μσ_i + B_{i−1} − B_κ }
+//! ```
+//!
+//! with `π(i) = {k : p(k) < p(i) ≤ k < i}` — the requests whose own cache
+//! interval `H(s_k, t_{p(k)}, t_k)` spans `t_{p(i)}`; at most one per
+//! server. The solvers differ only in how they enumerate `π(i)`, so the DP
+//! driver here takes a [`PivotSource`] strategy. Every solution records
+//! branch provenance, which powers optimal-schedule reconstruction and the
+//! Fig. 3/Fig. 4 branch-introspection binaries.
+
+use mcc_model::{Instance, Prescan, Scalar};
+
+/// Which branch produced `C(i)` (recurrence (2)).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CStep {
+    /// `i = 0`: the boundary request `r_0`, cost 0.
+    Boundary,
+    /// `C(i−1) + μ·δt_{i−1,i} + λ`: hold on `s_{i−1}` then transfer
+    /// (Lemma 2).
+    Transfer,
+    /// `D(i)`: `r_i` served by the cache on its own server.
+    Cache,
+}
+
+/// Which branch produced `D(i)` (recurrence (5)).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DStep {
+    /// `p(i)` is a dummy: a cached service of `r_i` is infeasible.
+    Infeasible,
+    /// The trivial case `κ ≤ p(i)` (Lemma 3): anchored on `C(p(i))`.
+    Direct,
+    /// The non-trivial case (Lemma 4): chained onto `D(κ)` for a pivot
+    /// `κ ∈ π(i)` whose cache spans `t_{p(i)}`.
+    Pivot(usize),
+}
+
+/// The solved DP tables with branch provenance.
+#[derive(Clone, Debug)]
+pub struct DpSolution<S> {
+    /// `C(i)` for `i ∈ 0..=n` — the optimal cost of serving `r_0 … r_i`.
+    pub c: Vec<S>,
+    /// `D(i)` for `i ∈ 0..=n` — the semi-optimal cost conditioned on `r_i`
+    /// being served by the cache on `s_i` (Definition 7).
+    pub d: Vec<S>,
+    /// Provenance of each `C(i)`.
+    pub c_from: Vec<CStep>,
+    /// Provenance of each `D(i)`.
+    pub d_from: Vec<DStep>,
+}
+
+impl<S: Scalar> DpSolution<S> {
+    /// The optimal total service cost `C(n) = Π(Ψ*(n))`.
+    pub fn optimal_cost(&self) -> S {
+        *self.c.last().expect("C always has the boundary entry")
+    }
+
+    /// Number of requests `n`.
+    pub fn n(&self) -> usize {
+        self.c.len() - 1
+    }
+}
+
+/// Strategy for enumerating the pivot candidates `π(i)`.
+///
+/// `for_each_pivot` must visit every `κ ∈ π(i)` (it may visit extra indices
+/// `κ` with `D(κ) = +∞`, which can never win the minimum, but must never
+/// visit a finite-`D` index outside `π(i)`).
+pub trait PivotSource {
+    /// Calls `f(κ)` for each pivot candidate of request `i`, whose previous
+    /// same-server request is `p_i`.
+    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize));
+}
+
+/// Runs the recurrence system over an instance with the given pivot
+/// enumeration strategy. This is the single implementation of the
+/// recurrences; the public solvers wrap it.
+pub fn run_dp<S: Scalar, P: PivotSource>(
+    inst: &Instance<S>,
+    scan: &Prescan<S>,
+    pivots: &mut P,
+) -> DpSolution<S> {
+    let n = inst.n();
+    let cost = inst.cost();
+    let mut c = Vec::with_capacity(n + 1);
+    let mut d = Vec::with_capacity(n + 1);
+    let mut c_from = Vec::with_capacity(n + 1);
+    let mut d_from = Vec::with_capacity(n + 1);
+
+    c.push(S::ZERO);
+    d.push(S::INFINITY);
+    c_from.push(CStep::Boundary);
+    d_from.push(DStep::Infeasible);
+
+    for i in 1..=n {
+        // ---- D(i): conditional optimum with r_i served by cache --------
+        let (di, dstep) = match scan.p[i] {
+            None => (S::INFINITY, DStep::Infeasible),
+            Some(p_i) => {
+                let sigma = scan.sigma[i].expect("sigma defined when p(i) real");
+                let hold = cost.caching(sigma);
+                // Lemma 3: anchor on the unconditional optimum C(p(i)).
+                let mut best = c[p_i] + hold + scan.bound_between(p_i, i - 1);
+                let mut step = DStep::Direct;
+                // Lemma 4: chain onto a spanning cache D(κ), κ ∈ π(i).
+                pivots.for_each_pivot(i, p_i, &mut |kappa| {
+                    debug_assert!(kappa < i);
+                    if d[kappa].is_finite() {
+                        let cand = d[kappa] + hold + scan.bound_between(kappa, i - 1);
+                        if cand < best {
+                            best = cand;
+                            step = DStep::Pivot(kappa);
+                        }
+                    }
+                });
+                (best, step)
+            }
+        };
+        d.push(di);
+        d_from.push(dstep);
+
+        // ---- C(i): recurrence (2), preferring the cache branch on ties
+        // (it strictly dominates when s_i = s_{i−1} and avoids degenerate
+        // self-transfers during reconstruction). -------------------------
+        let via_transfer = c[i - 1] + cost.caching(inst.delta_t(i - 1, i)) + cost.lambda;
+        if di <= via_transfer {
+            c.push(di);
+            c_from.push(CStep::Cache);
+        } else {
+            c.push(via_transfer);
+            c_from.push(CStep::Transfer);
+        }
+    }
+
+    DpSolution {
+        c,
+        d,
+        c_from,
+        d_from,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pivot source that reports nothing; on instances where every
+    /// request's optimum is transfer-or-direct the DP must still be exact.
+    struct NoPivots;
+    impl PivotSource for NoPivots {
+        fn for_each_pivot(&mut self, _i: usize, _p: usize, _f: &mut dyn FnMut(usize)) {}
+    }
+
+    #[test]
+    fn boundary_only_instance() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let scan = Prescan::compute(&inst);
+        let sol = run_dp(&inst, &scan, &mut NoPivots);
+        assert_eq!(sol.optimal_cost(), 0.0);
+        assert_eq!(sol.n(), 0);
+        assert_eq!(sol.c_from, vec![CStep::Boundary]);
+    }
+
+    #[test]
+    fn single_remote_request_is_hold_plus_transfer() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5").unwrap();
+        let scan = Prescan::compute(&inst);
+        let sol = run_dp(&inst, &scan, &mut NoPivots);
+        assert_eq!(sol.optimal_cost(), 1.5);
+        assert_eq!(sol.c_from[1], CStep::Transfer);
+        assert_eq!(sol.d_from[1], DStep::Infeasible);
+    }
+
+    #[test]
+    fn request_on_origin_prefers_cache() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s1@0.5").unwrap();
+        let scan = Prescan::compute(&inst);
+        let sol = run_dp(&inst, &scan, &mut NoPivots);
+        assert_eq!(sol.optimal_cost(), 0.5);
+        assert_eq!(sol.c_from[1], CStep::Cache);
+        assert_eq!(sol.d_from[1], DStep::Direct);
+    }
+
+    #[test]
+    fn cache_branch_wins_ties() {
+        // s^1 requests back to back: D(2) equals C(1) + μδt; the transfer
+        // branch adds λ on top, so Cache must be chosen.
+        let inst = Instance::<f64>::from_compact("m=1 mu=1 lambda=1 | s1@1.0 s1@2.0").unwrap();
+        let scan = Prescan::compute(&inst);
+        let sol = run_dp(&inst, &scan, &mut NoPivots);
+        assert_eq!(sol.optimal_cost(), 2.0);
+        assert_eq!(sol.c_from[2], CStep::Cache);
+    }
+}

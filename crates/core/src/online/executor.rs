@@ -1,0 +1,156 @@
+//! Drives an online policy over a request sequence and assembles the
+//! outcome.
+
+use mcc_model::{Instance, Scalar, Schedule};
+
+use super::policy::{OnlinePolicy, ServeAction};
+use super::tracker::{RunRecord, Runtime};
+
+/// The full outcome of one online run.
+#[derive(Clone, Debug)]
+pub struct OnlineRun<S> {
+    /// Policy name.
+    pub policy: String,
+    /// Raw copy/transfer records (tails preserved).
+    pub record: RunRecord<S>,
+    /// Per-request serve actions, index `k` for request `r_{k+1}`.
+    pub actions: Vec<ServeAction>,
+    /// The schedule (normalized) the run materialized.
+    pub schedule: Schedule<S>,
+    /// Total cost under the instance's cost model.
+    pub total_cost: S,
+    /// Caching component.
+    pub caching_cost: S,
+    /// Transfer component.
+    pub transfer_cost: S,
+}
+
+impl<S: Scalar> OnlineRun<S> {
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> usize {
+        self.record.transfers.len()
+    }
+
+    /// Number of requests served from a local live copy.
+    pub fn cache_hits(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, ServeAction::Cache))
+            .count()
+    }
+}
+
+/// Runs `policy` over `inst`'s request sequence (strictly online: one
+/// request at a time, in time order).
+///
+/// The produced schedule is checked against the `mcc-model` referee in
+/// debug builds; a policy that fails to serve a request or breaks copy
+/// provenance panics immediately rather than producing a bogus cost.
+pub fn run_policy<S: Scalar, P: OnlinePolicy<S> + ?Sized>(
+    policy: &mut P,
+    inst: &Instance<S>,
+) -> OnlineRun<S> {
+    policy.reset(inst.servers(), inst.cost());
+    let mut rt = Runtime::new(inst.servers());
+    let mut actions = Vec::with_capacity(inst.n());
+    for i in 1..=inst.n() {
+        let action = policy.on_request(inst.t(i), inst.server(i), &mut rt);
+        actions.push(action);
+    }
+    let horizon = inst.horizon();
+    let record = if inst.n() == 0 {
+        // No service period at all: the initial copy never speculates.
+        rt.finish(|_, last_touch| last_touch)
+    } else {
+        rt.finish(|server, last_touch| policy.close_time(server, last_touch, horizon))
+    };
+    let schedule = record.to_schedule();
+
+    #[cfg(debug_assertions)]
+    {
+        if let Err(errs) =
+            mcc_model::validate_with(inst, &schedule, mcc_model::ValidateOptions { tol: 1e-9 })
+        {
+            panic!(
+                "policy `{}` produced an infeasible schedule: {errs:?}",
+                policy.name()
+            );
+        }
+    }
+
+    let caching_cost = schedule.caching_cost(inst.cost());
+    let transfer_cost = schedule.transfer_cost(inst.cost());
+    OnlineRun {
+        policy: policy.name(),
+        record,
+        actions,
+        schedule,
+        total_cost: caching_cost + transfer_cost,
+        caching_cost,
+        transfer_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_model::{CostModel, ServerId};
+
+    /// Keep a single copy that follows the requests (inline baseline used
+    /// to test the executor; the real one lives in `baselines`).
+    struct Follow {
+        holder: ServerId,
+    }
+    impl OnlinePolicy<f64> for Follow {
+        fn name(&self) -> String {
+            "follow-inline".into()
+        }
+        fn reset(&mut self, _servers: usize, _cost: &CostModel<f64>) {
+            self.holder = ServerId::ORIGIN;
+        }
+        fn on_request(&mut self, t: f64, server: ServerId, rt: &mut Runtime<f64>) -> ServeAction {
+            if server == self.holder {
+                rt.touch(server, t);
+                ServeAction::Cache
+            } else {
+                let from = self.holder;
+                rt.transfer(from, server, t);
+                rt.close(from, t);
+                self.holder = server;
+                ServeAction::Transfer { from }
+            }
+        }
+    }
+
+    #[test]
+    fn executor_runs_and_costs_a_simple_policy() {
+        let inst =
+            mcc_model::Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@1.0 s1@3.0 s1@4.0")
+                .unwrap();
+        let run = run_policy(
+            &mut Follow {
+                holder: ServerId::ORIGIN,
+            },
+            &inst,
+        );
+        // Hold origin [0,1], transfer, hold s^2 [1,3], transfer, hold s^1
+        // [3,4]: caching 4.0, transfers 2.0.
+        assert_eq!(run.total_cost, 6.0);
+        assert_eq!(run.transfers(), 2);
+        assert_eq!(run.cache_hits(), 1);
+        assert_eq!(run.actions[0], ServeAction::Transfer { from: ServerId(0) });
+    }
+
+    #[test]
+    fn empty_sequence_is_free() {
+        let inst = mcc_model::Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let run = run_policy(
+            &mut Follow {
+                holder: ServerId::ORIGIN,
+            },
+            &inst,
+        );
+        assert_eq!(run.total_cost, 0.0);
+        assert!(run.schedule.caches.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Online algorithms for the data-caching problem (Section V).
+//!
+//! * [`SpeculativeCaching`] — the paper's 3-competitive algorithm: copies
+//!   stay speculatively alive for `Δt = λ/μ` after each use; misses are
+//!   served from the previous request's server; optional epochs.
+//! * [`baselines`] — `Follow`, `StayAtOrigin`, `KeepEverywhere`.
+//! * [`double_transfer`] — the cost-preserving DT rewrite (Definition 10).
+//! * [`reduction::analyze`] — V-/H-reductions and every inequality in the
+//!   Theorem 3 chain, computable for any concrete run.
+//! * [`run_policy`] — the strictly-online executor producing a validated
+//!   [`mcc_model::Schedule`].
+
+pub mod baselines;
+pub mod dt;
+pub mod executor;
+pub mod policy;
+pub mod reduction;
+pub mod sc;
+pub mod tracker;
+
+pub use baselines::{Follow, KeepEverywhere, StayAtOrigin};
+pub use dt::{double_transfer, DtCache, DtSchedule, DtTransfer};
+pub use executor::{run_policy, OnlineRun};
+pub use policy::{OnlinePolicy, ServeAction};
+pub use reduction::{analyze, ReductionReport};
+pub use sc::SpeculativeCaching;
+pub use tracker::{CopyRecord, RunRecord, Runtime, TransferRecord};

@@ -1,0 +1,79 @@
+//! The online-policy abstraction.
+//!
+//! An online policy sees requests one at a time (nothing about the future)
+//! and drives the [`Runtime`]: touching
+//! live copies, creating copies by transfer, and deleting copies. The
+//! executor in [`crate::online::executor`] feeds it a request stream and
+//! assembles the resulting schedule.
+
+use mcc_model::{CostModel, Scalar, ServerId};
+
+use super::tracker::Runtime;
+
+/// How a request was served.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeAction {
+    /// By the live copy already on the requesting server.
+    Cache,
+    /// By a transfer from another server's live copy.
+    Transfer {
+        /// The source server.
+        from: ServerId,
+    },
+}
+
+/// An online caching policy.
+///
+/// Implementations must be *online*: decisions in [`OnlinePolicy::on_request`]
+/// may depend only on the requests seen so far.
+pub trait OnlinePolicy<S: Scalar> {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// Re-initializes internal state for a fresh run.
+    fn reset(&mut self, servers: usize, cost: &CostModel<S>);
+
+    /// Serves the next request at time `t` on `server`, mutating the copy
+    /// state through `rt`. Must keep at least one copy live and must
+    /// actually serve the request (touch the local copy or transfer to it).
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction;
+
+    /// Close time for a copy still live when the sequence ends (its last
+    /// useful touch is given). Defaults to no tail.
+    fn close_time(&self, _server: ServerId, last_touch: S, _horizon: S) -> S {
+        last_touch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial policy used to exercise the trait object surface.
+    struct Nop;
+    impl OnlinePolicy<f64> for Nop {
+        fn name(&self) -> String {
+            "nop".into()
+        }
+        fn reset(&mut self, _servers: usize, _cost: &CostModel<f64>) {}
+        fn on_request(&mut self, t: f64, server: ServerId, rt: &mut Runtime<f64>) -> ServeAction {
+            if rt.is_open(server) {
+                rt.touch(server, t);
+                ServeAction::Cache
+            } else {
+                rt.transfer(ServerId::ORIGIN, server, t);
+                ServeAction::Transfer {
+                    from: ServerId::ORIGIN,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut p: Box<dyn OnlinePolicy<f64>> = Box::new(Nop);
+        p.reset(2, &CostModel::unit());
+        assert_eq!(p.name(), "nop");
+        assert_eq!(p.close_time(ServerId(0), 3.0, 9.0), 3.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Differential testing of the off-line solvers.
+//!
+//! The fast O(mn) DP, the space-lean variant, the naive sweep and the
+//! exhaustive oracle must agree *exactly* — we run them over the [`Fixed`]
+//! scalar with all inputs on a millisecond grid, so every `μ·duration`
+//! product is exact and `==` is sound (see `mcc_model::scalar` docs).
+//! Reconstruction must produce a schedule the independent referee accepts
+//! at exactly the DP's claimed cost.
+
+use mcc_core::offline::{
+    brute_force_cost, reconstruct, solve_fast_compact_with, solve_fast_with, solve_naive_with,
+    solve_quadratic_with,
+};
+use mcc_model::{validate, CostModel, Fixed, Instance, Prescan, Request, Scalar};
+use proptest::prelude::*;
+
+/// Strategy: a random instance on a millisecond grid.
+///
+/// `servers ∈ 1..=4`, `n ∈ 0..=10`, times strictly increasing in steps of
+/// 1..=4000 ms, `μ, λ ∈ {0.25, 0.5, 1, 2, 4} scaled by 0.001..` — all
+/// representable exactly in micro-units with exact products.
+fn small_instance() -> impl Strategy<Value = Instance<Fixed>> {
+    (1usize..=4, 0usize..=10).prop_flat_map(|(m, n)| {
+        let servers = proptest::collection::vec(0..m, n);
+        let gaps = proptest::collection::vec(1u32..=4000, n);
+        let mu = prop_oneof![Just(250), Just(500), Just(1000), Just(2000), Just(4000)];
+        let lambda = prop_oneof![Just(250), Just(500), Just(1000), Just(3000), Just(8000)];
+        (Just(m), servers, gaps, mu, lambda).prop_map(|(m, servers, gaps, mu, lambda)| {
+            let mut t_ms: i64 = 0;
+            let requests: Vec<Request<Fixed>> = servers
+                .into_iter()
+                .zip(gaps)
+                .map(|(s, gap)| {
+                    t_ms += gap as i64;
+                    Request::new(
+                        mcc_model::ServerId::from_index(s),
+                        Fixed::from_micros(t_ms * 1000),
+                    )
+                })
+                .collect();
+            let cost = CostModel::new(
+                Fixed::from_micros(mu * 1000),
+                Fixed::from_micros(lambda * 1000),
+            )
+            .expect("positive rates");
+            Instance::new(m, cost, requests).expect("construction is valid")
+        })
+    })
+}
+
+/// A larger instance (f64) for fast-vs-naive agreement at scale.
+fn medium_instance() -> impl Strategy<Value = Instance<f64>> {
+    (1usize..=8, 0usize..=120).prop_flat_map(|(m, n)| {
+        let servers = proptest::collection::vec(0..m, n);
+        let gaps = proptest::collection::vec(0.001f64..5.0, n);
+        let mu = 0.1f64..4.0;
+        let lambda = 0.1f64..4.0;
+        (Just(m), servers, gaps, mu, lambda).prop_map(|(m, servers, gaps, mu, lambda)| {
+            let mut t = 0.0;
+            let requests: Vec<Request<f64>> = servers
+                .into_iter()
+                .zip(gaps)
+                .map(|(s, gap)| {
+                    t += gap;
+                    Request::new(mcc_model::ServerId::from_index(s), t)
+                })
+                .collect();
+            let cost = CostModel::new(mu, lambda).unwrap();
+            Instance::new(m, cost, requests).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The recurrence solvers and the exhaustive oracle agree bit-exactly.
+    #[test]
+    fn dp_matches_brute_force_exactly(inst in small_instance()) {
+        let scan = Prescan::compute(&inst);
+        let fast = solve_fast_with(&inst, &scan);
+        let compact = solve_fast_compact_with(&inst, &scan);
+        let naive = solve_naive_with(&inst, &scan);
+        let quadratic = solve_quadratic_with(&inst, &scan);
+        let oracle = brute_force_cost(&inst);
+        prop_assert_eq!(fast.optimal_cost(), oracle, "fast vs oracle on {}", inst.to_compact());
+        prop_assert_eq!(compact.optimal_cost(), oracle, "compact vs oracle");
+        prop_assert_eq!(naive.optimal_cost(), oracle, "naive vs oracle");
+        prop_assert_eq!(quadratic.optimal_cost(), oracle, "quadratic vs oracle");
+        // Full tables agree, not just the end value.
+        for i in 0..=inst.n() {
+            prop_assert_eq!(fast.c[i], naive.c[i]);
+            prop_assert_eq!(fast.d[i], naive.d[i]);
+            prop_assert_eq!(compact.c[i], naive.c[i]);
+            prop_assert_eq!(quadratic.c[i], naive.c[i]);
+        }
+    }
+
+    /// Reconstruction materializes a schedule the referee accepts at
+    /// exactly C(n) — i.e. the DP's optimum is *achievable*, not just a
+    /// number.
+    #[test]
+    fn reconstruction_is_feasible_and_exactly_optimal(inst in small_instance()) {
+        let scan = Prescan::compute(&inst);
+        let sol = solve_fast_with(&inst, &scan);
+        let sched = reconstruct(&inst, &scan, &sol);
+        let validated = validate(&inst, &sched)
+            .map_err(|e| TestCaseError::fail(format!("infeasible: {e:?} on {}", inst.to_compact())))?;
+        prop_assert_eq!(
+            validated.total,
+            sol.optimal_cost(),
+            "reconstructed cost differs on {}",
+            inst.to_compact()
+        );
+    }
+
+    /// The running bound B_n is a true lower bound and C is monotone.
+    #[test]
+    fn structural_invariants(inst in small_instance()) {
+        let scan = Prescan::compute(&inst);
+        let sol = solve_fast_with(&inst, &scan);
+        prop_assert!(scan.total_lower_bound() <= sol.optimal_cost());
+        for i in 1..=inst.n() {
+            prop_assert!(sol.c[i] >= sol.c[i-1], "C must be nondecreasing");
+            prop_assert!(sol.d[i] >= sol.c[i], "C(i) ≤ D(i) by definition");
+        }
+    }
+
+    /// At scale (f64): both fast variants agree with the naive sweep to
+    /// floating-point tolerance, and reconstruction stays feasible.
+    #[test]
+    fn fast_equals_naive_at_scale(inst in medium_instance()) {
+        let scan = Prescan::compute(&inst);
+        let fast = solve_fast_with(&inst, &scan);
+        let compact = solve_fast_compact_with(&inst, &scan);
+        let naive = solve_naive_with(&inst, &scan);
+        prop_assert!(fast.optimal_cost().approx_eq(naive.optimal_cost(), 1e-9));
+        prop_assert!(compact.optimal_cost().approx_eq(naive.optimal_cost(), 1e-9));
+        let sched = reconstruct(&inst, &scan, &fast);
+        let validated = mcc_model::validate_with(
+            &inst,
+            &sched,
+            mcc_model::ValidateOptions { tol: 1e-9 },
+        )
+        .map_err(|e| TestCaseError::fail(format!("infeasible: {e:?}")))?;
+        prop_assert!(validated.total.approx_eq(fast.optimal_cost(), 1e-7));
+    }
+}

@@ -1,0 +1,158 @@
+//! Fluent construction of problem instances.
+
+use crate::cost::CostModel;
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::request::Request;
+use crate::scalar::Scalar;
+
+/// Fluent builder for [`Instance`].
+///
+/// ```
+/// use mcc_model::InstanceBuilder;
+///
+/// let inst = InstanceBuilder::<f64>::new(4)
+///     .mu(1.0)
+///     .lambda(1.0)
+///     .request(1, 0.5) // s^2 @ 0.5 (zero-based server index)
+///     .request(2, 0.8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(inst.n(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder<S> {
+    servers: usize,
+    mu: f64,
+    lambda: f64,
+    upload: Option<f64>,
+    requests: Vec<Request<S>>,
+}
+
+impl<S: Scalar> InstanceBuilder<S> {
+    /// Starts a builder for an `m`-server network with the unit cost model.
+    pub fn new(servers: usize) -> Self {
+        InstanceBuilder {
+            servers,
+            mu: 1.0,
+            lambda: 1.0,
+            upload: None,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Sets the caching rate `μ`.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the transfer charge `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the optional upload charge `β`.
+    pub fn upload(mut self, beta: f64) -> Self {
+        self.upload = Some(beta);
+        self
+    }
+
+    /// Appends a request at a zero-based server index.
+    pub fn request(mut self, server_index: usize, time: f64) -> Self {
+        self.requests.push(Request::at(server_index, time));
+        self
+    }
+
+    /// Appends many `(server_index, time)` requests.
+    pub fn requests<I: IntoIterator<Item = (usize, f64)>>(mut self, it: I) -> Self {
+        for (s, t) in it {
+            self.requests.push(Request::at(s, t));
+        }
+        self
+    }
+
+    /// Appends an already-typed request.
+    pub fn push(mut self, r: Request<S>) -> Self {
+        self.requests.push(r);
+        self
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(self) -> Result<Instance<S>, ModelError> {
+        let mut cost = CostModel::new(S::from_f64(self.mu), S::from_f64(self.lambda))?;
+        if let Some(beta) = self.upload {
+            cost = cost.with_upload(S::from_f64(beta));
+        }
+        Instance::new(self.servers, cost, self.requests)
+    }
+}
+
+/// Shorthand used pervasively in tests and examples: build an `f64` instance
+/// from `(server_index, time)` pairs under the unit cost model.
+pub fn unit_instance(servers: usize, reqs: &[(usize, f64)]) -> Instance<f64> {
+    InstanceBuilder::new(servers)
+        .requests(reqs.iter().copied())
+        .build()
+        .expect("unit_instance called with invalid data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    #[test]
+    fn builder_produces_validated_instance() {
+        let inst = InstanceBuilder::<f64>::new(3)
+            .mu(2.0)
+            .lambda(0.5)
+            .request(0, 1.0)
+            .request(2, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(inst.servers(), 3);
+        assert_eq!(inst.cost().mu, 2.0);
+        assert_eq!(inst.cost().lambda, 0.5);
+        assert_eq!(inst.server(2), ServerId(2));
+    }
+
+    #[test]
+    fn builder_surfaces_validation_errors() {
+        let err = InstanceBuilder::<f64>::new(2)
+            .request(5, 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ServerOutOfRange { .. }));
+        let err = InstanceBuilder::<f64>::new(2).mu(-1.0).build().unwrap_err();
+        assert!(matches!(err, ModelError::BadCostModel { .. }));
+    }
+
+    #[test]
+    fn bulk_requests_and_push_compose() {
+        let inst = InstanceBuilder::<f64>::new(2)
+            .requests([(0, 1.0), (1, 2.0)])
+            .push(Request::at(0, 3.0))
+            .build()
+            .unwrap();
+        assert_eq!(inst.n(), 3);
+    }
+
+    #[test]
+    fn unit_instance_shorthand() {
+        let inst = unit_instance(4, &[(1, 0.5), (2, 0.8)]);
+        assert_eq!(inst.cost().mu, 1.0);
+        assert_eq!(inst.n(), 2);
+    }
+
+    #[test]
+    fn upload_passes_through() {
+        let inst = InstanceBuilder::<f64>::new(2)
+            .upload(3.0)
+            .request(0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(inst.cost().upload, Some(3.0));
+    }
+}

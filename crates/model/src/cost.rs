@@ -1,0 +1,130 @@
+//! The homogeneous cost model `(μ, λ)`.
+
+use crate::error::ModelError;
+use crate::scalar::Scalar;
+
+/// Homogeneous cost model: caching costs `μ` per unit time on every server,
+/// and every server-to-server transfer costs `λ` (Section III of the paper).
+///
+/// Replication and deletion are free; transfers are instantaneous. The
+/// optional `upload` charge `β` (Table II) prices fetching the item from
+/// external storage; the paper's algorithms never upload, so it defaults to
+/// `None` and only the space-time graph uses it.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel<S> {
+    /// Caching cost per unit time per server (`μ > 0`).
+    pub mu: S,
+    /// Transfer cost between any pair of servers (`λ > 0`).
+    pub lambda: S,
+    /// Optional upload cost `β` from external storage.
+    pub upload: Option<S>,
+}
+
+impl<S: Scalar> CostModel<S> {
+    /// Builds a validated cost model.
+    pub fn new(mu: S, lambda: S) -> Result<Self, ModelError> {
+        if !(mu > S::ZERO) || !mu.is_finite() {
+            return Err(ModelError::BadCostModel {
+                detail: "mu must be finite and > 0",
+            });
+        }
+        if !(lambda > S::ZERO) || !lambda.is_finite() {
+            return Err(ModelError::BadCostModel {
+                detail: "lambda must be finite and > 0",
+            });
+        }
+        Ok(CostModel {
+            mu,
+            lambda,
+            upload: None,
+        })
+    }
+
+    /// The unit cost model `μ = λ = 1` used throughout the paper's examples.
+    pub fn unit() -> Self {
+        CostModel {
+            mu: S::from_f64(1.0),
+            lambda: S::from_f64(1.0),
+            upload: None,
+        }
+    }
+
+    /// Adds an upload charge `β`.
+    pub fn with_upload(mut self, beta: S) -> Self {
+        self.upload = Some(beta);
+        self
+    }
+
+    /// The speculative window `Δt = λ/μ`: caching for `Δt` costs exactly one
+    /// transfer, the break-even point the online algorithm pivots on.
+    #[inline]
+    pub fn delta_t(&self) -> S {
+        self.lambda.div(self.mu)
+    }
+
+    /// Cost of caching for a duration `d` (`μ·d`).
+    #[inline]
+    pub fn caching(&self, d: S) -> S {
+        debug_assert!(d >= S::ZERO, "negative caching duration");
+        self.mu.mul(d)
+    }
+
+    /// The marginal cost bound `b = min(λ, μσ)` for a server interval `σ`
+    /// (Definition 4). `σ = None` encodes the `−∞` dummy predecessor, whose
+    /// bound is `λ`.
+    #[inline]
+    pub fn marginal_bound(&self, sigma: Option<S>) -> S {
+        match sigma {
+            Some(s) => self.lambda.min2(self.caching(s)),
+            None => self.lambda,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Fixed;
+
+    #[test]
+    fn unit_model_delta_t_is_one() {
+        let c: CostModel<f64> = CostModel::unit();
+        assert_eq!(c.delta_t(), 1.0);
+        assert_eq!(c.caching(2.5), 2.5);
+    }
+
+    #[test]
+    fn rejects_degenerate_rates() {
+        assert!(CostModel::<f64>::new(0.0, 1.0).is_err());
+        assert!(CostModel::<f64>::new(1.0, 0.0).is_err());
+        assert!(CostModel::<f64>::new(f64::INFINITY, 1.0).is_err());
+        assert!(CostModel::<f64>::new(1.0, -2.0).is_err());
+        assert!(CostModel::<f64>::new(2.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn marginal_bound_matches_definition_4() {
+        let c = CostModel::<f64>::new(1.0, 1.0).unwrap();
+        assert_eq!(c.marginal_bound(Some(0.4)), 0.4);
+        assert_eq!(c.marginal_bound(Some(2.0)), 1.0);
+        assert_eq!(c.marginal_bound(None), 1.0);
+    }
+
+    #[test]
+    fn fixed_cost_model_is_exact() {
+        let c = CostModel::<Fixed>::new(Fixed::from_f64(2.0), Fixed::from_f64(3.0)).unwrap();
+        assert_eq!(c.delta_t(), Fixed::from_f64(1.5));
+        assert_eq!(c.caching(Fixed::from_f64(0.3)), Fixed::from_f64(0.6));
+        assert_eq!(
+            c.marginal_bound(Some(Fixed::from_f64(10.0))),
+            Fixed::from_f64(3.0)
+        );
+    }
+
+    #[test]
+    fn upload_is_optional() {
+        let c = CostModel::<f64>::unit().with_upload(5.0);
+        assert_eq!(c.upload, Some(5.0));
+        assert_eq!(CostModel::<f64>::unit().upload, None);
+    }
+}

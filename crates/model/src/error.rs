@@ -1,0 +1,153 @@
+//! Error types for instance construction and schedule validation.
+
+use std::fmt;
+
+use crate::ids::ServerId;
+
+/// Errors raised when constructing or parsing a problem [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum ModelError {
+    /// The instance declares zero servers.
+    NoServers,
+    /// A request references a server outside `0..m`.
+    ServerOutOfRange {
+        request: usize,
+        server: ServerId,
+        servers: usize,
+    },
+    /// Request times must be strictly increasing and strictly positive.
+    NonMonotoneTime { request: usize },
+    /// `μ` and `λ` must be strictly positive and finite.
+    BadCostModel { detail: &'static str },
+    /// Text-format parse failure.
+    Parse { line: usize, detail: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoServers => write!(f, "instance must have at least one server"),
+            ModelError::ServerOutOfRange { request, server, servers } => write!(
+                f,
+                "request r_{request} references {server} but the instance has only {servers} servers"
+            ),
+            ModelError::NonMonotoneTime { request } => write!(
+                f,
+                "request r_{request} violates 0 < t_1 < t_2 < ... (times must be strictly increasing)"
+            ),
+            ModelError::BadCostModel { detail } => write!(f, "bad cost model: {detail}"),
+            ModelError::Parse { line, detail } => {
+                write!(f, "parse error on line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A feasibility defect found by the schedule validator.
+///
+/// The validator reports *all* defects it finds rather than stopping at the
+/// first, which makes algorithm debugging far easier.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum Violation {
+    /// A cache interval has `to < from` or negative endpoints.
+    MalformedInterval {
+        server: ServerId,
+        from: f64,
+        to: f64,
+    },
+    /// Two cache intervals on the same server overlap (double counting).
+    OverlappingIntervals { server: ServerId, at: f64 },
+    /// A cache interval starts without an incoming transfer (and is not the
+    /// origin's initial interval, nor a seamless continuation).
+    UnjustifiedCacheStart { server: ServerId, at: f64 },
+    /// A transfer's source holds no live copy at transfer time.
+    DeadTransferSource {
+        src: ServerId,
+        dst: ServerId,
+        at: f64,
+    },
+    /// A request is neither covered by a cache interval on its server nor the
+    /// destination of a transfer at its time.
+    UnservedRequest {
+        request: usize,
+        server: ServerId,
+        at: f64,
+    },
+    /// The union of cache intervals leaves `[0, t_n]` uncovered around `at`.
+    CoverageGap { at: f64 },
+    /// No cache interval anchors the item at the origin at time zero.
+    MissingOriginCopy,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MalformedInterval { server, from, to } => {
+                write!(f, "malformed cache interval H({server}, {from}, {to})")
+            }
+            Violation::OverlappingIntervals { server, at } => {
+                write!(f, "overlapping cache intervals on {server} near t={at}")
+            }
+            Violation::UnjustifiedCacheStart { server, at } => {
+                write!(
+                    f,
+                    "cache interval on {server} starts at t={at} with no incoming transfer"
+                )
+            }
+            Violation::DeadTransferSource { src, dst, at } => {
+                write!(
+                    f,
+                    "transfer Tr({src}, {dst}, {at}) has no live copy at the source"
+                )
+            }
+            Violation::UnservedRequest {
+                request,
+                server,
+                at,
+            } => {
+                write!(f, "request r_{request} = ({server}, {at}) is not served")
+            }
+            Violation::CoverageGap { at } => {
+                write!(f, "no server caches the item around t={at}")
+            }
+            Violation::MissingOriginCopy => {
+                write!(
+                    f,
+                    "no cache interval anchors the initial copy at the origin at t=0"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = ModelError::ServerOutOfRange {
+            request: 3,
+            server: ServerId(9),
+            servers: 4,
+        };
+        assert!(e.to_string().contains("r_3"));
+        assert!(e.to_string().contains("s^10"));
+        let v = Violation::UnservedRequest {
+            request: 2,
+            server: ServerId(1),
+            at: 0.8,
+        };
+        assert!(v.to_string().contains("r_2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::NoServers);
+    }
+}

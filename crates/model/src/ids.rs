@@ -1,0 +1,73 @@
+//! Strongly typed identifiers.
+//!
+//! The paper distinguishes server *labels* `s^j` (the j-th server) from the
+//! *reference* `s_i` (the server of the i-th request). [`ServerId`] models
+//! the label; request references are plain 1-based indices into the request
+//! sequence (see `mcc-model::instance`), matching the paper's `r_i`.
+
+use std::fmt;
+
+/// A server label `s^j`. Zero-based internally; displays 1-based as `s^j` to
+/// match the paper (so `ServerId(0)` prints as `s^1`).
+#[derive(
+    Copy,
+    Clone,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The conventional origin server `s^1` that initially holds the item.
+    pub const ORIGIN: ServerId = ServerId(0);
+
+    /// Zero-based index for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds from a zero-based index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ServerId(u32::try_from(i).expect("server index fits in u32"))
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s^{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(ServerId(0).to_string(), "s^1");
+        assert_eq!(ServerId(3).to_string(), "s^4");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in [0usize, 1, 17, 4095] {
+            assert_eq!(ServerId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn origin_is_first_server() {
+        assert_eq!(ServerId::ORIGIN, ServerId(0));
+        assert_eq!(ServerId::ORIGIN.to_string(), "s^1");
+    }
+}

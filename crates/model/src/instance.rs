@@ -1,0 +1,344 @@
+//! A problem instance: the server set, the cost model and the request
+//! sequence, with the paper's boundary conventions baked in.
+//!
+//! # Indexing convention
+//!
+//! The paper indexes requests `r_1 … r_n` and defines a boundary request
+//! `r_0 = (s^1, 0)`: the item sits on the origin server at time zero. This
+//! module keeps that convention: *logical* request indices are `0..=n`,
+//! where index `0` is the implicit boundary request and `i ≥ 1` addresses
+//! `requests[i - 1]`. All solver code in `mcc-core` uses logical indices, so
+//! formulas transcribe 1:1 from the paper.
+
+use crate::cost::CostModel;
+use crate::error::ModelError;
+use crate::ids::ServerId;
+use crate::request::Request;
+use crate::scalar::Scalar;
+
+/// An immutable, validated problem instance.
+///
+/// Construct with [`Instance::new`] (which validates) or via
+/// [`crate::builder::InstanceBuilder`]. The shared item is initially located
+/// at [`ServerId::ORIGIN`] (`s^1`) at time `0`, per the paper.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Instance<S> {
+    servers: usize,
+    cost: CostModel<S>,
+    requests: Vec<Request<S>>,
+}
+
+impl<S: Scalar> Instance<S> {
+    /// Validates and builds an instance.
+    ///
+    /// Requirements: at least one server; every request's server in range;
+    /// request times strictly increasing and strictly positive; a valid cost
+    /// model. An empty request sequence is allowed (trivial instance).
+    pub fn new(
+        servers: usize,
+        cost: CostModel<S>,
+        requests: Vec<Request<S>>,
+    ) -> Result<Self, ModelError> {
+        if servers == 0 {
+            return Err(ModelError::NoServers);
+        }
+        // Re-validate the cost model in case it was built by hand.
+        CostModel::new(cost.mu, cost.lambda)?;
+        let mut prev = S::ZERO;
+        for (k, r) in requests.iter().enumerate() {
+            let i = k + 1; // logical index
+            if r.server.index() >= servers {
+                return Err(ModelError::ServerOutOfRange {
+                    request: i,
+                    server: r.server,
+                    servers,
+                });
+            }
+            if !(r.time > prev) || !r.time.is_finite() {
+                return Err(ModelError::NonMonotoneTime { request: i });
+            }
+            prev = r.time;
+        }
+        Ok(Instance {
+            servers,
+            cost,
+            requests,
+        })
+    }
+
+    /// Number of servers `m`.
+    #[inline]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of requests `n` (excluding the boundary request `r_0`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The cost model `(μ, λ)`.
+    #[inline]
+    pub fn cost(&self) -> &CostModel<S> {
+        &self.cost
+    }
+
+    /// The raw request slice (`r_1 … r_n`, zero-based storage).
+    #[inline]
+    pub fn requests(&self) -> &[Request<S>] {
+        &self.requests
+    }
+
+    /// Time `t_i` of logical request `i ∈ 0..=n` (`t_0 = 0`).
+    #[inline]
+    pub fn t(&self, i: usize) -> S {
+        if i == 0 {
+            S::ZERO
+        } else {
+            self.requests[i - 1].time
+        }
+    }
+
+    /// Server `s_i` of logical request `i ∈ 0..=n` (`s_0 = s^1`).
+    #[inline]
+    pub fn server(&self, i: usize) -> ServerId {
+        if i == 0 {
+            ServerId::ORIGIN
+        } else {
+            self.requests[i - 1].server
+        }
+    }
+
+    /// `δt_{i,j} = t_j − t_i` for logical indices `i ≤ j`.
+    #[inline]
+    pub fn delta_t(&self, i: usize, j: usize) -> S {
+        debug_assert!(i <= j);
+        self.t(j) - self.t(i)
+    }
+
+    /// The horizon `t_n` (zero when there are no requests).
+    #[inline]
+    pub fn horizon(&self) -> S {
+        self.t(self.n())
+    }
+
+    /// Converts the instance to a different scalar type through `f64`.
+    ///
+    /// Exact when the target scalar can represent every value (e.g. `f64` →
+    /// [`crate::scalar::Fixed`] for micro-unit-aligned inputs).
+    pub fn map_scalar<T: Scalar>(&self) -> Instance<T> {
+        Instance {
+            servers: self.servers,
+            cost: CostModel {
+                mu: T::from_f64(self.cost.mu.to_f64()),
+                lambda: T::from_f64(self.cost.lambda.to_f64()),
+                upload: self.cost.upload.map(|b| T::from_f64(b.to_f64())),
+            },
+            requests: self
+                .requests
+                .iter()
+                .map(|r| Request {
+                    server: r.server,
+                    time: T::from_f64(r.time.to_f64()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Compact one-line text form, e.g. `m=4 mu=1 lambda=1 | s2@0.5 s3@0.8`.
+    ///
+    /// Round-trips through [`Instance::from_compact`] (times rendered via
+    /// `f64`, so exact for micro-unit-aligned values).
+    pub fn to_compact(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        write!(
+            out,
+            "m={} mu={} lambda={}",
+            self.servers,
+            self.cost.mu.to_f64(),
+            self.cost.lambda.to_f64()
+        )
+        .unwrap();
+        out.push_str(" |");
+        for r in &self.requests {
+            write!(out, " s{}@{}", r.server.0 + 1, r.time.to_f64()).unwrap();
+        }
+        out
+    }
+
+    /// Parses the compact one-line text form produced by
+    /// [`Instance::to_compact`]. Whitespace separated; `sJ@T` uses 1-based
+    /// server labels to match the paper's `s^j`.
+    pub fn from_compact(text: &str) -> Result<Self, ModelError> {
+        let parse_err = |detail: String| ModelError::Parse { line: 1, detail };
+        let (head, tail) = match text.split_once('|') {
+            Some(parts) => parts,
+            None => (text, ""),
+        };
+        let mut servers: Option<usize> = None;
+        let mut mu: Option<f64> = None;
+        let mut lambda: Option<f64> = None;
+        for tok in head.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| parse_err(format!("expected key=value, got `{tok}`")))?;
+            match key {
+                "m" => {
+                    servers = Some(
+                        val.parse()
+                            .map_err(|e| parse_err(format!("bad m `{val}`: {e}")))?,
+                    )
+                }
+                "mu" => {
+                    mu = Some(
+                        val.parse()
+                            .map_err(|e| parse_err(format!("bad mu `{val}`: {e}")))?,
+                    )
+                }
+                "lambda" => {
+                    lambda = Some(
+                        val.parse()
+                            .map_err(|e| parse_err(format!("bad lambda `{val}`: {e}")))?,
+                    )
+                }
+                other => return Err(parse_err(format!("unknown key `{other}`"))),
+            }
+        }
+        let servers = servers.ok_or_else(|| parse_err("missing m=".into()))?;
+        let mu = mu.ok_or_else(|| parse_err("missing mu=".into()))?;
+        let lambda = lambda.ok_or_else(|| parse_err("missing lambda=".into()))?;
+        let mut requests = Vec::new();
+        for tok in tail.split_whitespace() {
+            let body = tok
+                .strip_prefix('s')
+                .ok_or_else(|| parse_err(format!("request `{tok}` must look like s2@0.5")))?;
+            let (srv, time) = body
+                .split_once('@')
+                .ok_or_else(|| parse_err(format!("request `{tok}` must look like s2@0.5")))?;
+            let label: usize = srv
+                .parse()
+                .map_err(|e| parse_err(format!("bad server in `{tok}`: {e}")))?;
+            if label == 0 {
+                return Err(parse_err(format!("server labels are 1-based in `{tok}`")));
+            }
+            let time: f64 = time
+                .parse()
+                .map_err(|e| parse_err(format!("bad time in `{tok}`: {e}")))?;
+            requests.push(Request {
+                server: ServerId::from_index(label - 1),
+                time: S::from_f64(time),
+            });
+        }
+        let cost = CostModel::new(S::from_f64(mu), S::from_f64(lambda))?;
+        Instance::new(servers, cost, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Fixed;
+
+    fn demo() -> Instance<f64> {
+        Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4").unwrap()
+    }
+
+    #[test]
+    fn boundary_request_is_origin_at_zero() {
+        let inst = demo();
+        assert_eq!(inst.t(0), 0.0);
+        assert_eq!(inst.server(0), ServerId::ORIGIN);
+        assert_eq!(inst.n(), 4);
+        assert_eq!(inst.t(4), 1.4);
+        assert_eq!(inst.server(4), ServerId(0));
+        assert_eq!(inst.horizon(), 1.4);
+    }
+
+    #[test]
+    fn delta_t_matches_definition() {
+        let inst = demo();
+        assert_eq!(inst.delta_t(0, 1), 0.5);
+        assert!((inst.delta_t(1, 3) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range_server() {
+        let err = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s3@0.5").unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::ServerOutOfRange { request: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_times() {
+        let err = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s1@1.0 s2@0.9").unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotoneTime { request: 2 }));
+        let err = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s1@0").unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotoneTime { request: 1 }));
+    }
+
+    #[test]
+    fn rejects_zero_servers() {
+        let err = Instance::<f64>::from_compact("m=0 mu=1 lambda=1 |").unwrap_err();
+        assert!(matches!(err, ModelError::NoServers));
+    }
+
+    #[test]
+    fn empty_request_sequence_is_trivial_but_valid() {
+        let inst = Instance::<f64>::from_compact("m=3 mu=1 lambda=2 |").unwrap();
+        assert_eq!(inst.n(), 0);
+        assert_eq!(inst.horizon(), 0.0);
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let inst = demo();
+        let text = inst.to_compact();
+        let back = Instance::<f64>::from_compact(&text).unwrap();
+        assert_eq!(inst, back);
+        assert_eq!(text, "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4");
+    }
+
+    #[test]
+    fn compact_parse_errors_are_descriptive() {
+        for bad in [
+            "mu=1 lambda=1 |",
+            "m=2 lambda=1 |",
+            "m=2 mu=1 |",
+            "m=2 mu=1 lambda=1 | 2@0.5",
+            "m=2 mu=1 lambda=1 | s2-0.5",
+            "m=2 mu=1 lambda=1 | s0@0.5",
+            "m=2 mu=x lambda=1 |",
+            "m=2 mu=1 lambda=1 frob=3 |",
+        ] {
+            assert!(
+                matches!(
+                    Instance::<f64>::from_compact(bad),
+                    Err(ModelError::Parse { .. })
+                ),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn map_scalar_preserves_values() {
+        let inst = demo();
+        let fixed: Instance<Fixed> = inst.map_scalar();
+        assert_eq!(fixed.t(1), Fixed::from_f64(0.5));
+        assert_eq!(fixed.cost().lambda, Fixed::from_f64(1.0));
+        let back: Instance<f64> = fixed.map_scalar();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let inst = demo();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

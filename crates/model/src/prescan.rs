@@ -1,0 +1,162 @@
+//! Pre-scan structures shared by every solver: previous-request pointers
+//! `p(i)`, server intervals `σ_i`, marginal cost bounds `b_i` and running
+//! bounds `B_i` (Definitions 4–5), plus per-server request lists.
+
+use crate::ids::ServerId;
+use crate::instance::Instance;
+use crate::scalar::Scalar;
+
+/// Derived request-sequence structure computed in one O(n + m) pass.
+///
+/// All vectors are indexed by *logical* request index `0..=n` (see
+/// [`crate::Instance`] for the convention); entry `0` is the boundary
+/// request `r_0`.
+#[derive(Clone, Debug)]
+pub struct Prescan<S> {
+    /// `p[i]`: logical index of the previous request on server `s_i`, or
+    /// `None` for the paper's dummy `r_{-j} = (s^j, −∞)` (first request on a
+    /// server other than the origin). `p[0]` is `None` by convention.
+    pub p: Vec<Option<usize>>,
+    /// `σ_i = t_i − t_{p(i)}`; `None` when `p(i)` is the dummy.
+    pub sigma: Vec<Option<S>>,
+    /// Marginal cost bounds `b_i = min(λ, μσ_i)`; `b_0 = 0`.
+    pub b: Vec<S>,
+    /// Running bounds `B_i = Σ_{j≤i} b_j`; `B_0 = 0`.
+    pub big_b: Vec<S>,
+    /// Logical indices of requests on each server, ascending. The origin's
+    /// list starts with the boundary request `0`.
+    pub by_server: Vec<Vec<u32>>,
+}
+
+impl<S: Scalar> Prescan<S> {
+    /// Runs the pre-scan over an instance.
+    pub fn compute(inst: &Instance<S>) -> Self {
+        let n = inst.n();
+        let m = inst.servers();
+        let mut p = vec![None; n + 1];
+        let mut sigma = vec![None; n + 1];
+        let mut b = vec![S::ZERO; n + 1];
+        let mut big_b = vec![S::ZERO; n + 1];
+        let mut by_server: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut last_on: Vec<Option<usize>> = vec![None; m];
+
+        // Boundary request r_0 = (s^1, 0).
+        by_server[ServerId::ORIGIN.index()].push(0);
+        last_on[ServerId::ORIGIN.index()] = Some(0);
+
+        let mut running = S::ZERO;
+        for i in 1..=n {
+            let s = inst.server(i).index();
+            p[i] = last_on[s];
+            sigma[i] = p[i].map(|prev| inst.t(i) - inst.t(prev));
+            b[i] = inst.cost().marginal_bound(sigma[i]);
+            running = running + b[i];
+            big_b[i] = running;
+            by_server[s].push(i as u32);
+            last_on[s] = Some(i);
+        }
+
+        Prescan {
+            p,
+            sigma,
+            b,
+            big_b,
+            by_server,
+        }
+    }
+
+    /// `B_j − B_i` for `i ≤ j`: the summed marginal bounds of requests
+    /// `r_{i+1} … r_j`.
+    #[inline]
+    pub fn bound_between(&self, i: usize, j: usize) -> S {
+        debug_assert!(i <= j);
+        self.big_b[j] - self.big_b[i]
+    }
+
+    /// The lower bound `B_n ≤ C(n)` on the optimal cost of the whole
+    /// sequence (Definition 5 and the observation following it).
+    #[inline]
+    pub fn total_lower_bound(&self) -> S {
+        *self.big_b.last().expect("big_b always has entry 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reconstructed Fig. 6 instance (see `mcc-core::offline` golden
+    /// tests for the full derivation).
+    fn fig6() -> Instance<f64> {
+        Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn previous_request_pointers() {
+        let scan = Prescan::compute(&fig6());
+        assert_eq!(scan.p[0], None);
+        assert_eq!(scan.p[1], None); // first on s^2
+        assert_eq!(scan.p[2], None); // first on s^3
+        assert_eq!(scan.p[3], None); // first on s^4
+        assert_eq!(scan.p[4], Some(0)); // s^1 after boundary r_0
+        assert_eq!(scan.p[5], Some(1)); // s^2 after r_1
+        assert_eq!(scan.p[6], Some(5)); // s^2 after r_5
+        assert_eq!(scan.p[7], Some(2)); // s^3 after r_2
+    }
+
+    #[test]
+    fn sigma_matches_paper_fig6() {
+        let scan = Prescan::compute(&fig6());
+        assert_eq!(scan.sigma[1], None);
+        assert!((scan.sigma[4].unwrap() - 1.4).abs() < 1e-12);
+        assert!((scan.sigma[5].unwrap() - 2.1).abs() < 1e-12);
+        assert!((scan.sigma[6].unwrap() - 0.6).abs() < 1e-12);
+        assert!((scan.sigma[7].unwrap() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_bounds_match_paper_fig6() {
+        // Paper's table: B_3 = 3, B_4 = 4, B_5 = 5, B_6 = 5.6, B_7 = 6.6.
+        let scan = Prescan::compute(&fig6());
+        let expect = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 5.6, 6.6];
+        for (i, e) in expect.iter().enumerate() {
+            assert!(
+                (scan.big_b[i] - e).abs() < 1e-9,
+                "B_{i} = {} expected {e}",
+                scan.big_b[i]
+            );
+        }
+        assert!((scan.total_lower_bound() - 6.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_server_lists_are_ascending_and_complete() {
+        let scan = Prescan::compute(&fig6());
+        assert_eq!(scan.by_server[0], vec![0, 4]);
+        assert_eq!(scan.by_server[1], vec![1, 5, 6]);
+        assert_eq!(scan.by_server[2], vec![2, 7]);
+        assert_eq!(scan.by_server[3], vec![3]);
+        let total: usize = scan.by_server.iter().map(Vec::len).sum();
+        assert_eq!(total, 8); // 7 requests + boundary
+    }
+
+    #[test]
+    fn bound_between_is_prefix_difference() {
+        let scan = Prescan::compute(&fig6());
+        assert!((scan.bound_between(2, 6) - 3.6).abs() < 1e-9);
+        assert_eq!(scan.bound_between(3, 3), 0.0);
+    }
+
+    #[test]
+    fn empty_instance_prescan() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let scan = Prescan::compute(&inst);
+        assert_eq!(scan.p, vec![None]);
+        assert_eq!(scan.total_lower_bound(), 0.0);
+        assert_eq!(scan.by_server[0], vec![0]);
+        assert!(scan.by_server[1].is_empty());
+    }
+}

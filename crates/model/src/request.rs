@@ -1,0 +1,57 @@
+//! A single data-item request `r_i = (s_i, t_i)`.
+
+use std::fmt;
+
+use crate::ids::ServerId;
+use crate::scalar::Scalar;
+
+/// A request for the shared data item made at server `server` at time `time`.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request<S> {
+    /// The server `s_i` the request is made from.
+    pub server: ServerId,
+    /// The request time `t_i` (strictly positive; strictly increasing along
+    /// the sequence).
+    pub time: S,
+}
+
+impl<S: Scalar> Request<S> {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(server: ServerId, time: S) -> Self {
+        Request { server, time }
+    }
+
+    /// Constructor from a zero-based server index and an `f64` time.
+    #[inline]
+    pub fn at(server_index: usize, time: f64) -> Self {
+        Request {
+            server: ServerId::from_index(server_index),
+            time: S::from_f64(time),
+        }
+    }
+}
+
+impl<S: Scalar> fmt::Display for Request<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.server, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_tuple_form() {
+        let r: Request<f64> = Request::at(1, 0.5);
+        assert_eq!(r.to_string(), "(s^2, 0.5)");
+    }
+
+    #[test]
+    fn constructors_agree() {
+        let a: Request<f64> = Request::new(ServerId(2), 1.5);
+        let b: Request<f64> = Request::at(2, 1.5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,364 @@
+//! Numeric scalar abstraction for times and costs.
+//!
+//! The paper's quantities (request times, the caching rate `μ`, the transfer
+//! charge `λ`, schedule costs) are all non-negative reals. Algorithms in this
+//! workspace are generic over [`Scalar`] so they can run in two modes:
+//!
+//! * [`f64`] — fast, what benchmarks and examples use;
+//! * [`Fixed`] — exact 64-bit fixed-point (micro-units). Property tests use
+//!   this mode so that the dynamic program, the naive sweep and the
+//!   exhaustive reference solver can be compared with `==` instead of a
+//!   floating-point tolerance.
+//!
+//! # Infinity convention
+//!
+//! Dynamic-programming tables use `Scalar::INFINITY` for "not yet feasible"
+//! entries (`D(i) = +∞` for the first request on a server). Implementations
+//! must make `add` saturate at infinity and keep comparisons total for the
+//! values produced by the algorithms (no NaN: `mul` is never called with an
+//! infinite operand — callers guard with [`Scalar::is_finite`]).
+//!
+//! # Exactness contract
+//!
+//! When multiplying a rate by a duration, always compute the duration first
+//! and multiply once (`mu * (b - a)`), never `mu * b - mu * a`. Under
+//! [`Fixed`] each multiplication truncates toward zero, so algebraically
+//! equal expressions are only guaranteed to agree when they perform the same
+//! multiplications. All solvers in `mcc-core` follow this convention, which
+//! is what makes exact equality testing across solvers sound.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Sub};
+
+/// A non-negative time/cost scalar. See the module docs for the contract.
+pub trait Scalar:
+    Copy
+    + Clone
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Saturating upper bound used for infeasible DP entries.
+    const INFINITY: Self;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(x: f64) -> Self;
+
+    /// Converts to `f64` (lossless for `f64`, exact up to 1e-6 for [`Fixed`]).
+    fn to_f64(self) -> f64;
+
+    /// Product of two finite scalars (rate × duration).
+    ///
+    /// Callers must ensure both operands are finite; implementations may
+    /// saturate or panic otherwise (debug builds of [`Fixed`] panic).
+    fn mul(self, other: Self) -> Self;
+
+    /// Quotient of two finite scalars; used for `Δt = λ/μ` and ratios.
+    fn div(self, other: Self) -> Self;
+
+    /// `true` when the value is neither the infinity sentinel nor a float
+    /// infinity/NaN.
+    fn is_finite(self) -> bool;
+
+    /// Total-order minimum (callers never pass NaN).
+    #[inline]
+    fn min2(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total-order maximum (callers never pass NaN).
+    #[inline]
+    fn max2(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Approximate equality with an absolute-or-relative tolerance; exact
+    /// types may ignore `tol`.
+    fn approx_eq(self, other: Self, tol: f64) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const INFINITY: Self = f64::INFINITY;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+
+    #[inline]
+    fn div(self, other: Self) -> Self {
+        self / other
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline]
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        if self == other {
+            return true; // covers both infinite
+        }
+        let diff = (self - other).abs();
+        let scale = self.abs().max(other.abs()).max(1.0);
+        diff <= tol * scale
+    }
+}
+
+/// Number of fixed-point fractional units per 1.0 (micro-units).
+pub const FIXED_SCALE: i64 = 1_000_000;
+
+/// Exact fixed-point scalar: an `i64` count of micro-units.
+///
+/// Arithmetic saturates at [`Fixed::INFINITY`] so DP sentinel values behave
+/// like IEEE infinities under addition and comparison. Multiplication and
+/// division run through `i128` intermediates and truncate toward zero.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Fixed(pub i64);
+
+impl Fixed {
+    /// The raw sentinel for +∞.
+    const INF_RAW: i64 = i64::MAX;
+
+    /// Builds a `Fixed` from a raw count of micro-units.
+    #[inline]
+    pub const fn from_micros(raw: i64) -> Self {
+        Fixed(raw)
+    }
+
+    /// Raw count of micro-units.
+    #[inline]
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Builds a `Fixed` from an integer number of whole units.
+    #[inline]
+    pub const fn from_int(v: i64) -> Self {
+        Fixed(v * FIXED_SCALE)
+    }
+}
+
+impl Debug for Fixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == Self::INF_RAW {
+            write!(f, "Fixed(inf)")
+        } else {
+            write!(f, "Fixed({})", self.to_f64())
+        }
+    }
+}
+
+impl Display for Fixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == Self::INF_RAW {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.to_f64())
+        }
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+
+    #[inline]
+    fn add(self, rhs: Fixed) -> Fixed {
+        if self.0 == Self::INF_RAW || rhs.0 == Self::INF_RAW {
+            return Fixed(Self::INF_RAW);
+        }
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+
+    #[inline]
+    fn sub(self, rhs: Fixed) -> Fixed {
+        if self.0 == Self::INF_RAW {
+            debug_assert!(rhs.0 != Self::INF_RAW, "inf - inf is undefined");
+            return Fixed(Self::INF_RAW);
+        }
+        debug_assert!(rhs.0 != Self::INF_RAW, "finite - inf is undefined");
+        Fixed(self.0 - rhs.0)
+    }
+}
+
+impl Scalar for Fixed {
+    const ZERO: Self = Fixed(0);
+    const INFINITY: Self = Fixed(Self::INF_RAW);
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        if x.is_infinite() && x > 0.0 {
+            return Self::INFINITY;
+        }
+        Fixed((x * FIXED_SCALE as f64).round() as i64)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        if self.0 == Self::INF_RAW {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / FIXED_SCALE as f64
+        }
+    }
+
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        debug_assert!(self.is_finite() && other.is_finite(), "mul with infinity");
+        let wide = self.0 as i128 * other.0 as i128 / FIXED_SCALE as i128;
+        debug_assert!(wide < Self::INF_RAW as i128, "fixed-point mul overflow");
+        Fixed(wide as i64)
+    }
+
+    #[inline]
+    fn div(self, other: Self) -> Self {
+        debug_assert!(self.is_finite() && other.is_finite(), "div with infinity");
+        debug_assert!(other.0 != 0, "fixed-point divide by zero");
+        let wide = self.0 as i128 * FIXED_SCALE as i128 / other.0 as i128;
+        Fixed(wide as i64)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        self.0 != Self::INF_RAW
+    }
+
+    #[inline]
+    fn approx_eq(self, other: Self, _tol: f64) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip_and_ops() {
+        let a = <f64 as Scalar>::from_f64(1.5);
+        let b = <f64 as Scalar>::from_f64(0.25);
+        assert_eq!(a.mul(b), 0.375);
+        assert_eq!(a.div(b), 6.0);
+        assert!(a.is_finite());
+        assert!(!f64::INFINITY.is_finite());
+        assert_eq!(a.min2(b), b);
+        assert_eq!(a.max2(b), a);
+    }
+
+    #[test]
+    fn f64_approx_eq_scales() {
+        assert!(1.0e9.approx_eq(1.0e9 + 1.0, 1e-6));
+        assert!(!1.0.approx_eq(1.001, 1e-6));
+        assert!(f64::INFINITY.approx_eq(f64::INFINITY, 1e-9));
+    }
+
+    #[test]
+    fn fixed_roundtrip() {
+        let x = Fixed::from_f64(1.25);
+        assert_eq!(x.micros(), 1_250_000);
+        assert_eq!(x.to_f64(), 1.25);
+        assert_eq!(Fixed::from_int(3), Fixed::from_f64(3.0));
+    }
+
+    #[test]
+    fn fixed_mul_div_exact() {
+        let mu = Fixed::from_f64(2.0);
+        let dt = Fixed::from_f64(0.5);
+        assert_eq!(mu.mul(dt), Fixed::from_f64(1.0));
+        assert_eq!(
+            Fixed::from_f64(3.0).div(Fixed::from_f64(2.0)),
+            Fixed::from_f64(1.5)
+        );
+    }
+
+    #[test]
+    fn fixed_infinity_saturates() {
+        let inf = Fixed::INFINITY;
+        let one = Fixed::from_int(1);
+        assert_eq!(inf + one, inf);
+        assert_eq!(one + inf, inf);
+        assert!(!inf.is_finite());
+        assert!(one < inf);
+        assert_eq!(inf.min2(one), one);
+        assert_eq!(Fixed::from_f64(f64::INFINITY), inf);
+        assert_eq!(inf.to_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn fixed_sub_is_exact() {
+        let a = Fixed::from_f64(5.6);
+        let b = Fixed::from_f64(2.0);
+        assert_eq!(a - b, Fixed::from_f64(3.6));
+    }
+
+    #[test]
+    fn fixed_ordering_is_total() {
+        let mut v = vec![
+            Fixed::from_int(3),
+            Fixed::ZERO,
+            Fixed::INFINITY,
+            Fixed::from_f64(0.5),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Fixed::ZERO,
+                Fixed::from_f64(0.5),
+                Fixed::from_int(3),
+                Fixed::INFINITY
+            ]
+        );
+    }
+
+    #[test]
+    fn fixed_display() {
+        assert_eq!(format!("{}", Fixed::from_f64(2.5)), "2.5");
+        assert_eq!(format!("{}", Fixed::INFINITY), "inf");
+        assert_eq!(format!("{:?}", Fixed::INFINITY), "Fixed(inf)");
+    }
+
+    #[test]
+    fn fixed_serde_roundtrip() {
+        let x = Fixed::from_f64(4.25);
+        let s = serde_json::to_string(&x).unwrap();
+        assert_eq!(s, "4250000");
+        let y: Fixed = serde_json::from_str(&s).unwrap();
+        assert_eq!(x, y);
+    }
+}

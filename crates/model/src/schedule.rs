@@ -1,0 +1,265 @@
+//! Schedules: sets of cache intervals `H(s, x, y)` and transfers
+//! `Tr(s_src, s_dst, t)` (Definition 1), with cost evaluation `Π(Ψ)`.
+
+use crate::cost::CostModel;
+use crate::ids::ServerId;
+use crate::scalar::Scalar;
+
+/// A cache interval `H(s, from, to)`: the item is held on `s` for
+/// `[from, to]`, costing `μ·(to − from)`.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheInterval<S> {
+    /// The caching server.
+    pub server: ServerId,
+    /// Interval start time.
+    pub from: S,
+    /// Interval end time (inclusive; `to ≥ from`).
+    pub to: S,
+}
+
+impl<S: Scalar> CacheInterval<S> {
+    /// Convenience constructor.
+    pub fn new(server: ServerId, from: S, to: S) -> Self {
+        CacheInterval { server, from, to }
+    }
+
+    /// Interval length `to − from`.
+    #[inline]
+    pub fn len(&self) -> S {
+        self.to - self.from
+    }
+
+    /// True for a degenerate `from == to` interval (these carry no cost and
+    /// are dropped by [`Schedule::normalize`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !(self.to > self.from)
+    }
+
+    /// Whether `t` lies in the closed interval.
+    #[inline]
+    pub fn covers(&self, t: S) -> bool {
+        self.from <= t && t <= self.to
+    }
+}
+
+/// A transfer `Tr(src, dst, at)`: an instantaneous copy of the item from
+/// `src` to `dst` at time `at`, costing `λ`.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Transfer<S> {
+    /// Sending server (must hold a live copy at `at`).
+    pub src: ServerId,
+    /// Receiving server.
+    pub dst: ServerId,
+    /// Transfer instant.
+    pub at: S,
+}
+
+impl<S: Scalar> Transfer<S> {
+    /// Convenience constructor.
+    pub fn new(src: ServerId, dst: ServerId, at: S) -> Self {
+        Transfer { src, dst, at }
+    }
+}
+
+/// A schedule `Ψ`: the caches and transfers that serve a request sequence.
+///
+/// Schedules are produced by the off-line solvers (via reconstruction) and by
+/// the online executor; [`crate::validate::validate`] is the independent
+/// referee that checks feasibility and re-derives the cost.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Schedule<S> {
+    /// Cache intervals `H(s, x, y)`.
+    pub caches: Vec<CacheInterval<S>>,
+    /// Transfers `Tr(src, dst, t)`.
+    pub transfers: Vec<Transfer<S>>,
+}
+
+impl<S: Scalar> Schedule<S> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule {
+            caches: Vec::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Adds a cache interval.
+    pub fn cache(&mut self, server: ServerId, from: S, to: S) -> &mut Self {
+        self.caches.push(CacheInterval::new(server, from, to));
+        self
+    }
+
+    /// Adds a transfer.
+    pub fn transfer(&mut self, src: ServerId, dst: ServerId, at: S) -> &mut Self {
+        self.transfers.push(Transfer::new(src, dst, at));
+        self
+    }
+
+    /// Total cost `Π(Ψ) = μ·Σ|H| + λ·|T|` under the given cost model.
+    ///
+    /// Assumes the schedule is normalized (no overlapping intervals on one
+    /// server); [`crate::validate::validate`] checks that precondition.
+    pub fn cost(&self, model: &CostModel<S>) -> S {
+        let mut caching = S::ZERO;
+        for h in &self.caches {
+            caching = caching + model.caching(h.len());
+        }
+        let mut transfer = S::ZERO;
+        for _ in &self.transfers {
+            transfer = transfer + model.lambda;
+        }
+        caching + transfer
+    }
+
+    /// Caching-only portion of the cost.
+    pub fn caching_cost(&self, model: &CostModel<S>) -> S {
+        let mut total = S::ZERO;
+        for h in &self.caches {
+            total = total + model.caching(h.len());
+        }
+        total
+    }
+
+    /// Transfer-only portion of the cost (`λ·|T|`).
+    pub fn transfer_cost(&self, model: &CostModel<S>) -> S {
+        let mut total = S::ZERO;
+        for _ in &self.transfers {
+            total = total + model.lambda;
+        }
+        total
+    }
+
+    /// Sorts events, drops empty intervals and merges touching/overlapping
+    /// intervals on the same server.
+    ///
+    /// Normalization never changes feasibility and never increases cost (it
+    /// removes double counting from overlaps, which the validator would
+    /// otherwise reject).
+    pub fn normalize(&mut self) {
+        self.caches.retain(|h| !h.is_empty());
+        self.caches.sort_by(|a, b| {
+            (a.server,)
+                .cmp(&(b.server,))
+                .then(a.from.partial_cmp(&b.from).expect("no NaN times"))
+        });
+        let mut merged: Vec<CacheInterval<S>> = Vec::with_capacity(self.caches.len());
+        for h in self.caches.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.server == h.server && h.from <= last.to => {
+                    last.to = last.to.max2(h.to);
+                }
+                _ => merged.push(h),
+            }
+        }
+        self.caches = merged;
+        self.transfers.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("no NaN times")
+                .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+        });
+    }
+
+    /// Number of distinct live copies at time `t` (counting closed
+    /// intervals).
+    pub fn copies_at(&self, t: S) -> usize {
+        let mut seen = vec![false; 0];
+        let mut count = 0usize;
+        for h in &self.caches {
+            if h.covers(t) {
+                let idx = h.server.index();
+                if idx >= seen.len() {
+                    seen.resize(idx + 1, false);
+                }
+                if !seen[idx] {
+                    seen[idx] = true;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> CostModel<f64> {
+        CostModel::unit()
+    }
+
+    #[test]
+    fn fig2_cost_split() {
+        // Fig. 2: caching 1.4 + 0.2 + 1.6 = 3.2 and four transfers = 4.0.
+        let mut sched = Schedule::<f64>::new();
+        sched.cache(ServerId(0), 0.0, 1.4);
+        sched.cache(ServerId(1), 0.5, 0.7);
+        sched.cache(ServerId(2), 1.0, 2.6);
+        sched.transfer(ServerId(0), ServerId(1), 0.5);
+        sched.transfer(ServerId(0), ServerId(2), 1.0);
+        sched.transfer(ServerId(2), ServerId(3), 1.8);
+        sched.transfer(ServerId(2), ServerId(0), 2.2);
+        assert!((sched.caching_cost(&unit()) - 3.2).abs() < 1e-12);
+        assert_eq!(sched.transfer_cost(&unit()), 4.0);
+        assert!((sched.cost(&unit()) - 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_merges_overlaps() {
+        let mut sched = Schedule::<f64>::new();
+        sched.cache(ServerId(0), 0.0, 1.0);
+        sched.cache(ServerId(0), 0.5, 2.0);
+        sched.cache(ServerId(0), 2.0, 3.0); // touching: merged
+        sched.cache(ServerId(1), 0.2, 0.2); // empty: dropped
+        sched.normalize();
+        assert_eq!(
+            sched.caches,
+            vec![CacheInterval::new(ServerId(0), 0.0, 3.0)]
+        );
+        assert_eq!(sched.cost(&unit()), 3.0);
+    }
+
+    #[test]
+    fn normalize_keeps_disjoint_intervals_separate() {
+        let mut sched = Schedule::<f64>::new();
+        sched.cache(ServerId(0), 2.0, 3.0);
+        sched.cache(ServerId(0), 0.0, 1.0);
+        sched.cache(ServerId(1), 0.5, 0.9);
+        sched.normalize();
+        assert_eq!(sched.caches.len(), 3);
+        assert_eq!(sched.caches[0].from, 0.0);
+        assert_eq!(sched.caches[1].from, 2.0);
+    }
+
+    #[test]
+    fn transfer_ordering_is_stable_by_time() {
+        let mut sched = Schedule::<f64>::new();
+        sched.transfer(ServerId(2), ServerId(0), 2.0);
+        sched.transfer(ServerId(0), ServerId(1), 1.0);
+        sched.normalize();
+        assert_eq!(sched.transfers[0].at, 1.0);
+        assert_eq!(sched.transfers[1].at, 2.0);
+    }
+
+    #[test]
+    fn copies_at_counts_distinct_servers() {
+        let mut sched = Schedule::<f64>::new();
+        sched.cache(ServerId(0), 0.0, 2.0);
+        sched.cache(ServerId(1), 1.0, 3.0);
+        assert_eq!(sched.copies_at(0.5), 1);
+        assert_eq!(sched.copies_at(1.5), 2);
+        assert_eq!(sched.copies_at(2.5), 1);
+        assert_eq!(sched.copies_at(9.0), 0);
+    }
+
+    #[test]
+    fn interval_predicates() {
+        let h = CacheInterval::new(ServerId(0), 1.0, 2.0);
+        assert!(h.covers(1.0) && h.covers(2.0) && h.covers(1.5));
+        assert!(!h.covers(0.99) && !h.covers(2.01));
+        assert!(!h.is_empty());
+        assert!(CacheInterval::new(ServerId(0), 1.0, 1.0).is_empty());
+        assert_eq!(h.len(), 1.0);
+    }
+}

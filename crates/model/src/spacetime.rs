@@ -1,0 +1,310 @@
+//! The space-time graph of Definition 2.
+//!
+//! Vertices `v_{j,i}` pair a location (`j = 0` for external storage,
+//! `1..=m` for servers) with a request time index `i ∈ 0..=n`. Edges:
+//!
+//! * *cache edges* `(v_{j,i−1}, v_{j,i})` of weight `μ·(t_i − t_{i−1})`;
+//! * *transfer edges* between the request vertex `r_i` and every other
+//!   server vertex at time `i`, in both directions, of weight `λ`;
+//! * *upload edges* from external storage to the request vertex, weight `β`
+//!   (only when the cost model defines an upload charge).
+//!
+//! The graph is the analysis device behind Observations 1–2: any schedule is
+//! a subgraph, and a single-request service path is a shortest path. We use
+//! it for sanity checks (single-request optimum = shortest path) and for
+//! rendering; the production solvers never materialize it.
+
+use crate::instance::Instance;
+use crate::scalar::Scalar;
+
+/// Vertex handle: `(location, time-index)`, with `location = 0` meaning
+/// external storage and `location = j` meaning server `s^j` (1-based to
+/// mirror the paper's `v_{j,i}`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vertex {
+    /// `0` = external storage, `1..=m` = server `s^loc`.
+    pub loc: usize,
+    /// Time index `0..=n`.
+    pub idx: usize,
+}
+
+/// Edge kinds in the space-time graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Holding the item in place across one time step.
+    Cache,
+    /// Instantaneous server-to-server transfer at a request instant.
+    Transfer,
+    /// Upload from external storage.
+    Upload,
+}
+
+/// A directed, weighted edge.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Edge<S> {
+    /// Tail vertex.
+    pub from: Vertex,
+    /// Head vertex.
+    pub to: Vertex,
+    /// Edge weight under the instance's cost model.
+    pub weight: S,
+    /// Which of the paper's edge classes this edge belongs to.
+    pub kind: EdgeKind,
+}
+
+/// The materialized space-time graph (adjacency lists).
+#[derive(Clone, Debug)]
+pub struct SpaceTimeGraph<S> {
+    servers: usize,
+    n: usize,
+    adj: Vec<Vec<Edge<S>>>,
+}
+
+impl<S: Scalar> SpaceTimeGraph<S> {
+    /// Builds the graph for an instance.
+    pub fn build(inst: &Instance<S>) -> Self {
+        let m = inst.servers();
+        let n = inst.n();
+        let mut g = SpaceTimeGraph {
+            servers: m,
+            n,
+            adj: vec![Vec::new(); (m + 1) * (n + 1)],
+        };
+        // Cache edges: every location persists across each step.
+        for i in 1..=n {
+            let dt = inst.delta_t(i - 1, i);
+            let w = inst.cost().caching(dt);
+            for loc in 0..=m {
+                let from = Vertex { loc, idx: i - 1 };
+                let to = Vertex { loc, idx: i };
+                // External storage holds for free.
+                let weight = if loc == 0 { S::ZERO } else { w };
+                g.push(Edge {
+                    from,
+                    to,
+                    weight,
+                    kind: EdgeKind::Cache,
+                });
+            }
+        }
+        // Transfer edges: biconnected star centred on the request vertex.
+        for i in 1..=n {
+            let req_loc = inst.server(i).index() + 1;
+            for loc in 1..=m {
+                if loc == req_loc {
+                    continue;
+                }
+                let a = Vertex { loc, idx: i };
+                let b = Vertex {
+                    loc: req_loc,
+                    idx: i,
+                };
+                g.push(Edge {
+                    from: a,
+                    to: b,
+                    weight: inst.cost().lambda,
+                    kind: EdgeKind::Transfer,
+                });
+                g.push(Edge {
+                    from: b,
+                    to: a,
+                    weight: inst.cost().lambda,
+                    kind: EdgeKind::Transfer,
+                });
+            }
+            if let Some(beta) = inst.cost().upload {
+                let store = Vertex { loc: 0, idx: i };
+                let req = Vertex {
+                    loc: req_loc,
+                    idx: i,
+                };
+                g.push(Edge {
+                    from: store,
+                    to: req,
+                    weight: beta,
+                    kind: EdgeKind::Upload,
+                });
+            }
+        }
+        g
+    }
+
+    #[inline]
+    fn vid(&self, v: Vertex) -> usize {
+        debug_assert!(v.loc <= self.servers && v.idx <= self.n);
+        v.loc * (self.n + 1) + v.idx
+    }
+
+    fn push(&mut self, e: Edge<S>) {
+        let id = self.vid(e.from);
+        self.adj[id].push(e);
+    }
+
+    /// Number of servers `m` (excluding external storage).
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of request time steps `n`.
+    pub fn steps(&self) -> usize {
+        self.n
+    }
+
+    /// Total vertex count `(m + 1)(n + 1)`.
+    pub fn vertex_count(&self) -> usize {
+        (self.servers + 1) * (self.n + 1)
+    }
+
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn edges_from(&self, v: Vertex) -> &[Edge<S>] {
+        &self.adj[self.vid(v)]
+    }
+
+    /// The request vertex `r_i` (`i ≥ 1`).
+    pub fn request_vertex(&self, inst: &Instance<S>, i: usize) -> Vertex {
+        debug_assert!(i >= 1 && i <= self.n);
+        Vertex {
+            loc: inst.server(i).index() + 1,
+            idx: i,
+        }
+    }
+
+    /// Dijkstra shortest-path cost from `src` to `dst`.
+    ///
+    /// The graph is a DAG layered by time except for the bidirectional
+    /// same-instant transfer stars, so a general Dijkstra keeps the code
+    /// simple and obviously correct; this is a test/analysis utility, not a
+    /// production path.
+    pub fn shortest_path(&self, src: Vertex, dst: Vertex) -> Option<S> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        struct Item<S>(S, usize);
+        impl<S: Scalar> PartialEq for Item<S> {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl<S: Scalar> Eq for Item<S> {}
+        impl<S: Scalar> PartialOrd for Item<S> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<S: Scalar> Ord for Item<S> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse for a min-heap.
+                other.0.partial_cmp(&self.0).expect("no NaN weights")
+            }
+        }
+
+        let mut dist: Vec<Option<S>> = vec![None; self.vertex_count()];
+        let mut heap = BinaryHeap::new();
+        dist[self.vid(src)] = Some(S::ZERO);
+        heap.push(Item(S::ZERO, self.vid(src)));
+        while let Some(Item(d, u)) = heap.pop() {
+            if let Some(best) = dist[u] {
+                if d > best {
+                    continue;
+                }
+            }
+            if u == self.vid(dst) {
+                return Some(d);
+            }
+            for e in &self.adj[u] {
+                let v = self.vid(e.to);
+                let nd = d + e.weight;
+                if dist[v].is_none_or(|cur| nd < cur) {
+                    dist[v] = Some(nd);
+                    heap.push(Item(nd, v));
+                }
+            }
+        }
+        dist[self.vid(dst)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::request::Request;
+
+    fn tiny() -> Instance<f64> {
+        Instance::from_compact("m=3 mu=1 lambda=1 | s2@0.5 s3@0.8").unwrap()
+    }
+
+    #[test]
+    fn vertex_and_edge_counts_match_definition() {
+        let inst = tiny();
+        let g = SpaceTimeGraph::build(&inst);
+        assert_eq!(g.vertex_count(), 4 * 3); // (m+1)(n+1)
+                                             // Cache edges: (m+1)·n = 8. Transfer edges: 2·(m−1)·n = 8.
+        assert_eq!(g.edge_count(), 8 + 8);
+    }
+
+    #[test]
+    fn upload_edges_only_with_beta() {
+        let inst = tiny();
+        let without = SpaceTimeGraph::build(&inst);
+        let with_upload = Instance::new(
+            3,
+            CostModel::unit().with_upload(5.0),
+            inst.requests().to_vec(),
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build(&with_upload);
+        assert_eq!(g.edge_count(), without.edge_count() + 2);
+    }
+
+    #[test]
+    fn single_request_shortest_path_is_hold_then_transfer() {
+        // One request on s^2 at t = 0.5 with the item on s^1: the cheapest
+        // service is hold on s^1 (0.5) + transfer (1.0) = 1.5, exactly the
+        // C(1) value of the paper's recurrence.
+        let inst = Instance::<f64>::new(2, CostModel::unit(), vec![Request::at(1, 0.5)]).unwrap();
+        let g = SpaceTimeGraph::build(&inst);
+        let src = Vertex { loc: 1, idx: 0 };
+        let dst = g.request_vertex(&inst, 1);
+        assert_eq!(g.shortest_path(src, dst), Some(1.5));
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheap_caching() {
+        // Request on the origin itself: pure caching, no transfer.
+        let inst = Instance::<f64>::new(2, CostModel::unit(), vec![Request::at(0, 0.3)]).unwrap();
+        let g = SpaceTimeGraph::build(&inst);
+        let src = Vertex { loc: 1, idx: 0 };
+        let dst = g.request_vertex(&inst, 1);
+        assert!((g.shortest_path(src, dst).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let inst = tiny();
+        let g = SpaceTimeGraph::build(&inst);
+        // External storage is unreachable without upload edges... and has no
+        // incoming edges at all, so going *to* it from a server fails.
+        let src = Vertex { loc: 1, idx: 0 };
+        let dst = Vertex { loc: 0, idx: 2 };
+        assert_eq!(g.shortest_path(src, dst), None);
+    }
+
+    #[test]
+    fn request_vertices_are_star_centres() {
+        let inst = tiny();
+        let g = SpaceTimeGraph::build(&inst);
+        let r1 = g.request_vertex(&inst, 1);
+        assert_eq!(r1, Vertex { loc: 2, idx: 1 });
+        // The request vertex has outgoing transfer edges to every other
+        // server at the same instant plus its own cache edge continuation.
+        let out = g.edges_from(r1);
+        let transfers = out.iter().filter(|e| e.kind == EdgeKind::Transfer).count();
+        assert_eq!(transfers, 2);
+    }
+}

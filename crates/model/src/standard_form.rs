@@ -1,0 +1,260 @@
+//! Standard form (Observation 1) and sub-schedules (Definition 3).
+//!
+//! A schedule is in *standard form* when every transfer occurs at a
+//! request time and ends on the requesting server, and no cache interval
+//! dead-ends (extends past the last request or transfer-source instant on
+//! its server). Observation 1 guarantees an optimal schedule of this shape
+//! exists; the off-line reconstruction produces one, and this module makes
+//! the property checkable. Online schedules are *not* standard form — the
+//! speculative tails are exactly the dead-ends the check reports, which is
+//! a useful structural contrast in tests.
+//!
+//! The *primary sub-schedule* `Ψ^(−1)(i)` (Definition 3) restricts a
+//! schedule to what is needed for `r_0 … r_i`: transfers after `t_i` are
+//! dropped and cache intervals are truncated to their last remaining use.
+//! The paper notes `Ψ^(−1)(i)` of an optimal schedule need not be optimal
+//! for the shorter instance — a property the tests demonstrate
+//! constructively.
+
+use crate::instance::Instance;
+use crate::scalar::Scalar;
+use crate::schedule::Schedule;
+
+/// A defect that makes a schedule non-standard-form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NonStandard {
+    /// A transfer whose time matches no request instant.
+    TransferOffRequest {
+        /// The transfer's time.
+        at: f64,
+    },
+    /// A transfer that ends on a server other than the requester at that
+    /// instant.
+    TransferWrongDestination {
+        /// The transfer's time.
+        at: f64,
+    },
+    /// A cache interval extending beyond its server's last use.
+    DeadEndCache {
+        /// Zero-based server index.
+        server: usize,
+        /// Interval end time.
+        to: f64,
+        /// Last use (request served or transfer sourced) on that server.
+        last_use: f64,
+    },
+}
+
+/// Checks Observation 1's standard form. Returns all defects (empty =
+/// standard form). Assumes the schedule is feasible (run
+/// [`crate::validate::validate`] first).
+pub fn standard_form_defects<S: Scalar>(
+    inst: &Instance<S>,
+    sched: &Schedule<S>,
+) -> Vec<NonStandard> {
+    let mut defects = Vec::new();
+    let eq = |a: S, b: S| a.approx_eq(b, 1e-9);
+
+    // Transfers end at requests, on the requesting server.
+    for tr in &sched.transfers {
+        let mut found_time = false;
+        let mut found_dst = false;
+        for i in 1..=inst.n() {
+            if eq(inst.t(i), tr.at) {
+                found_time = true;
+                if inst.server(i) == tr.dst {
+                    found_dst = true;
+                    break;
+                }
+            }
+        }
+        if !found_time {
+            defects.push(NonStandard::TransferOffRequest { at: tr.at.to_f64() });
+        } else if !found_dst {
+            defects.push(NonStandard::TransferWrongDestination { at: tr.at.to_f64() });
+        }
+    }
+
+    // No dead-end caches: each interval's end is a use on that server.
+    for h in &sched.caches {
+        let mut last_use = h.from;
+        for i in 1..=inst.n() {
+            if inst.server(i) == h.server && h.covers(inst.t(i)) && inst.t(i) > last_use {
+                last_use = inst.t(i);
+            }
+        }
+        for tr in &sched.transfers {
+            if tr.src == h.server && h.covers(tr.at) && tr.at > last_use {
+                last_use = tr.at;
+            }
+        }
+        if h.to > last_use && !eq(h.to, last_use) {
+            defects.push(NonStandard::DeadEndCache {
+                server: h.server.index(),
+                to: h.to.to_f64(),
+                last_use: last_use.to_f64(),
+            });
+        }
+    }
+    defects
+}
+
+/// Convenience: `true` when [`standard_form_defects`] is empty.
+pub fn is_standard_form<S: Scalar>(inst: &Instance<S>, sched: &Schedule<S>) -> bool {
+    standard_form_defects(inst, sched).is_empty()
+}
+
+/// The truncated instance containing only `r_1 … r_i` (same servers, same
+/// cost model).
+pub fn truncate_instance<S: Scalar>(inst: &Instance<S>, i: usize) -> Instance<S> {
+    debug_assert!(i <= inst.n());
+    Instance::new(inst.servers(), *inst.cost(), inst.requests()[..i].to_vec())
+        .expect("prefix of a valid instance is valid")
+}
+
+/// The primary sub-schedule `Ψ^(−1)(i)` (Definition 3): drops transfers
+/// after `t_i` and truncates every cache interval to its last remaining
+/// use (the paper's example: `r_7@s_3`'s interval shrinks back to the last
+/// prior event on `s_3`).
+///
+/// The result is normalized and serves `r_0 … r_i`; it is generally *not*
+/// optimal for the truncated instance.
+pub fn sub_schedule<S: Scalar>(inst: &Instance<S>, sched: &Schedule<S>, i: usize) -> Schedule<S> {
+    let t_cut = inst.t(i);
+    let mut out = Schedule::new();
+    for tr in &sched.transfers {
+        if tr.at <= t_cut {
+            out.transfer(tr.src, tr.dst, tr.at);
+        }
+    }
+    for h in &sched.caches {
+        if h.from > t_cut {
+            continue;
+        }
+        // Truncate to the last use ≤ min(h.to, t_cut).
+        let cap = h.to.min2(t_cut);
+        let mut last_use = h.from;
+        for j in 1..=i {
+            if inst.server(j) == h.server && inst.t(j) >= h.from && inst.t(j) <= cap {
+                last_use = last_use.max2(inst.t(j));
+            }
+        }
+        for tr in &out.transfers {
+            if tr.src == h.server && tr.at >= h.from && tr.at <= cap {
+                last_use = last_use.max2(tr.at);
+            }
+        }
+        out.cache(h.server, h.from, last_use);
+    }
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    /// Fig. 6 instance; its optimal schedule is standard form.
+    fn fig6() -> Instance<f64> {
+        Instance::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap()
+    }
+
+    /// A hand-built standard-form schedule for a small instance.
+    fn tiny() -> (Instance<f64>, Schedule<f64>) {
+        let inst = Instance::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s2@1.0").unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(crate::ServerId(0), 0.0, 0.5);
+        sched.cache(crate::ServerId(1), 0.5, 1.0);
+        sched.transfer(crate::ServerId(0), crate::ServerId(1), 0.5);
+        (inst, sched)
+    }
+
+    #[test]
+    fn hand_built_schedule_is_standard_form() {
+        let (inst, sched) = tiny();
+        validate(&inst, &sched).unwrap();
+        assert!(is_standard_form(&inst, &sched));
+    }
+
+    #[test]
+    fn dead_end_cache_is_flagged() {
+        let (inst, mut sched) = tiny();
+        sched.caches[1].to = 1.7; // speculative tail past the last request
+        let defects = standard_form_defects(&inst, &sched);
+        assert!(
+            matches!(
+                defects.as_slice(),
+                [NonStandard::DeadEndCache { server: 1, .. }]
+            ),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn off_request_transfer_is_flagged() {
+        let (inst, mut sched) = tiny();
+        sched.transfers[0].at = 0.3;
+        sched.caches[1].from = 0.3;
+        let defects = standard_form_defects(&inst, &sched);
+        assert!(
+            defects
+                .iter()
+                .any(|d| matches!(d, NonStandard::TransferOffRequest { .. })),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_destination_transfer_is_flagged() {
+        let inst = Instance::from_compact("m=3 mu=1 lambda=1 | s2@0.5").unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(crate::ServerId(0), 0.0, 0.5);
+        // Proactive push to s^3, who requested nothing.
+        sched.transfer(crate::ServerId(0), crate::ServerId(2), 0.5);
+        let defects = standard_form_defects(&inst, &sched);
+        assert!(
+            defects
+                .iter()
+                .any(|d| matches!(d, NonStandard::TransferWrongDestination { .. })),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn truncate_instance_keeps_prefix() {
+        let inst = fig6();
+        let cut = truncate_instance(&inst, 3);
+        assert_eq!(cut.n(), 3);
+        assert_eq!(cut.t(3), 1.1);
+        assert_eq!(cut.cost(), inst.cost());
+    }
+
+    #[test]
+    fn sub_schedule_serves_the_prefix() {
+        let (inst, sched) = tiny();
+        let sub = sub_schedule(&inst, &sched, 1);
+        let cut = truncate_instance(&inst, 1);
+        let v = validate(&cut, &sub).unwrap();
+        // The s^2 interval shrinks back to the transfer instant.
+        assert!((v.total - (0.5 + 1.0)).abs() < 1e-9, "{v:?}");
+    }
+
+    #[test]
+    fn sub_schedule_drops_later_transfers() {
+        let inst = Instance::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@2.0").unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(crate::ServerId(0), 0.0, 0.5);
+        sched.cache(crate::ServerId(1), 0.5, 2.0);
+        sched.transfer(crate::ServerId(0), crate::ServerId(1), 0.5);
+        sched.transfer(crate::ServerId(1), crate::ServerId(0), 2.0);
+        validate(&inst, &sched).unwrap();
+        let sub = sub_schedule(&inst, &sched, 1);
+        assert_eq!(sub.transfers.len(), 1);
+        let cut = truncate_instance(&inst, 1);
+        validate(&cut, &sub).unwrap();
+    }
+}

@@ -1,0 +1,368 @@
+//! The schedule referee: an independent feasibility checker and cost
+//! re-deriver.
+//!
+//! Every solver in this workspace (off-line DP, naive sweep, brute force,
+//! online policies) produces a [`Schedule`]; this module re-checks the
+//! paper's feasibility conditions from first principles:
+//!
+//! 1. at least one server caches the item at every `t ∈ [t_0, t_n]`;
+//! 2. the item is present at `s_i` at `t_i` for every request;
+//! 3. every copy has a provenance: cache intervals start at the origin at
+//!    `t = 0` or at an incoming transfer, and transfer sources hold a live
+//!    copy (created strictly earlier, so copies cannot appear from nothing).
+//!
+//! The validator recomputes `Π(Ψ)` itself, so a solver cannot "agree with
+//! itself" about a wrong cost.
+
+use crate::error::Violation;
+use crate::instance::Instance;
+use crate::scalar::Scalar;
+use crate::schedule::{CacheInterval, Schedule};
+
+/// Cost breakdown returned on successful validation.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ValidatedCost<S> {
+    /// Total cost `Π(Ψ)`.
+    pub total: S,
+    /// Caching component `μ·Σ|H|`.
+    pub caching: S,
+    /// Transfer component `λ·|T|`.
+    pub transfer: S,
+}
+
+/// Validation options.
+#[derive(Copy, Clone, Debug)]
+pub struct ValidateOptions {
+    /// Relative/absolute tolerance used when matching event times. Zero
+    /// demands exact equality (always use zero with
+    /// [`crate::scalar::Fixed`]).
+    pub tol: f64,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions { tol: 0.0 }
+    }
+}
+
+/// Validates `sched` against `inst` with exact time matching.
+pub fn validate<S: Scalar>(
+    inst: &Instance<S>,
+    sched: &Schedule<S>,
+) -> Result<ValidatedCost<S>, Vec<Violation>> {
+    validate_with(inst, sched, ValidateOptions::default())
+}
+
+/// Validates with explicit options. Returns *all* violations found.
+pub fn validate_with<S: Scalar>(
+    inst: &Instance<S>,
+    sched: &Schedule<S>,
+    opts: ValidateOptions,
+) -> Result<ValidatedCost<S>, Vec<Violation>> {
+    let tol = opts.tol;
+    let mut violations = Vec::new();
+    let eq = |a: S, b: S| a.approx_eq(b, tol);
+    let le = |a: S, b: S| a <= b || a.approx_eq(b, tol);
+
+    // --- structural checks on intervals -------------------------------
+    for h in &sched.caches {
+        if h.to < h.from || h.from < S::ZERO {
+            violations.push(Violation::MalformedInterval {
+                server: h.server,
+                from: h.from.to_f64(),
+                to: h.to.to_f64(),
+            });
+        }
+    }
+    if !violations.is_empty() {
+        // Later checks assume well-formed intervals.
+        return Err(violations);
+    }
+
+    // Per-server overlap check (sorted copies; strict interior overlap is a
+    // defect because it double-counts cost).
+    let mut by_server: Vec<CacheInterval<S>> = sched.caches.clone();
+    by_server.sort_by(|a, b| {
+        (a.server,)
+            .cmp(&(b.server,))
+            .then(a.from.partial_cmp(&b.from).expect("no NaN times"))
+    });
+    for w in by_server.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if a.server == b.server && b.from < a.to && !eq(b.from, a.to) {
+            violations.push(Violation::OverlappingIntervals {
+                server: a.server,
+                at: b.from.to_f64(),
+            });
+        }
+    }
+
+    // --- provenance ----------------------------------------------------
+    // A cache interval must start at the origin at t = 0, at an incoming
+    // transfer, or seamlessly continue an earlier interval on the same
+    // server (which normalize() would have merged, but we accept it).
+    let has_incoming = |server, at| {
+        sched
+            .transfers
+            .iter()
+            .any(|tr| tr.dst == server && eq(tr.at, at))
+    };
+    for h in &sched.caches {
+        let origin_start = h.server == crate::ids::ServerId::ORIGIN && eq(h.from, S::ZERO);
+        let continuation = by_server.iter().any(|g| {
+            g.server == h.server
+                && !(g.from == h.from && g.to == h.to)
+                && g.from < h.from
+                && le(h.from, g.to)
+        });
+        if !origin_start && !continuation && !has_incoming(h.server, h.from) {
+            violations.push(Violation::UnjustifiedCacheStart {
+                server: h.server,
+                at: h.from.to_f64(),
+            });
+        }
+    }
+
+    // A transfer's source must hold a live copy that existed strictly
+    // before the transfer instant (no same-instant relay chains), with the
+    // origin's initial copy grounding transfers at t = 0.
+    for tr in &sched.transfers {
+        let alive = sched.caches.iter().any(|h| {
+            h.server == tr.src
+                && le(h.from, tr.at)
+                && le(tr.at, h.to)
+                && (h.from < tr.at
+                    || (h.server == crate::ids::ServerId::ORIGIN && eq(h.from, S::ZERO)))
+        });
+        if !alive {
+            violations.push(Violation::DeadTransferSource {
+                src: tr.src,
+                dst: tr.dst,
+                at: tr.at.to_f64(),
+            });
+        }
+    }
+
+    // --- service -------------------------------------------------------
+    for i in 1..=inst.n() {
+        let (s, t) = (inst.server(i), inst.t(i));
+        let cached = sched
+            .caches
+            .iter()
+            .any(|h| h.server == s && le(h.from, t) && le(t, h.to));
+        let transferred = sched.transfers.iter().any(|tr| tr.dst == s && eq(tr.at, t));
+        if !cached && !transferred {
+            violations.push(Violation::UnservedRequest {
+                request: i,
+                server: s,
+                at: t.to_f64(),
+            });
+        }
+    }
+
+    // --- coverage ------------------------------------------------------
+    if inst.n() > 0 {
+        let anchored = sched.caches.iter().any(|h| {
+            h.server == crate::ids::ServerId::ORIGIN && eq(h.from, S::ZERO) && h.to > S::ZERO
+        });
+        if !anchored {
+            violations.push(Violation::MissingOriginCopy);
+        }
+        let mut spans: Vec<(S, S)> = sched.caches.iter().map(|h| (h.from, h.to)).collect();
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        let mut reach = S::ZERO;
+        let horizon = inst.horizon();
+        for (from, to) in spans {
+            if from > reach && !eq(from, reach) {
+                if reach < horizon {
+                    violations.push(Violation::CoverageGap { at: reach.to_f64() });
+                }
+                break;
+            }
+            reach = reach.max2(to);
+            if reach >= horizon {
+                break;
+            }
+        }
+        if reach < horizon && !eq(reach, horizon) {
+            violations.push(Violation::CoverageGap { at: reach.to_f64() });
+        }
+    }
+
+    if !violations.is_empty() {
+        violations.dedup_by(|a, b| a == b);
+        return Err(violations);
+    }
+
+    let caching = sched.caching_cost(inst.cost());
+    let transfer = sched.transfer_cost(inst.cost());
+    Ok(ValidatedCost {
+        total: caching + transfer,
+        caching,
+        transfer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    fn fig2_instance() -> Instance<f64> {
+        // Requests matching the schedule in schedule.rs::fig2_cost_split.
+        Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@1.0 s1@1.4 s4@1.8 s1@2.2 s3@2.6")
+            .unwrap()
+    }
+
+    fn fig2_schedule() -> Schedule<f64> {
+        let mut sched = Schedule::new();
+        sched.cache(ServerId(0), 0.0, 1.4); // origin holds, serves s1@1.4
+        sched.cache(ServerId(1), 0.5, 0.7); // via transfer, short hold
+        sched.cache(ServerId(2), 1.0, 2.6); // via transfer, serves s3@1.0 & s3@2.6
+        sched.transfer(ServerId(0), ServerId(1), 0.5);
+        sched.transfer(ServerId(0), ServerId(2), 1.0);
+        sched.transfer(ServerId(2), ServerId(3), 1.8);
+        sched.transfer(ServerId(2), ServerId(0), 2.2);
+        sched
+    }
+
+    #[test]
+    fn accepts_feasible_schedule_and_recosts_it() {
+        let got = validate(&fig2_instance(), &fig2_schedule()).unwrap();
+        assert!((got.caching - 3.2).abs() < 1e-12);
+        assert_eq!(got.transfer, 4.0);
+        assert!((got.total - 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_unserved_request() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        sched.transfers.retain(|t| t.dst != ServerId(3));
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::UnservedRequest { request: 4, .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_dead_transfer_source() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        // Source s^2's interval ends at 0.7, transfer at 1.8 is dead.
+        for t in &mut sched.transfers {
+            if t.dst == ServerId(3) {
+                t.src = ServerId(1);
+            }
+        }
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::DeadTransferSource { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_coverage_gap() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        // Shorten s^3's interval: requests s3@2.6 still "served" by nothing.
+        sched.caches[2].to = 1.6;
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::CoverageGap { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_unjustified_cache_start() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        sched.cache(ServerId(3), 0.3, 0.6); // no transfer delivers this copy
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::UnjustifiedCacheStart { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_missing_origin_anchor() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@1.0").unwrap();
+        let mut sched = Schedule::new();
+        // Copy materializes on s^2 with no provenance at all.
+        sched.cache(ServerId(1), 1.0, 1.0);
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::MissingOriginCopy)),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_overlap_double_count() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        sched.cache(ServerId(0), 0.5, 1.0); // overlaps the origin interval
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::OverlappingIntervals { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_malformed_interval() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        sched.cache(ServerId(0), 2.0, 1.0);
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::MalformedInterval { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_same_instant_relay_chain() {
+        // A -> B -> C at the same instant: B's copy did not exist strictly
+        // before the hand-off, so the second hop must be reported dead.
+        let inst = Instance::<f64>::from_compact("m=3 mu=1 lambda=1 | s3@1.0").unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(ServerId(0), 0.0, 1.0);
+        sched.cache(ServerId(1), 1.0, 1.0);
+        sched.transfer(ServerId(0), ServerId(1), 1.0);
+        sched.transfer(ServerId(1), ServerId(2), 1.0);
+        let errs = validate(&inst, &sched).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::DeadTransferSource { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn empty_instance_accepts_empty_schedule() {
+        let inst = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let got = validate(&inst, &Schedule::new()).unwrap();
+        assert_eq!(got.total, 0.0);
+    }
+
+    #[test]
+    fn tolerance_mode_accepts_tiny_time_skew() {
+        let inst = fig2_instance();
+        let mut sched = fig2_schedule();
+        sched.transfers[0].at += 1e-12;
+        assert!(validate(&inst, &sched).is_err());
+        assert!(validate_with(&inst, &sched, ValidateOptions { tol: 1e-9 }).is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! # mcc-simnet — discrete-event simulation substrate
+//!
+//! The execution environment the online experiments run on: a
+//! deterministic event queue, a simulation engine that drives any
+//! [`mcc_core::online::OnlinePolicy`] from a live arrival process,
+//! post-hoc instrumentation (live-copy timelines, cost attribution), and a
+//! deterministic parallel sweep runner for (policy × workload × seed)
+//! grids.
+
+#![forbid(unsafe_code)]
+// `!(a > b)` is used deliberately where NaN must be rejected alongside
+// ordinary failures; `a <= b` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod parallel;
+pub mod planned;
+pub mod runner;
+
+pub use engine::{simulate, ArrivalProcess, Replay, SimConfig, SimOutcome};
+pub use event::EventQueue;
+pub use metrics::{Breakdown, CopyTimeline};
+pub use parallel::{sweep, CellResult, GridCell};
+pub use planned::{execute_plan, plan_and_execute, PlannedOutcome};
+pub use runner::{factory, run_cell, PolicyFactory, SeedResult};

@@ -1,0 +1,172 @@
+//! Parallel sweep execution over (policy × workload × seed) grids.
+//!
+//! Simulation cells are embarrassingly parallel and fully deterministic
+//! per seed, so the sweep shards the grid over a fixed thread count with
+//! crossbeam scoped threads and reassembles results in grid order —
+//! results are bit-identical regardless of thread count (asserted in the
+//! tests), which is what makes the E10 scaling bench meaningful.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use mcc_workloads::Workload;
+
+use crate::runner::{run_cell, PolicyFactory, SeedResult};
+
+/// A named cell of the sweep grid.
+pub struct GridCell<'a> {
+    /// Policy label (factories don't carry names).
+    pub policy_name: String,
+    /// Fresh-policy factory.
+    pub policy: &'a PolicyFactory,
+    /// Workload under test.
+    pub workload: &'a dyn Workload,
+}
+
+/// A completed cell with its per-seed results.
+pub struct CellResult {
+    /// Policy label.
+    pub policy_name: String,
+    /// Workload label.
+    pub workload_name: String,
+    /// Per-seed measurements, seed-ascending.
+    pub results: Vec<SeedResult>,
+}
+
+/// Runs every cell over `seeds`, `threads`-wide. `threads = 0` means one
+/// thread per available CPU (capped at the number of cells).
+pub fn sweep(
+    cells: Vec<GridCell<'_>>,
+    seeds: std::ops::Range<u64>,
+    threads: usize,
+) -> Vec<CellResult> {
+    let seed_list: Vec<u64> = seeds.collect();
+    let units = cells.len() * seed_list.len();
+    let threads = effective_threads(threads, units);
+
+    // Work-steal at (cell, seed) granularity: per-cell durations vary by an
+    // order of magnitude (adversarial vs. Poisson traces), so cell-level
+    // sharding would be straggler-bound.
+    let mut out: Vec<Vec<Option<SeedResult>>> = cells
+        .iter()
+        .map(|_| {
+            let mut v = Vec::with_capacity(seed_list.len());
+            v.resize_with(seed_list.len(), || None);
+            v
+        })
+        .collect();
+    {
+        let slots: Vec<Mutex<&mut [Option<SeedResult>]>> = out
+            .iter_mut()
+            .map(|v| Mutex::new(v.as_mut_slice()))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let cells_ref = &cells;
+        let seed_ref = &seed_list;
+
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if unit >= units {
+                        break;
+                    }
+                    let cell_idx = unit / seed_ref.len();
+                    let seed_idx = unit % seed_ref.len();
+                    let seed = seed_ref[seed_idx];
+                    let cell = &cells_ref[cell_idx];
+                    let result = run_cell(cell.policy, cell.workload, seed..seed + 1)
+                        .pop()
+                        .expect("one seed yields one result");
+                    slots[cell_idx].lock()[seed_idx] = Some(result);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+
+    cells
+        .into_iter()
+        .zip(out)
+        .map(|(cell, results)| CellResult {
+            policy_name: cell.policy_name,
+            workload_name: cell.workload.name(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every unit completed"))
+                .collect(),
+        })
+        .collect()
+}
+
+fn effective_threads(requested: usize, cells: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, cells.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::factory;
+    use mcc_core::online::{Follow, SpeculativeCaching};
+    use mcc_workloads::{CommonParams, PoissonWorkload, Workload, ZipfWorkload};
+
+    fn grid<'a>(
+        sc: &'a PolicyFactory,
+        follow: &'a PolicyFactory,
+        w1: &'a dyn Workload,
+        w2: &'a dyn Workload,
+    ) -> Vec<GridCell<'a>> {
+        vec![
+            GridCell {
+                policy_name: "sc".into(),
+                policy: sc,
+                workload: w1,
+            },
+            GridCell {
+                policy_name: "sc".into(),
+                policy: sc,
+                workload: w2,
+            },
+            GridCell {
+                policy_name: "follow".into(),
+                policy: follow,
+                workload: w1,
+            },
+            GridCell {
+                policy_name: "follow".into(),
+                policy: follow,
+                workload: w2,
+            },
+        ]
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let follow = factory(Follow::new());
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(4, 40), 1.0, 1.2);
+        let single = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 1);
+        let multi = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 4);
+        assert_eq!(single.len(), 4);
+        for (a, b) in single.iter().zip(&multi) {
+            assert_eq!(a.policy_name, b.policy_name);
+            assert_eq!(a.workload_name, b.workload_name);
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.online_cost, y.online_cost);
+                assert_eq!(x.opt_cost, y.opt_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(effective_threads(0, 10) >= 1);
+        assert_eq!(effective_threads(8, 2), 2, "capped at cell count");
+        assert_eq!(effective_threads(3, 100), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! One experiment cell: a policy set against a workload across seeds.
+
+use mcc_core::offline::optimal_cost;
+use mcc_core::online::{run_policy, OnlinePolicy};
+use mcc_workloads::Workload;
+
+use crate::metrics::Breakdown;
+
+/// Factory for fresh policy instances (policies are stateful, so each run
+/// gets its own). The factory must be `Sync` for the parallel sweeps.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn OnlinePolicy<f64>> + Send + Sync>;
+
+/// Builds a policy factory from a clonable policy value.
+pub fn factory<P>(proto: P) -> PolicyFactory
+where
+    P: OnlinePolicy<f64> + Clone + Send + Sync + 'static,
+{
+    Box::new(move || Box::new(proto.clone()))
+}
+
+/// One seed's measurement of one policy on one workload.
+#[derive(Clone, Debug)]
+pub struct SeedResult {
+    /// Seed used.
+    pub seed: u64,
+    /// Online policy cost.
+    pub online_cost: f64,
+    /// Off-line optimum for the same trace.
+    pub opt_cost: f64,
+    /// Online/opt ratio.
+    pub ratio: f64,
+    /// Cost attribution.
+    pub breakdown: Breakdown,
+    /// Number of transfers performed online.
+    pub transfers: usize,
+}
+
+/// Measures `policy_factory()` against `workload` over `seeds`.
+pub fn run_cell(
+    policy_factory: &PolicyFactory,
+    workload: &dyn Workload,
+    seeds: std::ops::Range<u64>,
+) -> Vec<SeedResult> {
+    seeds
+        .map(|seed| {
+            let inst = workload.generate(seed);
+            let mut policy = policy_factory();
+            let run = run_policy(policy.as_mut(), &inst);
+            let opt = optimal_cost(&inst);
+            SeedResult {
+                seed,
+                online_cost: run.total_cost,
+                opt_cost: opt,
+                ratio: if opt > 0.0 { run.total_cost / opt } else { 1.0 },
+                breakdown: Breakdown::from_record(&run.record, inst.cost()),
+                transfers: run.transfers(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::online::SpeculativeCaching;
+    use mcc_workloads::{CommonParams, PoissonWorkload};
+
+    #[test]
+    fn cell_produces_one_result_per_seed() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let results = run_cell(&f, &w, 0..5);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(
+                r.ratio >= 1.0 - 1e-9,
+                "online can never beat OPT: {}",
+                r.ratio
+            );
+            assert!((r.breakdown.total() - r.online_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(3, 20), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let a = run_cell(&f, &w, 3..6);
+        let b = run_cell(&f, &w, 3..6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.online_cost, y.online_cost);
+            assert_eq!(x.opt_cost, y.opt_cost);
+        }
+    }
+}

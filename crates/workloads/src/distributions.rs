@@ -1,0 +1,177 @@
+//! Hand-rolled samplers for the workload generators.
+//!
+//! Deliberately implemented here (≈60 lines of textbook algorithms) instead
+//! of pulling `rand_distr`: the workspace keeps its dependency surface to
+//! the offline-approved crates (see DESIGN.md), and the samplers' exact
+//! behaviour is pinned by the tests below, which matters for reproducible
+//! experiment seeds.
+
+use rand::Rng;
+
+/// Samples `Exp(rate)` by inversion: `−ln(U)/rate`.
+///
+/// # Panics
+///
+/// Panics if `rate ≤ 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a Poisson count with the given mean by Knuth's product method
+/// (exact; fine for the small means used in burst sizing).
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive and finite or is unreasonably large
+/// (> 700, where `exp(−mean)` underflows).
+pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean > 0.0 && mean <= 700.0,
+        "poisson mean must be in (0, 700]"
+    );
+    let limit = (-mean).exp();
+    let mut product: f64 = 1.0;
+    let mut count = 0u64;
+    loop {
+        product *= rng.gen_range(0.0f64..1.0);
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Zipf sampler over `{0, …, n−1}` with exponent `s ≥ 0`, via a
+/// precomputed CDF — O(n) setup, O(log n) per sample.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `s = 0` degenerates to uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean {mean} should approach 1/rate = 0.5"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 0.1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut r = rng(11);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| poisson_count(&mut r, 3.5) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean} should approach 3.5");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(8, 1.2);
+        let mut r = rng(13);
+        let mut counts = [0usize; 8];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[3], "{counts:?}");
+        assert!(counts[0] > 4 * counts[7], "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut r = rng(17);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 3);
+        }
+        assert_eq!(z.n(), 3);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut r = rng(42);
+            (0..5).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(42);
+            (0..5).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! On/off bursts with server hand-offs.
+//!
+//! The access pattern speculative caching is designed for: a user session
+//! fires a burst of closely spaced requests from one server (all within
+//! the speculative window), then goes quiet and reappears elsewhere.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{exponential, poisson_count};
+
+use super::{CommonParams, Workload};
+use mcc_model::Instance;
+
+/// Bursty session workload.
+#[derive(Clone, Debug)]
+pub struct BurstyWorkload {
+    common: CommonParams,
+    /// Mean burst length (Poisson, ≥ 1).
+    mean_burst: f64,
+    /// Mean intra-burst gap (exponential).
+    intra_gap: f64,
+    /// Mean inter-burst gap (exponential).
+    inter_gap: f64,
+}
+
+impl BurstyWorkload {
+    /// Creates the workload; all parameters must be positive.
+    pub fn new(common: CommonParams, mean_burst: f64, intra_gap: f64, inter_gap: f64) -> Self {
+        assert!(mean_burst > 0.0 && intra_gap > 0.0 && inter_gap > 0.0);
+        BurstyWorkload {
+            common,
+            mean_burst,
+            intra_gap,
+            inter_gap,
+        }
+    }
+}
+
+impl Workload for BurstyWorkload {
+    fn name(&self) -> String {
+        format!(
+            "bursty(len={},intra={},inter={})",
+            self.mean_burst, self.intra_gap, self.inter_gap
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6275_7273);
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        let mut t = 0.0;
+        while times.len() < self.common.requests {
+            let server = rng.gen_range(0..self.common.servers);
+            let burst = 1 + poisson_count(&mut rng, self.mean_burst) as usize;
+            t += exponential(&mut rng, 1.0 / self.inter_gap);
+            for _ in 0..burst {
+                if times.len() == self.common.requests {
+                    break;
+                }
+                times.push(t);
+                servers.push(server);
+                t += exponential(&mut rng, 1.0 / self.intra_gap);
+            }
+        }
+        // The loop above leaves consecutive identical times impossible
+        // (every push advances t strictly afterwards), but the first push
+        // of a burst reuses t from the previous advance — already strictly
+        // greater than the last pushed time. Build and validate.
+        self.common.build(times, servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_cluster_on_one_server() {
+        let w = BurstyWorkload::new(CommonParams::small().with_size(6, 300), 6.0, 0.05, 3.0);
+        let inst = w.generate(21);
+        assert_eq!(inst.n(), 300);
+        // Most consecutive pairs stay on the same server (intra-burst).
+        let same = inst
+            .requests()
+            .windows(2)
+            .filter(|w| w[0].server == w[1].server)
+            .count();
+        assert!(
+            same as f64 > 0.6 * 299.0,
+            "bursty stream should mostly stay put ({same}/299)"
+        );
+    }
+
+    #[test]
+    fn gaps_are_bimodal() {
+        let w = BurstyWorkload::new(CommonParams::small().with_size(6, 500), 8.0, 0.02, 5.0);
+        let inst = w.generate(2);
+        let reqs = inst.requests();
+        let gaps: Vec<f64> = reqs.windows(2).map(|w| w[1].time - w[0].time).collect();
+        let short = gaps.iter().filter(|g| **g < 0.5).count();
+        let long = gaps.iter().filter(|g| **g > 1.0).count();
+        assert!(short > long, "mostly intra-burst gaps");
+        assert!(long > 10, "but a real number of inter-burst gaps ({long})");
+    }
+}

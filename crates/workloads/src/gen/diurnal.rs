@@ -1,0 +1,159 @@
+//! Day/night traffic: a nonhomogeneous Poisson process.
+//!
+//! Mobile-cloud request rates swing with the clock; this generator
+//! modulates a base rate with a sinusoidal day profile,
+//! `rate(t) = base · (1 + depth·sin(2πt/period))`, sampled by thinning
+//! (Lewis–Shedler). Server choice follows a Markov tour like
+//! [`super::MarkovWorkload`], so the stream has both temporal tides and
+//! spatial trajectory structure — the regime where a fixed speculative
+//! window is most obviously a compromise (days want long windows, nights
+//! short ones).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{CommonParams, Workload};
+use mcc_model::Instance;
+
+/// Sinusoidally modulated arrivals over a Markov tour.
+#[derive(Clone, Debug)]
+pub struct DiurnalWorkload {
+    common: CommonParams,
+    base_rate: f64,
+    depth: f64,
+    period: f64,
+    rho: f64,
+}
+
+impl DiurnalWorkload {
+    /// `base_rate` requests per unit time on average; `depth ∈ [0, 1)` is
+    /// the swing amplitude; `period` the day length; `rho` the tour
+    /// predictability.
+    pub fn new(common: CommonParams, base_rate: f64, depth: f64, period: f64, rho: f64) -> Self {
+        assert!(base_rate > 0.0 && period > 0.0);
+        assert!(
+            (0.0..1.0).contains(&depth),
+            "swing must leave the rate positive"
+        );
+        assert!((0.0..=1.0).contains(&rho));
+        DiurnalWorkload {
+            common,
+            base_rate,
+            depth,
+            period,
+            rho,
+        }
+    }
+
+    fn rate_at(&self, t: f64) -> f64 {
+        self.base_rate * (1.0 + self.depth * (std::f64::consts::TAU * t / self.period).sin())
+    }
+}
+
+impl Workload for DiurnalWorkload {
+    fn name(&self) -> String {
+        format!("diurnal(depth={},period={})", self.depth, self.period)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6469_7572);
+        let m = self.common.servers;
+        // Stable route, as in MarkovWorkload.
+        let mut route: Vec<usize> = (0..m).collect();
+        let mut route_rng = StdRng::seed_from_u64(0x726f_7574 ^ m as u64);
+        use rand::seq::SliceRandom as _;
+        route.shuffle(&mut route_rng);
+        let successor: Vec<usize> = {
+            let mut next = vec![0usize; m];
+            for (k, &s) in route.iter().enumerate() {
+                next[s] = route[(k + 1) % m];
+            }
+            next
+        };
+
+        let rate_max = self.base_rate * (1.0 + self.depth);
+        let mut t = 0.0;
+        let mut at = route[0];
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        while times.len() < self.common.requests {
+            // Thinning: candidate events at the max rate, accepted with
+            // probability rate(t)/rate_max.
+            t += crate::distributions::exponential(&mut rng, rate_max);
+            if rng.gen_range(0.0..1.0) <= self.rate_at(t) / rate_max {
+                times.push(t);
+                servers.push(at);
+                at = if m > 1 && rng.gen_range(0.0..1.0) >= self.rho {
+                    rng.gen_range(0..m)
+                } else {
+                    successor[at]
+                };
+            }
+        }
+        self.common.build(times, servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_the_requested_count_deterministically() {
+        let w = DiurnalWorkload::new(CommonParams::small().with_size(5, 300), 2.0, 0.8, 10.0, 0.9);
+        let a = w.generate(4);
+        assert_eq!(a.n(), 300);
+        assert_eq!(a, w.generate(4));
+        assert_ne!(a, w.generate(5));
+    }
+
+    #[test]
+    fn peaks_carry_more_traffic_than_troughs() {
+        let period = 10.0;
+        let w = DiurnalWorkload::new(
+            CommonParams::small().with_size(4, 4000),
+            2.0,
+            0.9,
+            period,
+            0.5,
+        );
+        let inst = w.generate(1);
+        // Bucket arrivals by day phase: the sin > 0 half must dominate.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for r in inst.requests() {
+            let phase = (r.time / period).fract();
+            if phase < 0.5 {
+                peak += 1; // sin positive on the first half-period
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "peaks {peak} vs troughs {trough} should be strongly skewed"
+        );
+    }
+
+    #[test]
+    fn zero_depth_degenerates_to_plain_poisson_rate() {
+        let w = DiurnalWorkload::new(
+            CommonParams::small().with_size(4, 2000),
+            2.0,
+            0.0,
+            10.0,
+            0.5,
+        );
+        let inst = w.generate(2);
+        let mean_gap = inst.horizon() / inst.n() as f64;
+        assert!(
+            (mean_gap - 0.5).abs() < 0.08,
+            "mean gap {mean_gap} ≈ 1/rate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "swing")]
+    fn rejects_full_depth() {
+        DiurnalWorkload::new(CommonParams::small(), 1.0, 1.0, 10.0, 0.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Poisson arrivals: the locality-free control workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::{exponential, Zipf};
+
+use super::{CommonParams, Workload};
+use mcc_model::Instance;
+
+/// Memoryless arrivals at rate `rate`; the requesting server is drawn
+/// uniformly, or Zipf-skewed when built with [`PoissonWorkload::zipf`].
+#[derive(Clone, Debug)]
+pub struct PoissonWorkload {
+    common: CommonParams,
+    rate: f64,
+    zipf_exponent: Option<f64>,
+}
+
+impl PoissonWorkload {
+    /// Uniform server choice.
+    pub fn uniform(common: CommonParams, rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        PoissonWorkload {
+            common,
+            rate,
+            zipf_exponent: None,
+        }
+    }
+
+    /// Zipf-skewed server choice with exponent `s`.
+    pub fn zipf(common: CommonParams, rate: f64, s: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        PoissonWorkload {
+            common,
+            rate,
+            zipf_exponent: Some(s),
+        }
+    }
+}
+
+impl Workload for PoissonWorkload {
+    fn name(&self) -> String {
+        match self.zipf_exponent {
+            None => format!("poisson(rate={})", self.rate),
+            Some(s) => format!("poisson(rate={},zipf={s})", self.rate),
+        }
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x706f_6973);
+        let zipf = self
+            .zipf_exponent
+            .map(|s| Zipf::new(self.common.servers, s));
+        let mut t = 0.0;
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        for _ in 0..self.common.requests {
+            t += exponential(&mut rng, self.rate);
+            times.push(t);
+            let s = match &zipf {
+                Some(z) => z.sample(&mut rng),
+                None => rng.gen_range(0..self.common.servers),
+            };
+            servers.push(s);
+        }
+        self.common.build(times, servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let w = PoissonWorkload::uniform(CommonParams::small(), 2.0);
+        let inst = w.generate(9);
+        assert_eq!(inst.n(), 200);
+        // Mean gap ≈ 1/rate = 0.5.
+        let mean_gap = inst.horizon() / inst.n() as f64;
+        assert!((mean_gap - 0.5).abs() < 0.15, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn zipf_variant_concentrates_on_popular_servers() {
+        let w = PoissonWorkload::zipf(CommonParams::small().with_size(8, 2000), 1.0, 1.5);
+        let inst = w.generate(1);
+        let mut counts = vec![0usize; 8];
+        for r in inst.requests() {
+            counts[r.server.index()] += 1;
+        }
+        assert!(counts[0] > counts[4] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            PoissonWorkload::uniform(CommonParams::small(), 1.0).name(),
+            "poisson(rate=1)"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Popularity-skewed iid accesses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::{exponential, Zipf};
+
+use super::{CommonParams, Workload};
+use mcc_model::Instance;
+
+/// Zipf-popular servers with exponential gaps — the classic skewed-access
+/// pattern of content services.
+#[derive(Clone, Debug)]
+pub struct ZipfWorkload {
+    common: CommonParams,
+    rate: f64,
+    exponent: f64,
+}
+
+impl ZipfWorkload {
+    /// `rate`: arrival rate; `exponent`: Zipf skew (0 = uniform).
+    pub fn new(common: CommonParams, rate: f64, exponent: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ZipfWorkload {
+            common,
+            rate,
+            exponent,
+        }
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn name(&self) -> String {
+        format!("zipf(s={})", self.exponent)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a69_7066);
+        let zipf = Zipf::new(self.common.servers, self.exponent);
+        let mut t = 0.0;
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        for _ in 0..self.common.requests {
+            t += exponential(&mut rng, self.rate);
+            times.push(t);
+            servers.push(zipf.sample(&mut rng));
+        }
+        self.common.build(times, servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_servers_dominate() {
+        let w = ZipfWorkload::new(CommonParams::small().with_size(10, 3000), 1.0, 1.4);
+        let inst = w.generate(5);
+        let mut counts = vec![0usize; 10];
+        for r in inst.requests() {
+            counts[r.server.index()] += 1;
+        }
+        assert!(counts[0] > counts[5] * 4, "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 3000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mcc-workloads — mobile-cloud request-stream generators
+//!
+//! Seedable, deterministic workload recipes for the evaluation of the
+//! data-caching algorithms: Poisson arrivals, Markov mobility trajectories
+//! with a predictability knob, Zipf popularity, bursty sessions,
+//! adversarial anti-SC sequences, and trace persistence/replay. See
+//! DESIGN.md for how these substitute for the proprietary traces the
+//! paper's setting assumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod gen;
+pub mod predictor;
+pub mod trace;
+
+pub use gen::{
+    standard_suite, AdversarialScWorkload, BurstyWorkload, CommonParams, DiurnalWorkload,
+    MarkovWorkload, MergedUsersWorkload, PoissonWorkload, UnderSpeculationWorkload, Workload,
+    ZipfWorkload,
+};
+pub use predictor::MarkovPredictor;
+pub use trace::TraceWorkload;

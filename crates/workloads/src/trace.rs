@@ -1,0 +1,192 @@
+//! Trace persistence: save and replay request sequences.
+//!
+//! Two formats:
+//!
+//! * **JSON** (via serde): the full [`Instance`] including the cost model —
+//!   what experiment reports archive.
+//! * **Compact text** (the `m=… mu=… lambda=… | sJ@T …` one-liner from
+//!   `mcc-model`): convenient for hand-written fixtures and quick diffing.
+//!
+//! Real mobile-cloud access traces are proprietary; DESIGN.md's
+//! substitution table explains how the generated trajectories stand in.
+//! [`TraceWorkload`] replays a stored trace through the same [`Workload`]
+//! interface the generators use, so experiments treat recorded and
+//! synthetic streams identically.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use mcc_model::Instance;
+
+use crate::gen::Workload;
+
+/// Saves an instance as pretty JSON.
+pub fn save_json(inst: &Instance<f64>, path: &Path) -> io::Result<()> {
+    let body = serde_json::to_string_pretty(inst).expect("instances always serialize");
+    fs::write(path, body)
+}
+
+/// Loads an instance from JSON.
+pub fn load_json(path: &Path) -> io::Result<Instance<f64>> {
+    let body = fs::read_to_string(path)?;
+    serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Saves an instance in the compact one-line text format.
+pub fn save_compact(inst: &Instance<f64>, path: &Path) -> io::Result<()> {
+    fs::write(path, inst.to_compact() + "\n")
+}
+
+/// Saves an instance as CSV: a `# m=… mu=… lambda=…` header comment, a
+/// column header, then one `server,time` row per request (1-based server
+/// labels, interoperable with spreadsheet tooling).
+pub fn save_csv(inst: &Instance<f64>, path: &Path) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "# m={} mu={} lambda={}\nserver,time\n",
+        inst.servers(),
+        inst.cost().mu,
+        inst.cost().lambda
+    );
+    for r in inst.requests() {
+        writeln!(out, "{},{}", r.server.0 + 1, r.time).expect("string write");
+    }
+    fs::write(path, out)
+}
+
+/// Loads an instance from the CSV format written by [`save_csv`].
+pub fn load_csv(path: &Path) -> io::Result<Instance<f64>> {
+    let body = fs::read_to_string(path)?;
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = body.lines();
+    let header = lines.next().ok_or_else(|| bad("empty CSV trace".into()))?;
+    let header = header
+        .strip_prefix("# ")
+        .ok_or_else(|| bad("missing `# m=… mu=… lambda=…` header".into()))?;
+    let mut compact = format!("{header} |");
+    for (k, line) in lines.enumerate() {
+        if line.trim().is_empty() || line == "server,time" {
+            continue;
+        }
+        let (server, time) = line
+            .split_once(',')
+            .ok_or_else(|| bad(format!("line {}: expected `server,time`", k + 2)))?;
+        compact.push_str(&format!(" s{}@{}", server.trim(), time.trim()));
+    }
+    Instance::from_compact(&compact).map_err(|e| bad(e.to_string()))
+}
+
+/// Loads an instance from the compact text format.
+pub fn load_compact(path: &Path) -> io::Result<Instance<f64>> {
+    let body = fs::read_to_string(path)?;
+    Instance::from_compact(body.trim())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A recorded trace replayed through the [`Workload`] interface.
+///
+/// The seed is ignored (a trace is a trace); experiments that sweep seeds
+/// see the same instance each time, which is exactly what replay means.
+#[derive(Clone, Debug)]
+pub struct TraceWorkload {
+    label: String,
+    instance: Instance<f64>,
+}
+
+impl TraceWorkload {
+    /// Wraps an in-memory instance.
+    pub fn from_instance(label: impl Into<String>, instance: Instance<f64>) -> Self {
+        TraceWorkload {
+            label: label.into(),
+            instance,
+        }
+    }
+
+    /// Loads from a JSON trace file.
+    pub fn from_json(path: &Path) -> io::Result<Self> {
+        Ok(TraceWorkload {
+            label: path.display().to_string(),
+            instance: load_json(path)?,
+        })
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> String {
+        format!("trace({})", self.label)
+    }
+
+    fn generate(&self, _seed: u64) -> Instance<f64> {
+        self.instance.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CommonParams, PoissonWorkload};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mcc-trace-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inst =
+            PoissonWorkload::uniform(CommonParams::small().with_size(3, 20), 1.0).generate(7);
+        let path = tmp("roundtrip.json");
+        save_json(&inst, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let inst = Instance::from_compact("m=2 mu=1 lambda=2 | s2@0.5 s1@1.5").unwrap();
+        let path = tmp("roundtrip.txt");
+        save_compact(&inst, &path).unwrap();
+        let back = load_compact(&path).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let inst =
+            PoissonWorkload::uniform(CommonParams::small().with_size(5, 30), 1.0).generate(11);
+        let path = tmp("roundtrip.csv");
+        save_csv(&inst, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(inst, back);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# m=5 mu=1 lambda=1\nserver,time\n"));
+    }
+
+    #[test]
+    fn csv_load_rejects_malformed_input() {
+        let path = tmp("bad.csv");
+        fs::write(&path, "no header\n1,2\n").unwrap();
+        assert!(load_csv(&path).is_err());
+        fs::write(&path, "# m=2 mu=1 lambda=1\nserver,time\nnot-a-row\n").unwrap();
+        assert!(load_csv(&path).is_err());
+    }
+
+    #[test]
+    fn trace_workload_replays_identically() {
+        let inst = Instance::from_compact("m=2 mu=1 lambda=1 | s2@1.0").unwrap();
+        let w = TraceWorkload::from_instance("fixture", inst.clone());
+        assert_eq!(w.generate(1), inst);
+        assert_eq!(w.generate(99), inst);
+        assert_eq!(w.name(), "trace(fixture)");
+    }
+
+    #[test]
+    fn load_errors_are_io_errors() {
+        assert!(load_json(Path::new("/nonexistent/x.json")).is_err());
+        let path = tmp("garbage.txt");
+        fs::write(&path, "not a trace").unwrap();
+        assert!(load_compact(&path).is_err());
+    }
+}

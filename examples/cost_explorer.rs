@@ -1,0 +1,72 @@
+//! Interactive-ish cost exploration: how does the λ/μ price ratio reshape
+//! the optimal schedule for one fixed trajectory? Sweeps λ and reports
+//! how the optimum shifts between migration (transfers) and replication
+//! (parallel caching).
+//!
+//! ```sh
+//! cargo run --example cost_explorer
+//! ```
+
+use mobile_cloud_cache::analysis::{fnum, Table};
+use mobile_cloud_cache::model::CostModel;
+use mobile_cloud_cache::prelude::*;
+use mobile_cloud_cache::workloads::ZipfWorkload;
+
+fn main() {
+    // One fixed trajectory: Zipf-popular accesses across 6 servers.
+    let base = CommonParams {
+        servers: 6,
+        requests: 300,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let trace = ZipfWorkload::new(base, 1.0, 1.1).generate(7);
+
+    let mut table = Table::new(
+        "Optimal schedule structure vs. transfer price λ (μ = 1)",
+        &[
+            "λ",
+            "Δt=λ/μ",
+            "OPT cost",
+            "caching",
+            "transfers",
+            "#transfers",
+            "max copies",
+        ],
+    );
+
+    for lambda in [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 20.0] {
+        // Re-price the same trajectory.
+        let inst = Instance::new(
+            trace.servers(),
+            CostModel::new(1.0, lambda).unwrap(),
+            trace.requests().to_vec(),
+        )
+        .unwrap();
+        let (sched, cost) = optimal_schedule(&inst);
+        let caching = sched.caching_cost(inst.cost());
+        let transfers = sched.transfer_cost(inst.cost());
+        // Probe replication level at request instants.
+        let max_copies = (1..=inst.n())
+            .map(|i| sched.copies_at(inst.t(i)))
+            .max()
+            .unwrap_or(1);
+        table.row(&[
+            fnum(lambda),
+            fnum(lambda),
+            fnum(cost),
+            fnum(caching),
+            fnum(transfers),
+            sched.transfers.len().to_string(),
+            max_copies.to_string(),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Cheap transfers → migrate a single copy on demand; expensive \
+         transfers → replicate once and cache everywhere. The optimum \
+         crosses over where caching a server interval matches one \
+         transfer (σ = Δt)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: solve one instance off-line and online, and inspect the
+//! optimal schedule.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mobile_cloud_cache::analysis::{fnum, render};
+use mobile_cloud_cache::prelude::*;
+
+fn main() {
+    // A 4-server cloud with unit costs and the paper's Fig. 6 requests.
+    // `sJ@T` means "server J requests the item at time T" (the item starts
+    // on s1 at time 0).
+    let inst = Instance::<f64>::from_compact(
+        "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+    )
+    .expect("valid instance");
+
+    println!("instance: {}\n", inst.to_compact());
+
+    // --- Off-line: the O(mn) optimal dynamic program -------------------
+    let (schedule, opt) = optimal_schedule(&inst);
+    let checked = validate(&inst, &schedule).expect("optimal schedule is feasible");
+    println!(
+        "off-line optimum: {} (caching {}, transfers {})",
+        fnum(opt),
+        fnum(checked.caching),
+        fnum(checked.transfer)
+    );
+    println!("{}", render(&inst, &schedule));
+
+    // --- Online: Speculative Caching ------------------------------------
+    let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+    println!(
+        "online (speculative caching): {} — {} transfers, {} cache hits, ratio {}",
+        fnum(run.total_cost),
+        run.transfers(),
+        run.cache_hits(),
+        fnum(run.total_cost / opt),
+    );
+    println!("{}", render(&inst, &run.schedule));
+
+    // The theorem chain for this very run:
+    let report = analyze(&inst, &run);
+    report.check_chain(1e-9).expect("Theorem 3 chain holds");
+    println!(
+        "Theorem 3 chain verified: Π(SC) = {} ≤ 3·Π(OPT) + λ = {}",
+        fnum(report.sc_cost),
+        fnum(3.0 * report.opt_cost + 1.0),
+    );
+}

@@ -1,0 +1,126 @@
+//! Executable checks of the paper's structural definitions and
+//! observations that aren't covered by the solver test suites:
+//! Observation 1 (standard form), Definition 3 (sub-schedules), and the
+//! paper's remark that `Ψ^(−1)(i)` of an optimal schedule need not be
+//! optimal for the truncated instance.
+
+use mobile_cloud_cache::model::{
+    is_standard_form, standard_form_defects, sub_schedule, truncate_instance,
+};
+use mobile_cloud_cache::prelude::*;
+
+fn fig6() -> Instance<f64> {
+    Instance::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0")
+        .unwrap()
+}
+
+/// Observation 1: the reconstructed optimum is in standard form; the
+/// online schedule is not (its speculative tails are dead-end caches).
+#[test]
+fn observation_1_standard_form() {
+    let inst = fig6();
+    let (opt_sched, _) = optimal_schedule(&inst);
+    assert!(
+        is_standard_form(&inst, &opt_sched),
+        "{:?}",
+        standard_form_defects(&inst, &opt_sched)
+    );
+
+    let online = run_policy(&mut SpeculativeCaching::paper(), &inst);
+    let defects = standard_form_defects(&inst, &online.schedule);
+    assert!(
+        !defects.is_empty(),
+        "speculative tails must show up as dead-end caches"
+    );
+}
+
+/// Standard form holds for reconstructed optima across workload families.
+#[test]
+fn optimal_schedules_are_standard_form_everywhere() {
+    let common = CommonParams {
+        servers: 5,
+        requests: 80,
+        mu: 1.0,
+        lambda: 0.7,
+    };
+    for w in standard_suite(common) {
+        let inst = w.generate(3);
+        let (sched, _) = optimal_schedule(&inst);
+        assert!(
+            is_standard_form(&inst, &sched),
+            "{}: {:?}",
+            w.name(),
+            standard_form_defects(&inst, &sched)
+        );
+    }
+}
+
+/// Definition 3: the sub-schedule serves every prefix feasibly.
+#[test]
+fn sub_schedules_serve_every_prefix() {
+    let inst = fig6();
+    let (sched, _) = optimal_schedule(&inst);
+    for i in 1..=inst.n() {
+        let cut = truncate_instance(&inst, i);
+        let sub = sub_schedule(&inst, &sched, i);
+        mobile_cloud_cache::model::validate(&cut, &sub)
+            .unwrap_or_else(|e| panic!("Ψ^(−1)({i}) infeasible: {e:?}"));
+    }
+}
+
+/// The paper's remark after Definition 3: `Ψ^(−1)(i)` of an optimal
+/// schedule is not necessarily optimal for the truncated instance.
+/// (Interestingly, Fig. 6 itself has no such prefix — every one of its
+/// sub-schedules is prefix-optimal; this witness came from a random
+/// search. The full optimum holds s^3's cache across r_2 because of the
+/// later r_3 revisit; truncated at i = 2, that long interval is waste the
+/// prefix optimum avoids: 4.7 vs 3.9.)
+#[test]
+fn sub_schedules_need_not_be_optimal() {
+    let inst =
+        Instance::<f64>::from_compact("m=4 mu=1 lambda=0.8 | s3@1.5 s1@3.1 s3@3.5 s4@4.4").unwrap();
+    let (sched, _) = optimal_schedule(&inst);
+    let cut = truncate_instance(&inst, 2);
+    let sub = sub_schedule(&inst, &sched, 2);
+    let sub_cost = mobile_cloud_cache::model::validate(&cut, &sub)
+        .unwrap()
+        .total;
+    let prefix_opt = optimal_cost(&cut);
+    assert!(
+        sub_cost >= prefix_opt - 1e-9,
+        "sub-schedules can never undercut C(i)"
+    );
+    assert!(
+        sub_cost > prefix_opt + 0.5,
+        "this instance is a strict witness: sub {sub_cost} vs prefix opt {prefix_opt}"
+    );
+
+    // And on Fig. 6, every sub-schedule happens to be prefix-optimal.
+    let inst = fig6();
+    let (sched, _) = optimal_schedule(&inst);
+    for i in 1..=inst.n() {
+        let cut = truncate_instance(&inst, i);
+        let sub = sub_schedule(&inst, &sched, i);
+        let sub_cost = mobile_cloud_cache::model::validate(&cut, &sub)
+            .unwrap()
+            .total;
+        assert!((sub_cost - optimal_cost(&cut)).abs() < 1e-9);
+    }
+}
+
+/// Truncation commutes with the DP: the prefix optimum equals the C(i)
+/// table entry of the full run (the DP *is* a prefix solver).
+#[test]
+fn prefix_optima_match_the_c_table() {
+    let inst = fig6();
+    let sol = mobile_cloud_cache::offline::solve_fast(&inst);
+    for i in 1..=inst.n() {
+        let cut = truncate_instance(&inst, i);
+        let prefix = optimal_cost(&cut);
+        assert!(
+            (prefix - sol.c[i]).abs() < 1e-9,
+            "C({i}) = {} but the truncated optimum is {prefix}",
+            sol.c[i]
+        );
+    }
+}
