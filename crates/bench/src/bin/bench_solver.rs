@@ -1,0 +1,20 @@
+//! Writes the machine-readable solver perf trajectory to
+//! `BENCH_solver.json` in the current directory (schema in
+//! EXPERIMENTS.md). `--quick` shrinks the grid to test size; `--stdout`
+//! prints instead of writing the file.
+fn main() {
+    let doc = mcc_bench::exp::bench_solver::report(mcc_bench::exp::Scale::from_args());
+    let body = doc.to_string_pretty();
+    if std::env::args().any(|a| a == "--stdout") {
+        println!("{body}");
+        return;
+    }
+    let path = "BENCH_solver.json";
+    std::fs::write(path, &body).expect("write BENCH_solver.json");
+    let speedup = doc
+        .get("acceptance")
+        .and_then(|a| a.get("speedup"))
+        .and_then(mcc_model::Json::as_f64)
+        .unwrap_or(f64::NAN);
+    eprintln!("wrote {path} (warm workspace vs seed baseline: {speedup:.2}x)");
+}

@@ -1,0 +1,213 @@
+//! The seed revision's Theorem 2 solver, pinned as a perf baseline.
+//!
+//! `BENCH_solver.json` tracks a *trajectory*: how much faster the live
+//! solver pipeline is than the one this repository started with. To make
+//! that comparison reproducible from any commit, the original pipeline is
+//! frozen here verbatim (modulo the crate's current `Instance` accessors):
+//!
+//! * fresh `Vec<Vec<u32>>` per-server lists and a fresh position matrix
+//!   allocated on every solve (no workspace reuse);
+//! * position-matrix entries addressing the *last* request ≤ i, with the
+//!   pivot found by chasing the entry's successor through the per-server
+//!   list (two dependent loads per candidate);
+//! * `&mut dyn FnMut` pivot callbacks (indirect call per candidate);
+//! * the `D(i)` minimization evaluated in cost space, i.e.
+//!   `D(κ) + μσ_i + (B_{i−1} − B_κ)` with an `is_finite` guard per pivot.
+//!
+//! The live solver in `mcc-core` replaced each of those (CSR pre-scan,
+//! successor matrix, generic callbacks, B-excess minimization, workspace
+//! reuse); this module must **not** be updated alongside it — it is the
+//! fixed reference point. Correctness is still cross-checked against the
+//! live solvers in the bench and in tests.
+//!
+//! Two seed details are intentionally dropped — branch-provenance tracking
+//! and the `b_i` vector — both of which only make the baseline *faster*,
+//! so the reported trajectory is conservative.
+
+use mcc_model::{Instance, Scalar, ServerId};
+
+/// Sentinel for "no request on this server yet" in the pointer matrix.
+const NONE_POS: u32 = u32::MAX;
+
+/// The seed's pre-scan: nested per-server lists, freshly allocated.
+struct BaselinePrescan<S> {
+    p: Vec<Option<usize>>,
+    sigma: Vec<Option<S>>,
+    big_b: Vec<S>,
+    by_server: Vec<Vec<u32>>,
+}
+
+impl<S: Scalar> BaselinePrescan<S> {
+    fn compute(inst: &Instance<S>) -> Self {
+        let n = inst.n();
+        let m = inst.servers();
+        let mut p = vec![None; n + 1];
+        let mut sigma = vec![None; n + 1];
+        let mut big_b = vec![S::ZERO; n + 1];
+        let mut by_server: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut last_on: Vec<Option<usize>> = vec![None; m];
+
+        by_server[ServerId::ORIGIN.index()].push(0);
+        last_on[ServerId::ORIGIN.index()] = Some(0);
+
+        let mut running = S::ZERO;
+        for i in 1..=n {
+            let s = inst.server(i).index();
+            p[i] = last_on[s];
+            sigma[i] = p[i].map(|prev| inst.t(i) - inst.t(prev));
+            running = running + inst.cost().marginal_bound(sigma[i]);
+            big_b[i] = running;
+            by_server[s].push(i as u32);
+            last_on[s] = Some(i);
+        }
+
+        BaselinePrescan {
+            p,
+            sigma,
+            big_b,
+            by_server,
+        }
+    }
+}
+
+/// The seed's pointer matrix: `pos[i·m + j]` is the position within
+/// `by_server[j]` of the last request with logical index ≤ i. Built by
+/// copying each row forward and patching one entry.
+struct BaselineMatrix {
+    m: usize,
+    pos: Vec<u32>,
+}
+
+impl BaselineMatrix {
+    fn build<S: Scalar>(inst: &Instance<S>) -> Self {
+        let n = inst.n();
+        let m = inst.servers();
+        let mut pos = vec![NONE_POS; (n + 1) * m];
+        pos[ServerId::ORIGIN.index()] = 0;
+        let mut cursor: Vec<u32> = vec![NONE_POS; m];
+        cursor[ServerId::ORIGIN.index()] = 0;
+        for i in 1..=n {
+            let s = inst.server(i).index();
+            cursor[s] = match cursor[s] {
+                NONE_POS => 0,
+                c => c + 1,
+            };
+            let (prev_rows, row) = pos.split_at_mut(i * m);
+            row[..m].copy_from_slice(&prev_rows[(i - 1) * m..i * m]);
+            row[s] = cursor[s];
+        }
+        BaselineMatrix { m, pos }
+    }
+
+    #[inline]
+    fn last_at_or_before(&self, i: usize, j: usize) -> u32 {
+        self.pos[i * self.m + j]
+    }
+}
+
+/// The seed's pivot enumeration: matrix lookup, then the successor in the
+/// per-server list, reported through a `dyn` callback.
+fn for_each_pivot(
+    matrix: &BaselineMatrix,
+    by_server: &[Vec<u32>],
+    server_of: &[u32],
+    i: usize,
+    p_i: usize,
+    f: &mut dyn FnMut(usize),
+) {
+    let own = server_of[i] as usize;
+    if p_i >= 1 {
+        f(p_i);
+    }
+    for (j, list) in by_server.iter().enumerate() {
+        if j == own {
+            continue;
+        }
+        let pos = matrix.last_at_or_before(p_i, j);
+        if pos == NONE_POS {
+            continue;
+        }
+        if let Some(&kappa) = list.get(pos as usize + 1) {
+            let kappa = kappa as usize;
+            if kappa < i {
+                f(kappa);
+            }
+        }
+    }
+}
+
+/// Solves the off-line problem with the seed pipeline and returns the
+/// optimal cost `C(n)`. Allocates every structure fresh, as the seed did.
+pub fn solve_baseline<S: Scalar>(inst: &Instance<S>) -> S {
+    let n = inst.n();
+    let cost = inst.cost();
+    let scan = BaselinePrescan::compute(inst);
+    let matrix = BaselineMatrix::build(inst);
+    let server_of: Vec<u32> = (0..=n).map(|i| inst.server(i).0).collect();
+
+    let mut c: Vec<S> = Vec::with_capacity(n + 1);
+    let mut d: Vec<S> = Vec::with_capacity(n + 1);
+    c.push(S::ZERO);
+    d.push(S::INFINITY);
+
+    for i in 1..=n {
+        let di = match scan.p[i] {
+            None => S::INFINITY,
+            Some(p_i) => {
+                let sigma = scan.sigma[i].expect("sigma defined when p(i) real");
+                let hold = cost.caching(sigma);
+                let mut best = c[p_i] + hold + (scan.big_b[i - 1] - scan.big_b[p_i]);
+                for_each_pivot(&matrix, &scan.by_server, &server_of, i, p_i, &mut |kappa| {
+                    if d[kappa].is_finite() {
+                        let cand = d[kappa] + hold + (scan.big_b[i - 1] - scan.big_b[kappa]);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                });
+                best
+            }
+        };
+        d.push(di);
+        let via_transfer = c[i - 1] + cost.caching(inst.delta_t(i - 1, i)) + cost.lambda;
+        c.push(if di <= via_transfer { di } else { via_transfer });
+    }
+    *c.last().expect("C always has the boundary entry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::offline::{solve_fast, solve_naive};
+
+    #[test]
+    fn baseline_matches_live_solvers_on_fig6() {
+        let inst = Instance::<f64>::from_compact(
+            "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0",
+        )
+        .unwrap();
+        let cost = solve_baseline(&inst);
+        assert!((cost - 8.9).abs() < 1e-9);
+        assert_eq!(cost, solve_fast(&inst).optimal_cost());
+    }
+
+    #[test]
+    fn baseline_matches_live_solvers_on_generated_instances() {
+        use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
+        for seed in 0..8 {
+            let inst = PoissonWorkload::uniform(
+                CommonParams {
+                    servers: 6,
+                    requests: 200,
+                    mu: 1.0,
+                    lambda: 1.0,
+                },
+                1.0,
+            )
+            .generate(seed);
+            let base = solve_baseline(&inst);
+            let live = solve_naive(&inst).optimal_cost();
+            assert!((base - live).abs() < 1e-9, "seed {seed}: {base} vs {live}");
+        }
+    }
+}

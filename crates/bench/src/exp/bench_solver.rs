@@ -1,0 +1,294 @@
+//! The machine-readable solver perf trajectory: `BENCH_solver.json`.
+//!
+//! Measures the off-line solver variants head to head — the pinned seed
+//! pipeline ([`super::baseline`]), allocating [`solve_fast`] /
+//! [`solve_fast_compact`], their warm [`SolverWorkspace`] entry points and
+//! the windowed-sweep reference — in ns/request over an E1-style grid,
+//! times a parallel sweep in cells/sec, and snapshots peak RSS. The output
+//! is a single JSON document with a versioned `schema` tag, so successive
+//! commits can be diffed numerically (the "perf trajectory"). The headline
+//! acceptance number compares the warm-workspace path against the seed's
+//! allocating pipeline at the largest grid point. Schema documented in
+//! EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use mcc_core::offline::{
+    solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_in, solve_naive,
+    SolverWorkspace,
+};
+use mcc_core::online::{Follow, SpeculativeCaching};
+use mcc_model::{Instance, Json};
+use mcc_simnet::{factory, sweep, GridCell};
+use mcc_workloads::{CommonParams, PoissonWorkload, Workload, ZipfWorkload};
+
+use super::baseline::solve_baseline;
+use super::Scale;
+
+/// Minimum measured wall time per variant; reps repeat until reached.
+const TARGET_SECS: f64 = 0.2;
+/// The acceptance threshold: warm-workspace speedup over the seed's
+/// allocating pipeline on the largest grid point.
+const SPEEDUP_TARGET: f64 = 1.3;
+
+/// ns/request for every variant at one grid point.
+#[derive(Copy, Clone, Debug)]
+pub struct GridPoint {
+    /// Requests.
+    pub n: usize,
+    /// Servers.
+    pub m: usize,
+    /// The pinned seed pipeline (allocating, see [`super::baseline`]).
+    pub baseline: f64,
+    /// Allocating pointer-matrix solver (current code, throwaway workspace).
+    pub fast: f64,
+    /// Pointer-matrix solver on a warm workspace.
+    pub fast_workspace: f64,
+    /// Allocating binary-search solver.
+    pub compact: f64,
+    /// Binary-search solver on a warm workspace.
+    pub compact_workspace: f64,
+    /// Windowed sweep reference.
+    pub naive: f64,
+}
+
+impl GridPoint {
+    /// Warm-workspace speedup over the seed's allocating pipeline — the
+    /// trajectory headline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline / self.fast_workspace
+    }
+
+    /// Warm-workspace speedup over the *current* allocating path: isolates
+    /// what buffer reuse alone buys on top of the algorithmic work.
+    pub fn speedup_vs_fast(&self) -> f64 {
+        self.fast / self.fast_workspace
+    }
+}
+
+/// Repeats `f` until [`TARGET_SECS`] of wall time accumulate (at least 3
+/// reps), returning the *fastest* rep in ns per request. The minimum, not
+/// the mean: a rep can only be slowed by interference (scheduler
+/// preemption, frequency drift, co-tenants), never sped up, so the minimum
+/// is the stable estimator of the code's own cost on shared hardware.
+fn ns_per_request<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    // Warm-up rep (faults in fresh pages, primes branch predictors).
+    f();
+    let mut best = f64::INFINITY;
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    loop {
+        let rep = Instant::now();
+        f();
+        best = best.min(rep.elapsed().as_secs_f64());
+        reps += 1;
+        if reps >= 3 && t0.elapsed().as_secs_f64() >= TARGET_SECS {
+            break;
+        }
+    }
+    best * 1e9 / n.max(1) as f64
+}
+
+fn instance(n: usize, m: usize) -> Instance<f64> {
+    PoissonWorkload::uniform(
+        CommonParams {
+            servers: m,
+            requests: n,
+            mu: 1.0,
+            lambda: 1.0,
+        },
+        1.0,
+    )
+    .generate(42)
+}
+
+/// Measures one grid point; every variant is cross-checked against the
+/// others' optimum as it runs.
+pub fn measure_point(n: usize, m: usize) -> GridPoint {
+    let inst = instance(n, m);
+    let reference = solve_naive(&inst).optimal_cost();
+    let check = |cost: f64| {
+        assert!((cost - reference).abs() < 1e-6, "solver disagreement");
+    };
+
+    let baseline = ns_per_request(n, || check(solve_baseline(&inst)));
+    let fast = ns_per_request(n, || check(solve_fast(&inst).optimal_cost()));
+    let compact = ns_per_request(n, || check(solve_fast_compact(&inst).optimal_cost()));
+    let naive = ns_per_request(n, || check(solve_naive(&inst).optimal_cost()));
+
+    let mut ws = SolverWorkspace::new();
+    let fast_workspace = ns_per_request(n, || check(solve_fast_in(&inst, &mut ws).optimal_cost()));
+    let compact_workspace = ns_per_request(n, || {
+        check(solve_fast_compact_in(&inst, &mut ws).optimal_cost())
+    });
+
+    GridPoint {
+        n,
+        m,
+        baseline,
+        fast,
+        fast_workspace,
+        compact,
+        compact_workspace,
+        naive,
+    }
+}
+
+/// The measurement grid: the acceptance point `(n ≥ 10⁴, m ≥ 64)` last.
+pub fn grid(scale: Scale) -> Vec<(usize, usize)> {
+    if scale.requests >= 1000 {
+        vec![(4_096, 16), (16_384, 64)]
+    } else {
+        vec![(512, 8)]
+    }
+}
+
+/// Times one end-to-end parallel sweep; returns (cells, seeds, cells/sec).
+pub fn sweep_rate(scale: Scale) -> (usize, u64, f64) {
+    let sc = factory(SpeculativeCaching::<f64>::paper());
+    let follow = factory(Follow::new());
+    let params = CommonParams {
+        servers: scale.servers,
+        requests: scale.requests,
+        mu: 1.0,
+        lambda: 1.0,
+    };
+    let w1 = PoissonWorkload::uniform(params, 1.0);
+    let w2 = ZipfWorkload::new(params, 1.0, 1.2);
+    let cells: Vec<GridCell<'_>> = [
+        ("sc", &sc, &w1 as &dyn Workload),
+        ("sc", &sc, &w2),
+        ("follow", &follow, &w1),
+        ("follow", &follow, &w2),
+    ]
+    .into_iter()
+    .map(|(name, policy, workload)| GridCell {
+        policy_name: name.into(),
+        policy,
+        workload,
+    })
+    .collect();
+    let n_cells = cells.len();
+    let t0 = Instant::now();
+    let results = sweep(cells, 0..scale.seeds, 0);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(results.len(), n_cells);
+    (n_cells, scale.seeds, n_cells as f64 / secs)
+}
+
+/// Peak resident set size (`VmHWM`) in KiB from `/proc/self/status`, or
+/// `None` off Linux.
+pub fn peak_rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Runs the full measurement and assembles the JSON document.
+pub fn report(scale: Scale) -> Json {
+    let points: Vec<GridPoint> = grid(scale)
+        .into_iter()
+        .map(|(n, m)| measure_point(n, m))
+        .collect();
+    let last = points.last().expect("grid is never empty");
+    let (cells, seeds, cells_per_sec) = sweep_rate(scale);
+
+    let grid_json = Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("n".into(), Json::Int(p.n as i64)),
+                    ("m".into(), Json::Int(p.m as i64)),
+                    (
+                        "ns_per_request".into(),
+                        Json::Obj(vec![
+                            ("baseline".into(), Json::Float(p.baseline)),
+                            ("fast".into(), Json::Float(p.fast)),
+                            ("fast_workspace".into(), Json::Float(p.fast_workspace)),
+                            ("compact".into(), Json::Float(p.compact)),
+                            ("compact_workspace".into(), Json::Float(p.compact_workspace)),
+                            ("naive".into(), Json::Float(p.naive)),
+                        ]),
+                    ),
+                    (
+                        "speedup_workspace_vs_baseline".into(),
+                        Json::Float(p.speedup()),
+                    ),
+                    (
+                        "speedup_workspace_vs_fast".into(),
+                        Json::Float(p.speedup_vs_fast()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("bench-solver/1".into())),
+        ("grid".into(), grid_json),
+        (
+            "acceptance".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::Int(last.n as i64)),
+                ("m".into(), Json::Int(last.m as i64)),
+                ("speedup".into(), Json::Float(last.speedup())),
+                ("target".into(), Json::Float(SPEEDUP_TARGET)),
+                ("met".into(), Json::Bool(last.speedup() >= SPEEDUP_TARGET)),
+            ]),
+        ),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                ("cells".into(), Json::Int(cells as i64)),
+                ("seeds".into(), Json::Int(seeds as i64)),
+                ("cells_per_sec".into(), Json::Float(cells_per_sec)),
+            ]),
+        ),
+        (
+            "peak_rss_kb".into(),
+            peak_rss_kb().map_or(Json::Null, Json::Int),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_the_documented_shape() {
+        let doc = report(Scale::quick());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("bench-solver/1")
+        );
+        let grid = doc.get("grid").and_then(Json::as_arr).unwrap();
+        assert!(!grid.is_empty());
+        let ns = grid[0].get("ns_per_request").unwrap();
+        for key in [
+            "baseline",
+            "fast",
+            "fast_workspace",
+            "compact",
+            "compact_workspace",
+            "naive",
+        ] {
+            assert!(ns.get(key).and_then(Json::as_f64).unwrap() > 0.0, "{key}");
+        }
+        let acc = doc.get("acceptance").unwrap();
+        assert!(acc.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        // Round-trips through the parser (the file is meant to be diffed
+        // and re-read by tooling).
+        let reparsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(reparsed.to_string_compact(), doc.to_string_compact());
+    }
+
+    #[test]
+    fn sweep_rate_is_positive() {
+        let (cells, seeds, rate) = sweep_rate(Scale::quick());
+        assert_eq!(cells, 4);
+        assert_eq!(seeds, 4);
+        assert!(rate > 0.0);
+    }
+}

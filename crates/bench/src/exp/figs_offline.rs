@@ -116,7 +116,7 @@ pub fn fig5() -> Section {
         "Per-server request lists Q_j",
         &["server", "request indices"],
     );
-    for (j, list) in scan.by_server.iter().enumerate() {
+    for (j, list) in scan.server_lists().iter().enumerate() {
         let ids: Vec<String> = list.iter().map(|k| k.to_string()).collect();
         q.row(&[format!("s^{}", j + 1), ids.join(", ")]);
     }

@@ -6,6 +6,8 @@
 
 pub mod adversary;
 pub mod alpha;
+pub mod baseline;
+pub mod bench_solver;
 pub mod breakdown;
 pub mod classic;
 pub mod epoch;

@@ -208,9 +208,7 @@ pub fn generate(args: &ParsedArgs) -> Result<String, String> {
                 workload.name()
             ))
         }
-        None if args.has_flag("json") => {
-            serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())
-        }
+        None if args.has_flag("json") => Ok(inst.to_json_string_pretty()),
         None => Ok(inst.to_compact() + "\n"),
     }
 }

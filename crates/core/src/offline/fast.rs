@@ -1,4 +1,5 @@
-//! The O(mn) fast solver (Theorem 2), plus an O(n + m)-space variant.
+//! The O(mn) fast solver (Theorem 2), plus an O(n + m)-space variant and
+//! zero-allocation workspace entry points.
 //!
 //! The paper's data structure: per-server request lists `Q_j` and a matrix
 //! `A[n, m]` of pointers, where `A[i][j]` addresses the most recent request
@@ -11,84 +12,131 @@
 //! `Q_j` lists: O(n + m) space, O(m log n) work per request. The scaling
 //! benchmark (E1) measures both, as the space/time trade-off is exactly the
 //! knob a deployment would care about.
+//!
+//! # Workspaces
+//!
+//! Sweep-style callers (`mcc-simnet`, the benches) solve thousands of
+//! same-shaped instances back to back; re-allocating the pre-scan, the
+//! pointer matrix and the DP tables per solve dominated their profile. A
+//! [`SolverWorkspace`] owns all of those buffers, and [`solve_fast_in`] /
+//! [`solve_fast_compact_in`] refill them in place: after a warm-up solve at
+//! the largest shape, subsequent solves perform **zero heap allocations**
+//! (asserted by the `alloc_free` integration test). The allocating
+//! [`solve_fast`] / [`solve_fast_compact`] APIs are thin wrappers over a
+//! throwaway workspace.
 
-use mcc_model::{Instance, Prescan, Scalar};
+use mcc_model::{Instance, Prescan, Scalar, ServerLists};
 
-use super::tables::{run_dp, DpSolution, PivotSource};
+use super::tables::{run_dp_into, DpSolution, PivotSource};
 
-/// Sentinel for "no request on this server yet" in the pointer matrix.
-const NONE_POS: u32 = u32::MAX;
+/// Sentinel for "no successor on this server" in the pointer matrix.
+const NONE_IDX: u32 = u32::MAX;
 
-/// The paper's pointer structure: `pos[i·m + j]` is the position *within*
-/// `by_server[j]` of the last request with logical index ≤ i.
+/// The pointer structure of Theorem 2, stored successor-first: entry
+/// `(i, j)` is the *logical index* of the first request on server `s^j`
+/// with index > i (`NONE_IDX` if none).
+///
+/// The paper's `A[i][j]` addresses the last request on `s^j` with index
+/// ≤ i, and the DP then takes that entry's successor in `Q_j`. Since the
+/// successor is the only thing ever read, storing it directly drops the
+/// per-candidate indirection through the `Q_j` lists: the pivot pass
+/// becomes one contiguous row scan with a single `e(κ)` table load per
+/// live candidate.
 pub(crate) struct PointerMatrix {
     m: usize,
-    pos: Vec<u32>,
+    succ: Vec<u32>,
+    /// Scratch: the current row during the (descending) build — per-server
+    /// next request seen so far. A field so rebuilds don't allocate.
+    cursor: Vec<u32>,
 }
 
 impl PointerMatrix {
-    /// Builds the matrix in one O(mn) pre-scan.
-    pub(crate) fn build<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> Self {
-        let n = inst.n();
-        let m = inst.servers();
-        let mut pos = vec![NONE_POS; (n + 1) * m];
-        // Row 0: only the boundary request r_0 on the origin.
-        pos[mcc_model::ServerId::ORIGIN.index()] = 0;
-        let mut cursor: Vec<u32> = vec![NONE_POS; m];
-        cursor[mcc_model::ServerId::ORIGIN.index()] = 0;
-        for i in 1..=n {
-            let s = inst.server(i).index();
-            // Position of r_i within its own server list.
-            cursor[s] = match cursor[s] {
-                NONE_POS => 0,
-                c => c + 1,
-            };
-            debug_assert_eq!(scan.by_server[s][cursor[s] as usize] as usize, i);
-            let (prev_rows, row) = pos.split_at_mut(i * m);
-            row[..m].copy_from_slice(&prev_rows[(i - 1) * m..i * m]);
-            row[s] = cursor[s];
+    pub(crate) fn new() -> Self {
+        PointerMatrix {
+            m: 0,
+            succ: Vec::new(),
+            cursor: Vec::new(),
         }
-        PointerMatrix { m, pos }
     }
 
-    /// Position in `by_server[j]` of the last request with index ≤ i.
+    /// Builds the matrix in one O(mn) pre-scan (fresh storage).
+    #[cfg(test)]
+    pub(crate) fn build<S: Scalar>(inst: &Instance<S>) -> Self {
+        let mut matrix = Self::new();
+        matrix.build_in(inst);
+        matrix
+    }
+
+    /// Rebuilds the matrix in place, reusing the buffer across solves.
+    ///
+    /// Adjacent rows differ in exactly one entry, but copying row to row
+    /// would *read* the matrix back from memory — for large `n·m` that's
+    /// streaming DRAM traffic on both sides. Instead each row is written
+    /// once from the m-entry `cursor` array (descending `i`, so `cursor`
+    /// holds each server's next request), which stays hot in L1: the build
+    /// is write-only with respect to the matrix. Stale contents from a
+    /// previous solve need no clearing, because every cell in
+    /// `0..(n+1)·m` is overwritten.
+    pub(crate) fn build_in<S: Scalar>(&mut self, inst: &Instance<S>) {
+        let n = inst.n();
+        let m = inst.servers();
+        self.m = m;
+        let need = (n + 1) * m;
+        if self.succ.len() < need {
+            self.succ.reserve(need - self.succ.len());
+            self.succ.resize(need, NONE_IDX);
+        } else {
+            self.succ.truncate(need);
+        }
+        self.cursor.clear();
+        self.cursor.resize(m, NONE_IDX);
+        // Row n: nothing follows the last request.
+        for i in (1..=n).rev() {
+            self.succ[i * m..(i + 1) * m].copy_from_slice(&self.cursor);
+            self.cursor[inst.server(i).index()] = i as u32;
+        }
+        self.succ[..m].copy_from_slice(&self.cursor);
+    }
+
+    /// First request on server `j` with logical index > i.
+    #[cfg(test)]
+    fn successor_after(&self, i: usize, j: usize) -> u32 {
+        self.succ[i * self.m + j]
+    }
+
+    /// Matrix row `i`: per-server first request with logical index > i.
     #[inline]
-    fn last_at_or_before(&self, i: usize, j: usize) -> u32 {
-        self.pos[i * self.m + j]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.succ[i * self.m..(i + 1) * self.m]
     }
 }
 
 /// Pivot enumeration via the pointer matrix: O(m) per request, O(mn) space.
 struct MatrixPivots<'a> {
-    matrix: PointerMatrix,
-    by_server: &'a [Vec<u32>],
-    server_of: Vec<u32>,
+    matrix: &'a PointerMatrix,
 }
 
 impl PivotSource for MatrixPivots<'_> {
-    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
-        let own = self.server_of[i] as usize;
+    fn for_each_pivot<F: FnMut(usize)>(&mut self, i: usize, p_i: usize, mut f: F) {
         // Own-server pivot: κ = p(i) itself (its cache trivially "spans"
         // t_{p(i)}; chaining extends the same server's cache).
         if p_i >= 1 {
             f(p_i);
         }
-        for j in 0..self.by_server.len() {
-            if j == own {
-                continue;
-            }
-            let pos = self.matrix.last_at_or_before(p_i, j);
-            if pos == NONE_POS {
-                // First request on j (if any) has D = +∞; skip.
-                continue;
-            }
-            let list = &self.by_server[j];
-            if let Some(&kappa) = list.get(pos as usize + 1) {
-                let kappa = kappa as usize;
-                if kappa < i {
-                    // by_server[j][pos] ≤ p_i < κ, so p(κ) < p(i) ≤ κ < i. ✓
-                    f(kappa);
-                }
+        // One contiguous row scan; `f` inlines here. Per server j, the
+        // candidate is κ = succ(p_i, j), the first request on j after
+        // p(i). κ < i filters everything at once: no-successor (the
+        // sentinel is u32::MAX), the own server (its successor after p(i)
+        // is i itself, by definition of p), and servers whose next request
+        // comes after r_i. A surviving κ either had a predecessor ≤ p(i)
+        // on j — then p(κ) ≤ p_i, and ≠ p_i since they sit on different
+        // servers, so κ ∈ π(i) — or is j's first request ever, whose
+        // D(κ) = +∞ excess can never win the minimum (allowed extras per
+        // the PivotSource contract).
+        for &kappa in self.matrix.row(p_i) {
+            let kappa = kappa as usize;
+            if kappa < i {
+                f(kappa);
             }
         }
     }
@@ -97,12 +145,12 @@ impl PivotSource for MatrixPivots<'_> {
 /// Pivot enumeration via binary search: O(m log n) per request, O(1) extra
 /// space beyond the shared pre-scan.
 struct BsearchPivots<'a> {
-    by_server: &'a [Vec<u32>],
-    server_of: Vec<u32>,
+    by_server: ServerLists<'a>,
+    server_of: &'a [u32],
 }
 
 impl PivotSource for BsearchPivots<'_> {
-    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
+    fn for_each_pivot<F: FnMut(usize)>(&mut self, i: usize, p_i: usize, mut f: F) {
         let own = self.server_of[i] as usize;
         if p_i >= 1 {
             f(p_i);
@@ -126,40 +174,139 @@ impl PivotSource for BsearchPivots<'_> {
     }
 }
 
-fn server_of_table<S: Scalar>(inst: &Instance<S>) -> Vec<u32> {
-    (0..=inst.n()).map(|i| inst.server(i).0).collect()
+fn fill_server_of<S: Scalar>(inst: &Instance<S>, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(inst.n() + 1);
+    out.push(mcc_model::ServerId::ORIGIN.0);
+    out.extend(inst.requests().iter().map(|r| r.server.0));
+}
+
+/// Reusable storage for the off-line solvers: pre-scan buffers, the pointer
+/// matrix, the `server_of` table and the DP output tables.
+///
+/// Create one per worker thread, warm it with a first solve, and every
+/// subsequent [`solve_fast_in`] / [`solve_fast_compact_in`] call on
+/// instances of no larger shape performs zero heap allocations. Buffers
+/// only ever grow; a workspace never shrinks its capacity.
+///
+/// ```
+/// use mcc_core::offline::{solve_fast, solve_fast_in, SolverWorkspace};
+/// use mcc_model::Instance;
+///
+/// let a = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@2.0").unwrap();
+/// let b = Instance::<f64>::from_compact("m=3 mu=1 lambda=1 | s3@1.0 s3@1.2").unwrap();
+/// let mut ws = SolverWorkspace::new();
+/// assert_eq!(solve_fast_in(&a, &mut ws).optimal_cost(), solve_fast(&a).optimal_cost());
+/// // Reuse across instances (of any shape) is safe; no state leaks.
+/// assert_eq!(solve_fast_in(&b, &mut ws).optimal_cost(), solve_fast(&b).optimal_cost());
+/// ```
+pub struct SolverWorkspace<S> {
+    scan: Prescan<S>,
+    matrix: PointerMatrix,
+    server_of: Vec<u32>,
+    solution: DpSolution<S>,
+}
+
+impl<S: Scalar> Default for SolverWorkspace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> SolverWorkspace<S> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverWorkspace {
+            scan: Prescan::new(),
+            matrix: PointerMatrix::new(),
+            server_of: Vec::new(),
+            solution: DpSolution::empty(),
+        }
+    }
+
+    /// The pre-scan of the most recent solve.
+    pub fn prescan(&self) -> &Prescan<S> {
+        &self.scan
+    }
+
+    /// The DP tables of the most recent solve.
+    pub fn solution(&self) -> &DpSolution<S> {
+        &self.solution
+    }
+
+    /// Extracts the DP tables, leaving empty ones behind (for the
+    /// allocating wrapper APIs).
+    fn take_solution(self) -> DpSolution<S> {
+        self.solution
+    }
 }
 
 /// Solves the off-line data-caching problem in O(mn) time and space
 /// (Theorem 2), using the paper's pointer-matrix structure.
 pub fn solve_fast<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
-    let scan = Prescan::compute(inst);
-    solve_fast_with(inst, &scan)
+    let mut ws = SolverWorkspace::new();
+    solve_fast_in(inst, &mut ws);
+    ws.take_solution()
 }
 
 /// [`solve_fast`] reusing a precomputed [`Prescan`].
 pub fn solve_fast_with<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> DpSolution<S> {
-    let mut pivots = MatrixPivots {
-        matrix: PointerMatrix::build(inst, scan),
-        by_server: &scan.by_server,
-        server_of: server_of_table(inst),
-    };
-    run_dp(inst, scan, &mut pivots)
+    let mut matrix = PointerMatrix::new();
+    matrix.build_in(inst);
+    let mut pivots = MatrixPivots { matrix: &matrix };
+    let mut out = DpSolution::empty();
+    run_dp_into(inst, scan, &mut pivots, &mut out);
+    out
+}
+
+/// [`solve_fast`] into a reusable [`SolverWorkspace`]; returns the solved
+/// tables (owned by the workspace). Zero heap allocations once the
+/// workspace is warm at this shape.
+pub fn solve_fast_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+) -> &'w DpSolution<S> {
+    ws.scan.recompute(inst);
+    ws.matrix.build_in(inst);
+    let mut pivots = MatrixPivots { matrix: &ws.matrix };
+    run_dp_into(inst, &ws.scan, &mut pivots, &mut ws.solution);
+    &ws.solution
 }
 
 /// Space-lean variant: O(n + m) space, O(mn log n) time.
 pub fn solve_fast_compact<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
-    let scan = Prescan::compute(inst);
-    solve_fast_compact_with(inst, &scan)
+    let mut ws = SolverWorkspace::new();
+    solve_fast_compact_in(inst, &mut ws);
+    ws.take_solution()
 }
 
 /// [`solve_fast_compact`] reusing a precomputed [`Prescan`].
 pub fn solve_fast_compact_with<S: Scalar>(inst: &Instance<S>, scan: &Prescan<S>) -> DpSolution<S> {
+    let mut server_of = Vec::new();
+    fill_server_of(inst, &mut server_of);
     let mut pivots = BsearchPivots {
-        by_server: &scan.by_server,
-        server_of: server_of_table(inst),
+        by_server: scan.server_lists(),
+        server_of: &server_of,
     };
-    run_dp(inst, scan, &mut pivots)
+    let mut out = DpSolution::empty();
+    run_dp_into(inst, scan, &mut pivots, &mut out);
+    out
+}
+
+/// [`solve_fast_compact`] into a reusable [`SolverWorkspace`] (the pointer
+/// matrix stays untouched). Zero heap allocations once warm.
+pub fn solve_fast_compact_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+) -> &'w DpSolution<S> {
+    ws.scan.recompute(inst);
+    fill_server_of(inst, &mut ws.server_of);
+    let mut pivots = BsearchPivots {
+        by_server: ws.scan.server_lists(),
+        server_of: &ws.server_of,
+    };
+    run_dp_into(inst, &ws.scan, &mut pivots, &mut ws.solution);
+    &ws.solution
 }
 
 #[cfg(test)]
@@ -197,19 +344,59 @@ mod tests {
     }
 
     #[test]
-    fn pointer_matrix_positions() {
+    fn successor_matrix_positions() {
+        // fig6 server lists: s1: [0, 4], s2: [1, 5, 6], s3: [2, 7], s4: [3].
         let inst = fig6();
-        let scan = mcc_model::Prescan::compute(&inst);
-        let m = PointerMatrix::build(&inst, &scan);
-        // After r_0 only the origin has an entry.
-        assert_eq!(m.last_at_or_before(0, 0), 0);
-        assert_eq!(m.last_at_or_before(0, 1), NONE_POS);
-        // After r_5 (= second request on s^2), position on server 2 is 1.
-        assert_eq!(m.last_at_or_before(5, 1), 1);
-        // Server s^3 saw r_2 only up to index 6.
-        assert_eq!(m.last_at_or_before(6, 2), 0);
-        // Server s^1 has boundary + r_4.
-        assert_eq!(m.last_at_or_before(7, 0), 1);
+        let m = PointerMatrix::build(&inst);
+        // Successors of the boundary row.
+        assert_eq!(m.successor_after(0, 0), 4);
+        assert_eq!(m.successor_after(0, 1), 1);
+        assert_eq!(m.successor_after(0, 2), 2);
+        assert_eq!(m.successor_after(0, 3), 3);
+        // After r_5: the third s^2 request and the last s^3 request remain.
+        assert_eq!(m.successor_after(5, 1), 6);
+        assert_eq!(m.successor_after(5, 2), 7);
+        assert_eq!(m.successor_after(5, 0), NONE_IDX);
+        assert_eq!(m.successor_after(5, 3), NONE_IDX);
+        // Nothing follows the final request.
+        for j in 0..4 {
+            assert_eq!(m.successor_after(7, j), NONE_IDX);
+        }
+    }
+
+    #[test]
+    fn pointer_matrix_rebuild_reuses_dirty_buffer() {
+        let big = fig6();
+        let small = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@1.0").unwrap();
+        let mut matrix = PointerMatrix::new();
+        // Dirty the buffer at the large shape, then rebuild smaller, then
+        // large again: entries must match a fresh build each time.
+        matrix.build_in(&big);
+        matrix.build_in(&small);
+        let fresh_small = PointerMatrix::build(&small);
+        assert_eq!(matrix.succ[..3 * 2], fresh_small.succ[..3 * 2]);
+        matrix.build_in(&big);
+        let fresh_big = PointerMatrix::build(&big);
+        assert_eq!(matrix.succ[..8 * 4], fresh_big.succ[..8 * 4]);
+    }
+
+    #[test]
+    fn workspace_solvers_match_allocating_solvers() {
+        let inst = fig6();
+        let small = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@1.0").unwrap();
+        let mut ws = SolverWorkspace::new();
+        // Interleave shapes and variants to shake out any state leakage.
+        for _ in 0..3 {
+            let sol = solve_fast_in(&inst, &mut ws);
+            assert!((sol.optimal_cost() - 8.9).abs() < 1e-9);
+            let sol = solve_fast_compact_in(&small, &mut ws);
+            assert_eq!(
+                sol.optimal_cost(),
+                solve_fast_compact(&small).optimal_cost()
+            );
+            let sol = solve_fast_compact_in(&inst, &mut ws);
+            assert!((sol.optimal_cost() - 8.9).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod tables;
 
 pub use brute::{brute_force_cost, MAX_BRUTE_M, MAX_BRUTE_N};
 pub use capped::{capped_optimal_cost, MAX_CAPPED_M, MAX_CAPPED_N};
-pub use fast::{solve_fast, solve_fast_compact, solve_fast_compact_with, solve_fast_with};
+pub use fast::{
+    solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_compact_with, solve_fast_in,
+    solve_fast_with, SolverWorkspace,
+};
 pub use naive::{solve_naive, solve_naive_with, solve_quadratic, solve_quadratic_with};
 pub use reconstruct::reconstruct;
 pub use tables::{CStep, DStep, DpSolution, PivotSource};

@@ -33,7 +33,7 @@ struct WindowPivots<'a> {
 }
 
 impl PivotSource for WindowPivots<'_> {
-    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
+    fn for_each_pivot<F: FnMut(usize)>(&mut self, i: usize, p_i: usize, mut f: F) {
         // π(i) = {k : p(k) < p(i) ≤ k < i}; the −∞ dummy compares below
         // every real index.
         for k in p_i.max(1)..i {
@@ -55,7 +55,7 @@ struct FullScanPivots<'a> {
 }
 
 impl PivotSource for FullScanPivots<'_> {
-    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize)) {
+    fn for_each_pivot<F: FnMut(usize)>(&mut self, i: usize, p_i: usize, mut f: F) {
         for k in 1..i {
             let in_pi = k >= p_i
                 && match self.p[k] {

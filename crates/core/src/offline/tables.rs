@@ -57,9 +57,28 @@ pub struct DpSolution<S> {
     pub c_from: Vec<CStep>,
     /// Provenance of each `D(i)`.
     pub d_from: Vec<DStep>,
+    /// The B-excess `e(i) = D(i) − B_i` (infinite where `D(i)` is).
+    ///
+    /// Every pivot candidate of one request shares the additive base
+    /// `μσ_i + B_{i−1}`, so the `D(i)` minimization reduces to minimizing
+    /// `e(κ)` — one table load and one compare per candidate instead of
+    /// two loads plus arithmetic. Maintained incrementally as `d` grows.
+    pub(crate) e: Vec<S>,
 }
 
 impl<S: Scalar> DpSolution<S> {
+    /// Empty tables, to be filled by [`run_dp_into`]. All buffers start
+    /// unallocated.
+    pub fn empty() -> Self {
+        DpSolution {
+            c: Vec::new(),
+            d: Vec::new(),
+            c_from: Vec::new(),
+            d_from: Vec::new(),
+            e: Vec::new(),
+        }
+    }
+
     /// The optimal total service cost `C(n) = Π(Ψ*(n))`.
     pub fn optimal_cost(&self) -> S {
         *self.c.last().expect("C always has the boundary entry")
@@ -76,10 +95,15 @@ impl<S: Scalar> DpSolution<S> {
 /// `for_each_pivot` must visit every `κ ∈ π(i)` (it may visit extra indices
 /// `κ` with `D(κ) = +∞`, which can never win the minimum, but must never
 /// visit a finite-`D` index outside `π(i)`).
+///
+/// The callback is a generic parameter (not `dyn`) deliberately: the DP
+/// invokes it up to `m` times per request, so the `D(i)` minimization must
+/// inline into each source's enumeration loop — with indirect calls the
+/// pivot pass dominates the whole solve.
 pub trait PivotSource {
     /// Calls `f(κ)` for each pivot candidate of request `i`, whose previous
     /// same-server request is `p_i`.
-    fn for_each_pivot(&mut self, i: usize, p_i: usize, f: &mut dyn FnMut(usize));
+    fn for_each_pivot<F: FnMut(usize)>(&mut self, i: usize, p_i: usize, f: F);
 }
 
 /// Runs the recurrence system over an instance with the given pivot
@@ -90,17 +114,45 @@ pub fn run_dp<S: Scalar, P: PivotSource>(
     scan: &Prescan<S>,
     pivots: &mut P,
 ) -> DpSolution<S> {
+    let mut out = DpSolution::empty();
+    run_dp_into(inst, scan, pivots, &mut out);
+    out
+}
+
+/// [`run_dp`] writing into caller-owned tables, reusing their buffers.
+/// Allocation-free once `out` has solved an instance of at least this `n`
+/// (this is what makes `SolverWorkspace` re-solves zero-allocation).
+pub fn run_dp_into<S: Scalar, P: PivotSource>(
+    inst: &Instance<S>,
+    scan: &Prescan<S>,
+    pivots: &mut P,
+    out: &mut DpSolution<S>,
+) {
     let n = inst.n();
     let cost = inst.cost();
-    let mut c = Vec::with_capacity(n + 1);
-    let mut d = Vec::with_capacity(n + 1);
-    let mut c_from = Vec::with_capacity(n + 1);
-    let mut d_from = Vec::with_capacity(n + 1);
+    let DpSolution {
+        c,
+        d,
+        c_from,
+        d_from,
+        e,
+    } = out;
+    c.clear();
+    c.reserve(n + 1);
+    d.clear();
+    d.reserve(n + 1);
+    c_from.clear();
+    c_from.reserve(n + 1);
+    d_from.clear();
+    d_from.reserve(n + 1);
+    e.clear();
+    e.reserve(n + 1);
 
     c.push(S::ZERO);
     d.push(S::INFINITY);
     c_from.push(CStep::Boundary);
     d_from.push(DStep::Infeasible);
+    e.push(S::INFINITY);
 
     for i in 1..=n {
         // ---- D(i): conditional optimum with r_i served by cache --------
@@ -109,25 +161,28 @@ pub fn run_dp<S: Scalar, P: PivotSource>(
             Some(p_i) => {
                 let sigma = scan.sigma[i].expect("sigma defined when p(i) real");
                 let hold = cost.caching(sigma);
-                // Lemma 3: anchor on the unconditional optimum C(p(i)).
-                let mut best = c[p_i] + hold + scan.bound_between(p_i, i - 1);
+                // Every branch of recurrence (5) shares the additive base
+                // `μσ_i + B_{i−1}`, so minimize in B-excess space: the
+                // Lemma 3 anchor contributes `C(p(i)) − B_{p(i)}`, each
+                // Lemma 4 pivot contributes `e(κ) = D(κ) − B_κ`. Infinite
+                // `D(κ)` yields an infinite `e(κ)` (both scalar types
+                // saturate), which can never win the strict minimum.
+                let mut best_e = c[p_i] - scan.big_b[p_i];
                 let mut step = DStep::Direct;
-                // Lemma 4: chain onto a spanning cache D(κ), κ ∈ π(i).
-                pivots.for_each_pivot(i, p_i, &mut |kappa| {
+                pivots.for_each_pivot(i, p_i, |kappa| {
                     debug_assert!(kappa < i);
-                    if d[kappa].is_finite() {
-                        let cand = d[kappa] + hold + scan.bound_between(kappa, i - 1);
-                        if cand < best {
-                            best = cand;
-                            step = DStep::Pivot(kappa);
-                        }
+                    let ek = e[kappa];
+                    if ek < best_e {
+                        best_e = ek;
+                        step = DStep::Pivot(kappa);
                     }
                 });
-                (best, step)
+                (hold + scan.big_b[i - 1] + best_e, step)
             }
         };
         d.push(di);
         d_from.push(dstep);
+        e.push(di - scan.big_b[i]);
 
         // ---- C(i): recurrence (2), preferring the cache branch on ties
         // (it strictly dominates when s_i = s_{i−1} and avoids degenerate
@@ -141,13 +196,6 @@ pub fn run_dp<S: Scalar, P: PivotSource>(
             c_from.push(CStep::Transfer);
         }
     }
-
-    DpSolution {
-        c,
-        d,
-        c_from,
-        d_from,
-    }
 }
 
 #[cfg(test)]
@@ -158,7 +206,7 @@ mod tests {
     /// request's optimum is transfer-or-direct the DP must still be exact.
     struct NoPivots;
     impl PivotSource for NoPivots {
-        fn for_each_pivot(&mut self, _i: usize, _p: usize, _f: &mut dyn FnMut(usize)) {}
+        fn for_each_pivot<F: FnMut(usize)>(&mut self, _i: usize, _p: usize, _f: F) {}
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct SpeculativeCaching<S> {
     role: Vec<Role>,
     prev_server: ServerId,
     transfers_in_epoch: usize,
+    /// Scratch for the copies lapsing at one expiry event (at most a
+    /// transfer pair, but sized by whatever actually lapses). A field so
+    /// the per-request path performs no heap allocation in steady state.
+    lapsing: Vec<usize>,
 }
 
 impl<S: Scalar> SpeculativeCaching<S> {
@@ -123,6 +127,7 @@ impl<S: Scalar> SpeculativeCaching<S> {
             role: Vec::new(),
             prev_server: ServerId::ORIGIN,
             transfers_in_epoch: 0,
+            lapsing: Vec::new(),
         }
     }
 
@@ -196,10 +201,12 @@ impl<S: Scalar> SpeculativeCaching<S> {
                 return;
             }
             // Collect the (at most two: transfer source + target) copies
-            // lapsing at τ.
-            let lapsing: Vec<usize> = (0..self.expiry.len())
-                .filter(|&j| self.expiry[j] == Some(tau))
-                .collect();
+            // lapsing at τ. The scratch is taken out of `self` for the
+            // duration (drop_copy needs `&mut self`); `mem::take` leaves an
+            // empty Vec behind, so nothing allocates.
+            let mut lapsing = std::mem::take(&mut self.lapsing);
+            lapsing.clear();
+            lapsing.extend((0..self.expiry.len()).filter(|&j| self.expiry[j] == Some(tau)));
             debug_assert!(!lapsing.is_empty());
             if lapsing.len() >= 2 && live == lapsing.len() {
                 // The last copies lapse together: keep the transfer target.
@@ -219,7 +226,7 @@ impl<S: Scalar> SpeculativeCaching<S> {
                 // Enough copies remain: delete all lapsing ones (but never
                 // the last copy overall).
                 let mut remaining = live;
-                for j in lapsing {
+                for &j in &lapsing {
                     if remaining == 1 {
                         let w = self.next_window();
                         self.expiry[j] = Some(tau + w);
@@ -229,6 +236,7 @@ impl<S: Scalar> SpeculativeCaching<S> {
                     remaining -= 1;
                 }
             }
+            self.lapsing = lapsing;
         }
     }
 
@@ -255,8 +263,12 @@ impl<S: Scalar> OnlinePolicy<S> for SpeculativeCaching<S> {
     fn reset(&mut self, servers: usize, cost: &CostModel<S>) {
         self.window = S::from_f64(self.window_multiplier).mul(cost.delta_t());
         assert!(self.window > S::ZERO, "speculative window must be positive");
-        self.expiry = vec![None; servers];
-        self.role = vec![Role::Used; servers];
+        // Clear-and-resize keeps the buffers' capacity, so a reused policy
+        // instance resets without reallocating.
+        self.expiry.clear();
+        self.expiry.resize(servers, None);
+        self.role.clear();
+        self.role.resize(servers, Role::Used);
         let w0 = self.next_window();
         self.expiry[ServerId::ORIGIN.index()] = Some(w0);
         self.prev_server = ServerId::ORIGIN;

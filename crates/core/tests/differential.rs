@@ -8,8 +8,9 @@
 //! at exactly the DP's claimed cost.
 
 use mcc_core::offline::{
-    brute_force_cost, reconstruct, solve_fast_compact_with, solve_fast_with, solve_naive_with,
-    solve_quadratic_with,
+    brute_force_cost, reconstruct, solve_fast, solve_fast_compact_in, solve_fast_compact_with,
+    solve_fast_in, solve_fast_with, solve_naive, solve_naive_with, solve_quadratic_with,
+    SolverWorkspace,
 };
 use mcc_model::{validate, CostModel, Fixed, Instance, Prescan, Request, Scalar};
 use proptest::prelude::*;
@@ -112,6 +113,33 @@ proptest! {
             "reconstructed cost differs on {}",
             inst.to_compact()
         );
+    }
+
+    /// A dirty reused workspace changes no bit of the output: both `_in`
+    /// solvers after solving an unrelated instance produce exactly the
+    /// tables — values *and* provenance — of a fresh allocating solve, and
+    /// exactly the naive sweep's values. (Provenance is only compared
+    /// against `solve_fast`/`solve_fast_compact`, which enumerate pivots in
+    /// the same order; the sweep may break cost ties differently.)
+    #[test]
+    fn workspace_reuse_is_bit_exact(dirty in small_instance(), inst in small_instance()) {
+        let mut ws = SolverWorkspace::new();
+        let _ = solve_fast_in(&dirty, &mut ws);
+        let _ = solve_fast_compact_in(&dirty, &mut ws);
+        let fresh = solve_fast(&inst);
+        let naive = solve_naive(&inst);
+        let sol = solve_fast_in(&inst, &mut ws);
+        prop_assert_eq!(&sol.c, &fresh.c, "C on {}", inst.to_compact());
+        prop_assert_eq!(&sol.d, &fresh.d);
+        prop_assert_eq!(&sol.c_from, &fresh.c_from);
+        prop_assert_eq!(&sol.d_from, &fresh.d_from);
+        prop_assert_eq!(&sol.c, &naive.c);
+        prop_assert_eq!(&sol.d, &naive.d);
+        let sol = solve_fast_compact_in(&inst, &mut ws);
+        prop_assert_eq!(&sol.c, &fresh.c);
+        prop_assert_eq!(&sol.d, &fresh.d);
+        prop_assert_eq!(&sol.c_from, &fresh.c_from);
+        prop_assert_eq!(&sol.d_from, &fresh.d_from);
     }
 
     /// The running bound B_n is a true lower bound and C is monotone.

@@ -10,7 +10,7 @@ use crate::scalar::Scalar;
 /// optional `upload` charge `β` (Table II) prices fetching the item from
 /// external storage; the paper's algorithms never upload, so it defaults to
 /// `None` and only the space-time graph uses it.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct CostModel<S> {
     /// Caching cost per unit time per server (`μ > 0`).
     pub mu: S,

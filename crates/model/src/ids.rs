@@ -9,20 +9,7 @@ use std::fmt;
 
 /// A server label `s^j`. Zero-based internally; displays 1-based as `s^j` to
 /// match the paper (so `ServerId(0)` prints as `s^1`).
-#[derive(
-    Copy,
-    Clone,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Debug,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ServerId(pub u32);
 
 impl ServerId {

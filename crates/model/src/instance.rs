@@ -21,7 +21,7 @@ use crate::scalar::Scalar;
 /// Construct with [`Instance::new`] (which validates) or via
 /// [`crate::builder::InstanceBuilder`]. The shared item is initially located
 /// at [`ServerId::ORIGIN`] (`s^1`) at time `0`, per the paper.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Instance<S> {
     servers: usize,
     cost: CostModel<S>,
@@ -335,10 +335,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_roundtrip() {
+    fn json_roundtrip() {
         let inst = demo();
-        let json = serde_json::to_string(&inst).unwrap();
-        let back: Instance<f64> = serde_json::from_str(&json).unwrap();
+        let json = inst.to_json_string();
+        let back = Instance::<f64>::from_json_str(&json).unwrap();
         assert_eq!(inst, back);
     }
 }

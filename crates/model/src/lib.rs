@@ -32,6 +32,7 @@ pub mod cost;
 pub mod error;
 pub mod ids;
 pub mod instance;
+pub mod json;
 pub mod prescan;
 pub mod request;
 pub mod scalar;
@@ -45,7 +46,8 @@ pub use cost::CostModel;
 pub use error::{ModelError, Violation};
 pub use ids::ServerId;
 pub use instance::Instance;
-pub use prescan::Prescan;
+pub use json::{Json, JsonScalar};
+pub use prescan::{Prescan, ServerLists};
 pub use request::Request;
 pub use scalar::{Fixed, Scalar, FIXED_SCALE};
 pub use schedule::{CacheInterval, Schedule, Transfer};

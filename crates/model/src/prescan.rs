@@ -6,11 +6,24 @@ use crate::ids::ServerId;
 use crate::instance::Instance;
 use crate::scalar::Scalar;
 
+/// Sentinel inside the `last_on` scratch: no request seen on that server.
+const NO_REQ: u32 = u32::MAX;
+
 /// Derived request-sequence structure computed in one O(n + m) pass.
 ///
 /// All vectors are indexed by *logical* request index `0..=n` (see
 /// [`crate::Instance`] for the convention); entry `0` is the boundary
 /// request `r_0`.
+///
+/// The per-server request lists are stored in CSR form — one flat index
+/// array plus `m + 1` offsets — so a whole pre-scan is two list allocations
+/// instead of one `Vec` per server, and walking a server's requests is a
+/// contiguous slice scan. Use [`Prescan::server_list`] /
+/// [`Prescan::server_lists`] to read them.
+///
+/// A `Prescan` is reusable: [`Prescan::recompute`] refills every buffer in
+/// place, so steady-state re-solves over same-shaped instances perform no
+/// heap allocation (see `mcc-core`'s `SolverWorkspace`).
 #[derive(Clone, Debug)]
 pub struct Prescan<S> {
     /// `p[i]`: logical index of the previous request on server `s_i`, or
@@ -23,45 +36,172 @@ pub struct Prescan<S> {
     pub b: Vec<S>,
     /// Running bounds `B_i = Σ_{j≤i} b_j`; `B_0 = 0`.
     pub big_b: Vec<S>,
-    /// Logical indices of requests on each server, ascending. The origin's
-    /// list starts with the boundary request `0`.
-    pub by_server: Vec<Vec<u32>>,
+    /// CSR offsets: server `j`'s requests are
+    /// `items[offsets[j] .. offsets[j + 1]]`; `offsets.len() == m + 1`.
+    offsets: Vec<u32>,
+    /// All logical request indices, grouped by server, ascending within
+    /// each group. The origin's group starts with the boundary request `0`.
+    items: Vec<u32>,
+    /// Scratch: most recent logical index per server ([`NO_REQ`] if none).
+    last_on: Vec<u32>,
+}
+
+/// Borrowed view of the CSR per-server request lists (non-generic, so
+/// solver internals that only need the lists don't carry the scalar type).
+#[derive(Copy, Clone, Debug)]
+pub struct ServerLists<'a> {
+    offsets: &'a [u32],
+    items: &'a [u32],
+}
+
+impl<'a> ServerLists<'a> {
+    /// Number of servers `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when there are no servers (never for a valid instance).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ascending logical request indices on server `j`.
+    #[inline]
+    pub fn list(&self, j: usize) -> &'a [u32] {
+        &self.items[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    /// Iterates the per-server lists in server order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u32]> + '_ {
+        (0..self.len()).map(|j| self.list(j))
+    }
+}
+
+impl<S: Scalar> Default for Prescan<S> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<S: Scalar> Prescan<S> {
+    /// An empty pre-scan holding no instance (fill with
+    /// [`Prescan::recompute`]). All buffers start unallocated.
+    pub fn new() -> Self {
+        Prescan {
+            p: Vec::new(),
+            sigma: Vec::new(),
+            b: Vec::new(),
+            big_b: Vec::new(),
+            offsets: Vec::new(),
+            items: Vec::new(),
+            last_on: Vec::new(),
+        }
+    }
+
     /// Runs the pre-scan over an instance.
     pub fn compute(inst: &Instance<S>) -> Self {
+        let mut scan = Self::new();
+        scan.recompute(inst);
+        scan
+    }
+
+    /// Re-runs the pre-scan in place, reusing every buffer. Allocation-free
+    /// once the buffers have grown to the instance's `n` and `m`.
+    pub fn recompute(&mut self, inst: &Instance<S>) {
         let n = inst.n();
         let m = inst.servers();
-        let mut p = vec![None; n + 1];
-        let mut sigma = vec![None; n + 1];
-        let mut b = vec![S::ZERO; n + 1];
-        let mut big_b = vec![S::ZERO; n + 1];
-        let mut by_server: Vec<Vec<u32>> = vec![Vec::new(); m];
-        let mut last_on: Vec<Option<usize>> = vec![None; m];
+
+        self.p.clear();
+        self.p.resize(n + 1, None);
+        self.sigma.clear();
+        self.sigma.resize(n + 1, None);
+        self.b.clear();
+        self.b.resize(n + 1, S::ZERO);
+        self.big_b.clear();
+        self.big_b.resize(n + 1, S::ZERO);
+        self.last_on.clear();
+        self.last_on.resize(m, NO_REQ);
+
+        // CSR counting pass: offsets[s + 1] accumulates server s's request
+        // count (boundary r_0 included), then a prefix sum turns counts
+        // into group start offsets.
+        self.offsets.clear();
+        self.offsets.resize(m + 1, 0);
+        self.offsets[ServerId::ORIGIN.index() + 1] = 1;
+        for r in inst.requests() {
+            self.offsets[r.server.index() + 1] += 1;
+        }
+        for j in 0..m {
+            self.offsets[j + 1] += self.offsets[j];
+        }
+        let total = (n + 1) as u32;
+        debug_assert_eq!(self.offsets[m], total);
+        self.items.clear();
+        self.items.resize(n + 1, 0);
+
+        // Fill pass: p/σ/b/B plus the CSR items, using offsets[j] as the
+        // per-server write cursor (restored by a shift afterwards).
+        let place = |items: &mut [u32], offsets: &mut [u32], s: usize, i: usize| {
+            let at = offsets[s];
+            items[at as usize] = i as u32;
+            offsets[s] = at + 1;
+        };
 
         // Boundary request r_0 = (s^1, 0).
-        by_server[ServerId::ORIGIN.index()].push(0);
-        last_on[ServerId::ORIGIN.index()] = Some(0);
+        place(
+            &mut self.items,
+            &mut self.offsets,
+            ServerId::ORIGIN.index(),
+            0,
+        );
+        self.last_on[ServerId::ORIGIN.index()] = 0;
 
         let mut running = S::ZERO;
         for i in 1..=n {
             let s = inst.server(i).index();
-            p[i] = last_on[s];
-            sigma[i] = p[i].map(|prev| inst.t(i) - inst.t(prev));
-            b[i] = inst.cost().marginal_bound(sigma[i]);
-            running = running + b[i];
-            big_b[i] = running;
-            by_server[s].push(i as u32);
-            last_on[s] = Some(i);
+            let prev = self.last_on[s];
+            if prev != NO_REQ {
+                let prev = prev as usize;
+                self.p[i] = Some(prev);
+                self.sigma[i] = Some(inst.t(i) - inst.t(prev));
+            }
+            self.b[i] = inst.cost().marginal_bound(self.sigma[i]);
+            running = running + self.b[i];
+            self.big_b[i] = running;
+            place(&mut self.items, &mut self.offsets, s, i);
+            self.last_on[s] = i as u32;
         }
 
-        Prescan {
-            p,
-            sigma,
-            b,
-            big_b,
-            by_server,
+        // Each cursor has advanced to the next group's start: offsets[j]
+        // now holds the old offsets[j + 1]. Shift right to restore.
+        for j in (1..=m).rev() {
+            self.offsets[j] = self.offsets[j - 1];
+        }
+        self.offsets[0] = 0;
+        debug_assert_eq!(self.offsets[m], total);
+    }
+
+    /// Number of servers `m` this pre-scan was computed for.
+    #[inline]
+    pub fn servers(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Ascending logical request indices on server `j`. The origin's list
+    /// starts with the boundary request `0`.
+    #[inline]
+    pub fn server_list(&self, j: usize) -> &[u32] {
+        &self.items[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    /// Borrowed CSR view of all per-server lists.
+    #[inline]
+    pub fn server_lists(&self) -> ServerLists<'_> {
+        ServerLists {
+            offsets: &self.offsets,
+            items: &self.items,
         }
     }
 
@@ -135,12 +275,50 @@ mod tests {
     #[test]
     fn by_server_lists_are_ascending_and_complete() {
         let scan = Prescan::compute(&fig6());
-        assert_eq!(scan.by_server[0], vec![0, 4]);
-        assert_eq!(scan.by_server[1], vec![1, 5, 6]);
-        assert_eq!(scan.by_server[2], vec![2, 7]);
-        assert_eq!(scan.by_server[3], vec![3]);
-        let total: usize = scan.by_server.iter().map(Vec::len).sum();
+        assert_eq!(scan.server_list(0), &[0, 4]);
+        assert_eq!(scan.server_list(1), &[1, 5, 6]);
+        assert_eq!(scan.server_list(2), &[2, 7]);
+        assert_eq!(scan.server_list(3), &[3]);
+        let lists = scan.server_lists();
+        assert_eq!(lists.len(), 4);
+        let total: usize = lists.iter().map(<[u32]>::len).sum();
         assert_eq!(total, 8); // 7 requests + boundary
+    }
+
+    /// CSR must agree with the straightforward nested-`Vec` layout the
+    /// solvers used before the flattening.
+    #[test]
+    fn csr_matches_the_nested_layout_on_fig6() {
+        let inst = fig6();
+        let scan = Prescan::compute(&inst);
+        let mut nested: Vec<Vec<u32>> = vec![Vec::new(); inst.servers()];
+        nested[ServerId::ORIGIN.index()].push(0);
+        for i in 1..=inst.n() {
+            nested[inst.server(i).index()].push(i as u32);
+        }
+        for (j, expect) in nested.iter().enumerate() {
+            assert_eq!(scan.server_list(j), expect.as_slice(), "server {j}");
+            assert_eq!(scan.server_lists().list(j), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn recompute_reuses_buffers_across_shapes() {
+        let mut scan = Prescan::compute(&fig6());
+        let small = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@1.0").unwrap();
+        scan.recompute(&small);
+        assert_eq!(scan.servers(), 2);
+        assert_eq!(scan.p.len(), 3);
+        assert_eq!(scan.server_list(0), &[0, 2]);
+        assert_eq!(scan.server_list(1), &[1]);
+        // Back to the larger instance: identical to a fresh computation.
+        scan.recompute(&fig6());
+        let fresh = Prescan::compute(&fig6());
+        assert_eq!(scan.p, fresh.p);
+        assert_eq!(scan.big_b, fresh.big_b);
+        for j in 0..4 {
+            assert_eq!(scan.server_list(j), fresh.server_list(j));
+        }
     }
 
     #[test]
@@ -156,7 +334,7 @@ mod tests {
         let scan = Prescan::compute(&inst);
         assert_eq!(scan.p, vec![None]);
         assert_eq!(scan.total_lower_bound(), 0.0);
-        assert_eq!(scan.by_server[0], vec![0]);
-        assert!(scan.by_server[1].is_empty());
+        assert_eq!(scan.server_list(0), &[0]);
+        assert!(scan.server_list(1).is_empty());
     }
 }

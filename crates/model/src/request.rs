@@ -6,7 +6,7 @@ use crate::ids::ServerId;
 use crate::scalar::Scalar;
 
 /// A request for the shared data item made at server `server` at time `time`.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Request<S> {
     /// The server `s_i` the request is made from.
     pub server: ServerId,

@@ -141,10 +141,7 @@ pub const FIXED_SCALE: i64 = 1_000_000;
 /// Arithmetic saturates at [`Fixed::INFINITY`] so DP sentinel values behave
 /// like IEEE infinities under addition and comparison. Multiplication and
 /// division run through `i128` intermediates and truncate toward zero.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fixed(pub i64);
 
 impl Fixed {
@@ -354,11 +351,13 @@ mod tests {
     }
 
     #[test]
-    fn fixed_serde_roundtrip() {
+    fn fixed_json_roundtrip() {
+        use crate::json::{Json, JsonScalar};
         let x = Fixed::from_f64(4.25);
-        let s = serde_json::to_string(&x).unwrap();
-        assert_eq!(s, "4250000");
-        let y: Fixed = serde_json::from_str(&s).unwrap();
+        let j = x.to_json();
+        // Transparent micro-unit form, matching the archived wire shape.
+        assert_eq!(j.to_string_compact(), "4250000");
+        let y = Fixed::from_json(&Json::parse("4250000").unwrap()).unwrap();
         assert_eq!(x, y);
     }
 }

@@ -7,7 +7,7 @@ use crate::scalar::Scalar;
 
 /// A cache interval `H(s, from, to)`: the item is held on `s` for
 /// `[from, to]`, costing `μ·(to − from)`.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct CacheInterval<S> {
     /// The caching server.
     pub server: ServerId,
@@ -45,7 +45,7 @@ impl<S: Scalar> CacheInterval<S> {
 
 /// A transfer `Tr(src, dst, at)`: an instantaneous copy of the item from
 /// `src` to `dst` at time `at`, costing `λ`.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Transfer<S> {
     /// Sending server (must hold a live copy at `at`).
     pub src: ServerId,
@@ -67,7 +67,7 @@ impl<S: Scalar> Transfer<S> {
 /// Schedules are produced by the off-line solvers (via reconstruction) and by
 /// the online executor; [`crate::validate::validate`] is the independent
 /// referee that checks feasibility and re-derives the cost.
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Schedule<S> {
     /// Cache intervals `H(s, x, y)`.
     pub caches: Vec<CacheInterval<S>>,

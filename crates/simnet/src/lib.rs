@@ -25,4 +25,4 @@ pub use event::EventQueue;
 pub use metrics::{Breakdown, CopyTimeline};
 pub use parallel::{sweep, CellResult, GridCell};
 pub use planned::{execute_plan, plan_and_execute, PlannedOutcome};
-pub use runner::{factory, run_cell, PolicyFactory, SeedResult};
+pub use runner::{factory, run_cell, run_cell_in, PolicyFactory, SeedResult};

@@ -2,16 +2,18 @@
 //!
 //! Simulation cells are embarrassingly parallel and fully deterministic
 //! per seed, so the sweep shards the grid over a fixed thread count with
-//! crossbeam scoped threads and reassembles results in grid order —
-//! results are bit-identical regardless of thread count (asserted in the
-//! tests), which is what makes the E10 scaling bench meaningful.
+//! scoped threads and reassembles results in grid order — results are
+//! bit-identical regardless of thread count (asserted in the tests), which
+//! is what makes the E10 scaling bench meaningful.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use std::thread;
 
 use mcc_workloads::Workload;
 
-use crate::runner::{run_cell, PolicyFactory, SeedResult};
+use mcc_core::offline::SolverWorkspace;
+
+use crate::runner::{run_cell_in, PolicyFactory, SeedResult};
 
 /// A named cell of the sweep grid.
 pub struct GridCell<'a> {
@@ -66,23 +68,31 @@ pub fn sweep(
 
         thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if unit >= units {
-                        break;
+                scope.spawn(|| {
+                    // One solver workspace per worker: warm buffers amortize
+                    // across every unit this thread steals, and per-seed
+                    // determinism keeps results independent of which thread
+                    // (and thus which dirty workspace) runs a unit.
+                    let mut ws = SolverWorkspace::new();
+                    loop {
+                        let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if unit >= units {
+                            break;
+                        }
+                        let cell_idx = unit / seed_ref.len();
+                        let seed_idx = unit % seed_ref.len();
+                        let seed = seed_ref[seed_idx];
+                        let cell = &cells_ref[cell_idx];
+                        let result =
+                            run_cell_in(cell.policy, cell.workload, seed..seed + 1, &mut ws)
+                                .pop()
+                                .expect("one seed yields one result");
+                        slots[cell_idx].lock().expect("slot lock poisoned")[seed_idx] =
+                            Some(result);
                     }
-                    let cell_idx = unit / seed_ref.len();
-                    let seed_idx = unit % seed_ref.len();
-                    let seed = seed_ref[seed_idx];
-                    let cell = &cells_ref[cell_idx];
-                    let result = run_cell(cell.policy, cell.workload, seed..seed + 1)
-                        .pop()
-                        .expect("one seed yields one result");
-                    slots[cell_idx].lock()[seed_idx] = Some(result);
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
     }
 
     cells
@@ -146,19 +156,26 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic_across_thread_counts() {
+        // Workloads of *different shapes* (n and m), so a worker's reused
+        // per-thread SolverWorkspace crosses shapes in whatever order the
+        // work-stealing happens to interleave — results must not depend on
+        // which thread's dirty workspace ran a unit. Thread counts 1, 3 and
+        // 4 give distinct stealing patterns over the 16 units.
         let sc = factory(SpeculativeCaching::<f64>::paper());
         let follow = factory(Follow::new());
         let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
-        let w2 = ZipfWorkload::new(CommonParams::small().with_size(4, 40), 1.0, 1.2);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
         let single = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 1);
-        let multi = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 4);
         assert_eq!(single.len(), 4);
-        for (a, b) in single.iter().zip(&multi) {
-            assert_eq!(a.policy_name, b.policy_name);
-            assert_eq!(a.workload_name, b.workload_name);
-            for (x, y) in a.results.iter().zip(&b.results) {
-                assert_eq!(x.online_cost, y.online_cost);
-                assert_eq!(x.opt_cost, y.opt_cost);
+        for threads in [3, 4] {
+            let multi = sweep(grid(&sc, &follow, &w1, &w2), 0..4, threads);
+            for (a, b) in single.iter().zip(&multi) {
+                assert_eq!(a.policy_name, b.policy_name);
+                assert_eq!(a.workload_name, b.workload_name);
+                for (x, y) in a.results.iter().zip(&b.results) {
+                    assert_eq!(x.online_cost, y.online_cost, "{threads} threads");
+                    assert_eq!(x.opt_cost, y.opt_cost, "{threads} threads");
+                }
             }
         }
     }

@@ -1,6 +1,6 @@
 //! One experiment cell: a policy set against a workload across seeds.
 
-use mcc_core::offline::optimal_cost;
+use mcc_core::offline::{solve_fast_in, SolverWorkspace};
 use mcc_core::online::{run_policy, OnlinePolicy};
 use mcc_workloads::Workload;
 
@@ -41,12 +41,29 @@ pub fn run_cell(
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
 ) -> Vec<SeedResult> {
+    let mut ws = SolverWorkspace::new();
+    run_cell_in(policy_factory, workload, seeds, &mut ws)
+}
+
+/// [`run_cell`] reusing a caller-owned solver workspace across seeds.
+///
+/// The policy instance is created once and reset per seed (the executor
+/// resets before every run), and the off-line optimum reuses `ws`'s
+/// buffers, so the per-seed steady state allocates only what the workload
+/// generator and the run record themselves need. The parallel sweep gives
+/// each worker thread one workspace.
+pub fn run_cell_in(
+    policy_factory: &PolicyFactory,
+    workload: &dyn Workload,
+    seeds: std::ops::Range<u64>,
+    ws: &mut SolverWorkspace<f64>,
+) -> Vec<SeedResult> {
+    let mut policy = policy_factory();
     seeds
         .map(|seed| {
             let inst = workload.generate(seed);
-            let mut policy = policy_factory();
             let run = run_policy(policy.as_mut(), &inst);
-            let opt = optimal_cost(&inst);
+            let opt = solve_fast_in(&inst, ws).optimal_cost();
             SeedResult {
                 seed,
                 online_cost: run.total_cost,
@@ -78,6 +95,23 @@ mod tests {
                 r.ratio
             );
             assert!((r.breakdown.total() - r.online_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+        let w2 = PoissonWorkload::uniform(CommonParams::small().with_size(2, 10), 2.0);
+        let f = factory(SpeculativeCaching::paper());
+        let mut ws = SolverWorkspace::new();
+        // Dirty the workspace on a different-shaped cell first.
+        let _ = run_cell_in(&f, &w2, 0..3, &mut ws);
+        let reused = run_cell_in(&f, &w1, 0..5, &mut ws);
+        let fresh = run_cell(&f, &w1, 0..5);
+        for (x, y) in reused.iter().zip(&fresh) {
+            assert_eq!(x.online_cost, y.online_cost);
+            assert_eq!(x.opt_cost, y.opt_cost);
+            assert_eq!(x.transfers, y.transfers);
         }
     }
 

@@ -47,7 +47,7 @@ pub trait Workload: Send + Sync {
 }
 
 /// Shared parameters every family needs.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct CommonParams {
     /// Number of servers `m`.
     pub servers: usize,

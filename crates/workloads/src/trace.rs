@@ -2,8 +2,8 @@
 //!
 //! Two formats:
 //!
-//! * **JSON** (via serde): the full [`Instance`] including the cost model —
-//!   what experiment reports archive.
+//! * **JSON** (via `mcc_model::json`): the full [`Instance`] including the
+//!   cost model — what experiment reports archive.
 //! * **Compact text** (the `m=… mu=… lambda=… | sJ@T …` one-liner from
 //!   `mcc-model`): convenient for hand-written fixtures and quick diffing.
 //!
@@ -23,14 +23,13 @@ use crate::gen::Workload;
 
 /// Saves an instance as pretty JSON.
 pub fn save_json(inst: &Instance<f64>, path: &Path) -> io::Result<()> {
-    let body = serde_json::to_string_pretty(inst).expect("instances always serialize");
-    fs::write(path, body)
+    fs::write(path, inst.to_json_string_pretty())
 }
 
 /// Loads an instance from JSON.
 pub fn load_json(path: &Path) -> io::Result<Instance<f64>> {
     let body = fs::read_to_string(path)?;
-    serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Instance::from_json_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Saves an instance in the compact one-line text format.
