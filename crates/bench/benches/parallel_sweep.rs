@@ -38,11 +38,7 @@ fn parallel_scaling(c: &mut Criterion) {
                     let mut cells = Vec::new();
                     for (name, f) in &policies {
                         for w in &workloads {
-                            cells.push(GridCell {
-                                policy_name: name.clone(),
-                                policy: f,
-                                workload: w.as_ref(),
-                            });
+                            cells.push(GridCell::new(name.clone(), f, w.as_ref()));
                         }
                     }
                     sweep(cells, 0..8, threads).len()

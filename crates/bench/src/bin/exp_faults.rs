@@ -1,0 +1,7 @@
+//! E15 — fault injection: crash survival and its price.
+
+use mcc_bench::exp::{faults, Scale};
+
+fn main() {
+    println!("{}", faults::section(Scale::from_args()).to_markdown());
+}

@@ -35,9 +35,11 @@ fn main() {
         exp::classic::section(scale),
         exp::prediction::section(scale),
         exp::hetero::section(scale),
+        exp::faults::section(scale),
     ];
+    let total = sections.len();
     for (k, s) in sections.into_iter().enumerate() {
-        eprintln!("[{}/22] {} — {}", k + 1, s.id, s.title);
+        eprintln!("[{}/{total}] {} — {}", k + 1, s.id, s.title);
         report.push(s);
     }
 

@@ -162,11 +162,7 @@ pub fn sweep_rate(scale: Scale) -> (usize, u64, f64) {
         ("follow", &follow, &w2),
     ]
     .into_iter()
-    .map(|(name, policy, workload)| GridCell {
-        policy_name: name.into(),
-        policy,
-        workload,
-    })
+    .map(|(name, policy, workload)| GridCell::new(name, policy, workload))
     .collect();
     let n_cells = cells.len();
     let t0 = Instant::now();

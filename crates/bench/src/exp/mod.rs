@@ -11,6 +11,7 @@ pub mod bench_solver;
 pub mod breakdown;
 pub mod classic;
 pub mod epoch;
+pub mod faults;
 pub mod figs_offline;
 pub mod figs_online;
 pub mod hetero;

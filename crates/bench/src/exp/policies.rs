@@ -48,11 +48,7 @@ pub fn measure(scale: Scale) -> Vec<ShootoutCell> {
     let mut cells = Vec::new();
     for (name, f) in &policies {
         for w in &workloads {
-            cells.push(GridCell {
-                policy_name: name.clone(),
-                policy: f,
-                workload: w.as_ref(),
-            });
+            cells.push(GridCell::new(name.clone(), f, w.as_ref()));
         }
     }
     let results = sweep(cells, 0..scale.seeds, 0);

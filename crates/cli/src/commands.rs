@@ -104,21 +104,20 @@ pub fn solve(args: &ParsedArgs) -> Result<String, String> {
     let checked = mcc_model::validate(&inst, &sched)
         .map_err(|e| format!("internal error: optimal schedule failed validation: {e:?}"))?;
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "optimal cost C(n) = {} (caching {}, transfers {} over {} moves)",
         fnum(cost),
         fnum(checked.caching),
         fnum(checked.transfer),
         sched.transfers.len()
-    )
-    .unwrap();
+    );
     if args.has_flag("schedule") {
         for h in &sched.caches {
-            writeln!(out, "  H({}, {}, {})", h.server, fnum(h.from), fnum(h.to)).unwrap();
+            let _ = writeln!(out, "  H({}, {}, {})", h.server, fnum(h.from), fnum(h.to));
         }
         for t in &sched.transfers {
-            writeln!(out, "  Tr({}, {}, {})", t.src, t.dst, fnum(t.at)).unwrap();
+            let _ = writeln!(out, "  Tr({}, {}, {})", t.src, t.dst, fnum(t.at));
         }
     }
     if args.has_flag("diagram") {
@@ -133,28 +132,26 @@ pub fn online(args: &ParsedArgs) -> Result<String, String> {
     let mut policy = build_policy(args.opt_or("policy", "sc"))?;
     let run = run_policy(policy.as_mut(), &inst);
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "{}: cost {} ({} transfers, {} cache hits)",
         run.policy,
         fnum(run.total_cost),
         run.transfers(),
         run.cache_hits()
-    )
-    .unwrap();
+    );
     if args.has_flag("analyze") {
         let report = analyze(&inst, &run);
-        writeln!(out, "  off-line optimum: {}", fnum(report.opt_cost)).unwrap();
-        writeln!(out, "  competitive ratio: {}", fnum(report.ratio())).unwrap();
-        writeln!(
+        let _ = writeln!(out, "  off-line optimum: {}", fnum(report.opt_cost));
+        let _ = writeln!(out, "  competitive ratio: {}", fnum(report.ratio()));
+        let _ = writeln!(
             out,
             "  theorem chain: {}",
             match report.check_chain(1e-9) {
                 Ok(()) => "verified (Π(SC) ≤ 3·Π(OPT) + λ)".to_string(),
                 Err(e) => format!("VIOLATED — {e}"),
             }
-        )
-        .unwrap();
+        );
     }
     if args.has_flag("diagram") {
         out.push_str(&render(&inst, &run.schedule));
@@ -347,28 +344,26 @@ pub fn info(args: &ParsedArgs) -> Result<String, String> {
         )
         .count();
     let mut out = String::new();
-    writeln!(out, "servers (m):             {}", inst.servers()).unwrap();
-    writeln!(out, "requests (n):            {}", inst.n()).unwrap();
-    writeln!(out, "horizon (t_n):           {}", fnum(inst.horizon())).unwrap();
-    writeln!(
+    let _ = writeln!(out, "servers (m):             {}", inst.servers());
+    let _ = writeln!(out, "requests (n):            {}", inst.n());
+    let _ = writeln!(out, "horizon (t_n):           {}", fnum(inst.horizon()));
+    let _ = writeln!(
         out,
         "cost model:              mu = {}, lambda = {}, Δt = {}",
         fnum(inst.cost().mu),
         fnum(inst.cost().lambda),
         fnum(inst.cost().delta_t())
-    )
-    .unwrap();
+    );
     if let Some((j, c)) = busiest {
-        writeln!(out, "busiest server:          s^{} ({} requests)", j + 1, c).unwrap();
+        let _ = writeln!(out, "busiest server:          s^{} ({} requests)", j + 1, c);
     }
-    writeln!(out, "cache-friendly requests: {cheap_sigma} (μσ < λ)").unwrap();
-    writeln!(
+    let _ = writeln!(out, "cache-friendly requests: {cheap_sigma} (μσ < λ)");
+    let _ = writeln!(
         out,
         "running bound B_n:       {}",
         fnum(scan.total_lower_bound())
-    )
-    .unwrap();
-    writeln!(out, "optimal cost C(n):       {}", fnum(sol.optimal_cost())).unwrap();
+    );
+    let _ = writeln!(out, "optimal cost C(n):       {}", fnum(sol.optimal_cost()));
     Ok(out)
 }
 

@@ -23,6 +23,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Every code path here is reachable from user input (argv, trace files),
+// so non-test code must propagate errors instead of panicking; CI promotes
+// these to hard errors via `clippy -- -D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod args;
 pub mod commands;

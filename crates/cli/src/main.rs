@@ -1,12 +1,30 @@
 //! The `mcc` binary: parse, dispatch, print.
+//!
+//! Exit codes: `0` success (including a broken pipe while printing — the
+//! Unix convention when the consumer, e.g. `head`, closes early), `1` for
+//! other I/O failures while writing output, `2` for parse/run errors.
+
+use std::io::Write;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match mcc_cli::run(&argv) {
-        Ok(out) => print!("{out}"),
+    let code = match mcc_cli::run(&argv) {
+        Ok(out) => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            match lock.write_all(out.as_bytes()).and_then(|()| lock.flush()) {
+                Ok(()) => 0,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+                Err(e) => {
+                    eprintln!("error: cannot write output: {e}");
+                    1
+                }
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            2
         }
-    }
+    };
+    std::process::exit(code);
 }

@@ -19,7 +19,7 @@
 use mcc_model::{CostModel, Scalar, ServerId};
 
 use super::policy::{OnlinePolicy, ServeAction};
-use super::tracker::Runtime;
+use super::tracker::CopyOps;
 
 /// Single migrating copy: the data follows the request stream.
 #[derive(Clone, Debug, Default)]
@@ -45,7 +45,7 @@ impl<S: Scalar> OnlinePolicy<S> for Follow {
         self.holder = ServerId::ORIGIN;
     }
 
-    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction {
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
         if server == self.holder {
             rt.touch(server, t);
             ServeAction::Cache
@@ -78,7 +78,7 @@ impl<S: Scalar> OnlinePolicy<S> for StayAtOrigin {
 
     fn reset(&mut self, _servers: usize, _cost: &CostModel<S>) {}
 
-    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction {
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
         if server == ServerId::ORIGIN {
             rt.touch(server, t);
             ServeAction::Cache
@@ -118,7 +118,7 @@ impl<S: Scalar> OnlinePolicy<S> for KeepEverywhere {
         self.last_used = ServerId::ORIGIN;
     }
 
-    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction {
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
         let action = if rt.is_open(server) {
             rt.touch(server, t);
             ServeAction::Cache

@@ -108,7 +108,12 @@ mod tests {
         fn reset(&mut self, _servers: usize, _cost: &CostModel<f64>) {
             self.holder = ServerId::ORIGIN;
         }
-        fn on_request(&mut self, t: f64, server: ServerId, rt: &mut Runtime<f64>) -> ServeAction {
+        fn on_request(
+            &mut self,
+            t: f64,
+            server: ServerId,
+            rt: &mut dyn super::super::tracker::CopyOps<f64>,
+        ) -> ServeAction {
             if server == self.holder {
                 rt.touch(server, t);
                 ServeAction::Cache

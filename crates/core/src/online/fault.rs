@@ -1,0 +1,726 @@
+//! Fault model and the fault-tolerant policy wrapper.
+//!
+//! A [`FaultPlan`] is a deterministic description of everything that goes
+//! wrong during one run: server crash/recovery windows, transfer failures
+//! (a transfer attempt that must be retried, each failed attempt paying a
+//! full `λ`), and transfer delays. Plans are plain data — the seed-driven
+//! generator lives in `mcc-simnet` — so the same plan can degrade an
+//! online run and an off-line plan execution identically.
+//!
+//! [`FaultTolerant`] wraps any [`OnlinePolicy`] and makes it survive a
+//! plan. The wrapped policy keeps issuing operations against what it
+//! *believes* the copy state is; a [`CopyOps`] mediator interposes and
+//! repairs each operation against reality:
+//!
+//! * a **crash** closes the server's live copy at the crash instant
+//!   (copies do not survive an outage — cached state is volatile);
+//! * a **touch on a crash-lost copy** becomes a failover transfer from the
+//!   cheapest surviving replica (uniform `λ` makes every source equally
+//!   cheap, so "cheapest" resolves to the most recently used live copy,
+//!   whose speculative window has the longest remaining life);
+//! * a **transfer from a crash-lost source** fails over the source the
+//!   same way;
+//! * a **transfer onto a server that already holds a management replica**
+//!   adopts the replica instead (a local serve, no `λ` paid);
+//! * a **transfer onto a server that is currently down** degrades to a
+//!   remote read: the copy serves the request instant and is dropped
+//!   (`λ` paid, no caching accrues — the same shape `StayAtOrigin` uses);
+//! * whenever a crash leaves a **single live copy** while more crashes are
+//!   still to come, the wrapper re-replicates to the lowest-indexed up
+//!   server (emergency re-replication, one `λ`); if every other server is
+//!   down, the replication is pended and executed at the next recovery.
+//!
+//! Transfer failures never abort service: the plan prescribes how many
+//! attempts fail before one succeeds ([`FaultPlan::failed_attempts`]), and
+//! the wrapper charges each failed attempt a full `λ` as a retry
+//! surcharge, tracked in [`FaultStats::retry_cost`] *outside* the
+//! schedule (the schedule records the successful attempt only, keeping it
+//! referee-valid).
+//!
+//! With a trivial plan ([`FaultPlan::none`]) the wrapper is an exact
+//! pass-through: every operation reaches the runtime unchanged, so
+//! fault-free wrapped runs are bit-identical to unwrapped runs (asserted
+//! by the property tests in `mcc-simnet`).
+
+use mcc_model::{CostModel, Scalar, ServerId};
+
+use super::policy::{OnlinePolicy, ServeAction};
+use super::tracker::CopyOps;
+
+/// One server outage: the server is down over the half-open `[from, to)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CrashWindow {
+    /// The crashing server.
+    pub server: ServerId,
+    /// Crash instant (inclusive).
+    pub from: f64,
+    /// Recovery instant (exclusive — the server is up again at `to`).
+    pub to: f64,
+}
+
+/// A deterministic description of every fault in one run.
+///
+/// Invariant expected by [`FaultTolerant`]'s survival guarantee: at every
+/// crash instant at least one server is up (the seed-driven generator in
+/// `mcc-simnet` enforces a cap of `m − 1` concurrent outages). A plan
+/// violating this can extinguish the item; the wrapper then degrades to
+/// unserved requests (reported by the auditor) rather than panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Outages, sorted by crash instant.
+    crashes: Vec<CrashWindow>,
+    /// Seed for the deterministic transfer-failure/delay draws.
+    fail_seed: u64,
+    /// Per-attempt transfer failure probability in `[0, 1)`.
+    fail_prob: f64,
+    /// Cap on consecutive failed attempts of one transfer.
+    max_failed_attempts: u32,
+    /// Mean transfer delay (exponential); `0` disables delays.
+    mean_delay: f64,
+}
+
+impl FaultPlan {
+    /// The trivial plan: nothing ever fails.
+    pub fn none() -> Self {
+        FaultPlan {
+            crashes: Vec::new(),
+            fail_seed: 0,
+            fail_prob: 0.0,
+            max_failed_attempts: 0,
+            mean_delay: 0.0,
+        }
+    }
+
+    /// Builds a plan from explicit parts. Windows are sorted by crash
+    /// instant; malformed windows (non-finite, negative, or empty) are
+    /// dropped. `fail_prob` is clamped to `[0, 0.999]`.
+    pub fn new(
+        mut crashes: Vec<CrashWindow>,
+        fail_seed: u64,
+        fail_prob: f64,
+        max_failed_attempts: u32,
+        mean_delay: f64,
+    ) -> Self {
+        crashes.retain(|w| {
+            w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from
+        });
+        crashes.sort_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
+        FaultPlan {
+            crashes,
+            fail_seed,
+            fail_prob: if fail_prob.is_finite() {
+                fail_prob.clamp(0.0, 0.999)
+            } else {
+                0.0
+            },
+            max_failed_attempts,
+            mean_delay: if mean_delay.is_finite() {
+                mean_delay.max(0.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_trivial(&self) -> bool {
+        self.crashes.is_empty() && self.fail_prob == 0.0 && self.mean_delay == 0.0
+    }
+
+    /// Whether any crash windows exist.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// The outage windows, sorted by crash instant.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Whether `server` is down at instant `t`.
+    pub fn is_down(&self, server: ServerId, t: f64) -> bool {
+        self.crashes
+            .iter()
+            .take_while(|w| w.from <= t)
+            .any(|w| w.server == server && t < w.to)
+    }
+
+    /// The first crash of `server` strictly after `t`, if any.
+    pub fn next_crash_after(&self, server: ServerId, t: f64) -> Option<f64> {
+        self.crashes
+            .iter()
+            .find(|w| w.server == server && w.from > t)
+            .map(|w| w.from)
+    }
+
+    /// The crash instant of the latest-starting window (`-inf` if none):
+    /// past this time no further outage can begin.
+    pub fn last_crash_start(&self) -> f64 {
+        self.crashes.last().map_or(f64::NEG_INFINITY, |w| w.from)
+    }
+
+    /// How many attempts of the transfer `src → dst` at `t` fail before
+    /// one succeeds. Deterministic in `(fail_seed, src, dst, t)`:
+    /// geometric with per-attempt probability `fail_prob`, capped at
+    /// `max_failed_attempts`.
+    pub fn failed_attempts(&self, src: ServerId, dst: ServerId, t: f64) -> u32 {
+        if self.fail_prob <= 0.0 || self.max_failed_attempts == 0 {
+            return 0;
+        }
+        let mut x = mix(self
+            .fail_seed
+            .wrapping_add((src.index() as u64) << 32)
+            .wrapping_add((dst.index() as u64) << 16)
+            .wrapping_add(t.to_bits()));
+        let mut k = 0u32;
+        while k < self.max_failed_attempts {
+            x = mix(x);
+            if unit(x) >= self.fail_prob {
+                break;
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Deterministic exponential transfer delay for `src → dst` at `t`
+    /// (mean [`mean_delay`](FaultPlan::new); `0` when delays are off).
+    /// Delays are accounted as latency ([`FaultStats::total_delay`]), not
+    /// as schedule time — the model's transfers stay instantaneous.
+    pub fn delay_for(&self, src: ServerId, dst: ServerId, t: f64) -> f64 {
+        if self.mean_delay <= 0.0 {
+            return 0.0;
+        }
+        let x = mix(self
+            .fail_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src.index() as u64) << 40)
+            .wrapping_add((dst.index() as u64) << 20)
+            .wrapping_add(t.to_bits()));
+        -self.mean_delay * (1.0 - unit(x)).ln()
+    }
+}
+
+/// splitmix64 finalizer: a well-mixed 64-bit hash step.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-run fault counters, surfaced through `mcc-simnet`'s metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Live copies closed by a crash.
+    pub copies_lost: usize,
+    /// Failed transfer attempts that were retried.
+    pub retries: usize,
+    /// Serves/transfers rerouted because the believed source was lost.
+    pub failovers: usize,
+    /// Emergency re-replications after a crash left one live copy.
+    pub emergency_replications: usize,
+    /// Transfers that adopted an existing management replica (no `λ`).
+    pub adopted_replicas: usize,
+    /// Requests served by a remote read because the server was down.
+    pub down_serves: usize,
+    /// Periods the system spent at a single live copy after a crash.
+    pub copy_loss_windows: usize,
+    /// Total `λ` surcharge paid for failed transfer attempts.
+    pub retry_cost: f64,
+    /// Total transfer latency accrued (latency metric, not `λ/μ` cost).
+    pub total_delay: f64,
+}
+
+/// A crash or recovery instant, in the merged per-run event order.
+#[derive(Copy, Clone, Debug)]
+enum FaultEvent {
+    Up { at: f64 },
+    Down { server: ServerId, at: f64 },
+}
+
+impl FaultEvent {
+    fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::Up { at, .. } | FaultEvent::Down { at, .. } => at,
+        }
+    }
+    /// Recoveries sort before crashes at the same instant, so a pended
+    /// replication can land on a server recovering exactly when another
+    /// crashes.
+    fn order(&self) -> u8 {
+        match self {
+            FaultEvent::Up { .. } => 0,
+            FaultEvent::Down { .. } => 1,
+        }
+    }
+}
+
+/// Wraps an online policy with crash/failure handling for a [`FaultPlan`].
+///
+/// See the module docs for the exact degradation semantics. The inner
+/// policy's believed copy state can drift from reality after a crash; the
+/// mediator reconciles every operation, so the recorded schedule reflects
+/// what actually happened and stays auditor-clean.
+pub struct FaultTolerant<P> {
+    inner: P,
+    plan: FaultPlan,
+    stats: FaultStats,
+    lambda: f64,
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    pending_replica: bool,
+    bootstrapped: bool,
+}
+
+impl<P> FaultTolerant<P> {
+    /// Wraps `inner` to run against `plan`.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        FaultTolerant {
+            inner,
+            plan,
+            stats: FaultStats::default(),
+            lambda: 0.0,
+            events: Vec::new(),
+            next_event: 0,
+            pending_replica: false,
+            bootstrapped: false,
+        }
+    }
+
+    /// The fault counters accumulated by the current run.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The plan this wrapper runs against.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Unwraps the inner policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+/// The live copy with the latest last touch (ties: lowest index), i.e. the
+/// cheapest surviving replica under uniform `λ`. `exclude` skips the
+/// failed destination itself.
+fn best_source<S: Scalar>(rt: &dyn CopyOps<S>, exclude: Option<ServerId>) -> Option<ServerId> {
+    let mut best: Option<(S, ServerId)> = None;
+    for j in 0..rt.servers() {
+        let id = ServerId::from_index(j);
+        if Some(id) == exclude || !rt.is_open(id) {
+            continue;
+        }
+        if let Some(lt) = rt.last_touch(id) {
+            let better = match best {
+                None => true,
+                Some((bt, _)) => lt > bt,
+            };
+            if better {
+                best = Some((lt, id));
+            }
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+impl<P> FaultTolerant<P> {
+    /// Processes every crash/recovery event at or before `until`.
+    fn advance_faults<S: Scalar>(&mut self, rt: &mut dyn CopyOps<S>, until: f64) {
+        while self.next_event < self.events.len() && self.events[self.next_event].at() <= until {
+            let ev = self.events[self.next_event];
+            self.next_event += 1;
+            match ev {
+                FaultEvent::Up { at, .. } => {
+                    if self.pending_replica && rt.live_copies() == 1 {
+                        self.pending_replica = false;
+                        self.ensure_redundancy(rt, S::from_f64(at));
+                    }
+                }
+                FaultEvent::Down { server, at } => {
+                    if !rt.is_open(server) {
+                        continue;
+                    }
+                    let mut ct = S::from_f64(at);
+                    if let Some(lt) = rt.last_touch(server) {
+                        ct = ct.max2(lt);
+                    }
+                    let mut evacuated = false;
+                    if rt.live_copies() == 1 {
+                        // The sole copy is on the crashing server: evacuate
+                        // it in the instant before the crash takes hold.
+                        // The generator's concurrency cap guarantees an up
+                        // target exists at every crash start.
+                        let target = (0..rt.servers())
+                            .map(ServerId::from_index)
+                            .find(|&s| s != server && !self.plan.is_down(s, at));
+                        if let Some(dst) = target {
+                            self.charge_transfer(server, dst, ct.to_f64());
+                            rt.transfer(server, dst, ct);
+                            self.stats.emergency_replications += 1;
+                            evacuated = true;
+                        }
+                    }
+                    rt.close(server, ct);
+                    self.stats.copies_lost += 1;
+                    if rt.live_copies() == 1 {
+                        self.stats.copy_loss_windows += 1;
+                        if evacuated {
+                            // The survivor was created this very instant; it
+                            // cannot legally source another transfer at the
+                            // same time (no same-instant relay chains), so
+                            // the second replica waits for the next event.
+                            self.pending_replica = true;
+                        } else {
+                            self.ensure_redundancy(rt, ct);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-replicates the sole surviving copy to the lowest-indexed up
+    /// server, or pends the replication if everything else is down. A
+    /// no-op once no further crash can start (insurance would be wasted).
+    fn ensure_redundancy<S: Scalar>(&mut self, rt: &mut dyn CopyOps<S>, at: S) {
+        if rt.live_copies() != 1 || at.to_f64() > self.plan.last_crash_start() {
+            return;
+        }
+        let holder = match (0..rt.servers())
+            .map(ServerId::from_index)
+            .find(|&s| rt.is_open(s))
+        {
+            Some(s) => s,
+            None => return,
+        };
+        // A copy whose latest touch *is* this instant may have been created
+        // right now (same-instant relay chains are infeasible); defer unless
+        // it is the origin's initial copy, which grounds transfers at t = 0.
+        let grounded = holder == ServerId::ORIGIN && at.to_f64() == 0.0;
+        if rt.last_touch(holder) == Some(at) && !grounded {
+            self.pending_replica = true;
+            return;
+        }
+        let target = (0..rt.servers())
+            .map(ServerId::from_index)
+            .find(|&s| s != holder && !self.plan.is_down(s, at.to_f64()));
+        match target {
+            None => self.pending_replica = true,
+            Some(dst) => {
+                self.charge_transfer(holder, dst, at.to_f64());
+                rt.transfer(holder, dst, at);
+                self.stats.emergency_replications += 1;
+            }
+        }
+    }
+
+    /// Accrues the retry surcharge and delay for one successful transfer.
+    fn charge_transfer(&mut self, src: ServerId, dst: ServerId, t: f64) {
+        let k = self.plan.failed_attempts(src, dst, t);
+        self.stats.retries += k as usize;
+        self.stats.retry_cost += k as f64 * self.lambda;
+        self.stats.total_delay += self.plan.delay_for(src, dst, t);
+    }
+}
+
+impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
+    fn name(&self) -> String {
+        format!("{}+ft", self.inner.name())
+    }
+
+    fn reset(&mut self, servers: usize, cost: &CostModel<S>) {
+        self.inner.reset(servers, cost);
+        self.stats = FaultStats::default();
+        self.lambda = cost.lambda.to_f64();
+        self.events.clear();
+        for w in self.plan.crashes() {
+            self.events.push(FaultEvent::Down {
+                server: w.server,
+                at: w.from,
+            });
+            self.events.push(FaultEvent::Up { at: w.to });
+        }
+        self.events
+            .sort_by(|a, b| a.at().total_cmp(&b.at()).then(a.order().cmp(&b.order())));
+        self.next_event = 0;
+        self.pending_replica = false;
+        self.bootstrapped = false;
+    }
+
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
+        if !self.bootstrapped {
+            self.bootstrapped = true;
+            if self.plan.has_crashes() {
+                // Insurance from the start: the origin's sole initial copy
+                // is one crash away from extinction.
+                self.ensure_redundancy(rt, S::ZERO);
+            }
+        }
+        self.advance_faults(rt, t.to_f64());
+        // Split borrows: the mediator takes the plan and counters, the
+        // inner policy drives it.
+        let mut view = FaultView {
+            rt,
+            plan: &self.plan,
+            stats: &mut self.stats,
+            lambda: self.lambda,
+        };
+        self.inner.on_request(t, server, &mut view)
+    }
+
+    fn close_time(&self, server: ServerId, last_touch: S, horizon: S) -> S {
+        let t = self.inner.close_time(server, last_touch, horizon);
+        // A crash pre-empts the policy's intended close: the copy is gone
+        // at the crash instant, so no caching accrues past it.
+        match self.plan.next_crash_after(server, last_touch.to_f64()) {
+            Some(c) if c < t.to_f64() => S::from_f64(c).max2(last_touch),
+            _ => t,
+        }
+    }
+}
+
+/// The mediating [`CopyOps`] the inner policy drives: reconciles each
+/// believed operation against actual (post-crash) copy state.
+struct FaultView<'a, S> {
+    rt: &'a mut dyn CopyOps<S>,
+    plan: &'a FaultPlan,
+    stats: &'a mut FaultStats,
+    lambda: f64,
+}
+
+impl<S: Scalar> FaultView<'_, S> {
+    fn charge(&mut self, src: ServerId, dst: ServerId, t: f64) {
+        let k = self.plan.failed_attempts(src, dst, t);
+        self.stats.retries += k as usize;
+        self.stats.retry_cost += k as f64 * self.lambda;
+        self.stats.total_delay += self.plan.delay_for(src, dst, t);
+    }
+
+    /// Delivers a copy to `dst` from the best live source; degrades to a
+    /// serve-and-drop when `dst` is down. No-op (an unserved request the
+    /// auditor will flag) in the unreachable all-dead state.
+    fn deliver(&mut self, dst: ServerId, t: S) {
+        let src = match best_source(self.rt, Some(dst)) {
+            Some(s) => s,
+            None => return,
+        };
+        self.charge(src, dst, t.to_f64());
+        self.rt.transfer(src, dst, t);
+        if self.plan.is_down(dst, t.to_f64()) {
+            // The server can't hold the copy: remote read, drop on arrival.
+            self.rt.close(dst, t);
+            self.stats.down_serves += 1;
+        }
+    }
+}
+
+impl<S: Scalar> CopyOps<S> for FaultView<'_, S> {
+    fn servers(&self) -> usize {
+        self.rt.servers()
+    }
+    fn is_open(&self, server: ServerId) -> bool {
+        self.rt.is_open(server)
+    }
+    fn live_copies(&self) -> usize {
+        self.rt.live_copies()
+    }
+    fn last_touch(&self, server: ServerId) -> Option<S> {
+        self.rt.last_touch(server)
+    }
+
+    fn touch(&mut self, server: ServerId, t: S) {
+        if self.rt.is_open(server) {
+            self.rt.touch(server, t);
+        } else {
+            // The believed copy was crash-lost: fail over.
+            self.stats.failovers += 1;
+            self.deliver(server, t);
+        }
+    }
+
+    fn transfer(&mut self, src: ServerId, dst: ServerId, t: S) {
+        if self.rt.is_open(dst) {
+            // A management replica already lives there: adopt it.
+            self.stats.adopted_replicas += 1;
+            self.rt.touch(dst, t);
+            return;
+        }
+        if self.rt.is_open(src) && !self.plan.is_down(src, t.to_f64()) {
+            self.charge(src, dst, t.to_f64());
+            self.rt.transfer(src, dst, t);
+            if self.plan.is_down(dst, t.to_f64()) {
+                self.rt.close(dst, t);
+                self.stats.down_serves += 1;
+            }
+        } else {
+            self.stats.failovers += 1;
+            self.deliver(dst, t);
+        }
+    }
+
+    fn close(&mut self, server: ServerId, t: S) {
+        if !self.rt.is_open(server) {
+            // Already crash-closed behind the policy's back.
+            return;
+        }
+        if self.rt.live_copies() == 1 {
+            // Never drop the last real copy, whatever the policy believes.
+            return;
+        }
+        let mut ct = t;
+        if let Some(lt) = self.rt.last_touch(server) {
+            // Failover serves may have touched this copy after the
+            // policy's believed last touch; never close before it.
+            ct = ct.max2(lt);
+        }
+        self.rt.close(server, ct);
+    }
+
+    fn begin_epoch(&mut self, t: S) {
+        self.rt.begin_epoch(t)
+    }
+    fn epoch(&self) -> u32 {
+        self.rt.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::executor::run_policy;
+    use crate::online::sc::SpeculativeCaching;
+    use mcc_model::Instance;
+
+    fn inst() -> Instance<f64> {
+        Instance::from_compact("m=3 mu=1 lambda=1 | s2@0.5 s2@0.9 s3@1.4 s1@3.0 s2@3.5").unwrap()
+    }
+
+    #[test]
+    fn trivial_plan_is_bit_identical_passthrough() {
+        let plain = run_policy(&mut SpeculativeCaching::paper(), &inst());
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), FaultPlan::none());
+        let wrapped = run_policy(&mut ft, &inst());
+        assert_eq!(plain.total_cost, wrapped.total_cost);
+        assert_eq!(plain.schedule, wrapped.schedule);
+        assert_eq!(plain.actions, wrapped.actions);
+        assert_eq!(*ft.stats(), FaultStats::default());
+        assert_eq!(ft.name(), "sc+ft");
+    }
+
+    #[test]
+    fn crash_closes_copy_and_triggers_replication() {
+        // s^2 (index 1) crashes at 1.0 while it holds the hot copy.
+        let plan = FaultPlan::new(
+            vec![CrashWindow {
+                server: ServerId(1),
+                from: 1.0,
+                to: 2.0,
+            }],
+            7,
+            0.0,
+            0,
+            0.0,
+        );
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan);
+        let run = run_policy(&mut ft, &inst());
+        let stats = ft.stats();
+        assert!(stats.copies_lost >= 1, "{stats:?}");
+        // The request on s^2 at 0.9 precedes the crash; the one at 3.5 is
+        // after recovery. Service must cover all five requests.
+        assert_eq!(run.actions.len(), 5);
+        // No copy interval on s^2 may span the outage [1, 2).
+        for h in &run.schedule.caches {
+            if h.server == ServerId(1) {
+                assert!(
+                    h.to <= 1.0 + 1e-9 || h.from >= 2.0 - 1e-9,
+                    "interval {h:?} spans the outage"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_attempts_are_deterministic_and_capped() {
+        let plan = FaultPlan::new(Vec::new(), 42, 0.5, 3, 0.0);
+        let a = plan.failed_attempts(ServerId(0), ServerId(1), 1.25);
+        let b = plan.failed_attempts(ServerId(0), ServerId(1), 1.25);
+        assert_eq!(a, b, "same inputs, same draw");
+        for k in 0..200 {
+            let t = 0.1 * k as f64;
+            assert!(plan.failed_attempts(ServerId(0), ServerId(2), t) <= 3);
+        }
+        // With p = 0.5 some transfer in 200 tries fails at least once.
+        assert!((0..200).any(|k| plan.failed_attempts(ServerId(0), ServerId(2), 0.1 * k as f64) > 0));
+    }
+
+    #[test]
+    fn retry_surcharge_is_lambda_per_failed_attempt() {
+        let plan = FaultPlan::new(Vec::new(), 3, 0.9, 5, 0.0);
+        let mut ft = FaultTolerant::new(crate::online::Follow::new(), plan);
+        let _run = run_policy(&mut ft, &inst());
+        let stats = ft.stats();
+        assert!(stats.retries > 0, "p=0.9 must produce retries");
+        assert!((stats.retry_cost - stats.retries as f64).abs() < 1e-12, "λ=1");
+    }
+
+    #[test]
+    fn is_down_respects_half_open_windows() {
+        let plan = FaultPlan::new(
+            vec![CrashWindow {
+                server: ServerId(2),
+                from: 1.0,
+                to: 2.0,
+            }],
+            0,
+            0.0,
+            0,
+            0.0,
+        );
+        assert!(!plan.is_down(ServerId(2), 0.99));
+        assert!(plan.is_down(ServerId(2), 1.0));
+        assert!(plan.is_down(ServerId(2), 1.99));
+        assert!(!plan.is_down(ServerId(2), 2.0));
+        assert!(!plan.is_down(ServerId(1), 1.5));
+        assert_eq!(plan.next_crash_after(ServerId(2), 0.5), Some(1.0));
+        assert_eq!(plan.next_crash_after(ServerId(2), 1.0), None);
+    }
+
+    #[test]
+    fn malformed_windows_are_dropped() {
+        let plan = FaultPlan::new(
+            vec![
+                CrashWindow {
+                    server: ServerId(0),
+                    from: 2.0,
+                    to: 1.0,
+                },
+                CrashWindow {
+                    server: ServerId(0),
+                    from: f64::NAN,
+                    to: 3.0,
+                },
+                CrashWindow {
+                    server: ServerId(0),
+                    from: -1.0,
+                    to: 3.0,
+                },
+            ],
+            0,
+            0.0,
+            0,
+            0.0,
+        );
+        assert!(!plan.has_crashes());
+        assert!(plan.is_trivial());
+    }
+}

@@ -13,6 +13,7 @@
 pub mod baselines;
 pub mod dt;
 pub mod executor;
+pub mod fault;
 pub mod policy;
 pub mod reduction;
 pub mod sc;
@@ -21,7 +22,8 @@ pub mod tracker;
 pub use baselines::{Follow, KeepEverywhere, StayAtOrigin};
 pub use dt::{double_transfer, DtCache, DtSchedule, DtTransfer};
 pub use executor::{run_policy, OnlineRun};
+pub use fault::{CrashWindow, FaultPlan, FaultStats, FaultTolerant};
 pub use policy::{OnlinePolicy, ServeAction};
 pub use reduction::{analyze, ReductionReport};
 pub use sc::SpeculativeCaching;
-pub use tracker::{CopyRecord, RunRecord, Runtime, TransferRecord};
+pub use tracker::{CopyOps, CopyRecord, RunRecord, Runtime, TransferRecord};

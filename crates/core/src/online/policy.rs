@@ -1,14 +1,14 @@
 //! The online-policy abstraction.
 //!
 //! An online policy sees requests one at a time (nothing about the future)
-//! and drives the [`Runtime`]: touching
+//! and drives the copy state through [`CopyOps`]: touching
 //! live copies, creating copies by transfer, and deleting copies. The
 //! executor in [`crate::online::executor`] feeds it a request stream and
 //! assembles the resulting schedule.
 
 use mcc_model::{CostModel, Scalar, ServerId};
 
-use super::tracker::Runtime;
+use super::tracker::CopyOps;
 
 /// How a request was served.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -36,12 +36,27 @@ pub trait OnlinePolicy<S: Scalar> {
     /// Serves the next request at time `t` on `server`, mutating the copy
     /// state through `rt`. Must keep at least one copy live and must
     /// actually serve the request (touch the local copy or transfer to it).
-    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction;
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction;
 
     /// Close time for a copy still live when the sequence ends (its last
     /// useful touch is given). Defaults to no tail.
     fn close_time(&self, _server: ServerId, last_touch: S, _horizon: S) -> S {
         last_touch
+    }
+}
+
+impl<S: Scalar, P: OnlinePolicy<S> + ?Sized> OnlinePolicy<S> for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn reset(&mut self, servers: usize, cost: &CostModel<S>) {
+        (**self).reset(servers, cost)
+    }
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
+        (**self).on_request(t, server, rt)
+    }
+    fn close_time(&self, server: ServerId, last_touch: S, horizon: S) -> S {
+        (**self).close_time(server, last_touch, horizon)
     }
 }
 
@@ -56,7 +71,12 @@ mod tests {
             "nop".into()
         }
         fn reset(&mut self, _servers: usize, _cost: &CostModel<f64>) {}
-        fn on_request(&mut self, t: f64, server: ServerId, rt: &mut Runtime<f64>) -> ServeAction {
+        fn on_request(
+            &mut self,
+            t: f64,
+            server: ServerId,
+            rt: &mut dyn CopyOps<f64>,
+        ) -> ServeAction {
             if rt.is_open(server) {
                 rt.touch(server, t);
                 ServeAction::Cache

@@ -29,7 +29,7 @@
 use mcc_model::{CostModel, Scalar, ServerId};
 
 use super::policy::{OnlinePolicy, ServeAction};
-use super::tracker::Runtime;
+use super::tracker::CopyOps;
 
 /// Last-refresh role of a live copy, used by the pair tie-break.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -166,9 +166,14 @@ impl<S: Scalar> SpeculativeCaching<S> {
     }
 
     /// Processes every expiration event strictly before `until`.
-    fn process_expiries(&mut self, rt: &mut Runtime<S>, until: S) {
+    fn process_expiries(&mut self, rt: &mut dyn CopyOps<S>, until: S) {
         loop {
-            let live = rt.live_copies();
+            // The policy's *believed* copy count, not `rt.live_copies()`:
+            // under fault injection reality can diverge from belief (crashes
+            // destroy copies, the wrapper creates repair replicas), and the
+            // expiration rules must stay self-consistent with `self.expiry`
+            // or believed expiries go stale. Fault-free, belief == reality.
+            let live = self.expiry.iter().flatten().count();
             // Earliest scheduled expiry strictly before `until`.
             let mut tau = until;
             for e in self.expiry.iter().flatten() {
@@ -240,7 +245,7 @@ impl<S: Scalar> SpeculativeCaching<S> {
         }
     }
 
-    fn drop_copy(&mut self, rt: &mut Runtime<S>, idx: usize, at: S) {
+    fn drop_copy(&mut self, rt: &mut dyn CopyOps<S>, idx: usize, at: S) {
         rt.close(ServerId::from_index(idx), at);
         self.expiry[idx] = None;
     }
@@ -275,7 +280,7 @@ impl<S: Scalar> OnlinePolicy<S> for SpeculativeCaching<S> {
         self.transfers_in_epoch = 0;
     }
 
-    fn on_request(&mut self, t: S, server: ServerId, rt: &mut Runtime<S>) -> ServeAction {
+    fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
         self.process_expiries(rt, t);
         let idx = server.index();
         let action = if self.expiry[idx].is_some() {
@@ -289,21 +294,15 @@ impl<S: Scalar> OnlinePolicy<S> for SpeculativeCaching<S> {
             ServeAction::Cache
         } else {
             // Miss: transfer from the previous request's server, whose copy
-            // the expiration rules keep alive (Observation 4). Under
-            // randomized windows that invariant can fail (the transfer
-            // pair's windows differ, so the previous copy may lapse alone);
-            // fall back to the live copy with the latest expiry.
-            let src = if rt.is_open(self.prev_server) {
-                debug_assert_ne!(
-                    self.prev_server, server,
-                    "a live local copy would have been a cache hit"
-                );
+            // the expiration rules keep alive (Observation 4). That
+            // invariant can fail under randomized windows (the transfer
+            // pair's windows differ, so the previous copy may lapse alone)
+            // and under fault injection (the copy crashed, or the local
+            // believed-dropped copy actually survived as the last live
+            // one); fall back to the copy with the latest expiry.
+            let src = if self.prev_server != server && rt.is_open(self.prev_server) {
                 self.prev_server
             } else {
-                debug_assert!(
-                    matches!(self.mode, WindowMode::Randomized { .. }),
-                    "Observation 4 guarantees the previous copy under fixed windows"
-                );
                 let best = (0..self.expiry.len())
                     .filter(|&j| self.expiry[j].is_some() && j != idx)
                     .max_by(|&a, &b| {

@@ -52,6 +52,64 @@ struct OpenCopy<S> {
     last_touch: S,
 }
 
+/// The copy-manipulation surface an online policy programs against.
+///
+/// [`Runtime`] implements it directly (the fault-free world, where every
+/// operation takes effect exactly as issued). The fault-injection layer
+/// interposes a mediating implementation that applies crash and
+/// transfer-failure semantics per operation, so policies written against
+/// `&mut dyn CopyOps<S>` run unchanged on a degraded cluster.
+pub trait CopyOps<S: Scalar> {
+    /// Number of servers.
+    fn servers(&self) -> usize;
+    /// Whether `server` currently holds a live copy.
+    fn is_open(&self, server: ServerId) -> bool;
+    /// Number of live copies.
+    fn live_copies(&self) -> usize;
+    /// Last useful touch of the live copy on `server`, if any.
+    fn last_touch(&self, server: ServerId) -> Option<S>;
+    /// Marks the live copy on `server` as used at time `t`.
+    fn touch(&mut self, server: ServerId, t: S);
+    /// Records a transfer `src → dst` at `t`.
+    fn transfer(&mut self, src: ServerId, dst: ServerId, t: S);
+    /// Closes the copy on `server` at time `t`.
+    fn close(&mut self, server: ServerId, t: S);
+    /// Starts a new epoch at time `t`.
+    fn begin_epoch(&mut self, t: S);
+    /// Current epoch index.
+    fn epoch(&self) -> u32;
+}
+
+impl<S: Scalar> CopyOps<S> for Runtime<S> {
+    fn servers(&self) -> usize {
+        Runtime::servers(self)
+    }
+    fn is_open(&self, server: ServerId) -> bool {
+        Runtime::is_open(self, server)
+    }
+    fn live_copies(&self) -> usize {
+        Runtime::live_copies(self)
+    }
+    fn last_touch(&self, server: ServerId) -> Option<S> {
+        Runtime::last_touch(self, server)
+    }
+    fn touch(&mut self, server: ServerId, t: S) {
+        Runtime::touch(self, server, t)
+    }
+    fn transfer(&mut self, src: ServerId, dst: ServerId, t: S) {
+        Runtime::transfer(self, src, dst, t)
+    }
+    fn close(&mut self, server: ServerId, t: S) {
+        Runtime::close(self, server, t)
+    }
+    fn begin_epoch(&mut self, t: S) {
+        Runtime::begin_epoch(self, t)
+    }
+    fn epoch(&self) -> u32 {
+        Runtime::epoch(self)
+    }
+}
+
 /// Copy-lifecycle bookkeeping for one online run.
 #[derive(Clone, Debug)]
 pub struct Runtime<S> {

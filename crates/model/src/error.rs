@@ -81,6 +81,13 @@ pub enum Violation {
     CoverageGap { at: f64 },
     /// No cache interval anchors the item at the origin at time zero.
     MissingOriginCopy,
+    /// Fault replay: a cache interval claims a copy through a crash of its
+    /// server — the copy was actually lost at `at`, so the schedule's
+    /// coverage (and its caching cost) past that instant is fictional.
+    CopyLostInCrash { server: ServerId, at: f64 },
+    /// Fault replay: a transfer departs a server that is down at the
+    /// transfer instant.
+    TransferDuringOutage { src: ServerId, at: f64 },
 }
 
 impl fmt::Display for Violation {
@@ -119,6 +126,12 @@ impl fmt::Display for Violation {
                     f,
                     "no cache interval anchors the initial copy at the origin at t=0"
                 )
+            }
+            Violation::CopyLostInCrash { server, at } => {
+                write!(f, "copy on {server} was lost to a crash at t={at} but the schedule keeps using it")
+            }
+            Violation::TransferDuringOutage { src, at } => {
+                write!(f, "transfer departs {src} at t={at} while the server is down")
             }
         }
     }

@@ -1,0 +1,574 @@
+//! The always-on schedule auditor.
+//!
+//! Every run that goes through `run_cell`/`sweep` is replayed here after
+//! the fact — feasibility violations, unpaid transfers and cost-accounting
+//! drift become typed [`AuditFinding`]s instead of debug-build panics, so
+//! release sweeps surface defects instead of silently aggregating bogus
+//! costs.
+//!
+//! The referee in `mcc-model` ([`mcc_model::validate_with`]) is quadratic
+//! in schedule size (`O(|H|·|T|)`), which is fine for tests but too slow
+//! to run after every seed of a full sweep. The auditor performs the same
+//! checks with per-server sorted interval indexes and binary-searched
+//! transfer lookups (`O((|H| + |T| + n)·log)`), which keeps always-on
+//! auditing unmeasurable next to the off-line DP each seed already pays
+//! for.
+//!
+//! When a [`FaultPlan`] is supplied the replay additionally applies
+//! *reality*: copies die at crash instants, intervals claimed on a down
+//! server are stillborn, transfers out of a down or crash-lost source are
+//! invalid and their delivered copies (and everything served from them)
+//! die in cascade. A fault-oblivious policy's believed schedule lights up
+//! with findings under this replay; the fault-tolerant wrapper's schedule
+//! must stay clean (property-tested in `tests/fault_properties.rs`).
+//!
+//! Boundary semantics: a copy may be read *at* the crash instant (the
+//! evacuation "last gasp" — state just before the crash takes hold), so a
+//! transfer source is only invalid strictly inside an outage; a copy
+//! *created* at or inside an outage with positive length is fictional.
+
+use mcc_core::online::{FaultPlan, OnlineRun};
+use mcc_model::{Instance, Schedule, ServerId, Violation};
+
+use crate::engine::SimOutcome;
+
+/// One defect found by the auditor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditFinding {
+    /// A feasibility violation (same vocabulary as the model referee,
+    /// extended with the fault-replay variants).
+    Violation(Violation),
+    /// The run's reported cost disagrees with the recomputed schedule cost.
+    CostDrift {
+        /// Cost the run reported.
+        reported: f64,
+        /// Cost recomputed from the schedule.
+        recomputed: f64,
+    },
+    /// Transfers were performed but not costed (or vice versa).
+    UnpaidTransfers {
+        /// Transfers in the raw run record.
+        recorded: usize,
+        /// Transfers in the costed schedule.
+        costed: usize,
+    },
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditFinding::Violation(v) => write!(f, "{v}"),
+            AuditFinding::CostDrift {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported cost {reported} drifts from recomputed {recomputed}"
+            ),
+            AuditFinding::UnpaidTransfers { recorded, costed } => write!(
+                f,
+                "{recorded} transfers performed but {costed} costed"
+            ),
+        }
+    }
+}
+
+/// The auditor's verdict on one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// Every defect found (empty for a clean run).
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// Whether the run passed with no findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Whether the report holds no findings (mirrors [`Self::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of feasibility violations (excludes accounting findings).
+    pub fn violations(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f, AuditFinding::Violation(_)))
+            .count()
+    }
+}
+
+/// Replays schedules and reports defects as typed findings.
+#[derive(Copy, Clone, Debug)]
+pub struct ScheduleAuditor {
+    /// Relative/absolute time-matching tolerance (see
+    /// `mcc_model::Scalar::approx_eq`).
+    pub tol: f64,
+}
+
+impl Default for ScheduleAuditor {
+    fn default() -> Self {
+        ScheduleAuditor { tol: 1e-9 }
+    }
+}
+
+/// A cache interval being replayed: `to` is what the schedule claims,
+/// `actual_to` what survives the fault replay.
+#[derive(Copy, Clone, Debug)]
+struct Iv {
+    from: f64,
+    to: f64,
+    actual_to: f64,
+    alive: bool,
+}
+
+impl ScheduleAuditor {
+    /// Approximate time equality, matching the model referee's rule.
+    fn eq(&self, a: f64, b: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        (a - b).abs() <= self.tol * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn le(&self, a: f64, b: f64) -> bool {
+        a <= b || self.eq(a, b)
+    }
+
+    /// Audits an online run (schedule, reported cost, transfer count).
+    pub fn audit_run(
+        &self,
+        inst: &Instance<f64>,
+        run: &OnlineRun<f64>,
+        plan: Option<&FaultPlan>,
+    ) -> AuditReport {
+        self.audit(
+            inst,
+            &run.schedule,
+            Some(run.total_cost),
+            Some(run.record.transfers.len()),
+            plan,
+        )
+    }
+
+    /// Audits a simulation outcome.
+    pub fn audit_outcome(&self, outcome: &SimOutcome, plan: Option<&FaultPlan>) -> AuditReport {
+        self.audit(
+            &outcome.instance,
+            &outcome.record.to_schedule(),
+            Some(outcome.total_cost),
+            Some(outcome.record.transfers.len()),
+            plan,
+        )
+    }
+
+    /// Full replay of `sched` against `inst` (and `plan`, when supplied).
+    pub fn audit(
+        &self,
+        inst: &Instance<f64>,
+        sched: &Schedule<f64>,
+        reported_cost: Option<f64>,
+        recorded_transfers: Option<usize>,
+        plan: Option<&FaultPlan>,
+    ) -> AuditReport {
+        let mut findings = Vec::new();
+
+        // --- structural: malformed intervals stop the replay early ------
+        let mut malformed = false;
+        for h in &sched.caches {
+            if h.to < h.from || h.from < 0.0 || !h.from.is_finite() || !h.to.is_finite() {
+                findings.push(AuditFinding::Violation(Violation::MalformedInterval {
+                    server: h.server,
+                    from: h.from,
+                    to: h.to,
+                }));
+                malformed = true;
+            }
+        }
+        if malformed {
+            return AuditReport { findings };
+        }
+
+        let servers = inst.servers();
+        // Per-server interval index, sorted by start.
+        let mut ivs: Vec<Vec<Iv>> = vec![Vec::new(); servers];
+        for h in &sched.caches {
+            if h.server.index() < servers {
+                ivs[h.server.index()].push(Iv {
+                    from: h.from,
+                    to: h.to,
+                    actual_to: h.to,
+                    alive: true,
+                });
+            }
+        }
+        for list in &mut ivs {
+            list.sort_by(|a, b| a.from.total_cmp(&b.from));
+        }
+
+        // Overlaps double-count cost (believed geometry, fault-independent).
+        for (s, list) in ivs.iter().enumerate() {
+            for w in list.windows(2) {
+                if w[1].from < w[0].to && !self.eq(w[1].from, w[0].to) {
+                    findings.push(AuditFinding::Violation(Violation::OverlappingIntervals {
+                        server: ServerId::from_index(s),
+                        at: w[1].from,
+                    }));
+                }
+            }
+        }
+
+        // All incoming transfer times per destination, for provenance.
+        let mut incoming: Vec<Vec<f64>> = vec![Vec::new(); servers];
+        for tr in &sched.transfers {
+            if tr.dst.index() < servers {
+                incoming[tr.dst.index()].push(tr.at);
+            }
+        }
+        for list in &mut incoming {
+            list.sort_by(f64::total_cmp);
+        }
+        let has_time = |list: &[f64], at: f64, tol_eq: &dyn Fn(f64, f64) -> bool| {
+            let i = list.partition_point(|&x| x < at);
+            (i < list.len() && tol_eq(list[i], at)) || (i > 0 && tol_eq(list[i - 1], at))
+        };
+
+        // Provenance: every interval starts at the origin at t = 0, at an
+        // incoming transfer, or seamlessly continues its predecessor.
+        let eqf = |a: f64, b: f64| self.eq(a, b);
+        for (s, list) in ivs.iter().enumerate() {
+            for (k, iv) in list.iter().enumerate() {
+                let origin_start = s == ServerId::ORIGIN.index() && self.eq(iv.from, 0.0);
+                let continuation = k > 0 && self.le(iv.from, list[k - 1].to);
+                if !origin_start && !continuation && !has_time(&incoming[s], iv.from, &eqf) {
+                    findings.push(AuditFinding::Violation(Violation::UnjustifiedCacheStart {
+                        server: ServerId::from_index(s),
+                        at: iv.from,
+                    }));
+                }
+            }
+        }
+
+        // --- fault replay: crashes kill copies --------------------------
+        if let Some(plan) = plan {
+            for w in plan.crashes() {
+                if w.server.index() >= servers {
+                    continue;
+                }
+                let list = &mut ivs[w.server.index()];
+                // Intervals created at/inside the outage with positive
+                // length are stillborn; intervals spanning the crash are
+                // truncated at it.
+                for iv in list.iter_mut() {
+                    if !iv.alive {
+                        continue;
+                    }
+                    if iv.from >= w.from && iv.from < w.to {
+                        if iv.actual_to > iv.from && !self.eq(iv.actual_to, iv.from) {
+                            iv.alive = false;
+                            iv.actual_to = iv.from;
+                            findings.push(AuditFinding::Violation(Violation::CopyLostInCrash {
+                                server: w.server,
+                                at: iv.from,
+                            }));
+                        }
+                    } else if iv.from < w.from
+                        && iv.actual_to > w.from
+                        && !self.eq(iv.actual_to, w.from)
+                    {
+                        iv.actual_to = w.from;
+                        findings.push(AuditFinding::Violation(Violation::CopyLostInCrash {
+                            server: w.server,
+                            at: w.from,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // --- transfers, replayed in time order --------------------------
+        // An invalid transfer kills the copy it delivered (cascade: later
+        // transfers sourced from that copy are invalid too, and requests
+        // it served go unserved).
+        let mut order: Vec<usize> = (0..sched.transfers.len()).collect();
+        order.sort_by(|&a, &b| sched.transfers[a].at.total_cmp(&sched.transfers[b].at));
+        let mut delivered: Vec<Vec<f64>> = vec![Vec::new(); servers];
+        for idx in order {
+            let tr = &sched.transfers[idx];
+            if tr.src.index() >= servers || tr.dst.index() >= servers {
+                findings.push(AuditFinding::Violation(Violation::DeadTransferSource {
+                    src: tr.src,
+                    dst: tr.dst,
+                    at: tr.at,
+                }));
+                continue;
+            }
+            // Strictly inside an outage the source machine cannot send
+            // (the boundary instant is the pre-crash state).
+            let src_down = plan.is_some_and(|p| {
+                p.crashes()
+                    .iter()
+                    .any(|w| w.server == tr.src && tr.at > w.from && tr.at < w.to)
+            });
+            let src_alive = !src_down
+                && ivs[tr.src.index()].iter().any(|iv| {
+                    iv.alive
+                        && self.le(iv.from, tr.at)
+                        && self.le(tr.at, iv.actual_to)
+                        && (iv.from < tr.at
+                            || (tr.src == ServerId::ORIGIN && self.eq(iv.from, 0.0)))
+                });
+            if src_alive {
+                delivered[tr.dst.index()].push(tr.at);
+            } else {
+                findings.push(AuditFinding::Violation(if src_down {
+                    Violation::TransferDuringOutage {
+                        src: tr.src,
+                        at: tr.at,
+                    }
+                } else {
+                    Violation::DeadTransferSource {
+                        src: tr.src,
+                        dst: tr.dst,
+                        at: tr.at,
+                    }
+                }));
+                // Kill the interval this transfer would have opened.
+                for iv in ivs[tr.dst.index()].iter_mut() {
+                    if iv.alive && self.eq(iv.from, tr.at) {
+                        iv.alive = false;
+                        iv.actual_to = iv.from;
+                    }
+                }
+            }
+        }
+        for list in &mut delivered {
+            list.sort_by(f64::total_cmp);
+        }
+
+        // --- service ----------------------------------------------------
+        for i in 1..=inst.n() {
+            let (s, t) = (inst.server(i), inst.t(i));
+            let cached = s.index() < servers
+                && ivs[s.index()].iter().any(|iv| {
+                    iv.alive && self.le(iv.from, t) && self.le(t, iv.actual_to)
+                });
+            let transferred =
+                s.index() < servers && has_time(&delivered[s.index()], t, &eqf);
+            if !cached && !transferred {
+                findings.push(AuditFinding::Violation(Violation::UnservedRequest {
+                    request: i,
+                    server: s,
+                    at: t,
+                }));
+            }
+        }
+
+        // --- coverage ---------------------------------------------------
+        if inst.n() > 0 {
+            let anchored = ivs[ServerId::ORIGIN.index()]
+                .iter()
+                .any(|iv| self.eq(iv.from, 0.0) && iv.actual_to > 0.0);
+            if !anchored {
+                findings.push(AuditFinding::Violation(Violation::MissingOriginCopy));
+            }
+            let mut spans: Vec<(f64, f64)> = ivs
+                .iter()
+                .flatten()
+                .filter(|iv| iv.actual_to > iv.from)
+                .map(|iv| (iv.from, iv.actual_to))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let horizon = inst.horizon();
+            let mut reach = 0.0f64;
+            let mut gap_reported = false;
+            for (from, to) in spans {
+                if from > reach && !self.eq(from, reach) {
+                    findings.push(AuditFinding::Violation(Violation::CoverageGap {
+                        at: reach,
+                    }));
+                    gap_reported = true;
+                    // Jump the gap and keep scanning: one report per gap.
+                    reach = from;
+                }
+                reach = reach.max(to);
+                if reach >= horizon {
+                    break;
+                }
+            }
+            if !gap_reported && reach < horizon && !self.eq(reach, horizon) {
+                findings.push(AuditFinding::Violation(Violation::CoverageGap {
+                    at: reach,
+                }));
+            }
+        }
+
+        // --- accounting -------------------------------------------------
+        if let Some(reported) = reported_cost {
+            // The *believed* schedule is what the run charged itself for;
+            // drift means the run's own arithmetic disagrees with it.
+            let recomputed = sched.cost(inst.cost());
+            if !self.eq(reported, recomputed) {
+                findings.push(AuditFinding::CostDrift {
+                    reported,
+                    recomputed,
+                });
+            }
+        }
+        if let Some(recorded) = recorded_transfers {
+            let costed = sched.transfers.len();
+            if recorded != costed {
+                findings.push(AuditFinding::UnpaidTransfers { recorded, costed });
+            }
+        }
+
+        AuditReport { findings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::online::{run_policy, SpeculativeCaching};
+    use mcc_core::online::{CrashWindow, FaultTolerant};
+    use mcc_model::CostModel;
+
+    fn inst() -> Instance<f64> {
+        Instance::from_compact("m=3 mu=1 lambda=1 | s2@0.5 s2@0.9 s3@1.4 s1@3.0 s2@3.5").unwrap()
+    }
+
+    fn crashy_plan() -> FaultPlan {
+        FaultPlan::new(
+            vec![
+                CrashWindow {
+                    server: ServerId(1),
+                    from: 1.0,
+                    to: 2.0,
+                },
+                CrashWindow {
+                    server: ServerId(0),
+                    from: 2.5,
+                    to: 4.0,
+                },
+            ],
+            11,
+            0.0,
+            0,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let inst = inst();
+        let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        let report = ScheduleAuditor::default().audit_run(&inst, &run, None);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn agrees_with_model_referee_on_clean_schedules() {
+        let inst = inst();
+        for policy in [1.0, 2.0, 0.5] {
+            let run = run_policy(&mut SpeculativeCaching::with_options(policy, None), &inst);
+            let referee = mcc_model::validate_with(
+                &inst,
+                &run.schedule,
+                mcc_model::ValidateOptions { tol: 1e-9 },
+            );
+            let audit = ScheduleAuditor::default().audit_run(&inst, &run, None);
+            assert_eq!(referee.is_ok(), audit.is_clean());
+        }
+    }
+
+    #[test]
+    fn oblivious_run_lights_up_under_fault_replay() {
+        let inst = inst();
+        let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        let plan = crashy_plan();
+        let report = ScheduleAuditor::default().audit_run(&inst, &run, Some(&plan));
+        assert!(
+            !report.is_clean(),
+            "a fault-oblivious schedule must show violations under crashes"
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::Violation(Violation::CopyLostInCrash { .. }))));
+    }
+
+    #[test]
+    fn wrapped_run_stays_clean_under_fault_replay() {
+        let inst = inst();
+        let plan = crashy_plan();
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan.clone());
+        let run = run_policy(&mut ft, &inst);
+        let report = ScheduleAuditor::default().audit_run(&inst, &run, Some(&plan));
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn cost_drift_and_unpaid_transfers_are_reported() {
+        let inst = inst();
+        let run = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        let auditor = ScheduleAuditor::default();
+        let drift = auditor.audit(&inst, &run.schedule, Some(run.total_cost + 1.0), None, None);
+        assert!(drift
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::CostDrift { .. })));
+        let unpaid = auditor.audit(
+            &inst,
+            &run.schedule,
+            None,
+            Some(run.record.transfers.len() + 2),
+            None,
+        );
+        assert!(unpaid
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::UnpaidTransfers { .. })));
+    }
+
+    #[test]
+    fn infeasible_schedule_is_flagged() {
+        // A schedule that serves nothing: single origin interval ending
+        // before the requests.
+        let inst = Instance::<f64>::new(
+            2,
+            CostModel::unit(),
+            vec![mcc_model::Request {
+                server: ServerId(1),
+                time: 2.0,
+            }],
+        )
+        .unwrap();
+        let mut sched = Schedule::new();
+        sched.cache(ServerId(0), 0.0, 0.5);
+        sched.normalize();
+        let report = ScheduleAuditor::default().audit(&inst, &sched, None, None, None);
+        assert!(report.violations() >= 2, "{:?}", report.findings); // unserved + gap
+    }
+
+    #[test]
+    fn findings_display_readably() {
+        let f = AuditFinding::CostDrift {
+            reported: 3.0,
+            recomputed: 4.0,
+        };
+        assert!(f.to_string().contains("drift"));
+        let f = AuditFinding::Violation(Violation::CopyLostInCrash {
+            server: ServerId(1),
+            at: 1.5,
+        });
+        assert!(f.to_string().contains("crash"));
+    }
+}

@@ -7,9 +7,11 @@
 //! performs.
 
 use mcc_core::online::tracker::{RunRecord, Runtime};
-use mcc_core::online::{OnlinePolicy, ServeAction};
+use mcc_core::online::{FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, ServeAction};
 use mcc_model::{CostModel, Instance, Request, Scalar};
 
+use crate::audit::{AuditReport, ScheduleAuditor};
+use crate::error::SimError;
 use crate::event::EventQueue;
 
 /// A source of requests revealed one at a time.
@@ -89,11 +91,18 @@ enum Event {
 }
 
 /// Runs `policy` against `source` under `config`.
+///
+/// # Errors
+///
+/// [`SimError::BadEventTime`] / [`SimError::EventInPast`] when the arrival
+/// process emits non-finite, negative or time-reversed request times, and
+/// [`SimError::InvalidTrace`] when the accepted trace fails model
+/// validation (duplicate times, out-of-range servers).
 pub fn simulate<P: OnlinePolicy<f64> + ?Sized>(
     policy: &mut P,
     source: &mut dyn ArrivalProcess,
     config: SimConfig,
-) -> SimOutcome {
+) -> Result<SimOutcome, SimError> {
     policy.reset(config.servers, &config.cost);
     let mut rt = Runtime::new(config.servers);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -102,7 +111,7 @@ pub fn simulate<P: OnlinePolicy<f64> + ?Sized>(
     let mut samples = Vec::new();
 
     if let Some(first) = source.next_after(0.0) {
-        queue.schedule(first.time.to_f64(), Event::Arrival(first));
+        queue.schedule(first.time.to_f64(), Event::Arrival(first))?;
     }
     while let Some((now, ev)) = queue.pop() {
         match ev {
@@ -116,15 +125,14 @@ pub fn simulate<P: OnlinePolicy<f64> + ?Sized>(
                 samples.push((now, rt.live_copies()));
                 if accepted.len() < config.max_requests {
                     if let Some(next) = source.next_after(now) {
-                        queue.schedule(next.time.to_f64(), Event::Arrival(next));
+                        queue.schedule(next.time.to_f64(), Event::Arrival(next))?;
                     }
                 }
             }
         }
     }
 
-    let instance = Instance::new(config.servers, config.cost, accepted)
-        .expect("arrival processes produce valid traces");
+    let instance = Instance::new(config.servers, config.cost, accepted)?;
     let horizon = instance.horizon();
     let record = if instance.n() == 0 {
         rt.finish(|_, last| last)
@@ -132,12 +140,72 @@ pub fn simulate<P: OnlinePolicy<f64> + ?Sized>(
         rt.finish(|server, last| policy.close_time(server, last, horizon))
     };
     let total_cost = record.to_schedule().cost(&config.cost);
-    SimOutcome {
+    Ok(SimOutcome {
         instance,
         record,
         actions,
         live_copy_samples: samples,
         total_cost,
+    })
+}
+
+/// A simulation outcome under fault injection, with its audit attached.
+#[derive(Clone, Debug)]
+pub struct FaultySimOutcome {
+    /// The underlying run (its `total_cost` is the schedule cost only).
+    pub outcome: SimOutcome,
+    /// The auditor's replay of the run against the fault plan.
+    pub audit: AuditReport,
+    /// Fault counters (`None` for fault-oblivious runs, which take no
+    /// corrective actions and therefore have nothing to count).
+    pub stats: Option<FaultStats>,
+}
+
+impl FaultySimOutcome {
+    /// Schedule cost plus the `λ` retry surcharge for failed transfer
+    /// attempts (the surcharge lives outside the schedule).
+    pub fn total_cost(&self) -> f64 {
+        let surcharge = self.stats.as_ref().map_or(0.0, |s| s.retry_cost);
+        self.outcome.total_cost + surcharge
+    }
+}
+
+/// Runs `policy` against `source` on a cluster degraded by `plan`.
+///
+/// With `tolerant` the policy is wrapped in [`FaultTolerant`] (crashes
+/// repaired, transfers failed over, retries charged); without it the
+/// policy runs oblivious to the faults and the audit replays the believed
+/// schedule against the plan, reporting every violation the faults induce.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_under_faults<P: OnlinePolicy<f64> + 'static>(
+    policy: P,
+    source: &mut dyn ArrivalProcess,
+    config: SimConfig,
+    plan: &FaultPlan,
+    tolerant: bool,
+) -> Result<FaultySimOutcome, SimError> {
+    let auditor = ScheduleAuditor::default();
+    if tolerant {
+        let mut wrapped = FaultTolerant::new(policy, plan.clone());
+        let outcome = simulate(&mut wrapped, source, config)?;
+        let audit = auditor.audit_outcome(&outcome, Some(plan));
+        Ok(FaultySimOutcome {
+            audit,
+            stats: Some(wrapped.stats().clone()),
+            outcome,
+        })
+    } else {
+        let mut policy = policy;
+        let outcome = simulate(&mut policy, source, config)?;
+        let audit = auditor.audit_outcome(&outcome, Some(plan));
+        Ok(FaultySimOutcome {
+            audit,
+            stats: None,
+            outcome,
+        })
     }
 }
 
@@ -163,7 +231,8 @@ mod tests {
             &mut SpeculativeCaching::paper(),
             &mut Replay::new(&inst),
             config,
-        );
+        )
+        .unwrap();
         let direct = run_policy(&mut SpeculativeCaching::paper(), &inst);
         assert_eq!(sim.instance, inst);
         assert!((sim.total_cost - direct.total_cost).abs() < 1e-12);
@@ -182,7 +251,8 @@ mod tests {
             &mut SpeculativeCaching::paper(),
             &mut Replay::new(&inst),
             config,
-        );
+        )
+        .unwrap();
         assert_eq!(sim.instance.n(), 2);
         assert_eq!(sim.actions.len(), 2);
     }
@@ -199,7 +269,8 @@ mod tests {
             &mut SpeculativeCaching::paper(),
             &mut Replay::new(&inst),
             config,
-        );
+        )
+        .unwrap();
         assert_eq!(sim.live_copy_samples.len(), 5);
         assert!(sim.peak_copies() >= 2);
         // Samples are time-ordered.
@@ -221,7 +292,7 @@ mod tests {
             cost: CostModel::unit(),
             max_requests: 10,
         };
-        let sim = simulate(&mut SpeculativeCaching::paper(), &mut Empty, config);
+        let sim = simulate(&mut SpeculativeCaching::paper(), &mut Empty, config).unwrap();
         assert_eq!(sim.instance.n(), 0);
         assert_eq!(sim.total_cost, 0.0);
     }

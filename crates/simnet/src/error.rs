@@ -1,0 +1,80 @@
+//! Typed simulation errors.
+//!
+//! The simnet layer is user-input-reachable (arrival processes, event
+//! schedules and sweep configurations all flow in from CLI arguments and
+//! workload files), so it must not panic on bad input: every fallible
+//! entry point returns a [`SimError`] instead.
+
+use std::fmt;
+
+use mcc_model::ModelError;
+
+/// An error raised by the simulation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An event was scheduled at a NaN or negative time.
+    BadEventTime {
+        /// The offending time.
+        time: f64,
+    },
+    /// An event was scheduled before the current simulation clock.
+    EventInPast {
+        /// The offending time.
+        time: f64,
+        /// The simulation clock when the schedule was attempted.
+        now: f64,
+    },
+    /// The arrival process produced a trace the model rejects.
+    InvalidTrace(ModelError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadEventTime { time } => {
+                write!(f, "event time {time} is not a finite non-negative number")
+            }
+            SimError::EventInPast { time, now } => {
+                write!(f, "cannot schedule an event at {time} before now = {now}")
+            }
+            SimError::InvalidTrace(e) => write!(f, "arrival process produced an invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidTrace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::InvalidTrace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::BadEventTime { time: f64::NAN };
+        assert!(e.to_string().contains("NaN"));
+        let e = SimError::EventInPast { time: 1.0, now: 2.0 };
+        assert!(e.to_string().contains("before now"));
+        let e = SimError::from(ModelError::NoServers);
+        assert!(e.to_string().contains("invalid trace"));
+    }
+
+    #[test]
+    fn is_std_error_with_source() {
+        let e = SimError::from(ModelError::NoServers);
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+}

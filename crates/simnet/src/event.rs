@@ -6,6 +6,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::error::SimError;
+
 /// A scheduled event.
 #[derive(Clone, Debug)]
 struct Scheduled<E> {
@@ -28,10 +30,11 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        // `total_cmp` is total even on NaN, but NaN never reaches the heap:
+        // `schedule` rejects it at insertion.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("no NaN event times")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -62,23 +65,27 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` at `time`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on NaN times or scheduling in the past (before the last
-    /// popped event).
-    pub fn schedule(&mut self, time: f64, payload: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(
-            time >= self.now,
-            "cannot schedule at {time} before now = {}",
-            self.now
-        );
+    /// [`SimError::BadEventTime`] for NaN, infinite or negative times;
+    /// [`SimError::EventInPast`] for times before the last popped event.
+    pub fn schedule(&mut self, time: f64, payload: E) -> Result<(), SimError> {
+        if !time.is_finite() || time < 0.0 {
+            return Err(SimError::BadEventTime { time });
+        }
+        if time < self.now {
+            return Err(SimError::EventInPast {
+                time,
+                now: self.now,
+            });
+        }
         self.heap.push(Scheduled {
             time,
             seq: self.seq,
             payload,
         });
         self.seq += 1;
+        Ok(())
     }
 
     /// Pops the earliest event, advancing the clock.
@@ -116,9 +123,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(3.0, "c");
-        q.schedule(1.0, "a");
-        q.schedule(2.0, "b");
+        q.schedule(3.0, "c").unwrap();
+        q.schedule(1.0, "a").unwrap();
+        q.schedule(2.0, "b").unwrap();
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
@@ -126,9 +133,9 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(1.0, 1);
-        q.schedule(1.0, 2);
-        q.schedule(1.0, 3);
+        q.schedule(1.0, 1).unwrap();
+        q.schedule(1.0, 2).unwrap();
+        q.schedule(1.0, 3).unwrap();
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -136,7 +143,7 @@ mod tests {
     #[test]
     fn clock_advances() {
         let mut q = EventQueue::new();
-        q.schedule(2.5, ());
+        q.schedule(2.5, ()).unwrap();
         assert_eq!(q.now(), 0.0);
         assert_eq!(q.peek_time(), Some(2.5));
         q.pop();
@@ -146,11 +153,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before now")]
     fn rejects_past_events() {
         let mut q = EventQueue::new();
-        q.schedule(2.0, ());
+        q.schedule(2.0, ()).unwrap();
         q.pop();
-        q.schedule(1.0, ());
+        assert_eq!(
+            q.schedule(1.0, ()),
+            Err(SimError::EventInPast { time: 1.0, now: 2.0 })
+        );
+        assert!(q.is_empty(), "rejected events are not enqueued");
+    }
+
+    #[test]
+    fn rejects_nan_negative_and_infinite_times() {
+        // Regression: NaN used to reach the heap and blow up in `Ord`
+        // (`partial_cmp(..).expect(..)`) long after insertion; it is now a
+        // typed error at the `schedule` call.
+        let mut q = EventQueue::new();
+        for bad in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = q.schedule(bad, ()).unwrap_err();
+            assert!(
+                matches!(err, SimError::BadEventTime { .. }),
+                "{bad} -> {err:?}"
+            );
+        }
+        assert!(q.is_empty());
+        q.schedule(0.0, ()).unwrap();
+        assert_eq!(q.len(), 1);
     }
 }

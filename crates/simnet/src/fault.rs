@@ -1,0 +1,200 @@
+//! Seed-driven fault-plan generation.
+//!
+//! A [`FaultSpec`] describes a fault *regime* (crash rate, outage length,
+//! transfer-failure probability); [`FaultSpec::plan_for`] expands it into
+//! a concrete, deterministic [`FaultPlan`] for one `(spec seed, run seed)`
+//! pair — the same pair always yields the same plan, which is what makes
+//! faulty sweeps bit-identical across thread counts.
+//!
+//! The generator enforces the availability invariant the fault-tolerant
+//! wrapper's survival guarantee rests on: at most `m − 1` servers are
+//! down at any instant (windows that would exceed the cap are dropped),
+//! so every crash start leaves at least one server up. Single-server
+//! clusters get no crashes at all — there is nowhere to evacuate to.
+
+use mcc_core::online::{CrashWindow, FaultPlan};
+use mcc_model::ServerId;
+
+/// A fault regime, expanded per run seed into a [`FaultPlan`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Base seed, mixed with each run seed.
+    pub seed: u64,
+    /// Expected crashes per server per unit time.
+    pub crash_rate: f64,
+    /// Mean outage duration (exponential).
+    pub mean_downtime: f64,
+    /// Per-attempt transfer failure probability.
+    pub fail_prob: f64,
+    /// Cap on consecutive failed attempts of one transfer.
+    pub max_failed_attempts: u32,
+    /// Mean transfer delay (exponential); `0` disables delays.
+    pub mean_delay: f64,
+    /// Run policies wrapped in the fault-tolerant layer (`false` runs them
+    /// oblivious, for measuring how badly unprotected policies break).
+    pub tolerant: bool,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            crash_rate: 0.02,
+            mean_downtime: 1.0,
+            fail_prob: 0.05,
+            max_failed_attempts: 8,
+            mean_delay: 0.0,
+            tolerant: true,
+        }
+    }
+}
+
+/// xorshift64*: the same tiny generator the rest of the workspace embeds.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    /// Exponential with the given mean (strictly positive).
+    fn exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.unit()).ln().min(-f64::MIN_POSITIVE)
+    }
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (plans come out trivial).
+    pub fn none() -> Self {
+        FaultSpec {
+            crash_rate: 0.0,
+            fail_prob: 0.0,
+            mean_delay: 0.0,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Expands the regime into the concrete plan for one run.
+    ///
+    /// Deterministic in `(self.seed, run_seed, servers, horizon)`. Crash
+    /// windows are sampled per server as a Poisson process of outage
+    /// starts with exponential outage lengths over `[0, horizon]`, then
+    /// swept in time order dropping any window that would push concurrent
+    /// outages past `m − 1`.
+    pub fn plan_for(&self, run_seed: u64, servers: usize, horizon: f64) -> FaultPlan {
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(run_seed)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut crashes = Vec::new();
+        if self.crash_rate > 0.0 && self.mean_downtime > 0.0 && servers > 1 && horizon > 0.0 {
+            let mean_gap = 1.0 / self.crash_rate;
+            for s in 0..servers {
+                let mut rng = Rng::new(mixed.wrapping_add((s as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)));
+                let mut t = rng.exp(mean_gap);
+                while t < horizon {
+                    let down = rng.exp(self.mean_downtime);
+                    crashes.push(CrashWindow {
+                        server: ServerId::from_index(s),
+                        from: t,
+                        to: t + down,
+                    });
+                    t = t + down + rng.exp(mean_gap);
+                }
+            }
+            crashes.sort_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
+            crashes = enforce_cap(crashes, servers - 1);
+        }
+        FaultPlan::new(
+            crashes,
+            mixed ^ 0xD6E8_FEB8_6659_FD93,
+            self.fail_prob,
+            self.max_failed_attempts,
+            self.mean_delay,
+        )
+    }
+}
+
+/// Drops windows that would exceed `cap` concurrent outages (sweep over
+/// crash starts with the active recovery times).
+fn enforce_cap(sorted: Vec<CrashWindow>, cap: usize) -> Vec<CrashWindow> {
+    let mut kept: Vec<CrashWindow> = Vec::with_capacity(sorted.len());
+    let mut active: Vec<f64> = Vec::new();
+    for w in sorted {
+        active.retain(|&to| to > w.from);
+        if active.len() < cap {
+            active.push(w.to);
+            kept.push(w);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed_pair() {
+        let spec = FaultSpec {
+            seed: 9,
+            crash_rate: 0.3,
+            ..FaultSpec::default()
+        };
+        let a = spec.plan_for(4, 8, 50.0);
+        let b = spec.plan_for(4, 8, 50.0);
+        assert_eq!(a, b);
+        let c = spec.plan_for(5, 8, 50.0);
+        assert_ne!(a, c, "different run seeds draw different plans");
+    }
+
+    #[test]
+    fn concurrent_outages_never_reach_cluster_size() {
+        let spec = FaultSpec {
+            seed: 3,
+            crash_rate: 2.0,       // pathologically crashy
+            mean_downtime: 5.0,    // long outages force overlaps
+            ..FaultSpec::default()
+        };
+        for servers in [2usize, 3, 5] {
+            let plan = spec.plan_for(0, servers, 40.0);
+            assert!(plan.has_crashes());
+            // At every crash start, concurrent outages stay below m.
+            for w in plan.crashes() {
+                let down = plan
+                    .crashes()
+                    .iter()
+                    .filter(|v| v.from <= w.from && w.from < v.to)
+                    .count();
+                assert!(
+                    down < servers,
+                    "m={servers}: {down} concurrent outages at t={}",
+                    w.from
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_server_and_zero_rate_yield_trivial_crashes() {
+        let spec = FaultSpec {
+            crash_rate: 5.0,
+            fail_prob: 0.0,
+            mean_delay: 0.0,
+            ..FaultSpec::default()
+        };
+        assert!(!spec.plan_for(0, 1, 100.0).has_crashes());
+        assert!(FaultSpec::none().plan_for(0, 8, 100.0).is_trivial());
+    }
+}

@@ -1,6 +1,7 @@
 //! Post-hoc instrumentation derived from run records.
 
 use mcc_core::online::tracker::RunRecord;
+use mcc_core::online::FaultStats;
 use mcc_model::{CostModel, Scalar};
 
 /// Step function of simultaneously live copies over time.
@@ -22,7 +23,7 @@ impl CopyTimeline {
             deltas.push((c.from.to_f64(), 1));
             deltas.push((c.to.to_f64(), -1));
         }
-        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(b.1.cmp(&a.1)));
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
         let mut steps = Vec::new();
         let mut live: i64 = 0;
         for (t, d) in deltas {
@@ -94,6 +95,57 @@ impl Breakdown {
     }
 }
 
+/// Report-ready view of one run's fault counters.
+///
+/// Flattens [`FaultStats`] and attributes the corrective work in the same
+/// spirit as [`Breakdown`]: how many copies the faults destroyed, how much
+/// corrective action the wrapper took, and what the failed transfer
+/// attempts cost on top of the schedule (`λ` per failed attempt).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct FaultBreakdown {
+    /// Live copies destroyed by crashes.
+    pub copies_lost: usize,
+    /// Failed transfer attempts before each success.
+    pub retries: usize,
+    /// Requests redirected to a surviving replica.
+    pub failovers: usize,
+    /// Emergency re-replications (including crash-time evacuations).
+    pub emergency_replications: usize,
+    /// Transfers absorbed by an already-live destination copy.
+    pub adopted_replicas: usize,
+    /// Serve-and-drop deliveries to servers that were down.
+    pub down_serves: usize,
+    /// Windows during which the cluster was down to its last copy.
+    pub copy_loss_windows: usize,
+    /// `λ` surcharge paid for the failed attempts.
+    pub retry_cost: f64,
+    /// Total transfer latency injected by the fault plan.
+    pub total_delay: f64,
+}
+
+impl FaultBreakdown {
+    /// Flattens wrapper counters into the report view.
+    pub fn from_stats(stats: &FaultStats) -> Self {
+        FaultBreakdown {
+            copies_lost: stats.copies_lost,
+            retries: stats.retries,
+            failovers: stats.failovers,
+            emergency_replications: stats.emergency_replications,
+            adopted_replicas: stats.adopted_replicas,
+            down_serves: stats.down_serves,
+            copy_loss_windows: stats.copy_loss_windows,
+            retry_cost: stats.retry_cost,
+            total_delay: stats.total_delay,
+        }
+    }
+
+    /// Total corrective actions the wrapper took (failovers, emergency
+    /// re-replications and adopted transfers).
+    pub fn corrective_actions(&self) -> usize {
+        self.failovers + self.emergency_replications + self.adopted_replicas
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +201,26 @@ mod tests {
         assert_eq!(b.transfers, 2.0);
         let sched_cost = rec.to_schedule().cost(&CostModel::unit());
         assert!((b.total() - sched_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_breakdown_flattens_stats() {
+        let stats = FaultStats {
+            copies_lost: 3,
+            retries: 5,
+            failovers: 2,
+            emergency_replications: 1,
+            adopted_replicas: 4,
+            down_serves: 1,
+            copy_loss_windows: 2,
+            retry_cost: 5.0,
+            total_delay: 0.25,
+        };
+        let fb = FaultBreakdown::from_stats(&stats);
+        assert_eq!(fb.copies_lost, 3);
+        assert_eq!(fb.corrective_actions(), 2 + 1 + 4);
+        assert_eq!(fb.retry_cost, 5.0);
+        assert_eq!(FaultBreakdown::default().corrective_actions(), 0);
     }
 
     #[test]

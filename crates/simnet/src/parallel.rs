@@ -4,7 +4,9 @@
 //! per seed, so the sweep shards the grid over a fixed thread count with
 //! scoped threads and reassembles results in grid order — results are
 //! bit-identical regardless of thread count (asserted in the tests), which
-//! is what makes the E10 scaling bench meaningful.
+//! is what makes the E10 scaling bench meaningful. Fault-injected cells
+//! stay deterministic too: each seed expands its [`FaultSpec`] into the
+//! same plan no matter which worker runs it.
 
 use std::sync::Mutex;
 use std::thread;
@@ -13,7 +15,8 @@ use mcc_workloads::Workload;
 
 use mcc_core::offline::SolverWorkspace;
 
-use crate::runner::{run_cell_in, PolicyFactory, SeedResult};
+use crate::fault::FaultSpec;
+use crate::runner::{run_cell_faulty_in, run_cell_in, PolicyFactory, SeedResult};
 
 /// A named cell of the sweep grid.
 pub struct GridCell<'a> {
@@ -23,6 +26,31 @@ pub struct GridCell<'a> {
     pub policy: &'a PolicyFactory,
     /// Workload under test.
     pub workload: &'a dyn Workload,
+    /// Fault regime for this cell (`None` = healthy cluster).
+    pub faults: Option<FaultSpec>,
+}
+
+impl<'a> GridCell<'a> {
+    /// A healthy-cluster cell.
+    pub fn new(
+        policy_name: impl Into<String>,
+        policy: &'a PolicyFactory,
+        workload: &'a dyn Workload,
+    ) -> Self {
+        GridCell {
+            policy_name: policy_name.into(),
+            policy,
+            workload,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault regime to the cell.
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
 }
 
 /// A completed cell with its per-seed results.
@@ -33,6 +61,14 @@ pub struct CellResult {
     pub workload_name: String,
     /// Per-seed measurements, seed-ascending.
     pub results: Vec<SeedResult>,
+}
+
+impl CellResult {
+    /// Total auditor findings across the cell's seeds (`0` = every run
+    /// replayed clean).
+    pub fn total_audit_findings(&self) -> usize {
+        self.results.iter().map(|r| r.audit_findings).sum()
+    }
 }
 
 /// Runs every cell over `seeds`, `threads`-wide. `threads = 0` means one
@@ -83,12 +119,30 @@ pub fn sweep(
                         let seed_idx = unit % seed_ref.len();
                         let seed = seed_ref[seed_idx];
                         let cell = &cells_ref[cell_idx];
-                        let result =
-                            run_cell_in(cell.policy, cell.workload, seed..seed + 1, &mut ws)
-                                .pop()
-                                .expect("one seed yields one result");
-                        slots[cell_idx].lock().expect("slot lock poisoned")[seed_idx] =
-                            Some(result);
+                        // A one-seed range yields exactly one result, so the
+                        // Option goes straight into the slot.
+                        let result = match &cell.faults {
+                            Some(spec) => run_cell_faulty_in(
+                                cell.policy,
+                                cell.workload,
+                                seed..seed + 1,
+                                spec,
+                                &mut ws,
+                            )
+                            .pop(),
+                            None => {
+                                run_cell_in(cell.policy, cell.workload, seed..seed + 1, &mut ws)
+                                    .pop()
+                            }
+                        };
+                        // Workers only write disjoint slots; a poisoned lock
+                        // means another worker panicked mid-store, but this
+                        // slot's state is still valid to write.
+                        let mut guard = match slots[cell_idx].lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard[seed_idx] = result;
                     }
                 });
             }
@@ -101,10 +155,9 @@ pub fn sweep(
         .map(|(cell, results)| CellResult {
             policy_name: cell.policy_name,
             workload_name: cell.workload.name(),
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every unit completed"))
-                .collect(),
+            // Every unit writes its slot exactly once; `flatten` is the
+            // panic-free way to unwrap the storage Options.
+            results: results.into_iter().flatten().collect(),
         })
         .collect()
 }
@@ -130,27 +183,24 @@ mod tests {
         w1: &'a dyn Workload,
         w2: &'a dyn Workload,
     ) -> Vec<GridCell<'a>> {
+        // A fixed-seed fault regime rides along so determinism across
+        // thread counts covers the fault-injected path too.
+        let spec = FaultSpec {
+            seed: 11,
+            crash_rate: 0.3,
+            mean_downtime: 1.5,
+            ..FaultSpec::default()
+        };
         vec![
-            GridCell {
-                policy_name: "sc".into(),
-                policy: sc,
-                workload: w1,
-            },
-            GridCell {
-                policy_name: "sc".into(),
-                policy: sc,
-                workload: w2,
-            },
-            GridCell {
-                policy_name: "follow".into(),
-                policy: follow,
-                workload: w1,
-            },
-            GridCell {
-                policy_name: "follow".into(),
-                policy: follow,
-                workload: w2,
-            },
+            GridCell::new("sc", sc, w1),
+            GridCell::new("sc", sc, w2),
+            GridCell::new("follow", follow, w1),
+            GridCell::new("follow", follow, w2),
+            GridCell::new("sc+ft", sc, w1).with_faults(spec),
+            GridCell::new("sc-oblivious", sc, w1).with_faults(FaultSpec {
+                tolerant: false,
+                ..spec
+            }),
         ]
     }
 
@@ -159,15 +209,19 @@ mod tests {
         // Workloads of *different shapes* (n and m), so a worker's reused
         // per-thread SolverWorkspace crosses shapes in whatever order the
         // work-stealing happens to interleave — results must not depend on
-        // which thread's dirty workspace ran a unit. Thread counts 1, 3 and
-        // 4 give distinct stealing patterns over the 16 units.
+        // which thread's dirty workspace ran a unit. Thread counts 1, 2 and
+        // 8 give distinct stealing patterns over the 24 units, and the two
+        // fault cells pin the seed-driven plan expansion.
         let sc = factory(SpeculativeCaching::<f64>::paper());
         let follow = factory(Follow::new());
         let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
         let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
         let single = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 1);
-        assert_eq!(single.len(), 4);
-        for threads in [3, 4] {
+        assert_eq!(single.len(), 6);
+        for cell in &single {
+            assert_eq!(cell.results.len(), 4, "no unit may be dropped");
+        }
+        for threads in [2, 8] {
             let multi = sweep(grid(&sc, &follow, &w1, &w2), 0..4, threads);
             for (a, b) in single.iter().zip(&multi) {
                 assert_eq!(a.policy_name, b.policy_name);
@@ -175,9 +229,33 @@ mod tests {
                 for (x, y) in a.results.iter().zip(&b.results) {
                     assert_eq!(x.online_cost, y.online_cost, "{threads} threads");
                     assert_eq!(x.opt_cost, y.opt_cost, "{threads} threads");
+                    assert_eq!(x.audit_findings, y.audit_findings, "{threads} threads");
                 }
             }
         }
+    }
+
+    #[test]
+    fn fault_cells_aggregate_findings_per_cell() {
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let follow = factory(Follow::new());
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
+        let out = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 2);
+        // Healthy cells and the wrapped fault cell replay clean; the
+        // oblivious fault cell is the one that lights up.
+        for cell in &out[..5] {
+            assert_eq!(
+                cell.total_audit_findings(),
+                0,
+                "{} must audit clean",
+                cell.policy_name
+            );
+        }
+        assert!(
+            out[5].total_audit_findings() > 0,
+            "oblivious cell must accumulate violations"
+        );
     }
 
     #[test]

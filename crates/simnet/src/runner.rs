@@ -1,9 +1,18 @@
 //! One experiment cell: a policy set against a workload across seeds.
+//!
+//! Every run is replayed through the [`ScheduleAuditor`] before its result
+//! is returned — feasibility checking is not an opt-in debug mode but part
+//! of the measurement itself, and the per-seed finding count rides along in
+//! [`SeedResult`]. Fault-injected cells additionally expand a [`FaultSpec`]
+//! into a per-seed [`FaultPlan`] and (optionally) wrap the policy in the
+//! fault-tolerant layer.
 
 use mcc_core::offline::{solve_fast_in, SolverWorkspace};
-use mcc_core::online::{run_policy, OnlinePolicy};
+use mcc_core::online::{run_policy, FaultStats, FaultTolerant, OnlinePolicy};
 use mcc_workloads::Workload;
 
+use crate::audit::ScheduleAuditor;
+use crate::fault::FaultSpec;
 use crate::metrics::Breakdown;
 
 /// Factory for fresh policy instances (policies are stateful, so each run
@@ -18,12 +27,24 @@ where
     Box::new(move || Box::new(proto.clone()))
 }
 
+/// What fault injection did to one seed's run.
+#[derive(Clone, Debug)]
+pub struct FaultOutcome {
+    /// Counters from the fault-tolerant wrapper (all zero for oblivious
+    /// runs, which take no corrective action).
+    pub stats: FaultStats,
+    /// Crash windows in this seed's plan.
+    pub crashes: usize,
+    /// Whether the policy ran wrapped in the fault-tolerant layer.
+    pub tolerant: bool,
+}
+
 /// One seed's measurement of one policy on one workload.
 #[derive(Clone, Debug)]
 pub struct SeedResult {
     /// Seed used.
     pub seed: u64,
-    /// Online policy cost.
+    /// Online policy cost (includes the retry surcharge under faults).
     pub online_cost: f64,
     /// Off-line optimum for the same trace.
     pub opt_cost: f64,
@@ -33,6 +54,10 @@ pub struct SeedResult {
     pub breakdown: Breakdown,
     /// Number of transfers performed online.
     pub transfers: usize,
+    /// Auditor findings for this run (`0` = the replay came back clean).
+    pub audit_findings: usize,
+    /// Fault-injection outcome (`None` for fault-free cells).
+    pub fault: Option<FaultOutcome>,
 }
 
 /// Measures `policy_factory()` against `workload` over `seeds`.
@@ -51,19 +76,22 @@ pub fn run_cell(
 /// resets before every run), and the off-line optimum reuses `ws`'s
 /// buffers, so the per-seed steady state allocates only what the workload
 /// generator and the run record themselves need. The parallel sweep gives
-/// each worker thread one workspace.
+/// each worker thread one workspace. Every run is audited (linear replay,
+/// no fault plan) and the finding count recorded.
 pub fn run_cell_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
     ws: &mut SolverWorkspace<f64>,
 ) -> Vec<SeedResult> {
+    let auditor = ScheduleAuditor::default();
     let mut policy = policy_factory();
     seeds
         .map(|seed| {
             let inst = workload.generate(seed);
             let run = run_policy(policy.as_mut(), &inst);
             let opt = solve_fast_in(&inst, ws).optimal_cost();
+            let audit = auditor.audit_run(&inst, &run, None);
             SeedResult {
                 seed,
                 online_cost: run.total_cost,
@@ -71,6 +99,73 @@ pub fn run_cell_in(
                 ratio: if opt > 0.0 { run.total_cost / opt } else { 1.0 },
                 breakdown: Breakdown::from_record(&run.record, inst.cost()),
                 transfers: run.transfers(),
+                audit_findings: audit.len(),
+                fault: None,
+            }
+        })
+        .collect()
+}
+
+/// Measures `policy_factory()` against `workload` over `seeds` on a
+/// cluster degraded by `spec` (fresh workspace convenience wrapper).
+pub fn run_cell_faulty(
+    policy_factory: &PolicyFactory,
+    workload: &dyn Workload,
+    seeds: std::ops::Range<u64>,
+    spec: &FaultSpec,
+) -> Vec<SeedResult> {
+    let mut ws = SolverWorkspace::new();
+    run_cell_faulty_in(policy_factory, workload, seeds, spec, &mut ws)
+}
+
+/// [`run_cell_faulty`] reusing a caller-owned solver workspace.
+///
+/// Each seed expands `spec` into its own [`mcc_core::online::FaultPlan`]
+/// (deterministic in the `(spec seed, run seed)` pair). With
+/// `spec.tolerant` the policy runs wrapped in [`FaultTolerant`] and its
+/// retry surcharge is folded into `online_cost`; without it the policy
+/// runs oblivious and the audit replay against the plan reports every
+/// violation the faults induce. The off-line optimum stays clairvoyant
+/// *and* fault-free — the denominator measures what the trace costs on a
+/// healthy cluster, so the ratio captures the full price of degradation.
+pub fn run_cell_faulty_in(
+    policy_factory: &PolicyFactory,
+    workload: &dyn Workload,
+    seeds: std::ops::Range<u64>,
+    spec: &FaultSpec,
+    ws: &mut SolverWorkspace<f64>,
+) -> Vec<SeedResult> {
+    let auditor = ScheduleAuditor::default();
+    seeds
+        .map(|seed| {
+            let inst = workload.generate(seed);
+            let plan = spec.plan_for(seed, inst.servers(), inst.horizon());
+            let crashes = plan.crashes().len();
+            let opt = solve_fast_in(&inst, ws).optimal_cost();
+            let (run, stats) = if spec.tolerant {
+                let mut wrapped = FaultTolerant::new(policy_factory(), plan.clone());
+                let run = run_policy(&mut wrapped, &inst);
+                let stats = wrapped.stats().clone();
+                (run, stats)
+            } else {
+                let mut policy = policy_factory();
+                (run_policy(policy.as_mut(), &inst), FaultStats::default())
+            };
+            let audit = auditor.audit_run(&inst, &run, Some(&plan));
+            let online_cost = run.total_cost + stats.retry_cost;
+            SeedResult {
+                seed,
+                online_cost,
+                opt_cost: opt,
+                ratio: if opt > 0.0 { online_cost / opt } else { 1.0 },
+                breakdown: Breakdown::from_record(&run.record, inst.cost()),
+                transfers: run.transfers(),
+                audit_findings: audit.len(),
+                fault: Some(FaultOutcome {
+                    stats,
+                    crashes,
+                    tolerant: spec.tolerant,
+                }),
             }
         })
         .collect()
@@ -95,6 +190,8 @@ mod tests {
                 r.ratio
             );
             assert!((r.breakdown.total() - r.online_cost).abs() < 1e-9);
+            assert_eq!(r.audit_findings, 0, "fault-free SC must audit clean");
+            assert!(r.fault.is_none());
         }
     }
 
@@ -125,5 +222,61 @@ mod tests {
             assert_eq!(x.online_cost, y.online_cost);
             assert_eq!(x.opt_cost, y.opt_cost);
         }
+    }
+
+    #[test]
+    fn trivial_fault_spec_matches_fault_free_cell() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let plain = run_cell(&f, &w, 0..4);
+        let faulty = run_cell_faulty(&f, &w, 0..4, &FaultSpec::none());
+        for (x, y) in plain.iter().zip(&faulty) {
+            assert_eq!(x.online_cost, y.online_cost, "trivial plan must not perturb");
+            assert_eq!(x.transfers, y.transfers);
+            assert_eq!(y.audit_findings, 0);
+            let fo = y.fault.as_ref().unwrap();
+            assert_eq!(fo.crashes, 0);
+            assert_eq!(fo.stats, FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn wrapped_cell_audits_clean_and_oblivious_cell_does_not() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 60), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let spec = FaultSpec {
+            seed: 7,
+            crash_rate: 0.4,
+            mean_downtime: 2.0,
+            ..FaultSpec::default()
+        };
+        let wrapped = run_cell_faulty(&f, &w, 0..6, &spec);
+        for r in &wrapped {
+            assert_eq!(
+                r.audit_findings, 0,
+                "seed {}: wrapped SC must audit clean under faults",
+                r.seed
+            );
+        }
+        let crashes: usize = wrapped
+            .iter()
+            .map(|r| r.fault.as_ref().unwrap().crashes)
+            .sum();
+        assert!(crashes > 0, "the regime must actually inject crashes");
+
+        let oblivious = run_cell_faulty(
+            &f,
+            &w,
+            0..6,
+            &FaultSpec {
+                tolerant: false,
+                ..spec
+            },
+        );
+        let findings: usize = oblivious.iter().map(|r| r.audit_findings).sum();
+        assert!(
+            findings > 0,
+            "oblivious SC must trip the auditor under a crashy plan"
+        );
     }
 }

@@ -1,0 +1,125 @@
+//! Property tests for the fault-injection layer.
+//!
+//! For random request sequences and random fault regimes:
+//! * the fault-tolerant wrapper keeps Speculative Caching auditor-clean
+//!   under *any* seed-derived fault plan (the survival guarantee);
+//! * a trivial fault plan is a strict no-op — the wrapped run is
+//!   bit-identical to the bare policy's, schedule and cost alike, and the
+//!   faulty cell runner collapses to the fault-free one.
+
+use mcc_core::online::{run_policy, FaultPlan, FaultTolerant, SpeculativeCaching};
+use mcc_model::{CostModel, Instance, Request, ServerId};
+use mcc_simnet::{factory, run_cell, run_cell_faulty, FaultSpec, ScheduleAuditor};
+use mcc_workloads::{CommonParams, PoissonWorkload};
+use proptest::prelude::*;
+
+fn random_instance() -> impl Strategy<Value = Instance<f64>> {
+    (2usize..=6, 1usize..=50).prop_flat_map(|(m, n)| {
+        let servers = proptest::collection::vec(0..m, n);
+        let gaps = proptest::collection::vec(0.01f64..4.0, n);
+        let mu = 0.2f64..3.0;
+        let lambda = 0.2f64..3.0;
+        (Just(m), servers, gaps, mu, lambda).prop_map(|(m, servers, gaps, mu, lambda)| {
+            let mut t = 0.0;
+            let requests: Vec<Request<f64>> = servers
+                .into_iter()
+                .zip(gaps)
+                .map(|(s, gap)| {
+                    t += gap;
+                    Request::new(ServerId::from_index(s), t)
+                })
+                .collect();
+            Instance::new(m, CostModel::new(mu, lambda).unwrap(), requests).unwrap()
+        })
+    })
+}
+
+fn random_spec() -> impl Strategy<Value = FaultSpec> {
+    (
+        0u64..u64::MAX,
+        0.0f64..1.0,
+        0.05f64..3.0,
+        0.0f64..0.3,
+        1u32..8,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(seed, crash_rate, mean_downtime, fail_prob, max_failed_attempts, mean_delay)| {
+                FaultSpec {
+                    seed,
+                    crash_rate,
+                    mean_downtime,
+                    fail_prob,
+                    max_failed_attempts,
+                    mean_delay,
+                    tolerant: true,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The survival guarantee: wrapped SC audits clean against every plan
+    /// the generator can produce, crashes and transfer failures included.
+    #[test]
+    fn wrapped_sc_audits_clean_under_any_fault_plan(
+        inst in random_instance(),
+        spec in random_spec(),
+        run_seed in 0u64..64,
+    ) {
+        let plan = spec.plan_for(run_seed, inst.servers(), inst.horizon());
+        let mut wrapped = FaultTolerant::new(SpeculativeCaching::paper(), plan.clone());
+        let run = run_policy(&mut wrapped, &inst);
+        let report = ScheduleAuditor::default().audit_run(&inst, &run, Some(&plan));
+        prop_assert!(
+            report.is_clean(),
+            "wrapped SC tripped the auditor ({} findings) on {} under plan with {} crashes",
+            report.len(),
+            inst.to_compact(),
+            plan.crashes().len()
+        );
+        prop_assert!(run.total_cost.is_finite());
+    }
+
+    /// A trivial plan is invisible: same schedule, bit-identical cost, and
+    /// zero fault-handling activity.
+    #[test]
+    fn trivial_plan_is_bit_identical_to_bare_sc(inst in random_instance()) {
+        let bare = run_policy(&mut SpeculativeCaching::paper(), &inst);
+        let mut wrapped = FaultTolerant::new(SpeculativeCaching::paper(), FaultPlan::none());
+        let run = run_policy(&mut wrapped, &inst);
+        prop_assert_eq!(run.total_cost.to_bits(), bare.total_cost.to_bits());
+        prop_assert_eq!(&run.schedule, &bare.schedule);
+        let stats = wrapped.stats();
+        prop_assert_eq!(stats.copies_lost, 0);
+        prop_assert_eq!(stats.retries, 0);
+        prop_assert_eq!(stats.retry_cost.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// The faulty cell runner under `FaultSpec::none()` collapses to the
+    /// fault-free runner, bit for bit.
+    #[test]
+    fn faultless_cells_match_fault_free_cells(
+        servers in 2usize..=6,
+        requests in 1usize..=40,
+        seed in 0u64..512,
+    ) {
+        let workload = PoissonWorkload::uniform(
+            CommonParams { servers, requests, mu: 1.0, lambda: 1.0 },
+            1.0,
+        );
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let plain = run_cell(&sc, &workload, seed..seed + 1);
+        let faultless = run_cell_faulty(&sc, &workload, seed..seed + 1, &FaultSpec::none());
+        prop_assert_eq!(plain.len(), 1);
+        prop_assert_eq!(faultless.len(), 1);
+        let (p, f) = (&plain[0], &faultless[0]);
+        prop_assert_eq!(p.online_cost.to_bits(), f.online_cost.to_bits());
+        prop_assert_eq!(p.opt_cost.to_bits(), f.opt_cost.to_bits());
+        prop_assert_eq!(p.transfers, f.transfers);
+        prop_assert_eq!(p.audit_findings, 0);
+        prop_assert_eq!(f.audit_findings, 0);
+    }
+}

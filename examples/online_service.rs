@@ -49,7 +49,8 @@ fn main() {
         Box::new(KeepEverywhere::new()),
     ];
     for mut policy in policies {
-        let sim = simulate(policy.as_mut(), &mut Replay::new(&trace), config);
+        let sim = simulate(policy.as_mut(), &mut Replay::new(&trace), config)
+            .expect("generated traces are well-formed");
         let breakdown = Breakdown::from_record(&sim.record, trace.cost());
         let timeline = CopyTimeline::from_record(&sim.record);
         table.row(&[

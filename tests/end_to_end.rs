@@ -28,7 +28,8 @@ fn engine_policy_and_direct_execution_agree_everywhere() {
             &mut SpeculativeCaching::paper(),
             &mut Replay::new(&inst),
             config,
-        );
+        )
+        .expect("replayed instances are well-formed");
         let direct = run_policy(&mut SpeculativeCaching::paper(), &inst);
         assert!(
             (sim.total_cost - direct.total_cost).abs() < 1e-9,
@@ -57,16 +58,8 @@ fn parallel_sweep_full_pipeline() {
     let follow = factory(Follow::new());
     let mut cells = Vec::new();
     for w in &workloads {
-        cells.push(GridCell {
-            policy_name: "sc".into(),
-            policy: &sc,
-            workload: w.as_ref(),
-        });
-        cells.push(GridCell {
-            policy_name: "follow".into(),
-            policy: &follow,
-            workload: w.as_ref(),
-        });
+        cells.push(GridCell::new("sc", &sc, w.as_ref()));
+        cells.push(GridCell::new("follow", &follow, w.as_ref()));
     }
     let results = sweep(cells, 0..3, 0);
     assert_eq!(results.len(), workloads.len() * 2);
