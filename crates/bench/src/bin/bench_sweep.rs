@@ -1,0 +1,75 @@
+//! Writes the machine-readable sweep-pipeline perf trajectory to
+//! `BENCH_sweep.json` in the current directory (schema in
+//! EXPERIMENTS.md). `--quick` shrinks the grid to test size; `--stdout`
+//! prints instead of writing the file; `--check` is the CI gate — it
+//! validates the committed `BENCH_sweep.json` against the schema,
+//! re-measures the quick-scale pipeline speedup on the current machine
+//! and fails when it regresses more than 10% below the committed value.
+
+use mcc_bench::exp::bench_sweep;
+use mcc_bench::exp::Scale;
+use mcc_model::Json;
+
+/// Relative regression budget for `--check`: the freshly measured quick
+/// speedup may fall at most this far below the committed one.
+const REGRESSION_BUDGET: f64 = 0.10;
+
+fn check() -> Result<(), String> {
+    let body = std::fs::read_to_string("BENCH_sweep.json")
+        .map_err(|e| format!("cannot read committed BENCH_sweep.json: {e}"))?;
+    let committed = Json::parse(&body).map_err(|e| format!("committed BENCH_sweep.json: {e:?}"))?;
+    bench_sweep::validate(&committed).map_err(|e| format!("committed BENCH_sweep.json: {e}"))?;
+    let committed_quick = committed
+        .get("quick")
+        .and_then(|q| q.get("speedup"))
+        .and_then(Json::as_f64)
+        .ok_or("committed quick.speedup missing")?;
+
+    // Best of three attempts: interference deflates a measured speedup,
+    // never inflates it, so the max is the noise-robust estimate — a real
+    // regression drags every attempt down.
+    let fresh = (0..3)
+        .map(|_| {
+            let (base, live) = bench_sweep::single_thread_rates(Scale::quick());
+            live / base
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    let floor = committed_quick * (1.0 - REGRESSION_BUDGET);
+    eprintln!(
+        "quick pipeline speedup: fresh {fresh:.2}x vs committed {committed_quick:.2}x \
+         (floor {floor:.2}x)"
+    );
+    if fresh < floor {
+        return Err(format!(
+            "sweep pipeline regressed: fresh quick speedup {fresh:.2}x is more than 10% below \
+             the committed {committed_quick:.2}x"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        if let Err(e) = check() {
+            eprintln!("bench_sweep --check FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench_sweep --check OK");
+        return;
+    }
+
+    let doc = bench_sweep::report(Scale::from_args());
+    let body = doc.to_string_pretty();
+    if std::env::args().any(|a| a == "--stdout") {
+        println!("{body}");
+        return;
+    }
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &body).expect("write BENCH_sweep.json");
+    let speedup = doc
+        .get("acceptance")
+        .and_then(|a| a.get("speedup"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    eprintln!("wrote {path} (live pipeline vs pinned pre-streaming pipeline: {speedup:.2}x)");
+}

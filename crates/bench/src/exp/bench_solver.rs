@@ -14,8 +14,8 @@
 use std::time::Instant;
 
 use mcc_core::offline::{
-    solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_in, solve_naive,
-    SolverWorkspace,
+    solve_auto_in, solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_in,
+    solve_naive, SolverWorkspace, AUTO_CROSSOVER_CELLS,
 };
 use mcc_core::online::{Follow, SpeculativeCaching};
 use mcc_model::{Instance, Json};
@@ -50,6 +50,10 @@ pub struct GridPoint {
     pub compact_workspace: f64,
     /// Windowed sweep reference.
     pub naive: f64,
+    /// Shape-dispatched solver on a warm workspace (what the sweep
+    /// pipeline calls): matrix pass at/below the crossover, windowed
+    /// sweep above it.
+    pub auto_workspace: f64,
 }
 
 impl GridPoint {
@@ -121,6 +125,7 @@ pub fn measure_point(n: usize, m: usize) -> GridPoint {
     let compact_workspace = ns_per_request(n, || {
         check(solve_fast_compact_in(&inst, &mut ws).optimal_cost())
     });
+    let auto_workspace = ns_per_request(n, || check(solve_auto_in(&inst, &mut ws).optimal_cost()));
 
     GridPoint {
         n,
@@ -131,6 +136,7 @@ pub fn measure_point(n: usize, m: usize) -> GridPoint {
         compact,
         compact_workspace,
         naive,
+        auto_workspace,
     }
 }
 
@@ -205,6 +211,7 @@ pub fn report(scale: Scale) -> Json {
                             ("compact".into(), Json::Float(p.compact)),
                             ("compact_workspace".into(), Json::Float(p.compact_workspace)),
                             ("naive".into(), Json::Float(p.naive)),
+                            ("auto_workspace".into(), Json::Float(p.auto_workspace)),
                         ]),
                     ),
                     (
@@ -221,8 +228,18 @@ pub fn report(scale: Scale) -> Json {
     );
 
     Json::Obj(vec![
-        ("schema".into(), Json::Str("bench-solver/1".into())),
+        ("schema".into(), Json::Str("bench-solver/2".into())),
         ("grid".into(), grid_json),
+        (
+            "crossover".into(),
+            Json::Obj(vec![
+                ("cells".into(), Json::Int(AUTO_CROSSOVER_CELLS as i64)),
+                (
+                    "rule".into(),
+                    Json::Str("matrix pass if n*m <= cells, else windowed sweep".into()),
+                ),
+            ]),
+        ),
         (
             "acceptance".into(),
             Json::Obj(vec![
@@ -257,7 +274,12 @@ mod tests {
         let doc = report(Scale::quick());
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("bench-solver/1")
+            Some("bench-solver/2")
+        );
+        let crossover = doc.get("crossover").unwrap();
+        assert_eq!(
+            crossover.get("cells").and_then(Json::as_i64),
+            Some(AUTO_CROSSOVER_CELLS as i64)
         );
         let grid = doc.get("grid").and_then(Json::as_arr).unwrap();
         assert!(!grid.is_empty());
@@ -269,6 +291,7 @@ mod tests {
             "compact",
             "compact_workspace",
             "naive",
+            "auto_workspace",
         ] {
             assert!(ns.get(key).and_then(Json::as_f64).unwrap() > 0.0, "{key}");
         }

@@ -1,0 +1,473 @@
+//! The machine-readable sweep-pipeline perf trajectory: `BENCH_sweep.json`.
+//!
+//! Measures the end-to-end sweep hot path — generate instance, run the
+//! policy, expand the fault plan, audit, solve the off-line optimum —
+//! against the **pinned pre-streaming pipeline** (frozen in the private
+//! `pre_pr` module below): per-run `Runtime` + schedule materialization,
+//! the replaying [`mcc_simnet::ScheduleAuditor`], per-seed `FaultPlan`
+//! clones and a per-seed `FaultTolerant` wrapper construction. Three modes per seed
+//! (healthy, fault-tolerant, fault-oblivious) mirror the grids the
+//! experiments actually sweep. Reported as seed-units/sec single-threaded
+//! (the acceptance headline: pure pipeline effect, thread-count
+//! independent) and across thread counts (E16 in EXPERIMENTS.md).
+//!
+//! The document carries a `quick` section measured at test scale on the
+//! same machine: CI re-measures it and fails when the live pipeline's
+//! speedup over the pinned baseline regresses by more than 10% relative
+//! to the committed value (see the `bench_sweep` binary's `--check`).
+//! Schema (`bench-sweep/1`) documented in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use mcc_core::offline::SolverWorkspace;
+use mcc_model::Json;
+use mcc_simnet::{
+    factory, run_cell_faulty_in, run_cell_in, sweep, FaultSpec, GridCell, PolicyFactory,
+    RunWorkspace,
+};
+use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
+
+use super::bench_solver::peak_rss_kb;
+use super::Scale;
+
+/// Minimum measured wall time per variant; reps repeat until reached.
+const TARGET_SECS: f64 = 0.3;
+/// The acceptance threshold: live-pipeline speedup over the pinned
+/// pre-streaming pipeline, single-threaded, at the reference grid.
+const SPEEDUP_TARGET: f64 = 2.0;
+/// Thread counts for the E16 scaling rows.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The fault regime both pipelines sweep (one tolerant cell, one
+/// oblivious cell — the oblivious audit is the finding-heavy one).
+fn fault_spec(tolerant: bool) -> FaultSpec {
+    FaultSpec {
+        seed: 7,
+        crash_rate: 0.4,
+        mean_downtime: 2.0,
+        tolerant,
+        ..FaultSpec::default()
+    }
+}
+
+fn workload(scale: Scale) -> PoissonWorkload {
+    PoissonWorkload::uniform(
+        CommonParams {
+            servers: scale.servers,
+            requests: scale.requests,
+            mu: 1.0,
+            lambda: 1.0,
+        },
+        1.0,
+    )
+}
+
+/// The pre-PR sweep unit, pinned as a perf baseline.
+///
+/// Frozen verbatim from the pre-streaming `runner.rs` (modulo module
+/// paths): `run_policy` materializes actions, schedule and a fresh
+/// `Runtime` per run; the audit replays the normalized schedule through
+/// [`ScheduleAuditor`]; fault cells clone the expanded plan into a fresh
+/// `FaultTolerant` wrapper every seed. Must **not** be updated alongside
+/// the live pipeline — it is the fixed reference point of the
+/// trajectory. Correctness is cross-checked against the live pipeline in
+/// the tests below.
+mod pre_pr {
+    use mcc_core::offline::{solve_fast_in, SolverWorkspace};
+    use mcc_core::online::{run_policy, FaultStats, FaultTolerant};
+    use mcc_simnet::metrics::Breakdown;
+    use mcc_simnet::{FaultOutcome, FaultSpec, PolicyFactory, ScheduleAuditor, SeedResult};
+    use mcc_workloads::Workload;
+
+    pub fn run_cell_in(
+        policy_factory: &PolicyFactory,
+        workload: &dyn Workload,
+        seeds: std::ops::Range<u64>,
+        ws: &mut SolverWorkspace<f64>,
+    ) -> Vec<SeedResult> {
+        let auditor = ScheduleAuditor::default();
+        let mut policy = policy_factory();
+        seeds
+            .map(|seed| {
+                let inst = workload.generate(seed);
+                let run = run_policy(policy.as_mut(), &inst);
+                let opt = solve_fast_in(&inst, ws).optimal_cost();
+                let audit = auditor.audit_run(&inst, &run, None);
+                SeedResult {
+                    seed,
+                    online_cost: run.total_cost,
+                    opt_cost: opt,
+                    ratio: if opt > 0.0 { run.total_cost / opt } else { 1.0 },
+                    breakdown: Breakdown::from_record(&run.record, inst.cost()),
+                    transfers: run.transfers(),
+                    audit_findings: audit.len(),
+                    fault: None,
+                }
+            })
+            .collect()
+    }
+
+    pub fn run_cell_faulty_in(
+        policy_factory: &PolicyFactory,
+        workload: &dyn Workload,
+        seeds: std::ops::Range<u64>,
+        spec: &FaultSpec,
+        ws: &mut SolverWorkspace<f64>,
+    ) -> Vec<SeedResult> {
+        let auditor = ScheduleAuditor::default();
+        seeds
+            .map(|seed| {
+                let inst = workload.generate(seed);
+                let plan = spec.plan_for(seed, inst.servers(), inst.horizon());
+                let crashes = plan.crashes().len();
+                let opt = solve_fast_in(&inst, ws).optimal_cost();
+                let (run, stats) = if spec.tolerant {
+                    let mut wrapped = FaultTolerant::new(policy_factory(), plan.clone());
+                    let run = run_policy(&mut wrapped, &inst);
+                    let stats = wrapped.stats().clone();
+                    (run, stats)
+                } else {
+                    let mut policy = policy_factory();
+                    (run_policy(policy.as_mut(), &inst), FaultStats::default())
+                };
+                let audit = auditor.audit_run(&inst, &run, Some(&plan));
+                let online_cost = run.total_cost + stats.retry_cost;
+                SeedResult {
+                    seed,
+                    online_cost,
+                    opt_cost: opt,
+                    ratio: if opt > 0.0 { online_cost / opt } else { 1.0 },
+                    breakdown: Breakdown::from_record(&run.record, inst.cost()),
+                    transfers: run.transfers(),
+                    audit_findings: audit.len(),
+                    fault: Some(FaultOutcome {
+                        stats,
+                        crashes,
+                        tolerant: spec.tolerant,
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Total seed-units in one pass: three modes per seed.
+fn units(scale: Scale) -> usize {
+    3 * scale.seeds as usize
+}
+
+/// Repeats `pass` until [`TARGET_SECS`] accumulate (at least 2 reps) and
+/// returns the best observed units/sec. The maximum rate (= minimum
+/// time): interference only slows a rep down, so the fastest rep is the
+/// stable estimator on shared hardware.
+fn best_rate<F: FnMut()>(units: usize, mut pass: F) -> f64 {
+    pass(); // warm-up: faults in pages, grows workspaces
+    let mut best = f64::INFINITY;
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    loop {
+        let rep = Instant::now();
+        pass();
+        best = best.min(rep.elapsed().as_secs_f64());
+        reps += 1;
+        if reps >= 2 && t0.elapsed().as_secs_f64() >= TARGET_SECS {
+            break;
+        }
+    }
+    units as f64 / best.max(1e-9)
+}
+
+/// One full single-threaded pass of the pinned pipeline.
+fn baseline_pass(sc: &PolicyFactory, w: &dyn Workload, seeds: u64, ws: &mut SolverWorkspace<f64>) {
+    let healthy = pre_pr::run_cell_in(sc, w, 0..seeds, ws);
+    let tolerant = pre_pr::run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(true), ws);
+    let oblivious = pre_pr::run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(false), ws);
+    std::hint::black_box((healthy, tolerant, oblivious));
+}
+
+/// One full single-threaded pass of the live pipeline.
+fn live_pass(sc: &PolicyFactory, w: &dyn Workload, seeds: u64, ws: &mut RunWorkspace) {
+    let healthy = run_cell_in(sc, w, 0..seeds, ws);
+    let tolerant = run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(true), ws);
+    let oblivious = run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(false), ws);
+    std::hint::black_box((healthy, tolerant, oblivious));
+}
+
+/// Single-threaded units/sec for both pipelines: `(baseline, live)`.
+pub fn single_thread_rates(scale: Scale) -> (f64, f64) {
+    let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
+    let w = workload(scale);
+    let mut solver_ws = SolverWorkspace::new();
+    let baseline = best_rate(units(scale), || {
+        baseline_pass(&sc, &w, scale.seeds, &mut solver_ws)
+    });
+    let mut run_ws = RunWorkspace::new();
+    let live = best_rate(units(scale), || {
+        live_pass(&sc, &w, scale.seeds, &mut run_ws)
+    });
+    (baseline, live)
+}
+
+/// The three reference cells as the live parallel sweep runs them.
+fn live_cells<'a>(sc: &'a PolicyFactory, w: &'a dyn Workload) -> Vec<GridCell<'a>> {
+    vec![
+        GridCell::new("sc", sc, w),
+        GridCell::new("sc+ft", sc, w).with_faults(fault_spec(true)),
+        GridCell::new("sc-oblivious", sc, w).with_faults(fault_spec(false)),
+    ]
+}
+
+/// Units/sec at `threads` for both pipelines: `(baseline, live)`.
+///
+/// The live side runs the real [`sweep`] (work-stealing, slot mutexes and
+/// all); the baseline side reproduces the pre-PR sweep's structure — the
+/// same work-stealing loop with one `SolverWorkspace` per worker, seed
+/// units dispatched through the pinned cells.
+pub fn parallel_rates(scale: Scale, threads: usize) -> (f64, f64) {
+    let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
+    let w = workload(scale);
+    let n_units = units(scale);
+
+    let baseline = best_rate(n_units, || {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut ws = SolverWorkspace::new();
+                    loop {
+                        let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if unit >= n_units {
+                            break;
+                        }
+                        let seed = (unit / 3) as u64;
+                        let out = match unit % 3 {
+                            0 => pre_pr::run_cell_in(&sc, &w, seed..seed + 1, &mut ws),
+                            1 => pre_pr::run_cell_faulty_in(
+                                &sc,
+                                &w,
+                                seed..seed + 1,
+                                &fault_spec(true),
+                                &mut ws,
+                            ),
+                            _ => pre_pr::run_cell_faulty_in(
+                                &sc,
+                                &w,
+                                seed..seed + 1,
+                                &fault_spec(false),
+                                &mut ws,
+                            ),
+                        };
+                        std::hint::black_box(out);
+                    }
+                });
+            }
+        });
+    });
+
+    let live = best_rate(n_units, || {
+        let out = sweep(live_cells(&sc, &w), 0..scale.seeds, threads);
+        std::hint::black_box(out);
+    });
+
+    (baseline, live)
+}
+
+/// Runs the full measurement and assembles the JSON document. The
+/// `quick` section is always measured at [`Scale::quick`], whatever the
+/// main grid — it is the hardware-relative number CI re-measures.
+pub fn report(scale: Scale) -> Json {
+    let (base_1t, live_1t) = single_thread_rates(scale);
+    let speedup = live_1t / base_1t;
+
+    let by_threads = Json::Arr(
+        THREADS
+            .iter()
+            .map(|&t| {
+                let (base, live) = parallel_rates(scale, t);
+                Json::Obj(vec![
+                    ("threads".into(), Json::Int(t as i64)),
+                    ("baseline_units_per_sec".into(), Json::Float(base)),
+                    ("live_units_per_sec".into(), Json::Float(live)),
+                    ("speedup".into(), Json::Float(live / base)),
+                ])
+            })
+            .collect(),
+    );
+
+    let quick_speedup = if scale == Scale::quick() {
+        speedup
+    } else {
+        let (qb, ql) = single_thread_rates(Scale::quick());
+        ql / qb
+    };
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("bench-sweep/1".into())),
+        (
+            "grid".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::Int(scale.requests as i64)),
+                ("m".into(), Json::Int(scale.servers as i64)),
+                ("seeds".into(), Json::Int(scale.seeds as i64)),
+                ("modes".into(), Json::Int(3)),
+            ]),
+        ),
+        (
+            "pipeline".into(),
+            Json::Obj(vec![
+                ("baseline_units_per_sec".into(), Json::Float(base_1t)),
+                ("live_units_per_sec".into(), Json::Float(live_1t)),
+                ("speedup".into(), Json::Float(speedup)),
+            ]),
+        ),
+        ("by_threads".into(), by_threads),
+        (
+            "quick".into(),
+            Json::Obj(vec![("speedup".into(), Json::Float(quick_speedup))]),
+        ),
+        (
+            "acceptance".into(),
+            Json::Obj(vec![
+                ("speedup".into(), Json::Float(speedup)),
+                ("target".into(), Json::Float(SPEEDUP_TARGET)),
+                ("met".into(), Json::Bool(speedup >= SPEEDUP_TARGET)),
+            ]),
+        ),
+        (
+            "peak_rss_kb".into(),
+            peak_rss_kb().map_or(Json::Null, Json::Int),
+        ),
+    ])
+}
+
+/// Validates the documented shape of a `bench-sweep/1` document;
+/// returns the error description on mismatch.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("bench-sweep/1") {
+        return Err("schema must be \"bench-sweep/1\"".into());
+    }
+    for key in ["n", "m", "seeds", "modes"] {
+        let v = doc
+            .get("grid")
+            .and_then(|g| g.get(key))
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("grid.{key} must be an integer"))?;
+        if v <= 0 {
+            return Err(format!("grid.{key} must be positive"));
+        }
+    }
+    for key in ["baseline_units_per_sec", "live_units_per_sec", "speedup"] {
+        let v = doc
+            .get("pipeline")
+            .and_then(|p| p.get(key))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("pipeline.{key} must be a number"))?;
+        if v.is_nan() || v <= 0.0 {
+            return Err(format!("pipeline.{key} must be positive"));
+        }
+    }
+    let rows = doc
+        .get("by_threads")
+        .and_then(Json::as_arr)
+        .ok_or("by_threads must be an array")?;
+    if rows.is_empty() {
+        return Err("by_threads must not be empty".into());
+    }
+    for row in rows {
+        if row.get("threads").and_then(Json::as_i64).unwrap_or(0) <= 0 {
+            return Err("by_threads[].threads must be positive".into());
+        }
+        let s = row.get("speedup").and_then(Json::as_f64).unwrap_or(-1.0);
+        if s.is_nan() || s <= 0.0 {
+            return Err("by_threads[].speedup must be positive".into());
+        }
+    }
+    let q = doc
+        .get("quick")
+        .and_then(|q| q.get("speedup"))
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0);
+    if q.is_nan() || q <= 0.0 {
+        return Err("quick.speedup must be positive".into());
+    }
+    match doc.get("acceptance").and_then(|a| a.get("met")) {
+        Some(Json::Bool(_)) => Ok(()),
+        _ => Err("acceptance.met must be a bool".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned pipeline and the live pipeline must measure the same
+    /// thing: identical per-seed results on every mode.
+    #[test]
+    fn pinned_baseline_matches_live_pipeline_results() {
+        let scale = Scale::quick();
+        let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
+        let w = workload(scale);
+        let mut solver_ws = SolverWorkspace::new();
+        let mut run_ws = RunWorkspace::new();
+        for (old, new) in [
+            (
+                pre_pr::run_cell_in(&sc, &w, 0..scale.seeds, &mut solver_ws),
+                run_cell_in(&sc, &w, 0..scale.seeds, &mut run_ws),
+            ),
+            (
+                pre_pr::run_cell_faulty_in(
+                    &sc,
+                    &w,
+                    0..scale.seeds,
+                    &fault_spec(true),
+                    &mut solver_ws,
+                ),
+                run_cell_faulty_in(&sc, &w, 0..scale.seeds, &fault_spec(true), &mut run_ws),
+            ),
+            (
+                pre_pr::run_cell_faulty_in(
+                    &sc,
+                    &w,
+                    0..scale.seeds,
+                    &fault_spec(false),
+                    &mut solver_ws,
+                ),
+                run_cell_faulty_in(&sc, &w, 0..scale.seeds, &fault_spec(false), &mut run_ws),
+            ),
+        ] {
+            assert_eq!(old.len(), new.len());
+            for (x, y) in old.iter().zip(&new) {
+                // Online costs agree up to floating-point summation order:
+                // the pinned pipeline sums the normalized schedule, the
+                // live one sums raw records (see `RunStats`).
+                let tol = 1e-12 * x.online_cost.abs().max(1.0);
+                assert!(
+                    (x.online_cost - y.online_cost).abs() <= tol,
+                    "seed {}: {} vs {}",
+                    x.seed,
+                    x.online_cost,
+                    y.online_cost
+                );
+                assert_eq!(x.opt_cost.to_bits(), y.opt_cost.to_bits());
+                assert_eq!(x.transfers, y.transfers);
+                assert_eq!(x.audit_findings, y.audit_findings);
+            }
+        }
+    }
+
+    #[test]
+    fn report_has_the_documented_shape() {
+        let doc = report(Scale::quick());
+        validate(&doc).unwrap();
+        // Round-trips through the parser (the file is meant to be diffed
+        // and re-read by tooling).
+        let reparsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(reparsed.to_string_compact(), doc.to_string_compact());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let doc = Json::Obj(vec![("schema".into(), Json::Str("bench-sweep/0".into()))]);
+        assert!(validate(&doc).is_err());
+    }
+}

@@ -12,8 +12,8 @@
 //! on the identical traces.
 
 use mcc_analysis::{fnum, Section, Summary, Table};
-use mcc_simnet::{factory, run_cell, run_cell_faulty, FaultSpec};
 use mcc_core::online::SpeculativeCaching;
+use mcc_simnet::{factory, run_cell, run_cell_faulty, FaultSpec};
 use mcc_workloads::{CommonParams, PoissonWorkload};
 
 use super::Scale;
@@ -194,7 +194,11 @@ mod tests {
             }
             let m = r.inflation.mean();
             assert!(m >= 0.99, "rate {}: inflation {m} below 1", r.crash_rate);
-            assert!(m < 5.0, "rate {}: inflation {m} implausibly high", r.crash_rate);
+            assert!(
+                m < 5.0,
+                "rate {}: inflation {m} implausibly high",
+                r.crash_rate
+            );
         }
     }
 }

@@ -8,6 +8,7 @@ pub mod adversary;
 pub mod alpha;
 pub mod baseline;
 pub mod bench_solver;
+pub mod bench_sweep;
 pub mod breakdown;
 pub mod classic;
 pub mod epoch;

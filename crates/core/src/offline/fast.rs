@@ -27,6 +27,7 @@
 
 use mcc_model::{Instance, Prescan, Scalar, ServerLists};
 
+use super::naive::WindowPivots;
 use super::tables::{run_dp_into, DpSolution, PivotSource};
 
 /// Sentinel for "no successor on this server" in the pointer matrix.
@@ -273,6 +274,55 @@ pub fn solve_fast_in<'w, S: Scalar>(
     &ws.solution
 }
 
+/// [`super::solve_naive`] into a reusable [`SolverWorkspace`]: the
+/// windowed sweep driven off the workspace's pre-scan and DP tables (the
+/// pointer matrix stays untouched). Zero heap allocations once warm.
+pub fn solve_naive_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+) -> &'w DpSolution<S> {
+    ws.scan.recompute(inst);
+    let mut pivots = WindowPivots { p: &ws.scan.p };
+    run_dp_into(inst, &ws.scan, &mut pivots, &mut ws.solution);
+    &ws.solution
+}
+
+/// Crossover for [`solve_auto`], in pointer-matrix cells (`n·m`).
+///
+/// Both the windowed sweep and the matrix row scan are O(m) per request;
+/// what separates them is memory traffic. The matrix costs an O(nm)
+/// write-only build and then reads 4-byte contiguous rows, which wins
+/// while the whole matrix stays cache-resident; the windowed sweep touches
+/// only O(n + m) state and wins once the matrix spills. Calibrated on the
+/// `bench_solver` grid (see BENCH_solver.json `crossover`): at
+/// (n=2000, m=16) (32 Ki cells, a 128 KiB matrix) the matrix is ~6% ahead,
+/// at (4096, 16) (64 Ki cells) they tie, and the sweep wins every larger
+/// point by 10–35%. 64 Ki cells ≈ a 256 KiB (L2-sized) matrix.
+pub const AUTO_CROSSOVER_CELLS: usize = 64 * 1024;
+
+/// Picks the faster exact solver for the instance's shape: the
+/// pointer-matrix pass below [`AUTO_CROSSOVER_CELLS`], the windowed sweep
+/// above. Both compute identical DP value tables (bit-for-bit: same
+/// recurrences, same minima over the same candidate sets), so the dispatch
+/// never changes results — only speed.
+pub fn solve_auto_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+) -> &'w DpSolution<S> {
+    if inst.n().saturating_mul(inst.servers()) <= AUTO_CROSSOVER_CELLS {
+        solve_fast_in(inst, ws)
+    } else {
+        solve_naive_in(inst, ws)
+    }
+}
+
+/// Allocating convenience over [`solve_auto_in`].
+pub fn solve_auto<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
+    let mut ws = SolverWorkspace::new();
+    solve_auto_in(inst, &mut ws);
+    ws.take_solution()
+}
+
 /// Space-lean variant: O(n + m) space, O(mn log n) time.
 pub fn solve_fast_compact<S: Scalar>(inst: &Instance<S>) -> DpSolution<S> {
     let mut ws = SolverWorkspace::new();
@@ -397,6 +447,30 @@ mod tests {
             let sol = solve_fast_compact_in(&inst, &mut ws);
             assert!((sol.optimal_cost() - 8.9).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn naive_and_auto_workspace_entry_points_match() {
+        let inst = fig6();
+        let mut ws = SolverWorkspace::new();
+        let naive = solve_naive(&inst);
+        {
+            let sol = solve_naive_in(&inst, &mut ws);
+            assert_eq!(sol.c, naive.c);
+        }
+        // Auto dispatch picks some exact solver; values are identical
+        // whichever side of the crossover the shape lands on.
+        let sol = super::solve_auto_in(&inst, &mut ws);
+        assert_eq!(sol.c, naive.c);
+        assert_eq!(
+            super::solve_auto(&inst).optimal_cost(),
+            naive.optimal_cost()
+        );
+        // A warm workspace interleaving naive and matrix passes leaks no
+        // state between them.
+        let fast_cost = solve_fast_in(&inst, &mut ws).optimal_cost();
+        let naive_cost = solve_naive_in(&inst, &mut ws).optimal_cost();
+        assert_eq!(fast_cost, naive_cost);
     }
 
     #[test]

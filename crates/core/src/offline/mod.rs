@@ -6,6 +6,9 @@
 //! * [`solve_fast`] — the paper's O(mn) time/space algorithm (Theorem 2);
 //! * [`solve_fast_compact`] — O(n + m) space / O(mn log n) time variant;
 //! * [`solve_naive`] — the windowed reference sweep (O(nm) amortized);
+//! * [`solve_auto`] — shape-based dispatch between the matrix pass and the
+//!   windowed sweep (whichever is empirically faster at the instance's
+//!   `n·m`), used by the sweep hot path;
 //! * [`solve_quadratic`] — the paper's Θ(n²) straightforward implementation;
 //! * [`brute_force_cost`] — an exponential exact oracle for tiny instances
 //!   sharing no code with the recurrences;
@@ -27,8 +30,9 @@ pub mod tables;
 pub use brute::{brute_force_cost, MAX_BRUTE_M, MAX_BRUTE_N};
 pub use capped::{capped_optimal_cost, MAX_CAPPED_M, MAX_CAPPED_N};
 pub use fast::{
-    solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_compact_with, solve_fast_in,
-    solve_fast_with, SolverWorkspace,
+    solve_auto, solve_auto_in, solve_fast, solve_fast_compact, solve_fast_compact_in,
+    solve_fast_compact_with, solve_fast_in, solve_fast_with, solve_naive_in, SolverWorkspace,
+    AUTO_CROSSOVER_CELLS,
 };
 pub use naive::{solve_naive, solve_naive_with, solve_quadratic, solve_quadratic_with};
 pub use reconstruct::reconstruct;

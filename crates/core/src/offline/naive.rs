@@ -27,9 +27,10 @@ use mcc_model::{Instance, Prescan, Scalar};
 use super::tables::{run_dp, DpSolution, PivotSource};
 
 /// Pivot enumeration scanning the window `(p(i), i)`; total work
-/// telescopes to O(nm) (see module docs).
-struct WindowPivots<'a> {
-    p: &'a [Option<usize>],
+/// telescopes to O(nm) (see module docs). Crate-visible so the workspace
+/// entry points in `fast` can drive it allocation-free.
+pub(crate) struct WindowPivots<'a> {
+    pub(crate) p: &'a [Option<usize>],
 }
 
 impl PivotSource for WindowPivots<'_> {

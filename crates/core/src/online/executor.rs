@@ -40,6 +40,76 @@ impl<S: Scalar> OnlineRun<S> {
     }
 }
 
+/// Scalar summary of one online run, measured straight off the copy and
+/// transfer records without materializing a [`Schedule`].
+///
+/// The cost components are per-record sums (`Σ μ·(to − from)` and `λ` per
+/// transfer); they agree with the normalized-schedule costs of
+/// [`run_policy`] up to floating-point summation order (≪ any audit
+/// tolerance), because normalization only merges abutting intervals and
+/// merging preserves total length.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RunStats<S> {
+    /// Total cost (`caching_cost + transfer_cost`).
+    pub total_cost: S,
+    /// Caching component.
+    pub caching_cost: S,
+    /// Transfer component.
+    pub transfer_cost: S,
+    /// Number of transfers performed.
+    pub transfers: usize,
+    /// Requests served from a local live copy.
+    pub cache_hits: usize,
+}
+
+/// Runs `policy` over `inst`'s request sequence on a caller-provided
+/// [`Runtime`] — the zero-allocation twin of [`run_policy`].
+///
+/// Nothing is materialized: no schedule, no action log, no policy-name
+/// string. The runtime is reset, driven, and finalized in place; with a
+/// warm runtime the whole run touches no allocator. Feasibility checking
+/// is the caller's job (the sweep pipeline audits every run with the
+/// streaming auditor; `run_policy` keeps the debug-build referee).
+pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
+    policy: &mut P,
+    inst: &Instance<S>,
+    rt: &'rt mut Runtime<S>,
+) -> (RunStats<S>, &'rt RunRecord<S>) {
+    policy.reset(inst.servers(), inst.cost());
+    rt.reset(inst.servers());
+    let mut cache_hits = 0usize;
+    for i in 1..=inst.n() {
+        if let ServeAction::Cache = policy.on_request(inst.t(i), inst.server(i), rt) {
+            cache_hits += 1;
+        }
+    }
+    let horizon = inst.horizon();
+    let record = if inst.n() == 0 {
+        // No service period at all: the initial copy never speculates.
+        rt.finalize(|_, last_touch| last_touch)
+    } else {
+        rt.finalize(|server, last_touch| policy.close_time(server, last_touch, horizon))
+    };
+
+    let cost = inst.cost();
+    let mut caching_cost = S::ZERO;
+    for r in &record.records {
+        caching_cost = caching_cost + cost.caching(r.to - r.from);
+    }
+    let mut transfer_cost = S::ZERO;
+    for _ in &record.transfers {
+        transfer_cost = transfer_cost + cost.lambda;
+    }
+    let stats = RunStats {
+        total_cost: caching_cost + transfer_cost,
+        caching_cost,
+        transfer_cost,
+        transfers: record.transfers.len(),
+        cache_hits,
+    };
+    (stats, record)
+}
+
 /// Runs `policy` over `inst`'s request sequence (strictly online: one
 /// request at a time, in time order).
 ///
@@ -144,6 +214,29 @@ mod tests {
         assert_eq!(run.transfers(), 2);
         assert_eq!(run.cache_hits(), 1);
         assert_eq!(run.actions[0], ServeAction::Transfer { from: ServerId(0) });
+    }
+
+    #[test]
+    fn record_runner_matches_the_materializing_one() {
+        let inst =
+            mcc_model::Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@1.0 s1@3.0 s1@4.0")
+                .unwrap();
+        let mut policy = Follow {
+            holder: ServerId::ORIGIN,
+        };
+        let full = run_policy(&mut policy, &inst);
+        let mut rt = Runtime::new(1);
+        let (stats, rec) = run_policy_record(&mut policy, &inst, &mut rt);
+        assert!((stats.total_cost - full.total_cost).abs() < 1e-12);
+        assert!((stats.caching_cost - full.caching_cost).abs() < 1e-12);
+        assert!((stats.transfer_cost - full.transfer_cost).abs() < 1e-12);
+        assert_eq!(stats.transfers, full.transfers());
+        assert_eq!(stats.cache_hits, full.cache_hits());
+        assert_eq!(rec.records, full.record.records);
+        assert_eq!(rec.transfers, full.record.transfers);
+        // Re-running on the same warm runtime gives the same answer.
+        let (again, _) = run_policy_record(&mut policy, &inst, &mut rt);
+        assert_eq!(again, stats);
     }
 
     #[test]

@@ -101,9 +101,8 @@ impl FaultPlan {
         max_failed_attempts: u32,
         mean_delay: f64,
     ) -> Self {
-        crashes.retain(|w| {
-            w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from
-        });
+        crashes
+            .retain(|w| w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from);
         crashes.sort_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
         FaultPlan {
             crashes,
@@ -120,6 +119,54 @@ impl FaultPlan {
                 0.0
             },
         }
+    }
+
+    /// Refills this plan in place from explicit parts — the
+    /// capacity-reusing twin of [`FaultPlan::new`] (same window validation
+    /// and sorting, same clamping). A warm plan buffer absorbs a new
+    /// expansion without touching the allocator unless the window count
+    /// grows past its capacity.
+    pub fn assign(
+        &mut self,
+        crashes: &[CrashWindow],
+        fail_seed: u64,
+        fail_prob: f64,
+        max_failed_attempts: u32,
+        mean_delay: f64,
+    ) {
+        self.crashes.clear();
+        self.crashes.extend_from_slice(crashes);
+        self.crashes
+            .retain(|w| w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from);
+        // Unstable sort on the full window: deterministic (equal keys mean
+        // equal windows) and allocation-free, unlike `new`'s stable sort.
+        self.crashes.sort_unstable_by(|a, b| {
+            a.from
+                .total_cmp(&b.from)
+                .then(a.server.cmp(&b.server))
+                .then(a.to.total_cmp(&b.to))
+        });
+        self.fail_seed = fail_seed;
+        self.fail_prob = if fail_prob.is_finite() {
+            fail_prob.clamp(0.0, 0.999)
+        } else {
+            0.0
+        };
+        self.max_failed_attempts = max_failed_attempts;
+        self.mean_delay = if mean_delay.is_finite() {
+            mean_delay.max(0.0)
+        } else {
+            0.0
+        };
+    }
+
+    /// Deep-copies `other` into this plan, reusing the window buffer.
+    pub fn copy_from(&mut self, other: &FaultPlan) {
+        self.crashes.clone_from(&other.crashes);
+        self.fail_seed = other.fail_seed;
+        self.fail_prob = other.fail_prob;
+        self.max_failed_attempts = other.max_failed_attempts;
+        self.mean_delay = other.mean_delay;
     }
 
     /// Whether the plan injects no faults at all.
@@ -260,6 +307,14 @@ impl FaultEvent {
             FaultEvent::Down { .. } => 1,
         }
     }
+    /// Sort tiebreak within one instant and kind (recoveries carry no
+    /// server, crashes keep the plan's per-server order).
+    fn server_key(&self) -> usize {
+        match *self {
+            FaultEvent::Up { .. } => 0,
+            FaultEvent::Down { server, .. } => server.index(),
+        }
+    }
 }
 
 /// Wraps an online policy with crash/failure handling for a [`FaultPlan`].
@@ -302,6 +357,21 @@ impl<P> FaultTolerant<P> {
     /// The plan this wrapper runs against.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Mutable access to the wrapper's plan, so a caller can expand the
+    /// next run's faults straight into the wrapper's buffers (no per-run
+    /// plan clone). Swap plans only between runs: the wrapper snapshots
+    /// the plan into its event stream on `reset`.
+    pub fn plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.plan
+    }
+
+    /// Replaces the wrapper's plan with a copy of `plan`, reusing the
+    /// existing window buffer. Only between runs, as with
+    /// [`FaultTolerant::plan_mut`].
+    pub fn set_plan(&mut self, plan: &FaultPlan) {
+        self.plan.copy_from(plan);
     }
 
     /// Unwraps the inner policy.
@@ -450,8 +520,14 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
             });
             self.events.push(FaultEvent::Up { at: w.to });
         }
-        self.events
-            .sort_by(|a, b| a.at().total_cmp(&b.at()).then(a.order().cmp(&b.order())));
+        // Unstable but fully keyed (time, kind, server): deterministic for
+        // any plan, and no stable-sort merge buffer in the per-run reset.
+        self.events.sort_unstable_by(|a, b| {
+            a.at()
+                .total_cmp(&b.at())
+                .then(a.order().cmp(&b.order()))
+                .then(a.server_key().cmp(&b.server_key()))
+        });
         self.next_event = 0;
         self.pending_replica = false;
         self.bootstrapped = false;
@@ -660,7 +736,9 @@ mod tests {
             assert!(plan.failed_attempts(ServerId(0), ServerId(2), t) <= 3);
         }
         // With p = 0.5 some transfer in 200 tries fails at least once.
-        assert!((0..200).any(|k| plan.failed_attempts(ServerId(0), ServerId(2), 0.1 * k as f64) > 0));
+        assert!(
+            (0..200).any(|k| plan.failed_attempts(ServerId(0), ServerId(2), 0.1 * k as f64) > 0)
+        );
     }
 
     #[test]
@@ -670,7 +748,10 @@ mod tests {
         let _run = run_policy(&mut ft, &inst());
         let stats = ft.stats();
         assert!(stats.retries > 0, "p=0.9 must produce retries");
-        assert!((stats.retry_cost - stats.retries as f64).abs() < 1e-12, "λ=1");
+        assert!(
+            (stats.retry_cost - stats.retries as f64).abs() < 1e-12,
+            "λ=1"
+        );
     }
 
     #[test]
@@ -693,6 +774,34 @@ mod tests {
         assert!(!plan.is_down(ServerId(1), 1.5));
         assert_eq!(plan.next_crash_after(ServerId(2), 0.5), Some(1.0));
         assert_eq!(plan.next_crash_after(ServerId(2), 1.0), None);
+    }
+
+    #[test]
+    fn assign_matches_new_and_copy_from_round_trips() {
+        let windows = vec![
+            CrashWindow {
+                server: ServerId(2),
+                from: 3.0,
+                to: 4.0,
+            },
+            CrashWindow {
+                server: ServerId(1),
+                from: 1.0,
+                to: 2.5,
+            },
+            CrashWindow {
+                server: ServerId(0),
+                from: 2.0,
+                to: 1.0, // malformed, dropped
+            },
+        ];
+        let built = FaultPlan::new(windows.clone(), 9, 1.5, 4, -1.0);
+        let mut assigned = FaultPlan::none();
+        assigned.assign(&windows, 9, 1.5, 4, -1.0);
+        assert_eq!(built, assigned);
+        let mut copied = FaultPlan::none();
+        copied.copy_from(&built);
+        assert_eq!(built, copied);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod tracker;
 
 pub use baselines::{Follow, KeepEverywhere, StayAtOrigin};
 pub use dt::{double_transfer, DtCache, DtSchedule, DtTransfer};
-pub use executor::{run_policy, OnlineRun};
+pub use executor::{run_policy, run_policy_record, OnlineRun, RunStats};
 pub use fault::{CrashWindow, FaultPlan, FaultStats, FaultTolerant};
 pub use policy::{OnlinePolicy, ServeAction};
 pub use reduction::{analyze, ReductionReport};

@@ -111,13 +111,16 @@ impl<S: Scalar> CopyOps<S> for Runtime<S> {
 }
 
 /// Copy-lifecycle bookkeeping for one online run.
+///
+/// A `Runtime` is reusable: [`Runtime::reset`] rewinds it to the initial
+/// state (origin copy open at time 0) while keeping every internal buffer's
+/// capacity, so the steady state of a sweep performs no heap allocation
+/// per run.
 #[derive(Clone, Debug)]
 pub struct Runtime<S> {
     open: Vec<Option<OpenCopy<S>>>,
-    records: Vec<CopyRecord<S>>,
-    transfers: Vec<TransferRecord<S>>,
+    rec: RunRecord<S>,
     epoch: u32,
-    epoch_boundaries: Vec<S>,
     now: S,
 }
 
@@ -132,12 +135,28 @@ impl<S: Scalar> Runtime<S> {
         });
         Runtime {
             open,
-            records: Vec::new(),
-            transfers: Vec::new(),
+            rec: RunRecord::default(),
             epoch: 0,
-            epoch_boundaries: Vec::new(),
             now: S::ZERO,
         }
+    }
+
+    /// Rewinds to the initial state for `servers` servers (origin copy open
+    /// at 0, no records). Buffer capacities survive, so resetting a warm
+    /// runtime allocates only if `servers` grew past the previous cluster
+    /// size.
+    pub fn reset(&mut self, servers: usize) {
+        self.open.clear();
+        self.open.resize(servers, None);
+        self.open[ServerId::ORIGIN.index()] = Some(OpenCopy {
+            from: S::ZERO,
+            last_touch: S::ZERO,
+        });
+        self.rec.records.clear();
+        self.rec.transfers.clear();
+        self.rec.epoch_boundaries.clear();
+        self.epoch = 0;
+        self.now = S::ZERO;
     }
 
     /// Number of servers.
@@ -191,7 +210,7 @@ impl<S: Scalar> Runtime<S> {
             from: t,
             last_touch: t,
         });
-        self.transfers.push(TransferRecord {
+        self.rec.transfers.push(TransferRecord {
             src,
             dst,
             at: t,
@@ -210,7 +229,7 @@ impl<S: Scalar> Runtime<S> {
             "close at t={t} before last touch {} on {server}",
             copy.last_touch
         );
-        self.records.push(CopyRecord {
+        self.rec.records.push(CopyRecord {
             server,
             from: copy.from,
             last_touch: copy.last_touch,
@@ -222,7 +241,7 @@ impl<S: Scalar> Runtime<S> {
     /// fixed number of transfers).
     pub fn begin_epoch(&mut self, t: S) {
         self.epoch += 1;
-        self.epoch_boundaries.push(t);
+        self.rec.epoch_boundaries.push(t);
     }
 
     /// Current epoch index.
@@ -230,10 +249,15 @@ impl<S: Scalar> Runtime<S> {
         self.epoch
     }
 
-    /// Finalizes the run: every still-open copy is closed at
-    /// `close_at(server)`. Consumes the runtime and returns the immutable
-    /// run record.
-    pub fn finish(mut self, mut close_at: impl FnMut(ServerId, S) -> S) -> RunRecord<S> {
+    /// Finalizes the run in place: every still-open copy is closed at
+    /// `close_at(server)` and the records are brought into their canonical
+    /// `(from, server)` order. Borrows the run record out of the runtime —
+    /// call [`Runtime::reset`] before driving the next run.
+    ///
+    /// Sorting is unstable on the full record key, so it is deterministic
+    /// (ties can only be bitwise-identical records) and allocation-free —
+    /// unlike a stable sort, which buys its stability with a merge buffer.
+    pub fn finalize(&mut self, mut close_at: impl FnMut(ServerId, S) -> S) -> &RunRecord<S> {
         for idx in 0..self.open.len() {
             if let Some(copy) = self.open[idx] {
                 let server = ServerId::from_index(idx);
@@ -241,22 +265,31 @@ impl<S: Scalar> Runtime<S> {
                 self.close(server, t.max2(copy.last_touch));
             }
         }
-        self.records.sort_by(|a, b| {
+        self.rec.records.sort_unstable_by(|a, b| {
             a.from
                 .partial_cmp(&b.from)
                 .expect("no NaN times")
                 .then(a.server.cmp(&b.server))
+                .then(a.to.partial_cmp(&b.to).expect("no NaN times"))
+                .then(
+                    a.last_touch
+                        .partial_cmp(&b.last_touch)
+                        .expect("no NaN times"),
+                )
         });
-        RunRecord {
-            records: self.records,
-            transfers: self.transfers,
-            epoch_boundaries: self.epoch_boundaries,
-        }
+        &self.rec
+    }
+
+    /// Finalizes the run (see [`Runtime::finalize`]), consuming the runtime
+    /// and returning the record by value.
+    pub fn finish(mut self, close_at: impl FnMut(ServerId, S) -> S) -> RunRecord<S> {
+        self.finalize(close_at);
+        self.rec
     }
 }
 
 /// The immutable outcome of an online run (before schedule conversion).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RunRecord<S> {
     /// All copy lifetimes.
     pub records: Vec<CopyRecord<S>>,
@@ -264,6 +297,18 @@ pub struct RunRecord<S> {
     pub transfers: Vec<TransferRecord<S>>,
     /// Times at which Speculative Caching reset its epoch.
     pub epoch_boundaries: Vec<S>,
+}
+
+// Manual impl: the derive would demand `S: Default`, which `Scalar` does
+// not guarantee, and empty vectors need no default scalar anyway.
+impl<S> Default for RunRecord<S> {
+    fn default() -> Self {
+        RunRecord {
+            records: Vec::new(),
+            transfers: Vec::new(),
+            epoch_boundaries: Vec::new(),
+        }
+    }
 }
 
 impl<S: Scalar> RunRecord<S> {
@@ -360,6 +405,21 @@ mod tests {
         assert_eq!(rec.transfers[0].epoch, 0);
         assert_eq!(rec.transfers[1].epoch, 1);
         assert_eq!(rec.epoch_boundaries, vec![1.0]);
+    }
+
+    #[test]
+    fn reset_rewinds_to_the_initial_state() {
+        let mut rt = Runtime::<f64>::new(2);
+        rt.transfer(ServerId(0), ServerId(1), 1.0);
+        let a = rt.finalize(|_, last| last).clone();
+        rt.reset(3);
+        assert_eq!(rt.servers(), 3);
+        assert_eq!(rt.live_copies(), 1);
+        assert_eq!(rt.epoch(), 0);
+        rt.transfer(ServerId(0), ServerId(1), 1.0);
+        let b = rt.finalize(|_, last| last);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.transfers, b.transfers);
     }
 
     #[test]

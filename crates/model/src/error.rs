@@ -131,7 +131,10 @@ impl fmt::Display for Violation {
                 write!(f, "copy on {server} was lost to a crash at t={at} but the schedule keeps using it")
             }
             Violation::TransferDuringOutage { src, at } => {
-                write!(f, "transfer departs {src} at t={at} while the server is down")
+                write!(
+                    f,
+                    "transfer departs {src} at t={at} while the server is down"
+                )
             }
         }
     }

@@ -65,10 +65,9 @@ impl std::fmt::Display for AuditFinding {
                 f,
                 "reported cost {reported} drifts from recomputed {recomputed}"
             ),
-            AuditFinding::UnpaidTransfers { recorded, costed } => write!(
-                f,
-                "{recorded} transfers performed but {costed} costed"
-            ),
+            AuditFinding::UnpaidTransfers { recorded, costed } => {
+                write!(f, "{recorded} transfers performed but {costed} costed")
+            }
         }
     }
 }
@@ -357,11 +356,10 @@ impl ScheduleAuditor {
         for i in 1..=inst.n() {
             let (s, t) = (inst.server(i), inst.t(i));
             let cached = s.index() < servers
-                && ivs[s.index()].iter().any(|iv| {
-                    iv.alive && self.le(iv.from, t) && self.le(t, iv.actual_to)
-                });
-            let transferred =
-                s.index() < servers && has_time(&delivered[s.index()], t, &eqf);
+                && ivs[s.index()]
+                    .iter()
+                    .any(|iv| iv.alive && self.le(iv.from, t) && self.le(t, iv.actual_to));
+            let transferred = s.index() < servers && has_time(&delivered[s.index()], t, &eqf);
             if !cached && !transferred {
                 findings.push(AuditFinding::Violation(Violation::UnservedRequest {
                     request: i,
@@ -499,10 +497,10 @@ mod tests {
             !report.is_clean(),
             "a fault-oblivious schedule must show violations under crashes"
         );
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, AuditFinding::Violation(Violation::CopyLostInCrash { .. }))));
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::Violation(Violation::CopyLostInCrash { .. })
+        )));
     }
 
     #[test]

@@ -189,7 +189,8 @@ pub fn simulate_under_faults<P: OnlinePolicy<f64> + 'static>(
 ) -> Result<FaultySimOutcome, SimError> {
     let auditor = ScheduleAuditor::default();
     if tolerant {
-        let mut wrapped = FaultTolerant::new(policy, plan.clone());
+        let mut wrapped = FaultTolerant::new(policy, FaultPlan::none());
+        wrapped.set_plan(plan);
         let outcome = simulate(&mut wrapped, source, config)?;
         let audit = auditor.audit_outcome(&outcome, Some(plan));
         Ok(FaultySimOutcome {

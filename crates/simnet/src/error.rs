@@ -37,7 +37,9 @@ impl fmt::Display for SimError {
             SimError::EventInPast { time, now } => {
                 write!(f, "cannot schedule an event at {time} before now = {now}")
             }
-            SimError::InvalidTrace(e) => write!(f, "arrival process produced an invalid trace: {e}"),
+            SimError::InvalidTrace(e) => {
+                write!(f, "arrival process produced an invalid trace: {e}")
+            }
         }
     }
 }
@@ -65,7 +67,10 @@ mod tests {
     fn displays_are_informative() {
         let e = SimError::BadEventTime { time: f64::NAN };
         assert!(e.to_string().contains("NaN"));
-        let e = SimError::EventInPast { time: 1.0, now: 2.0 };
+        let e = SimError::EventInPast {
+            time: 1.0,
+            now: 2.0,
+        };
         assert!(e.to_string().contains("before now"));
         let e = SimError::from(ModelError::NoServers);
         assert!(e.to_string().contains("invalid trace"));

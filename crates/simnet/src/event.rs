@@ -159,7 +159,10 @@ mod tests {
         q.pop();
         assert_eq!(
             q.schedule(1.0, ()),
-            Err(SimError::EventInPast { time: 1.0, now: 2.0 })
+            Err(SimError::EventInPast {
+                time: 1.0,
+                now: 2.0
+            })
         );
         assert!(q.is_empty(), "rejected events are not enqueued");
     }

@@ -73,6 +73,14 @@ impl Rng {
     }
 }
 
+/// Reusable buffers for [`FaultSpec::plan_for_into`]: the sampled crash
+/// windows before cap enforcement, and the active-outage sweep state.
+#[derive(Default, Debug)]
+pub struct PlanScratch {
+    windows: Vec<CrashWindow>,
+    active: Vec<f64>,
+}
+
 impl FaultSpec {
     /// A spec that injects nothing (plans come out trivial).
     pub fn none() -> Self {
@@ -92,20 +100,40 @@ impl FaultSpec {
     /// swept in time order dropping any window that would push concurrent
     /// outages past `m − 1`.
     pub fn plan_for(&self, run_seed: u64, servers: usize, horizon: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        let mut scratch = PlanScratch::default();
+        self.plan_for_into(run_seed, servers, horizon, &mut plan, &mut scratch);
+        plan
+    }
+
+    /// [`Self::plan_for`] into caller-owned storage: same draws, same
+    /// resulting plan, zero allocations once `plan` and `scratch` are
+    /// warm. This is what keeps per-seed fault expansion off the heap in
+    /// the sweep hot path.
+    pub fn plan_for_into(
+        &self,
+        run_seed: u64,
+        servers: usize,
+        horizon: f64,
+        plan: &mut FaultPlan,
+        scratch: &mut PlanScratch,
+    ) {
         let mixed = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(run_seed)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        let mut crashes = Vec::new();
+        scratch.windows.clear();
         if self.crash_rate > 0.0 && self.mean_downtime > 0.0 && servers > 1 && horizon > 0.0 {
             let mean_gap = 1.0 / self.crash_rate;
             for s in 0..servers {
-                let mut rng = Rng::new(mixed.wrapping_add((s as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)));
+                let mut rng = Rng::new(
+                    mixed.wrapping_add((s as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)),
+                );
                 let mut t = rng.exp(mean_gap);
                 while t < horizon {
                     let down = rng.exp(self.mean_downtime);
-                    crashes.push(CrashWindow {
+                    scratch.windows.push(CrashWindow {
                         server: ServerId::from_index(s),
                         from: t,
                         to: t + down,
@@ -113,32 +141,40 @@ impl FaultSpec {
                     t = t + down + rng.exp(mean_gap);
                 }
             }
-            crashes.sort_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
-            crashes = enforce_cap(crashes, servers - 1);
+            // Unstable sort allocates nothing; `(from, server)` is unique
+            // (per-server starts are strictly increasing), so the order
+            // is still deterministic.
+            scratch
+                .windows
+                .sort_unstable_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
+            enforce_cap(&mut scratch.windows, &mut scratch.active, servers - 1);
         }
-        FaultPlan::new(
-            crashes,
+        plan.assign(
+            &scratch.windows,
             mixed ^ 0xD6E8_FEB8_6659_FD93,
             self.fail_prob,
             self.max_failed_attempts,
             self.mean_delay,
-        )
+        );
     }
 }
 
-/// Drops windows that would exceed `cap` concurrent outages (sweep over
-/// crash starts with the active recovery times).
-fn enforce_cap(sorted: Vec<CrashWindow>, cap: usize) -> Vec<CrashWindow> {
-    let mut kept: Vec<CrashWindow> = Vec::with_capacity(sorted.len());
-    let mut active: Vec<f64> = Vec::new();
-    for w in sorted {
+/// Drops windows that would exceed `cap` concurrent outages, in place
+/// (write-compaction sweep over crash starts with the active recovery
+/// times).
+fn enforce_cap(windows: &mut Vec<CrashWindow>, active: &mut Vec<f64>, cap: usize) {
+    active.clear();
+    let mut keep = 0;
+    for i in 0..windows.len() {
+        let w = windows[i];
         active.retain(|&to| to > w.from);
         if active.len() < cap {
             active.push(w.to);
-            kept.push(w);
+            windows[keep] = w;
+            keep += 1;
         }
     }
-    kept
+    windows.truncate(keep);
 }
 
 #[cfg(test)]
@@ -163,8 +199,8 @@ mod tests {
     fn concurrent_outages_never_reach_cluster_size() {
         let spec = FaultSpec {
             seed: 3,
-            crash_rate: 2.0,       // pathologically crashy
-            mean_downtime: 5.0,    // long outages force overlaps
+            crash_rate: 2.0,    // pathologically crashy
+            mean_downtime: 5.0, // long outages force overlaps
             ..FaultSpec::default()
         };
         for servers in [2usize, 3, 5] {
@@ -183,6 +219,21 @@ mod tests {
                     w.from
                 );
             }
+        }
+    }
+
+    #[test]
+    fn plan_for_into_reuses_buffers_and_matches_plan_for() {
+        let spec = FaultSpec {
+            seed: 9,
+            crash_rate: 0.5,
+            ..FaultSpec::default()
+        };
+        let mut plan = FaultPlan::none();
+        let mut scratch = PlanScratch::default();
+        for run_seed in 0..6u64 {
+            spec.plan_for_into(run_seed, 8, 50.0, &mut plan, &mut scratch);
+            assert_eq!(plan, spec.plan_for(run_seed, 8, 50.0));
         }
     }
 

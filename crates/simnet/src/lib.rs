@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod planned;
 pub mod runner;
+pub mod streaming;
 
 pub use audit::{AuditFinding, AuditReport, ScheduleAuditor};
 pub use engine::{
@@ -38,14 +39,14 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use event::EventQueue;
-pub use fault::FaultSpec;
+pub use fault::{FaultSpec, PlanScratch};
 pub use metrics::{Breakdown, CopyTimeline, FaultBreakdown};
 pub use parallel::{sweep, CellResult, GridCell};
 pub use planned::{
-    execute_plan, execute_plan_under_faults, plan_and_execute, FaultyPlannedOutcome,
-    PlannedOutcome,
+    execute_plan, execute_plan_under_faults, plan_and_execute, FaultyPlannedOutcome, PlannedOutcome,
 };
 pub use runner::{
-    factory, run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, FaultOutcome,
-    PolicyFactory, SeedResult,
+    factory, run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, run_seed_faulty_in,
+    run_seed_in, run_seed_oblivious_in, FaultOutcome, PolicyFactory, RunWorkspace, SeedResult,
 };
+pub use streaming::{AuditScratch, StreamingAuditor};

@@ -13,10 +13,8 @@ use std::thread;
 
 use mcc_workloads::Workload;
 
-use mcc_core::offline::SolverWorkspace;
-
 use crate::fault::FaultSpec;
-use crate::runner::{run_cell_faulty_in, run_cell_in, PolicyFactory, SeedResult};
+use crate::runner::{run_cell_faulty_in, run_cell_in, PolicyFactory, RunWorkspace, SeedResult};
 
 /// A named cell of the sweep grid.
 pub struct GridCell<'a> {
@@ -105,11 +103,13 @@ pub fn sweep(
         thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    // One solver workspace per worker: warm buffers amortize
-                    // across every unit this thread steals, and per-seed
-                    // determinism keeps results independent of which thread
-                    // (and thus which dirty workspace) runs a unit.
-                    let mut ws = SolverWorkspace::new();
+                    // One run workspace per worker: warm solver tables,
+                    // runtime record buffers, audit scratch and fault-plan
+                    // storage amortize across every unit this thread steals,
+                    // and per-seed determinism keeps results independent of
+                    // which thread (and thus which dirty workspace) runs a
+                    // unit.
+                    let mut ws = RunWorkspace::new();
                     loop {
                         let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if unit >= units {
@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn sweep_is_deterministic_across_thread_counts() {
         // Workloads of *different shapes* (n and m), so a worker's reused
-        // per-thread SolverWorkspace crosses shapes in whatever order the
+        // per-thread RunWorkspace crosses shapes in whatever order the
         // work-stealing happens to interleave — results must not depend on
         // which thread's dirty workspace ran a unit. Thread counts 1, 2 and
         // 8 give distinct stealing patterns over the 24 units, and the two

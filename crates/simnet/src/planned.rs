@@ -196,11 +196,8 @@ pub fn execute_plan_under_faults(
             if covered {
                 continue;
             }
-            let any_live = actualized
-                .caches
-                .iter()
-                .any(|h| h.from <= t && t <= h.to)
-                || t <= coverage_end;
+            let any_live =
+                actualized.caches.iter().any(|h| h.from <= t && t <= h.to) || t <= coverage_end;
             if !any_live {
                 coverage_end = t; // mirrors execute_plan's holdover step
             }

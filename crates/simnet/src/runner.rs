@@ -1,19 +1,32 @@
 //! One experiment cell: a policy set against a workload across seeds.
 //!
-//! Every run is replayed through the [`ScheduleAuditor`] before its result
-//! is returned — feasibility checking is not an opt-in debug mode but part
-//! of the measurement itself, and the per-seed finding count rides along in
-//! [`SeedResult`]. Fault-injected cells additionally expand a [`FaultSpec`]
-//! into a per-seed [`FaultPlan`] and (optionally) wrap the policy in the
-//! fault-tolerant layer.
+//! Every run is audited before its result is returned — feasibility
+//! checking is not an opt-in debug mode but part of the measurement
+//! itself, and the per-seed finding count rides along in [`SeedResult`].
+//! The audit happens in-stream ([`StreamingAuditor`], one chronological
+//! pass over the raw run record); [`RunWorkspace::exhaustive`] switches a
+//! cell to the materializing [`ScheduleAuditor`] replay, the slower
+//! arbiter the streaming pass is property-tested against. Fault-injected
+//! cells additionally expand a [`FaultSpec`] into a per-seed
+//! [`FaultPlan`] and (optionally) wrap the policy in the fault-tolerant
+//! layer.
+//!
+//! The steady-state seed unit ([`run_seed_in`] and friends) is
+//! allocation-free: policy run, off-line optimum, fault expansion and
+//! audit all work inside the caller's [`RunWorkspace`] buffers
+//! (enforced by `tests/alloc_free.rs`).
 
-use mcc_core::offline::{solve_fast_in, SolverWorkspace};
-use mcc_core::online::{run_policy, FaultStats, FaultTolerant, OnlinePolicy};
+use mcc_core::offline::{solve_auto_in, SolverWorkspace};
+use mcc_core::online::{
+    run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, RunRecord, Runtime,
+};
+use mcc_model::Instance;
 use mcc_workloads::Workload;
 
 use crate::audit::ScheduleAuditor;
-use crate::fault::FaultSpec;
+use crate::fault::{FaultSpec, PlanScratch};
 use crate::metrics::Breakdown;
+use crate::streaming::{AuditScratch, StreamingAuditor};
 
 /// Factory for fresh policy instances (policies are stateful, so each run
 /// gets its own). The factory must be `Sync` for the parallel sweeps.
@@ -25,6 +38,51 @@ where
     P: OnlinePolicy<f64> + Clone + Send + Sync + 'static,
 {
     Box::new(move || Box::new(proto.clone()))
+}
+
+/// Per-worker storage for the whole run pipeline: solver tables, runtime
+/// record buffers, audit scratch and fault-plan buffers. With a warm
+/// workspace a seed's measurement performs no heap allocation.
+pub struct RunWorkspace {
+    solver: SolverWorkspace<f64>,
+    rt: Runtime<f64>,
+    audit: AuditScratch,
+    plan_scratch: PlanScratch,
+    /// Plan storage for oblivious fault cells (tolerant cells expand
+    /// straight into the wrapper's own plan buffer).
+    fault_plan: FaultPlan,
+    exhaustive: bool,
+}
+
+impl RunWorkspace {
+    /// A fresh workspace using the streaming auditor.
+    pub fn new() -> Self {
+        RunWorkspace {
+            solver: SolverWorkspace::new(),
+            rt: Runtime::new(1),
+            audit: AuditScratch::default(),
+            plan_scratch: PlanScratch::default(),
+            fault_plan: FaultPlan::none(),
+            exhaustive: false,
+        }
+    }
+
+    /// A workspace that audits with the exhaustive [`ScheduleAuditor`]
+    /// replay instead of the streaming pass (slower; materializes the
+    /// normalized schedule per seed). Debug mode for chasing suspected
+    /// streaming-audit divergences.
+    pub fn exhaustive() -> Self {
+        RunWorkspace {
+            exhaustive: true,
+            ..RunWorkspace::new()
+        }
+    }
+}
+
+impl Default for RunWorkspace {
+    fn default() -> Self {
+        RunWorkspace::new()
+    }
 }
 
 /// What fault injection did to one seed's run.
@@ -54,10 +112,180 @@ pub struct SeedResult {
     pub breakdown: Breakdown,
     /// Number of transfers performed online.
     pub transfers: usize,
-    /// Auditor findings for this run (`0` = the replay came back clean).
+    /// Auditor findings for this run (`0` = the audit came back clean).
     pub audit_findings: usize,
     /// Fault-injection outcome (`None` for fault-free cells).
     pub fault: Option<FaultOutcome>,
+}
+
+/// Audit dispatch: the streaming single pass, or the exhaustive replay.
+fn audit_findings(
+    inst: &Instance<f64>,
+    rec: &RunRecord<f64>,
+    reported_cost: f64,
+    transfers: usize,
+    plan: Option<&FaultPlan>,
+    scratch: &mut AuditScratch,
+    exhaustive: bool,
+) -> usize {
+    if exhaustive {
+        ScheduleAuditor::default()
+            .audit(
+                inst,
+                &rec.to_schedule(),
+                Some(reported_cost),
+                Some(transfers),
+                plan,
+            )
+            .len()
+    } else {
+        StreamingAuditor::default()
+            .audit_record_in(
+                inst,
+                rec,
+                Some(reported_cost),
+                Some(transfers),
+                plan,
+                scratch,
+            )
+            .len()
+    }
+}
+
+/// One fault-free seed measurement on a pre-generated instance — the
+/// steady-state unit of [`run_cell_in`], exposed so callers (and the
+/// allocation tests) can drive it without a workload generator in the
+/// loop.
+pub fn run_seed_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    let (stats, rec) = run_policy_record(policy, inst, &mut ws.rt);
+    let findings = audit_findings(
+        inst,
+        rec,
+        stats.total_cost,
+        stats.transfers,
+        None,
+        &mut ws.audit,
+        ws.exhaustive,
+    );
+    let breakdown = Breakdown::from_record(rec, inst.cost());
+    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
+    SeedResult {
+        seed,
+        online_cost: stats.total_cost,
+        opt_cost: opt,
+        ratio: if opt > 0.0 {
+            stats.total_cost / opt
+        } else {
+            1.0
+        },
+        breakdown,
+        transfers: stats.transfers,
+        audit_findings: findings,
+        fault: None,
+    }
+}
+
+/// One fault-injected seed measurement with the fault-tolerant wrapper.
+///
+/// The per-seed plan is expanded straight into the wrapper's plan buffer
+/// (no clone); the wrapper snapshots it on reset.
+pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
+    wrapped: &mut FaultTolerant<P>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    spec.plan_for_into(
+        seed,
+        inst.servers(),
+        inst.horizon(),
+        wrapped.plan_mut(),
+        &mut ws.plan_scratch,
+    );
+    let crashes = wrapped.plan().crashes().len();
+    let (stats, rec) = run_policy_record(wrapped, inst, &mut ws.rt);
+    let fstats = wrapped.stats().clone();
+    let findings = audit_findings(
+        inst,
+        rec,
+        stats.total_cost,
+        stats.transfers,
+        Some(wrapped.plan()),
+        &mut ws.audit,
+        ws.exhaustive,
+    );
+    let breakdown = Breakdown::from_record(rec, inst.cost());
+    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
+    let online_cost = stats.total_cost + fstats.retry_cost;
+    SeedResult {
+        seed,
+        online_cost,
+        opt_cost: opt,
+        ratio: if opt > 0.0 { online_cost / opt } else { 1.0 },
+        breakdown,
+        transfers: stats.transfers,
+        audit_findings: findings,
+        fault: Some(FaultOutcome {
+            stats: fstats,
+            crashes,
+            tolerant: true,
+        }),
+    }
+}
+
+/// One fault-injected seed measurement with an *oblivious* policy: the
+/// plan is expanded into the workspace and only the audit sees it.
+pub fn run_seed_oblivious_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    spec.plan_for_into(
+        seed,
+        inst.servers(),
+        inst.horizon(),
+        &mut ws.fault_plan,
+        &mut ws.plan_scratch,
+    );
+    let crashes = ws.fault_plan.crashes().len();
+    let (stats, rec) = run_policy_record(policy, inst, &mut ws.rt);
+    let findings = audit_findings(
+        inst,
+        rec,
+        stats.total_cost,
+        stats.transfers,
+        Some(&ws.fault_plan),
+        &mut ws.audit,
+        ws.exhaustive,
+    );
+    let breakdown = Breakdown::from_record(rec, inst.cost());
+    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
+    SeedResult {
+        seed,
+        online_cost: stats.total_cost,
+        opt_cost: opt,
+        ratio: if opt > 0.0 {
+            stats.total_cost / opt
+        } else {
+            1.0
+        },
+        breakdown,
+        transfers: stats.transfers,
+        audit_findings: findings,
+        fault: Some(FaultOutcome {
+            stats: FaultStats::default(),
+            crashes,
+            tolerant: false,
+        }),
+    }
 }
 
 /// Measures `policy_factory()` against `workload` over `seeds`.
@@ -66,42 +294,28 @@ pub fn run_cell(
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
 ) -> Vec<SeedResult> {
-    let mut ws = SolverWorkspace::new();
+    let mut ws = RunWorkspace::new();
     run_cell_in(policy_factory, workload, seeds, &mut ws)
 }
 
-/// [`run_cell`] reusing a caller-owned solver workspace across seeds.
+/// [`run_cell`] reusing a caller-owned [`RunWorkspace`] across seeds.
 ///
 /// The policy instance is created once and reset per seed (the executor
-/// resets before every run), and the off-line optimum reuses `ws`'s
-/// buffers, so the per-seed steady state allocates only what the workload
-/// generator and the run record themselves need. The parallel sweep gives
-/// each worker thread one workspace. Every run is audited (linear replay,
-/// no fault plan) and the finding count recorded.
+/// resets before every run); the run record, the off-line optimum and
+/// the audit all reuse `ws`'s buffers, so the per-seed steady state
+/// allocates only inside the workload generator. The parallel sweep
+/// gives each worker thread one workspace.
 pub fn run_cell_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
-    ws: &mut SolverWorkspace<f64>,
+    ws: &mut RunWorkspace,
 ) -> Vec<SeedResult> {
-    let auditor = ScheduleAuditor::default();
     let mut policy = policy_factory();
     seeds
         .map(|seed| {
             let inst = workload.generate(seed);
-            let run = run_policy(policy.as_mut(), &inst);
-            let opt = solve_fast_in(&inst, ws).optimal_cost();
-            let audit = auditor.audit_run(&inst, &run, None);
-            SeedResult {
-                seed,
-                online_cost: run.total_cost,
-                opt_cost: opt,
-                ratio: if opt > 0.0 { run.total_cost / opt } else { 1.0 },
-                breakdown: Breakdown::from_record(&run.record, inst.cost()),
-                transfers: run.transfers(),
-                audit_findings: audit.len(),
-                fault: None,
-            }
+            run_seed_in(policy.as_mut(), seed, &inst, ws)
         })
         .collect()
 }
@@ -114,61 +328,45 @@ pub fn run_cell_faulty(
     seeds: std::ops::Range<u64>,
     spec: &FaultSpec,
 ) -> Vec<SeedResult> {
-    let mut ws = SolverWorkspace::new();
+    let mut ws = RunWorkspace::new();
     run_cell_faulty_in(policy_factory, workload, seeds, spec, &mut ws)
 }
 
-/// [`run_cell_faulty`] reusing a caller-owned solver workspace.
+/// [`run_cell_faulty`] reusing a caller-owned [`RunWorkspace`].
 ///
 /// Each seed expands `spec` into its own [`mcc_core::online::FaultPlan`]
-/// (deterministic in the `(spec seed, run seed)` pair). With
-/// `spec.tolerant` the policy runs wrapped in [`FaultTolerant`] and its
-/// retry surcharge is folded into `online_cost`; without it the policy
-/// runs oblivious and the audit replay against the plan reports every
-/// violation the faults induce. The off-line optimum stays clairvoyant
-/// *and* fault-free — the denominator measures what the trace costs on a
-/// healthy cluster, so the ratio captures the full price of degradation.
+/// (deterministic in the `(spec seed, run seed)` pair), written into
+/// reusable plan buffers — no per-seed plan clone. With `spec.tolerant`
+/// the policy runs wrapped in [`FaultTolerant`] and its retry surcharge
+/// is folded into `online_cost`; without it the policy runs oblivious
+/// and the audit against the plan reports every violation the faults
+/// induce. The off-line optimum stays clairvoyant *and* fault-free — the
+/// denominator measures what the trace costs on a healthy cluster, so
+/// the ratio captures the full price of degradation.
 pub fn run_cell_faulty_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
     spec: &FaultSpec,
-    ws: &mut SolverWorkspace<f64>,
+    ws: &mut RunWorkspace,
 ) -> Vec<SeedResult> {
-    let auditor = ScheduleAuditor::default();
-    seeds
-        .map(|seed| {
-            let inst = workload.generate(seed);
-            let plan = spec.plan_for(seed, inst.servers(), inst.horizon());
-            let crashes = plan.crashes().len();
-            let opt = solve_fast_in(&inst, ws).optimal_cost();
-            let (run, stats) = if spec.tolerant {
-                let mut wrapped = FaultTolerant::new(policy_factory(), plan.clone());
-                let run = run_policy(&mut wrapped, &inst);
-                let stats = wrapped.stats().clone();
-                (run, stats)
-            } else {
-                let mut policy = policy_factory();
-                (run_policy(policy.as_mut(), &inst), FaultStats::default())
-            };
-            let audit = auditor.audit_run(&inst, &run, Some(&plan));
-            let online_cost = run.total_cost + stats.retry_cost;
-            SeedResult {
-                seed,
-                online_cost,
-                opt_cost: opt,
-                ratio: if opt > 0.0 { online_cost / opt } else { 1.0 },
-                breakdown: Breakdown::from_record(&run.record, inst.cost()),
-                transfers: run.transfers(),
-                audit_findings: audit.len(),
-                fault: Some(FaultOutcome {
-                    stats,
-                    crashes,
-                    tolerant: spec.tolerant,
-                }),
-            }
-        })
-        .collect()
+    if spec.tolerant {
+        let mut wrapped = FaultTolerant::new(policy_factory(), FaultPlan::none());
+        seeds
+            .map(|seed| {
+                let inst = workload.generate(seed);
+                run_seed_faulty_in(&mut wrapped, spec, seed, &inst, ws)
+            })
+            .collect()
+    } else {
+        let mut policy = policy_factory();
+        seeds
+            .map(|seed| {
+                let inst = workload.generate(seed);
+                run_seed_oblivious_in(policy.as_mut(), spec, seed, &inst, ws)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +398,7 @@ mod tests {
         let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
         let w2 = PoissonWorkload::uniform(CommonParams::small().with_size(2, 10), 2.0);
         let f = factory(SpeculativeCaching::paper());
-        let mut ws = SolverWorkspace::new();
+        let mut ws = RunWorkspace::new();
         // Dirty the workspace on a different-shaped cell first.
         let _ = run_cell_in(&f, &w2, 0..3, &mut ws);
         let reused = run_cell_in(&f, &w1, 0..5, &mut ws);
@@ -225,13 +423,42 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_replay_mode_matches_the_streaming_pipeline() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 60), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let spec = FaultSpec {
+            seed: 7,
+            crash_rate: 0.4,
+            mean_downtime: 2.0,
+            tolerant: false,
+            ..FaultSpec::default()
+        };
+        let mut fast = RunWorkspace::new();
+        let mut slow = RunWorkspace::exhaustive();
+        let a = run_cell_faulty_in(&f, &w, 0..6, &spec, &mut fast);
+        let b = run_cell_faulty_in(&f, &w, 0..6, &spec, &mut slow);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.online_cost, y.online_cost);
+            assert_eq!(x.opt_cost, y.opt_cost);
+            assert_eq!(
+                x.audit_findings, y.audit_findings,
+                "seed {}: streaming and replay audits disagree",
+                x.seed
+            );
+        }
+    }
+
+    #[test]
     fn trivial_fault_spec_matches_fault_free_cell() {
         let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
         let f = factory(SpeculativeCaching::paper());
         let plain = run_cell(&f, &w, 0..4);
         let faulty = run_cell_faulty(&f, &w, 0..4, &FaultSpec::none());
         for (x, y) in plain.iter().zip(&faulty) {
-            assert_eq!(x.online_cost, y.online_cost, "trivial plan must not perturb");
+            assert_eq!(
+                x.online_cost, y.online_cost,
+                "trivial plan must not perturb"
+            );
             assert_eq!(x.transfers, y.transfers);
             assert_eq!(y.audit_findings, 0);
             let fo = y.fault.as_ref().unwrap();

@@ -1,0 +1,112 @@
+//! Asserts the run pipeline's zero-allocation guarantee: once a
+//! [`RunWorkspace`] is warm, a seed's full measurement — policy run,
+//! streaming audit, cost breakdown, off-line optimum, and (for fault
+//! cells) plan expansion — performs **zero** heap allocations.
+//!
+//! This file must remain the SOLE test in its integration-test binary:
+//! the counting `#[global_allocator]` observes the whole process, and the
+//! test harness runs tests in one process (concurrently, by default) —
+//! any sibling test's allocations would race the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use mcc_core::online::{FaultPlan, FaultTolerant, OnlinePolicy, SpeculativeCaching};
+use mcc_model::Instance;
+use mcc_simnet::{run_seed_faulty_in, run_seed_in, run_seed_oblivious_in, FaultSpec, RunWorkspace};
+use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
+
+/// Counts allocation *events* (alloc/realloc/alloc_zeroed) while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_workspace_seed_units_allocate_nothing() {
+    // Instance generation allocates by design (it materializes the trace),
+    // so the sweep's steady state works off pre-generated instances; the
+    // same split is used here.
+    let workload = PoissonWorkload::uniform(CommonParams::small().with_size(6, 120), 1.0);
+    let instances: Vec<Instance<f64>> = (0..4u64).map(|s| workload.generate(s)).collect();
+    let spec = FaultSpec {
+        seed: 7,
+        crash_rate: 0.4,
+        mean_downtime: 2.0,
+        ..FaultSpec::default()
+    };
+
+    let mut ws = RunWorkspace::new();
+    let mut policy: Box<dyn OnlinePolicy<f64>> = Box::new(SpeculativeCaching::paper());
+    let mut oblivious: Box<dyn OnlinePolicy<f64>> = Box::new(SpeculativeCaching::paper());
+    let mut wrapped = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), FaultPlan::none());
+
+    // Warm-up: one pass over every (seed, mode) grows all buffers to the
+    // high-water mark that exact pass will need again (runs are
+    // seed-deterministic).
+    let mut expect = Vec::new();
+    for (i, inst) in instances.iter().enumerate() {
+        let seed = i as u64;
+        let a = run_seed_in(policy.as_mut(), seed, inst, &mut ws);
+        let b = run_seed_faulty_in(&mut wrapped, &spec, seed, inst, &mut ws);
+        let c = run_seed_oblivious_in(oblivious.as_mut(), &spec, seed, inst, &mut ws);
+        expect.push((
+            a.online_cost,
+            b.online_cost,
+            c.online_cost,
+            c.audit_findings,
+        ));
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        for (i, inst) in instances.iter().enumerate() {
+            let seed = i as u64;
+            let a = run_seed_in(policy.as_mut(), seed, inst, &mut ws);
+            let b = run_seed_faulty_in(&mut wrapped, &spec, seed, inst, &mut ws);
+            let c = run_seed_oblivious_in(oblivious.as_mut(), &spec, seed, inst, &mut ws);
+            // Results must also be bit-identical to the cold pass.
+            assert_eq!(a.online_cost, expect[i].0);
+            assert_eq!(b.online_cost, expect[i].1);
+            assert_eq!(c.online_cost, expect[i].2);
+            assert_eq!(c.audit_findings, expect[i].3);
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let events = EVENTS.load(Ordering::SeqCst);
+    assert_eq!(
+        events, 0,
+        "steady-state seed units must not touch the heap ({events} allocation events)"
+    );
+}

@@ -16,8 +16,8 @@ fn non_test_code(src: &str) -> &str {
 }
 
 fn scan_crate(dir: &Path, offenders: &mut Vec<String>) {
-    let entries = std::fs::read_dir(dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
     for entry in entries {
         let path = entry.expect("readable dir entry").path();
         if path.is_dir() {
@@ -32,7 +32,12 @@ fn scan_crate(dir: &Path, offenders: &mut Vec<String>) {
         for (lineno, line) in non_test_code(&src).lines().enumerate() {
             let code = line.split("//").next().unwrap_or("");
             if code.contains(".unwrap()") || code.contains(".expect(") {
-                offenders.push(format!("{}:{}: {}", path.display(), lineno + 1, line.trim()));
+                offenders.push(format!(
+                    "{}:{}: {}",
+                    path.display(),
+                    lineno + 1,
+                    line.trim()
+                ));
             }
         }
     }
