@@ -2,9 +2,13 @@
 //! `BENCH_sweep.json` in the current directory (schema in
 //! EXPERIMENTS.md). `--quick` shrinks the grid to test size; `--stdout`
 //! prints instead of writing the file; `--check` is the CI gate — it
-//! validates the committed `BENCH_sweep.json` against the schema,
-//! re-measures the quick-scale pipeline speedup on the current machine
-//! and fails when it regresses more than 10% below the committed value.
+//! validates the committed `BENCH_sweep.json` against the
+//! `bench-sweep/2` schema (scaling section included), re-measures the
+//! quick-scale pipeline speedup on the current machine (fails when it
+//! regresses more than 10% below the committed value), and re-measures
+//! the 8-thread parallel efficiency at gate scale (fails below the 0.35
+//! floor — efficiency is hardware-normalized, so the floor demands real
+//! scaling on multicore runners and plain parity on 1-core boxes).
 
 use mcc_bench::exp::bench_sweep;
 use mcc_bench::exp::Scale;
@@ -43,6 +47,23 @@ fn check() -> Result<(), String> {
         return Err(format!(
             "sweep pipeline regressed: fresh quick speedup {fresh:.2}x is more than 10% below \
              the committed {committed_quick:.2}x"
+        ));
+    }
+
+    // Parallel-efficiency gate: the sweep must scale as far as the
+    // hardware allows. Gate scale (not quick scale) so per-unit work
+    // dominates thread spawn overhead on multicore runners; best of two
+    // attempts since interference only ever deflates efficiency.
+    let eff = bench_sweep::measured_gate_efficiency(Scale::gate(), 2);
+    eprintln!(
+        "8-thread parallel efficiency: {eff:.2} (hw_threads {}, floor {:.2})",
+        bench_sweep::hw_threads(),
+        bench_sweep::EFFICIENCY_TARGET,
+    );
+    if eff < bench_sweep::EFFICIENCY_TARGET {
+        return Err(format!(
+            "sweep no longer scales: 8-thread efficiency {eff:.2} is below the {:.2} floor",
+            bench_sweep::EFFICIENCY_TARGET
         ));
     }
     Ok(())

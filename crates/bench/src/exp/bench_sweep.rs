@@ -15,7 +15,17 @@
 //! same machine: CI re-measures it and fails when the live pipeline's
 //! speedup over the pinned baseline regresses by more than 10% relative
 //! to the committed value (see the `bench_sweep` binary's `--check`).
-//! Schema (`bench-sweep/1`) documented in EXPERIMENTS.md.
+//!
+//! Since `bench-sweep/2` the document also carries a `scaling` section
+//! (E17 in EXPERIMENTS.md): live-sweep units/sec at 1/2/4/8 threads,
+//! with each row's **parallel efficiency** — speedup over the 1-thread
+//! rate normalized by `min(threads, hw_threads)`, the best speedup the
+//! machine could possibly deliver at that thread count. Normalizing by
+//! hardware keeps the number honest everywhere: on a 1-core container
+//! parity with 1 thread *is* perfect scaling (efficiency 1.0), while on
+//! an 8-core runner the same 1.0 requires a real 8× speedup. CI gates on
+//! the 8-thread efficiency staying ≥ [`EFFICIENCY_TARGET`].
+//! Schema (`bench-sweep/2`) documented in EXPERIMENTS.md.
 
 use std::time::Instant;
 
@@ -37,6 +47,15 @@ const TARGET_SECS: f64 = 0.3;
 const SPEEDUP_TARGET: f64 = 2.0;
 /// Thread counts for the E16 scaling rows.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// The CI scaling gate: 8-thread parallel efficiency (speedup over one
+/// thread, normalized by `min(8, hw_threads)`) must stay at or above
+/// this. 0.35 tolerates memory-bandwidth ceilings and SMT-sharing on
+/// small runners while still catching a sweep that serializes (a shared
+/// lock or allocator contention pins efficiency near `1/threads` ≈
+/// 0.125).
+pub const EFFICIENCY_TARGET: f64 = 0.35;
+/// Thread count the efficiency gate measures at.
+pub const GATE_THREADS: usize = 8;
 
 /// The fault regime both pipelines sweep (one tolerant cell, one
 /// oblivious cell — the oblivious audit is the finding-heavy one).
@@ -272,12 +291,95 @@ pub fn parallel_rates(scale: Scale, threads: usize) -> (f64, f64) {
     (baseline, live)
 }
 
+/// Live-sweep units/sec at `threads` (no baseline measurement).
+pub fn live_rate(scale: Scale, threads: usize) -> f64 {
+    let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
+    let w = workload(scale);
+    best_rate(units(scale), || {
+        let out = sweep(live_cells(&sc, &w), 0..scale.seeds, threads);
+        std::hint::black_box(out);
+    })
+}
+
+/// Hardware threads visible to this process (1 when undetectable).
+pub fn hw_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Parallel efficiency of `rate` at `threads` relative to the 1-thread
+/// `rate_1t`: speedup normalized by the best speedup the hardware could
+/// deliver (`min(threads, hw_threads)`). 1.0 = the sweep is exactly as
+/// fast as the machine allows; a shared lock or allocator contention
+/// drives it toward `1/threads`.
+pub fn efficiency(rate_1t: f64, rate: f64, threads: usize) -> f64 {
+    let ideal = threads.min(hw_threads()).max(1) as f64;
+    (rate / rate_1t.max(1e-9)) / ideal
+}
+
+/// Measures the live sweep across [`THREADS`] and assembles the
+/// `scaling` section of the document. Returns the section and the
+/// 8-thread efficiency (the gated number).
+fn scaling_section(scale: Scale) -> (Json, f64) {
+    let hw = hw_threads();
+    let rates: Vec<(usize, f64)> = THREADS.iter().map(|&t| (t, live_rate(scale, t))).collect();
+    let rate_1t = rates[0].1;
+    let mut gate_eff = f64::NAN;
+    let rows = Json::Arr(
+        rates
+            .iter()
+            .map(|&(t, rate)| {
+                let eff = efficiency(rate_1t, rate, t);
+                if t == GATE_THREADS {
+                    gate_eff = eff;
+                }
+                Json::Obj(vec![
+                    ("threads".into(), Json::Int(t as i64)),
+                    ("live_units_per_sec".into(), Json::Float(rate)),
+                    (
+                        "speedup_vs_1t".into(),
+                        Json::Float(rate / rate_1t.max(1e-9)),
+                    ),
+                    ("efficiency".into(), Json::Float(eff)),
+                ])
+            })
+            .collect(),
+    );
+    let section = Json::Obj(vec![
+        ("hw_threads".into(), Json::Int(hw as i64)),
+        ("rows".into(), rows),
+        (
+            "gate".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::Int(GATE_THREADS as i64)),
+                ("efficiency".into(), Json::Float(gate_eff)),
+                ("threshold".into(), Json::Float(EFFICIENCY_TARGET)),
+                ("met".into(), Json::Bool(gate_eff >= EFFICIENCY_TARGET)),
+            ]),
+        ),
+    ]);
+    (section, gate_eff)
+}
+
+/// Re-measures the 8-thread efficiency for the CI gate (at
+/// [`Scale::gate`], per-unit work dominating spawn overhead): best of
+/// `attempts` — interference deflates efficiency, never inflates it.
+pub fn measured_gate_efficiency(scale: Scale, attempts: usize) -> f64 {
+    (0..attempts.max(1))
+        .map(|_| {
+            let r1 = live_rate(scale, 1);
+            let r8 = live_rate(scale, GATE_THREADS);
+            efficiency(r1, r8, GATE_THREADS)
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
 /// Runs the full measurement and assembles the JSON document. The
 /// `quick` section is always measured at [`Scale::quick`], whatever the
 /// main grid — it is the hardware-relative number CI re-measures.
 pub fn report(scale: Scale) -> Json {
     let (base_1t, live_1t) = single_thread_rates(scale);
     let speedup = live_1t / base_1t;
+    let (scaling, _) = scaling_section(scale);
 
     let by_threads = Json::Arr(
         THREADS
@@ -302,7 +404,7 @@ pub fn report(scale: Scale) -> Json {
     };
 
     Json::Obj(vec![
-        ("schema".into(), Json::Str("bench-sweep/1".into())),
+        ("schema".into(), Json::Str("bench-sweep/2".into())),
         (
             "grid".into(),
             Json::Obj(vec![
@@ -321,6 +423,7 @@ pub fn report(scale: Scale) -> Json {
             ]),
         ),
         ("by_threads".into(), by_threads),
+        ("scaling".into(), scaling),
         (
             "quick".into(),
             Json::Obj(vec![("speedup".into(), Json::Float(quick_speedup))]),
@@ -340,11 +443,11 @@ pub fn report(scale: Scale) -> Json {
     ])
 }
 
-/// Validates the documented shape of a `bench-sweep/1` document;
+/// Validates the documented shape of a `bench-sweep/2` document;
 /// returns the error description on mismatch.
 pub fn validate(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_str) != Some("bench-sweep/1") {
-        return Err("schema must be \"bench-sweep/1\"".into());
+    if doc.get("schema").and_then(Json::as_str) != Some("bench-sweep/2") {
+        return Err("schema must be \"bench-sweep/2\"".into());
     }
     for key in ["n", "m", "seeds", "modes"] {
         let v = doc
@@ -381,6 +484,44 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if s.is_nan() || s <= 0.0 {
             return Err("by_threads[].speedup must be positive".into());
         }
+    }
+    let scaling = doc.get("scaling").ok_or("scaling section missing")?;
+    let hw = scaling
+        .get("hw_threads")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    if hw <= 0 {
+        return Err("scaling.hw_threads must be positive".into());
+    }
+    let srows = scaling
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("scaling.rows must be an array")?;
+    if srows.is_empty() {
+        return Err("scaling.rows must not be empty".into());
+    }
+    for row in srows {
+        if row.get("threads").and_then(Json::as_i64).unwrap_or(0) <= 0 {
+            return Err("scaling.rows[].threads must be positive".into());
+        }
+        for key in ["live_units_per_sec", "speedup_vs_1t", "efficiency"] {
+            let v = row.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+            if v.is_nan() || v <= 0.0 {
+                return Err(format!("scaling.rows[].{key} must be positive"));
+            }
+        }
+    }
+    let gate_eff = scaling
+        .get("gate")
+        .and_then(|g| g.get("efficiency"))
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0);
+    if gate_eff.is_nan() || gate_eff <= 0.0 {
+        return Err("scaling.gate.efficiency must be positive".into());
+    }
+    match scaling.get("gate").and_then(|g| g.get("met")) {
+        Some(Json::Bool(_)) => {}
+        _ => return Err("scaling.gate.met must be a bool".into()),
     }
     let q = doc
         .get("quick")
@@ -469,5 +610,89 @@ mod tests {
     fn validate_rejects_wrong_schema() {
         let doc = Json::Obj(vec![("schema".into(), Json::Str("bench-sweep/0".into()))]);
         assert!(validate(&doc).is_err());
+        // v1 documents (no scaling section) are rejected too — the gate
+        // must not silently pass on a stale baseline.
+        let v1 = Json::Obj(vec![("schema".into(), Json::Str("bench-sweep/1".into()))]);
+        assert!(validate(&v1).is_err());
+    }
+
+    /// Mutates one spot of a valid document and expects rejection.
+    fn rejects_mutation(mutate: impl FnOnce(&mut Json), why: &str) {
+        let mut doc = report(Scale::quick());
+        mutate(&mut doc);
+        assert!(validate(&doc).is_err(), "must reject: {why}");
+    }
+
+    fn set(doc: &mut Json, path: &[&str], value: Json) {
+        fn obj_mut<'a>(j: &'a mut Json, key: &str) -> &'a mut Json {
+            match j {
+                Json::Obj(fields) => fields
+                    .iter_mut()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .expect("key present"),
+                _ => panic!("not an object"),
+            }
+        }
+        let mut cur = doc;
+        for key in &path[..path.len() - 1] {
+            cur = obj_mut(cur, key);
+        }
+        *obj_mut(cur, path[path.len() - 1]) = value;
+    }
+
+    #[test]
+    fn validate_rejects_broken_scaling_sections() {
+        rejects_mutation(
+            |doc| set(doc, &["scaling", "rows"], Json::Arr(Vec::new())),
+            "empty scaling rows",
+        );
+        rejects_mutation(
+            |doc| set(doc, &["scaling", "hw_threads"], Json::Int(0)),
+            "non-positive hw_threads",
+        );
+        rejects_mutation(
+            |doc| set(doc, &["scaling", "gate", "efficiency"], Json::Float(-0.5)),
+            "non-positive gate efficiency",
+        );
+        rejects_mutation(
+            |doc| {
+                if let Json::Obj(fields) = doc {
+                    fields.retain(|(k, _)| k != "scaling");
+                }
+            },
+            "missing scaling section",
+        );
+        // And a broken row inside an otherwise-valid list.
+        rejects_mutation(
+            |doc| {
+                let mut bad = doc
+                    .get("scaling")
+                    .and_then(|s| s.get("rows"))
+                    .and_then(Json::as_arr)
+                    .expect("rows")
+                    .to_vec();
+                bad[0] = Json::Obj(vec![
+                    ("threads".into(), Json::Int(1)),
+                    ("live_units_per_sec".into(), Json::Float(10.0)),
+                    ("speedup_vs_1t".into(), Json::Float(1.0)),
+                    ("efficiency".into(), Json::Float(0.0)),
+                ]);
+                set(doc, &["scaling", "rows"], Json::Arr(bad));
+            },
+            "zero efficiency in a row",
+        );
+    }
+
+    #[test]
+    fn efficiency_normalizes_by_hardware() {
+        // 1 thread is always efficiency 1 against itself.
+        assert!((efficiency(100.0, 100.0, 1) - 1.0).abs() < 1e-12);
+        // More threads than hardware: parity with 1 thread is perfect on
+        // a 1-core box; on an 8-core box the same parity is 1/8.
+        let hw = hw_threads();
+        let e = efficiency(100.0, 100.0, 8);
+        let ideal = 8usize.min(hw) as f64;
+        assert!((e - 1.0 / ideal).abs() < 1e-12);
     }
 }

@@ -44,6 +44,19 @@ impl Scale {
         }
     }
 
+    /// Gate-sized: big enough that per-unit work dominates thread spawn
+    /// overhead (the quick grid's 12 tiny units would be
+    /// scheduling-bound on a multicore runner), small enough for a CI
+    /// re-measure. Used by `bench_sweep --check`'s parallel-efficiency
+    /// gate.
+    pub fn gate() -> Self {
+        Scale {
+            seeds: 8,
+            requests: 400,
+            servers: 8,
+        }
+    }
+
     /// Report-sized: what the binaries run by default.
     pub fn full() -> Self {
         Scale {
@@ -72,5 +85,7 @@ mod tests {
     fn scales_differ() {
         assert!(Scale::quick().seeds < Scale::full().seeds);
         assert!(Scale::quick().requests < Scale::full().requests);
+        assert!(Scale::quick().requests < Scale::gate().requests);
+        assert!(Scale::gate().requests < Scale::full().requests);
     }
 }

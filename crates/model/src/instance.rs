@@ -28,6 +28,36 @@ pub struct Instance<S> {
     requests: Vec<Request<S>>,
 }
 
+/// The validation shared by [`Instance::new`] and the in-place
+/// [`InstanceBuf::rebuild`] path.
+fn validate_parts<S: Scalar>(
+    servers: usize,
+    cost: &CostModel<S>,
+    requests: &[Request<S>],
+) -> Result<(), ModelError> {
+    if servers == 0 {
+        return Err(ModelError::NoServers);
+    }
+    // Re-validate the cost model in case it was built by hand.
+    CostModel::new(cost.mu, cost.lambda)?;
+    let mut prev = S::ZERO;
+    for (k, r) in requests.iter().enumerate() {
+        let i = k + 1; // logical index
+        if r.server.index() >= servers {
+            return Err(ModelError::ServerOutOfRange {
+                request: i,
+                server: r.server,
+                servers,
+            });
+        }
+        if !(r.time > prev) || !r.time.is_finite() {
+            return Err(ModelError::NonMonotoneTime { request: i });
+        }
+        prev = r.time;
+    }
+    Ok(())
+}
+
 impl<S: Scalar> Instance<S> {
     /// Validates and builds an instance.
     ///
@@ -39,26 +69,7 @@ impl<S: Scalar> Instance<S> {
         cost: CostModel<S>,
         requests: Vec<Request<S>>,
     ) -> Result<Self, ModelError> {
-        if servers == 0 {
-            return Err(ModelError::NoServers);
-        }
-        // Re-validate the cost model in case it was built by hand.
-        CostModel::new(cost.mu, cost.lambda)?;
-        let mut prev = S::ZERO;
-        for (k, r) in requests.iter().enumerate() {
-            let i = k + 1; // logical index
-            if r.server.index() >= servers {
-                return Err(ModelError::ServerOutOfRange {
-                    request: i,
-                    server: r.server,
-                    servers,
-                });
-            }
-            if !(r.time > prev) || !r.time.is_finite() {
-                return Err(ModelError::NonMonotoneTime { request: i });
-            }
-            prev = r.time;
-        }
+        validate_parts(servers, &cost, &requests)?;
         Ok(Instance {
             servers,
             cost,
@@ -236,6 +247,76 @@ impl<S: Scalar> Instance<S> {
     }
 }
 
+/// Reusable instance storage: the builder-reset path for allocation-free
+/// regeneration.
+///
+/// Workload generators in hot sweep loops produce one instance per
+/// (cell, seed) unit; building each through [`Instance::new`] costs a
+/// fresh request vector every time and serializes parallel sweeps on the
+/// global allocator. An `InstanceBuf` owns one [`Instance`] whose request
+/// storage is cleared and refilled in place — once warm (capacity at the
+/// high-water mark), [`InstanceBuf::rebuild`] performs no heap
+/// allocation. Validation is identical to [`Instance::new`]; a rebuild
+/// that fails validation leaves the previously held instance intact.
+#[derive(Clone, Debug)]
+pub struct InstanceBuf<S> {
+    inst: Instance<S>,
+}
+
+impl<S: Scalar> InstanceBuf<S> {
+    /// An empty buffer (holds the trivial one-server instance).
+    pub fn new() -> Self {
+        InstanceBuf {
+            inst: Instance {
+                servers: 1,
+                cost: CostModel::unit(),
+                requests: Vec::new(),
+            },
+        }
+    }
+
+    /// The instance most recently committed to the buffer.
+    #[inline]
+    pub fn instance(&self) -> &Instance<S> {
+        &self.inst
+    }
+
+    /// Rebuilds the held instance in place: clears the request storage
+    /// (keeping its capacity), lets `fill` append the new requests, then
+    /// validates exactly like [`Instance::new`] and commits `servers` and
+    /// `cost`. On error the buffer still holds a valid (cleared) request
+    /// sequence under the *previous* shape.
+    pub fn rebuild<F>(
+        &mut self,
+        servers: usize,
+        cost: CostModel<S>,
+        fill: F,
+    ) -> Result<&Instance<S>, ModelError>
+    where
+        F: FnOnce(&mut Vec<Request<S>>),
+    {
+        self.inst.requests.clear();
+        fill(&mut self.inst.requests);
+        validate_parts(servers, &cost, &self.inst.requests)?;
+        self.inst.servers = servers;
+        self.inst.cost = cost;
+        Ok(&self.inst)
+    }
+
+    /// Parks an already-built instance in the buffer (the allocating
+    /// fallback for producers without an in-place fill path).
+    pub fn set(&mut self, inst: Instance<S>) -> &Instance<S> {
+        self.inst = inst;
+        &self.inst
+    }
+}
+
+impl<S: Scalar> Default for InstanceBuf<S> {
+    fn default() -> Self {
+        InstanceBuf::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +421,73 @@ mod tests {
         let json = inst.to_json_string();
         let back = Instance::<f64>::from_json_str(&json).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn instance_buf_rebuild_matches_from_scratch() {
+        use crate::unit_instance;
+        let mut buf = InstanceBuf::<f64>::new();
+        let built = buf
+            .rebuild(4, CostModel::unit(), |reqs| {
+                reqs.push(Request::at(1, 0.5));
+                reqs.push(Request::at(2, 0.8));
+            })
+            .unwrap();
+        assert_eq!(built, &unit_instance(4, &[(1, 0.5), (2, 0.8)]));
+        // Rebuilding with a different shape replaces the contents.
+        let rebuilt = buf
+            .rebuild(2, CostModel::unit(), |reqs| reqs.push(Request::at(0, 1.0)))
+            .unwrap();
+        assert_eq!(rebuilt.n(), 1);
+        assert_eq!(rebuilt.servers(), 2);
+    }
+
+    #[test]
+    fn instance_buf_rebuild_reuses_capacity() {
+        let mut buf = InstanceBuf::<f64>::new();
+        buf.rebuild(2, CostModel::unit(), |reqs| {
+            for k in 0..64 {
+                reqs.push(Request::at(k % 2, (k + 1) as f64));
+            }
+        })
+        .unwrap();
+        let cap = buf.inst.requests.capacity();
+        buf.rebuild(2, CostModel::unit(), |reqs| {
+            for k in 0..64 {
+                reqs.push(Request::at(k % 2, (k + 1) as f64));
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            buf.inst.requests.capacity(),
+            cap,
+            "warm rebuild must not regrow"
+        );
+    }
+
+    #[test]
+    fn instance_buf_rebuild_validates_like_new() {
+        let mut buf = InstanceBuf::<f64>::new();
+        let err = buf
+            .rebuild(2, CostModel::unit(), |reqs| reqs.push(Request::at(5, 1.0)))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ServerOutOfRange { .. }));
+        let err = buf
+            .rebuild(2, CostModel::unit(), |reqs| {
+                reqs.push(Request::at(0, 1.0));
+                reqs.push(Request::at(1, 0.5));
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotoneTime { request: 2 }));
+        let err = buf.rebuild(0, CostModel::unit(), |_| {}).unwrap_err();
+        assert!(matches!(err, ModelError::NoServers));
+    }
+
+    #[test]
+    fn instance_buf_set_parks_an_instance() {
+        let mut buf = InstanceBuf::<f64>::new();
+        let inst = demo();
+        assert_eq!(buf.set(inst.clone()), &inst);
+        assert_eq!(buf.instance(), &inst);
     }
 }

@@ -45,7 +45,7 @@ pub use builder::{unit_instance, InstanceBuilder};
 pub use cost::CostModel;
 pub use error::{ModelError, Violation};
 pub use ids::ServerId;
-pub use instance::Instance;
+pub use instance::{Instance, InstanceBuf};
 pub use json::{Json, JsonScalar};
 pub use prescan::{Prescan, ServerLists};
 pub use request::Request;

@@ -47,6 +47,7 @@ pub use planned::{
 };
 pub use runner::{
     factory, run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, run_seed_faulty_in,
-    run_seed_in, run_seed_oblivious_in, FaultOutcome, PolicyFactory, RunWorkspace, SeedResult,
+    run_seed_in, run_seed_oblivious_in, run_unit_faulty_in, run_unit_in, run_unit_oblivious_in,
+    FaultOutcome, PolicyFactory, RunWorkspace, SeedResult,
 };
 pub use streaming::{AuditScratch, StreamingAuditor};

@@ -4,17 +4,49 @@
 //! per seed, so the sweep shards the grid over a fixed thread count with
 //! scoped threads and reassembles results in grid order — results are
 //! bit-identical regardless of thread count (asserted in the tests), which
-//! is what makes the E10 scaling bench meaningful. Fault-injected cells
+//! is what makes the scaling bench meaningful. Fault-injected cells
 //! stay deterministic too: each seed expands its [`FaultSpec`] into the
 //! same plan no matter which worker runs it.
+//!
+//! # Architecture (DESIGN.md §7)
+//!
+//! The sweep is built around **lock-free disjoint ownership**: there is
+//! no shared mutable result storage at all while workers run.
+//!
+//! * **Chunked work dispatch.** Units (one `(cell, seed)` pair each) are
+//!   numbered `0..units` in grid order; a single atomic counter hands
+//!   out *chunks* of consecutive units (`max(1, units/threads/8)` per
+//!   grab) so the counter is touched ~8 times per worker instead of once
+//!   per unit, while the tail still load-balances at fine granularity.
+//! * **Per-worker result shards.** Each worker appends
+//!   `(unit, SeedResult)` pairs to a private vector it owns outright and
+//!   returns it through its join handle; after the scope joins, the
+//!   shards are scattered into grid order. No mutex, no slot sharing,
+//!   no write ever crosses a thread while the sweep runs.
+//! * **Zero steady-state allocation.** Each worker reuses one
+//!   [`RunWorkspace`] (instance generation included, via
+//!   [`mcc_workloads::Workload::generate_into`]) and keeps the current
+//!   cell's policy instance alive across consecutive units of the same
+//!   cell (the executor resets it per run), so the global allocator —
+//!   the classic serializer of data-parallel eval loops — stays out of
+//!   the hot path.
+//!
+//! Determinism survives all of this because a unit's result depends only
+//! on its `(cell, seed)` pair: workspaces are reset per run, policies are
+//! reset per run, and fault plans are expanded per seed from the spec —
+//! never from worker state. Which worker ran a unit, and in which order,
+//! is unobservable in the output.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+use mcc_core::online::{FaultPlan, FaultTolerant, OnlinePolicy};
 use mcc_workloads::Workload;
 
 use crate::fault::FaultSpec;
-use crate::runner::{run_cell_faulty_in, run_cell_in, PolicyFactory, RunWorkspace, SeedResult};
+use crate::runner::{
+    run_unit_faulty_in, run_unit_in, run_unit_oblivious_in, PolicyFactory, RunWorkspace, SeedResult,
+};
 
 /// A named cell of the sweep grid.
 pub struct GridCell<'a> {
@@ -69,105 +101,160 @@ impl CellResult {
     }
 }
 
+/// The policy state a worker keeps alive for the cell it is currently
+/// working through. Rebuilt whenever the worker's chunk crosses into a
+/// different cell; reused (and reset by the executor) across consecutive
+/// seeds of the same cell, so steady-state units skip the per-unit
+/// factory call and its boxed allocation.
+enum CellPolicy {
+    /// Healthy cell, or a fault cell run oblivious.
+    Plain(Box<dyn OnlinePolicy<f64>>),
+    /// Fault cell run behind the fault-tolerant wrapper.
+    Tolerant(FaultTolerant<Box<dyn OnlinePolicy<f64>>>),
+}
+
+fn cell_policy(cell: &GridCell<'_>) -> CellPolicy {
+    match &cell.faults {
+        Some(spec) if spec.tolerant => {
+            CellPolicy::Tolerant(FaultTolerant::new((cell.policy)(), FaultPlan::none()))
+        }
+        _ => CellPolicy::Plain((cell.policy)()),
+    }
+}
+
+/// Chunk size for the atomic dispatcher: about eight grabs per worker,
+/// floored at one unit.
+fn chunk_size(units: usize, threads: usize) -> usize {
+    (units / threads / 8).max(1)
+}
+
+/// One worker: grabs chunks off the shared counter until the grid is
+/// exhausted, returning its privately owned result shard.
+fn worker_shard(
+    cells: &[GridCell<'_>],
+    seeds: &[u64],
+    units: usize,
+    chunk: usize,
+    next: &AtomicUsize,
+) -> Vec<(usize, SeedResult)> {
+    let mut ws = RunWorkspace::new();
+    let mut shard: Vec<(usize, SeedResult)> = Vec::new();
+    let mut current: Option<(usize, CellPolicy)> = None;
+    loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= units {
+            break;
+        }
+        for unit in start..(start + chunk).min(units) {
+            let cell_idx = unit / seeds.len();
+            let seed = seeds[unit % seeds.len()];
+            let cell = &cells[cell_idx];
+            let stale = !matches!(&current, Some((idx, _)) if *idx == cell_idx);
+            if stale {
+                current = Some((cell_idx, cell_policy(cell)));
+            }
+            if let Some((_, policy)) = current.as_mut() {
+                let result = match (policy, &cell.faults) {
+                    (CellPolicy::Tolerant(wrapped), Some(spec)) => {
+                        run_unit_faulty_in(wrapped, spec, cell.workload, seed, &mut ws)
+                    }
+                    (CellPolicy::Plain(plain), Some(spec)) => {
+                        run_unit_oblivious_in(plain.as_mut(), spec, cell.workload, seed, &mut ws)
+                    }
+                    (CellPolicy::Plain(plain), None) => {
+                        run_unit_in(plain.as_mut(), cell.workload, seed, &mut ws)
+                    }
+                    // Unreachable by construction (`cell_policy` only
+                    // builds the wrapper for tolerant fault cells); run
+                    // the wrapper plainly rather than panic.
+                    (CellPolicy::Tolerant(wrapped), None) => {
+                        run_unit_in(wrapped, cell.workload, seed, &mut ws)
+                    }
+                };
+                shard.push((unit, result));
+            }
+        }
+    }
+    shard
+}
+
 /// Runs every cell over `seeds`, `threads`-wide. `threads = 0` means one
-/// thread per available CPU (capped at the number of cells).
+/// thread per available CPU; the count is always capped at the number of
+/// `(cell, seed)` units, so asking for more threads than there is work
+/// is safe. An empty grid (no cells, or an empty seed range) returns
+/// immediately without spawning workers.
 pub fn sweep(
     cells: Vec<GridCell<'_>>,
     seeds: std::ops::Range<u64>,
     threads: usize,
 ) -> Vec<CellResult> {
     let seed_list: Vec<u64> = seeds.collect();
-    let units = cells.len() * seed_list.len();
-    let threads = effective_threads(threads, units);
-
-    // Work-steal at (cell, seed) granularity: per-cell durations vary by an
-    // order of magnitude (adversarial vs. Poisson traces), so cell-level
-    // sharding would be straggler-bound.
-    let mut out: Vec<Vec<Option<SeedResult>>> = cells
-        .iter()
-        .map(|_| {
-            let mut v = Vec::with_capacity(seed_list.len());
-            v.resize_with(seed_list.len(), || None);
-            v
-        })
-        .collect();
-    {
-        let slots: Vec<Mutex<&mut [Option<SeedResult>]>> = out
-            .iter_mut()
-            .map(|v| Mutex::new(v.as_mut_slice()))
+    let n_seeds = seed_list.len();
+    let units = cells.len() * n_seeds;
+    if units == 0 {
+        // Nothing to run: keep every cell (with empty results) in grid
+        // order rather than spawning workers that would exit at once.
+        return cells
+            .into_iter()
+            .map(|cell| CellResult {
+                policy_name: cell.policy_name,
+                workload_name: cell.workload.name(),
+                results: Vec::new(),
+            })
             .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let cells_ref = &cells;
-        let seed_ref = &seed_list;
-
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    // One run workspace per worker: warm solver tables,
-                    // runtime record buffers, audit scratch and fault-plan
-                    // storage amortize across every unit this thread steals,
-                    // and per-seed determinism keeps results independent of
-                    // which thread (and thus which dirty workspace) runs a
-                    // unit.
-                    let mut ws = RunWorkspace::new();
-                    loop {
-                        let unit = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if unit >= units {
-                            break;
-                        }
-                        let cell_idx = unit / seed_ref.len();
-                        let seed_idx = unit % seed_ref.len();
-                        let seed = seed_ref[seed_idx];
-                        let cell = &cells_ref[cell_idx];
-                        // A one-seed range yields exactly one result, so the
-                        // Option goes straight into the slot.
-                        let result = match &cell.faults {
-                            Some(spec) => run_cell_faulty_in(
-                                cell.policy,
-                                cell.workload,
-                                seed..seed + 1,
-                                spec,
-                                &mut ws,
-                            )
-                            .pop(),
-                            None => {
-                                run_cell_in(cell.policy, cell.workload, seed..seed + 1, &mut ws)
-                                    .pop()
-                            }
-                        };
-                        // Workers only write disjoint slots; a poisoned lock
-                        // means another worker panicked mid-store, but this
-                        // slot's state is still valid to write.
-                        let mut guard = match slots[cell_idx].lock() {
-                            Ok(g) => g,
-                            Err(poisoned) => poisoned.into_inner(),
-                        };
-                        guard[seed_idx] = result;
-                    }
-                });
-            }
-        });
     }
+    let threads = effective_threads(threads, units);
+    let chunk = chunk_size(units, threads);
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let cells_ref = &cells;
+    let seed_ref = &seed_list;
 
+    // Every worker owns its shard outright and hands it back through its
+    // join handle — no shared result storage, no locks.
+    let shards: Vec<Vec<(usize, SeedResult)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(move || worker_shard(cells_ref, seed_ref, units, chunk, next_ref)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(shard) => shard,
+                // Propagate a worker panic exactly like the pre-shard
+                // scope did.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Scatter the shards back into grid order.
+    let mut slots: Vec<Option<SeedResult>> = Vec::with_capacity(units);
+    slots.resize_with(units, || None);
+    for (unit, result) in shards.into_iter().flatten() {
+        slots[unit] = Some(result);
+    }
+    let mut slot_iter = slots.into_iter();
     cells
         .into_iter()
-        .zip(out)
-        .map(|(cell, results)| CellResult {
+        .map(|cell| CellResult {
             policy_name: cell.policy_name,
             workload_name: cell.workload.name(),
             // Every unit writes its slot exactly once; `flatten` is the
             // panic-free way to unwrap the storage Options.
-            results: results.into_iter().flatten().collect(),
+            results: slot_iter.by_ref().take(n_seeds).flatten().collect(),
         })
         .collect()
 }
 
-fn effective_threads(requested: usize, cells: usize) -> usize {
+/// `threads = 0` selects the available hardware parallelism; the result
+/// is clamped to `1..=units` (one `(cell, seed)` pair per unit — a
+/// thread beyond that would have no work to steal).
+fn effective_threads(requested: usize, units: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let t = if requested == 0 { hw } else { requested };
-    t.clamp(1, cells.max(1))
+    t.clamp(1, units.max(1))
 }
 
 #[cfg(test)]
@@ -208,10 +295,11 @@ mod tests {
     fn sweep_is_deterministic_across_thread_counts() {
         // Workloads of *different shapes* (n and m), so a worker's reused
         // per-thread RunWorkspace crosses shapes in whatever order the
-        // work-stealing happens to interleave — results must not depend on
-        // which thread's dirty workspace ran a unit. Thread counts 1, 2 and
-        // 8 give distinct stealing patterns over the 24 units, and the two
-        // fault cells pin the seed-driven plan expansion.
+        // chunked stealing happens to interleave — results must not depend
+        // on which thread (and thus which dirty workspace and reused
+        // policy) ran a unit. Thread counts 1, 2 and 8 give distinct chunk
+        // boundaries over the 24 units, and the two fault cells pin the
+        // seed-driven plan expansion.
         let sc = factory(SpeculativeCaching::<f64>::paper());
         let follow = factory(Follow::new());
         let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
@@ -259,9 +347,93 @@ mod tests {
     }
 
     #[test]
+    fn empty_seed_range_returns_cells_with_empty_results() {
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let follow = factory(Follow::new());
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
+        #[allow(clippy::reversed_empty_ranges)]
+        let out = sweep(grid(&sc, &follow, &w1, &w2), 5..5, 4);
+        assert_eq!(out.len(), 6, "cells survive an empty seed range");
+        for cell in &out {
+            assert!(cell.results.is_empty());
+        }
+        assert!(sweep(Vec::new(), 0..10, 4).is_empty(), "no cells, no rows");
+    }
+
+    #[test]
+    fn more_threads_than_units_is_safe() {
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(3, 20), 1.0);
+        let cells = vec![GridCell::new("sc", &sc, &w)];
+        // 2 units, 64 requested threads: clamped, every unit exactly once.
+        let out = sweep(cells, 0..2, 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].results.len(), 2);
+        assert_eq!(out[0].results[0].seed, 0);
+        assert_eq!(out[0].results[1].seed, 1);
+    }
+
+    #[test]
     fn zero_threads_means_auto() {
         assert!(effective_threads(0, 10) >= 1);
-        assert_eq!(effective_threads(8, 2), 2, "capped at cell count");
+        assert_eq!(effective_threads(8, 2), 2, "capped at the unit count");
         assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(5, 0), 1, "empty grid still reports 1");
+    }
+
+    #[test]
+    fn chunks_cover_the_grid_without_overlap() {
+        // The dispatcher arithmetic: whatever the chunk size, the ranges
+        // [start, min(start+chunk, units)) tile 0..units exactly.
+        for (units, threads) in [(1, 1), (7, 2), (24, 8), (100, 3), (1000, 8)] {
+            let chunk = chunk_size(units, threads);
+            assert!(chunk >= 1);
+            let next = AtomicUsize::new(0);
+            let mut seen = vec![false; units];
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= units {
+                    break;
+                }
+                let end = (start + chunk).min(units);
+                for (u, slot) in seen.iter_mut().enumerate().take(end).skip(start) {
+                    assert!(!*slot, "unit {u} dispatched twice");
+                    *slot = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every unit dispatched");
+        }
+    }
+
+    /// Wall-clock scaling smoke test (`cargo test -- --ignored`): on a
+    /// multi-core host the 4-thread sweep must beat the 1-thread sweep on
+    /// a non-trivial grid. Ignored by default — CI runners and dev
+    /// containers may expose a single hardware thread, where the best
+    /// possible outcome is parity.
+    #[test]
+    #[ignore]
+    fn sweep_scales() {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if hw < 4 {
+            eprintln!("sweep_scales: skipped, needs >= 4 hardware threads (found {hw})");
+            return;
+        }
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(8, 600), 1.0);
+        let cells = |sc| vec![GridCell::new("sc", sc, &w)];
+        // Warm-up so first-touch page faults don't bias the 1-thread pass.
+        let _ = sweep(cells(&sc), 0..8, 1);
+        let t0 = std::time::Instant::now();
+        let a = sweep(cells(&sc), 0..64, 1);
+        let one = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let b = sweep(cells(&sc), 0..64, 4);
+        let four = t0.elapsed();
+        assert_eq!(a[0].results.len(), b[0].results.len());
+        assert!(
+            four < one,
+            "4 threads ({four:?}) must beat 1 thread ({one:?})"
+        );
     }
 }

@@ -21,7 +21,7 @@ use mcc_core::online::{
     run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, RunRecord, Runtime,
 };
 use mcc_model::Instance;
-use mcc_workloads::Workload;
+use mcc_workloads::{InstanceBuf, Workload};
 
 use crate::audit::ScheduleAuditor;
 use crate::fault::{FaultSpec, PlanScratch};
@@ -40,10 +40,25 @@ where
     Box::new(move || Box::new(proto.clone()))
 }
 
-/// Per-worker storage for the whole run pipeline: solver tables, runtime
-/// record buffers, audit scratch and fault-plan buffers. With a warm
-/// workspace a seed's measurement performs no heap allocation.
+/// Per-worker storage for the whole run pipeline: instance-generation
+/// buffers, solver tables, runtime record buffers, audit scratch and
+/// fault-plan buffers. With a warm workspace a whole unit — instance
+/// generation included — performs no heap allocation.
+///
+/// The generation buffer is held apart from the per-seed scratch
+/// (`SeedScratch`) so a unit can borrow the generated instance out of
+/// `gen` while the rest of the workspace is mutated (disjoint field
+/// borrows).
 pub struct RunWorkspace {
+    /// Instance-generation storage ([`Workload::generate_into`]).
+    gen: InstanceBuf,
+    /// Everything a seed measurement needs beyond the instance.
+    run: SeedScratch,
+}
+
+/// The per-seed half of [`RunWorkspace`]: solver tables, runtime record
+/// buffers, audit scratch and fault-plan buffers.
+struct SeedScratch {
     solver: SolverWorkspace<f64>,
     rt: Runtime<f64>,
     audit: AuditScratch,
@@ -58,12 +73,15 @@ impl RunWorkspace {
     /// A fresh workspace using the streaming auditor.
     pub fn new() -> Self {
         RunWorkspace {
-            solver: SolverWorkspace::new(),
-            rt: Runtime::new(1),
-            audit: AuditScratch::default(),
-            plan_scratch: PlanScratch::default(),
-            fault_plan: FaultPlan::none(),
-            exhaustive: false,
+            gen: InstanceBuf::new(),
+            run: SeedScratch {
+                solver: SolverWorkspace::new(),
+                rt: Runtime::new(1),
+                audit: AuditScratch::default(),
+                plan_scratch: PlanScratch::default(),
+                fault_plan: FaultPlan::none(),
+                exhaustive: false,
+            },
         }
     }
 
@@ -72,10 +90,9 @@ impl RunWorkspace {
     /// normalized schedule per seed). Debug mode for chasing suspected
     /// streaming-audit divergences.
     pub fn exhaustive() -> Self {
-        RunWorkspace {
-            exhaustive: true,
-            ..RunWorkspace::new()
-        }
+        let mut ws = RunWorkspace::new();
+        ws.run.exhaustive = true;
+        ws
     }
 }
 
@@ -162,6 +179,15 @@ pub fn run_seed_in(
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
 ) -> SeedResult {
+    seed_core(policy, seed, inst, &mut ws.run)
+}
+
+fn seed_core(
+    policy: &mut dyn OnlinePolicy<f64>,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut SeedScratch,
+) -> SeedResult {
     let (stats, rec) = run_policy_record(policy, inst, &mut ws.rt);
     let findings = audit_findings(
         inst,
@@ -200,6 +226,16 @@ pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
     seed: u64,
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
+) -> SeedResult {
+    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run)
+}
+
+fn seed_faulty_core<P: OnlinePolicy<f64>>(
+    wrapped: &mut FaultTolerant<P>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut SeedScratch,
 ) -> SeedResult {
     spec.plan_for_into(
         seed,
@@ -248,6 +284,16 @@ pub fn run_seed_oblivious_in(
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
 ) -> SeedResult {
+    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run)
+}
+
+fn seed_oblivious_core(
+    policy: &mut dyn OnlinePolicy<f64>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut SeedScratch,
+) -> SeedResult {
     spec.plan_for_into(
         seed,
         inst.servers(),
@@ -288,6 +334,46 @@ pub fn run_seed_oblivious_in(
     }
 }
 
+/// One whole fault-free unit — instance generation *and* measurement —
+/// in the caller's workspace. This is the parallel sweep's steady-state
+/// body: with a warm workspace (and a generator with an in-place fill
+/// path) the unit performs zero heap allocations.
+pub fn run_unit_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    workload: &dyn Workload,
+    seed: u64,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    let inst = workload.generate_into(seed, &mut ws.gen);
+    seed_core(policy, seed, inst, &mut ws.run)
+}
+
+/// One whole fault-injected unit with the fault-tolerant wrapper
+/// (generation + plan expansion + measurement, allocation-free warm).
+pub fn run_unit_faulty_in<P: OnlinePolicy<f64>>(
+    wrapped: &mut FaultTolerant<P>,
+    spec: &FaultSpec,
+    workload: &dyn Workload,
+    seed: u64,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    let inst = workload.generate_into(seed, &mut ws.gen);
+    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run)
+}
+
+/// One whole fault-injected unit with an *oblivious* policy
+/// (generation + plan expansion + measurement, allocation-free warm).
+pub fn run_unit_oblivious_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    spec: &FaultSpec,
+    workload: &dyn Workload,
+    seed: u64,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    let inst = workload.generate_into(seed, &mut ws.gen);
+    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run)
+}
+
 /// Measures `policy_factory()` against `workload` over `seeds`.
 pub fn run_cell(
     policy_factory: &PolicyFactory,
@@ -301,10 +387,11 @@ pub fn run_cell(
 /// [`run_cell`] reusing a caller-owned [`RunWorkspace`] across seeds.
 ///
 /// The policy instance is created once and reset per seed (the executor
-/// resets before every run); the run record, the off-line optimum and
-/// the audit all reuse `ws`'s buffers, so the per-seed steady state
-/// allocates only inside the workload generator. The parallel sweep
-/// gives each worker thread one workspace.
+/// resets before every run); instance generation, the run record, the
+/// off-line optimum and the audit all reuse `ws`'s buffers, so the
+/// per-seed steady state performs no heap allocation at all (for
+/// generators with an in-place fill path). The parallel sweep gives each
+/// worker thread one workspace.
 pub fn run_cell_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
@@ -313,10 +400,7 @@ pub fn run_cell_in(
 ) -> Vec<SeedResult> {
     let mut policy = policy_factory();
     seeds
-        .map(|seed| {
-            let inst = workload.generate(seed);
-            run_seed_in(policy.as_mut(), seed, &inst, ws)
-        })
+        .map(|seed| run_unit_in(policy.as_mut(), workload, seed, ws))
         .collect()
 }
 
@@ -353,18 +437,12 @@ pub fn run_cell_faulty_in(
     if spec.tolerant {
         let mut wrapped = FaultTolerant::new(policy_factory(), FaultPlan::none());
         seeds
-            .map(|seed| {
-                let inst = workload.generate(seed);
-                run_seed_faulty_in(&mut wrapped, spec, seed, &inst, ws)
-            })
+            .map(|seed| run_unit_faulty_in(&mut wrapped, spec, workload, seed, ws))
             .collect()
     } else {
         let mut policy = policy_factory();
         seeds
-            .map(|seed| {
-                let inst = workload.generate(seed);
-                run_seed_oblivious_in(policy.as_mut(), spec, seed, &inst, ws)
-            })
+            .map(|seed| run_unit_oblivious_in(policy.as_mut(), spec, workload, seed, ws))
             .collect()
     }
 }

@@ -8,7 +8,7 @@
 //! path before this module existed. [`StreamingAuditor`] performs the
 //! same checks in one merged scan over four already-sorted event streams
 //! (copy records by start time, transfers by instant, requests by
-//! arrival, crash windows by onset), carrying one [`SrvState`] per
+//! arrival, crash windows by onset), carrying one small state per
 //! server instead of interval lists. All storage lives in a caller-owned
 //! [`AuditScratch`], so a warm audit performs **zero heap allocations**.
 //!

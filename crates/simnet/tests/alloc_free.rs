@@ -1,7 +1,8 @@
 //! Asserts the run pipeline's zero-allocation guarantee: once a
-//! [`RunWorkspace`] is warm, a seed's full measurement — policy run,
-//! streaming audit, cost breakdown, off-line optimum, and (for fault
-//! cells) plan expansion — performs **zero** heap allocations.
+//! [`RunWorkspace`] is warm, a full unit — **instance generation**
+//! (via `Workload::generate_into`), policy run, streaming audit, cost
+//! breakdown, off-line optimum, and (for fault cells) plan expansion —
+//! performs **zero** heap allocations.
 //!
 //! This file must remain the SOLE test in its integration-test binary:
 //! the counting `#[global_allocator]` observes the whole process, and the
@@ -13,7 +14,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use mcc_core::online::{FaultPlan, FaultTolerant, OnlinePolicy, SpeculativeCaching};
 use mcc_model::Instance;
-use mcc_simnet::{run_seed_faulty_in, run_seed_in, run_seed_oblivious_in, FaultSpec, RunWorkspace};
+use mcc_simnet::{
+    run_seed_faulty_in, run_seed_in, run_seed_oblivious_in, run_unit_faulty_in, run_unit_in,
+    run_unit_oblivious_in, FaultSpec, RunWorkspace,
+};
 use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
 
 /// Counts allocation *events* (alloc/realloc/alloc_zeroed) while armed.
@@ -54,9 +58,8 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn warm_workspace_seed_units_allocate_nothing() {
-    // Instance generation allocates by design (it materializes the trace),
-    // so the sweep's steady state works off pre-generated instances; the
-    // same split is used here.
+    // Pre-generated-instance path: the workspace's generation buffer is
+    // bypassed entirely; only the run scratch is exercised.
     let workload = PoissonWorkload::uniform(CommonParams::small().with_size(6, 120), 1.0);
     let instances: Vec<Instance<f64>> = (0..4u64).map(|s| workload.generate(s)).collect();
     let spec = FaultSpec {
@@ -108,5 +111,45 @@ fn warm_workspace_seed_units_allocate_nothing() {
     assert_eq!(
         events, 0,
         "steady-state seed units must not touch the heap ({events} allocation events)"
+    );
+
+    // Full-unit path: generation included. `run_unit_*` regenerate each
+    // seed's instance into the workspace's `InstanceBuf` before running
+    // it — once that buffer is warm, the whole unit (generate + run +
+    // audit + optimum) must stay off the heap too. Uniform Poisson fills
+    // its trace without any per-call tables, so a warm buffer is
+    // genuinely allocation-free.
+    EVENTS.store(0, Ordering::SeqCst);
+    let mut unit_expect = Vec::new();
+    for seed in 0..4u64 {
+        let a = run_unit_in(policy.as_mut(), &workload, seed, &mut ws);
+        let b = run_unit_faulty_in(&mut wrapped, &spec, &workload, seed, &mut ws);
+        let c = run_unit_oblivious_in(oblivious.as_mut(), &spec, &workload, seed, &mut ws);
+        unit_expect.push((a.online_cost, b.online_cost, c.online_cost));
+        // The unit pipeline must agree with the pre-generated-instance
+        // pipeline seed for seed.
+        assert_eq!(a.online_cost, expect[seed as usize].0);
+        assert_eq!(b.online_cost, expect[seed as usize].1);
+        assert_eq!(c.online_cost, expect[seed as usize].2);
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        for seed in 0..4u64 {
+            let a = run_unit_in(policy.as_mut(), &workload, seed, &mut ws);
+            let b = run_unit_faulty_in(&mut wrapped, &spec, &workload, seed, &mut ws);
+            let c = run_unit_oblivious_in(oblivious.as_mut(), &spec, &workload, seed, &mut ws);
+            assert_eq!(a.online_cost, unit_expect[seed as usize].0);
+            assert_eq!(b.online_cost, unit_expect[seed as usize].1);
+            assert_eq!(c.online_cost, unit_expect[seed as usize].2);
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let events = EVENTS.load(Ordering::SeqCst);
+    assert_eq!(
+        events, 0,
+        "steady-state full units (generation included) must not touch the heap \
+         ({events} allocation events)"
     );
 }

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Round-robin requests with gaps tuned to `gap_factor · Δt`.
@@ -28,6 +28,22 @@ impl AdversarialScWorkload {
         assert!(gap_factor > 0.0, "gap factor must be positive");
         AdversarialScWorkload { common, gap_factor }
     }
+
+    /// The trace recipe shared by `generate` and `generate_into`
+    /// (allocation-free).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6164_7673);
+        let delta_t = self.common.lambda / self.common.mu;
+        let base_gap = self.gap_factor * delta_t;
+        let mut t = 0.0;
+        for k in 0..self.common.requests {
+            // ±2 % jitter keeps the structure but varies per seed.
+            let jitter = 1.0 + rng.gen_range(-0.02..0.02);
+            t += base_gap * jitter;
+            times.push(t);
+            servers.push(k % self.common.servers);
+        }
+    }
 }
 
 impl Workload for AdversarialScWorkload {
@@ -36,20 +52,16 @@ impl Workload for AdversarialScWorkload {
     }
 
     fn generate(&self, seed: u64) -> Instance<f64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x6164_7673);
-        let delta_t = self.common.lambda / self.common.mu;
-        let base_gap = self.gap_factor * delta_t;
-        let mut t = 0.0;
         let mut times = Vec::with_capacity(self.common.requests);
         let mut servers = Vec::with_capacity(self.common.requests);
-        for k in 0..self.common.requests {
-            // ±2 % jitter keeps the structure but varies per seed.
-            let jitter = 1.0 + rng.gen_range(-0.02..0.02);
-            t += base_gap * jitter;
-            times.push(t);
-            servers.push(k % self.common.servers);
-        }
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 
@@ -84,20 +96,14 @@ impl UnderSpeculationWorkload {
             target_alpha,
         }
     }
-}
 
-impl Workload for UnderSpeculationWorkload {
-    fn name(&self) -> String {
-        format!("underspec(alpha={})", self.target_alpha)
-    }
-
-    fn generate(&self, seed: u64) -> Instance<f64> {
+    /// The trace recipe shared by `generate` and `generate_into`
+    /// (allocation-free).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x756e_6472);
         let w = self.target_alpha * self.common.lambda / self.common.mu;
         let heartbeat_gap = 0.45 * w;
         let victim_gap = 1.2 * w;
-        let mut times = Vec::with_capacity(self.common.requests);
-        let mut servers = Vec::with_capacity(self.common.requests);
         let mut t_heart = heartbeat_gap;
         let mut t_victim = victim_gap * 1.5; // let the heartbeat copy settle first
         let mut last = 0.0f64;
@@ -115,7 +121,25 @@ impl Workload for UnderSpeculationWorkload {
                 t_victim += victim_gap * jitter;
             }
         }
+    }
+}
+
+impl Workload for UnderSpeculationWorkload {
+    fn name(&self) -> String {
+        format!("underspec(alpha={})", self.target_alpha)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

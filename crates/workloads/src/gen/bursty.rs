@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::distributions::{exponential, poisson_count};
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Bursty session workload.
@@ -35,20 +35,11 @@ impl BurstyWorkload {
             inter_gap,
         }
     }
-}
 
-impl Workload for BurstyWorkload {
-    fn name(&self) -> String {
-        format!(
-            "bursty(len={},intra={},inter={})",
-            self.mean_burst, self.intra_gap, self.inter_gap
-        )
-    }
-
-    fn generate(&self, seed: u64) -> Instance<f64> {
+    /// The trace recipe shared by `generate` and `generate_into`
+    /// (allocation-free).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6275_7273);
-        let mut times = Vec::with_capacity(self.common.requests);
-        let mut servers = Vec::with_capacity(self.common.requests);
         let mut t = 0.0;
         while times.len() < self.common.requests {
             let server = rng.gen_range(0..self.common.servers);
@@ -63,11 +54,32 @@ impl Workload for BurstyWorkload {
                 t += exponential(&mut rng, 1.0 / self.intra_gap);
             }
         }
-        // The loop above leaves consecutive identical times impossible
+    }
+}
+
+impl Workload for BurstyWorkload {
+    fn name(&self) -> String {
+        format!(
+            "bursty(len={},intra={},inter={})",
+            self.mean_burst, self.intra_gap, self.inter_gap
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        self.fill(seed, &mut times, &mut servers);
+        // The fill loop leaves consecutive identical times impossible
         // (every push advances t strictly afterwards), but the first push
         // of a burst reuses t from the previous advance — already strictly
         // greater than the last pushed time. Build and validate.
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

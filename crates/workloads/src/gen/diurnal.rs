@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Sinusoidally modulated arrivals over a Markov tour.
@@ -48,14 +48,10 @@ impl DiurnalWorkload {
     fn rate_at(&self, t: f64) -> f64 {
         self.base_rate * (1.0 + self.depth * (std::f64::consts::TAU * t / self.period).sin())
     }
-}
 
-impl Workload for DiurnalWorkload {
-    fn name(&self) -> String {
-        format!("diurnal(depth={},period={})", self.depth, self.period)
-    }
-
-    fn generate(&self, seed: u64) -> Instance<f64> {
+    /// The trace recipe shared by `generate` and `generate_into` (the
+    /// `m`-sized route tables are rebuilt per call).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6469_7572);
         let m = self.common.servers;
         // Stable route, as in MarkovWorkload.
@@ -74,8 +70,6 @@ impl Workload for DiurnalWorkload {
         let rate_max = self.base_rate * (1.0 + self.depth);
         let mut t = 0.0;
         let mut at = route[0];
-        let mut times = Vec::with_capacity(self.common.requests);
-        let mut servers = Vec::with_capacity(self.common.requests);
         while times.len() < self.common.requests {
             // Thinning: candidate events at the max rate, accepted with
             // probability rate(t)/rate_max.
@@ -90,7 +84,25 @@ impl Workload for DiurnalWorkload {
                 };
             }
         }
+    }
+}
+
+impl Workload for DiurnalWorkload {
+    fn name(&self) -> String {
+        format!("diurnal(depth={},period={})", self.depth, self.period)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

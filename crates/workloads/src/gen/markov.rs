@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::distributions::exponential;
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Mobile-user trajectory workload.
@@ -62,14 +62,10 @@ impl MarkovWorkload {
     pub fn rho(&self) -> f64 {
         self.rho
     }
-}
 
-impl Workload for MarkovWorkload {
-    fn name(&self) -> String {
-        format!("markov(rho={})", self.rho)
-    }
-
-    fn generate(&self, seed: u64) -> Instance<f64> {
+    /// The trace recipe shared by `generate` and `generate_into` (the
+    /// `m`-sized route tables are rebuilt per call).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6d61_726b);
         let m = self.common.servers;
         // The user's habitual route: a permutation cycle fixed by the
@@ -86,8 +82,6 @@ impl Workload for MarkovWorkload {
         };
         let mut at = route[0];
         let mut t = 0.0;
-        let mut times = Vec::with_capacity(self.common.requests);
-        let mut servers = Vec::with_capacity(self.common.requests);
         for _ in 0..self.common.requests {
             t += exponential(&mut rng, self.rate);
             times.push(t);
@@ -98,7 +92,25 @@ impl Workload for MarkovWorkload {
                 successor[at]
             };
         }
+    }
+}
+
+impl Workload for MarkovWorkload {
+    fn name(&self) -> String {
+        format!("markov(rho={})", self.rho)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let mut times = Vec::with_capacity(self.common.requests);
+        let mut servers = Vec::with_capacity(self.common.requests);
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{CommonParams, MarkovWorkload, Workload};
+use super::{CommonParams, InstanceBuf, MarkovWorkload, Workload};
 use mcc_model::Instance;
 
 /// `k` Markov users superimposed.
@@ -36,14 +36,10 @@ impl MergedUsersWorkload {
             rho,
         }
     }
-}
 
-impl Workload for MergedUsersWorkload {
-    fn name(&self) -> String {
-        format!("merged(users={},rho={})", self.users, self.rho)
-    }
-
-    fn generate(&self, seed: u64) -> Instance<f64> {
+    /// The trace recipe shared by `generate` and `generate_into` (the
+    /// per-user streams and the merge buffer still allocate per call).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
         // Each user contributes an (over-provisioned) stream; merge by
         // time and truncate to the requested length.
         let per_user = self.common.requests / self.users + self.common.requests % self.users + 1;
@@ -69,7 +65,6 @@ impl Workload for MergedUsersWorkload {
         // deterministically.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6d72_6764);
         let mut last = 0.0f64;
-        let (mut times, mut servers) = (Vec::new(), Vec::new());
         for (t, s) in events {
             let t = if t > last {
                 t
@@ -80,7 +75,24 @@ impl Workload for MergedUsersWorkload {
             times.push(t);
             servers.push(s);
         }
+    }
+}
+
+impl Workload for MergedUsersWorkload {
+    fn name(&self) -> String {
+        format!("merged(users={},rho={})", self.users, self.rho)
+    }
+
+    fn generate(&self, seed: u64) -> Instance<f64> {
+        let (mut times, mut servers) = (Vec::new(), Vec::new());
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

@@ -33,6 +33,64 @@ pub use zipf::ZipfWorkload;
 
 use mcc_model::Instance;
 
+/// Reusable generation storage: the trace staging buffers plus the
+/// model-side instance storage ([`mcc_model::InstanceBuf`]).
+///
+/// Sweep workers hand one `InstanceBuf` to [`Workload::generate_into`]
+/// per unit; once warm (every buffer at its high-water capacity) the
+/// built-in generator families regenerate without touching the heap —
+/// the property that extends the run pipeline's zero-allocation
+/// guarantee to instance generation (see `tests/alloc_free.rs` in
+/// `mcc-simnet`). Families that build per-call lookup tables (Markov
+/// routes, Zipf CDFs) still reuse the *trace-sized* buffers and only
+/// allocate their small `m`-sized tables.
+#[derive(Clone, Debug, Default)]
+pub struct InstanceBuf {
+    /// Staged request times (generator scratch).
+    pub(crate) times: Vec<f64>,
+    /// Staged zero-based server indices (generator scratch).
+    pub(crate) servers: Vec<usize>,
+    /// The committed instance.
+    pub(crate) model: mcc_model::InstanceBuf<f64>,
+}
+
+impl InstanceBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        InstanceBuf::default()
+    }
+
+    /// The instance most recently generated into the buffer.
+    #[inline]
+    pub fn instance(&self) -> &Instance<f64> {
+        self.model.instance()
+    }
+
+    /// Clears the staging buffers (keeping capacity) and returns them for
+    /// a generator to fill.
+    pub(crate) fn stage(&mut self) -> (&mut Vec<f64>, &mut Vec<usize>) {
+        self.times.clear();
+        self.servers.clear();
+        (&mut self.times, &mut self.servers)
+    }
+
+    /// Parks an already-built instance (the allocating fallback).
+    pub(crate) fn set(&mut self, inst: Instance<f64>) -> &Instance<f64> {
+        self.model.set(inst)
+    }
+
+    /// Copies an existing instance into the buffer's storage (keeping the
+    /// full cost model, including any upload charge) — allocation-free
+    /// once warm.
+    pub(crate) fn rebuild_from(&mut self, inst: &Instance<f64>) -> &Instance<f64> {
+        self.model
+            .rebuild(inst.servers(), *inst.cost(), |reqs| {
+                reqs.extend_from_slice(inst.requests())
+            })
+            .expect("source instance is already validated")
+    }
+}
+
 /// A named, seedable request-stream recipe.
 ///
 /// `Send + Sync` so sweeps can share generators across worker threads
@@ -44,6 +102,16 @@ pub trait Workload: Send + Sync {
     /// Generates an instance; the same seed always yields the same
     /// instance.
     fn generate(&self, seed: u64) -> Instance<f64>;
+
+    /// Generates into reusable storage; the returned instance is
+    /// identical to [`Workload::generate`] for the same seed.
+    ///
+    /// The default implementation delegates to `generate` and parks the
+    /// result (allocating); the built-in families override it with an
+    /// in-place fill so a warm buffer regenerates allocation-free.
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        buf.set(self.generate(seed))
+    }
 }
 
 /// Shared parameters every family needs.
@@ -98,6 +166,29 @@ impl CommonParams {
         )
         .expect("generators produce valid instances")
     }
+
+    /// [`CommonParams::build`] against the staged trace in `buf`,
+    /// committing into the buffer's instance storage (no allocation once
+    /// the storage is warm).
+    pub(crate) fn build_into<'a>(&self, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        debug_assert_eq!(buf.times.len(), buf.servers.len());
+        let cost = mcc_model::CostModel::new(self.mu, self.lambda).expect("positive rates");
+        let InstanceBuf {
+            times,
+            servers,
+            model,
+        } = buf;
+        model
+            .rebuild(self.servers, cost, |reqs| {
+                reqs.extend(
+                    servers
+                        .iter()
+                        .zip(times.iter())
+                        .map(|(&s, &t)| mcc_model::Request::at(s, t)),
+                )
+            })
+            .expect("generators produce valid instances")
+    }
 }
 
 /// The standard evaluation suite: one representative of each family,
@@ -127,6 +218,27 @@ mod tests {
             assert_eq!(a.n(), 50);
             assert_eq!(a.servers(), 4);
         }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_for_every_family() {
+        let mut buf = InstanceBuf::new();
+        for w in standard_suite(CommonParams::small().with_size(4, 50)) {
+            for seed in [0u64, 3, 11] {
+                let owned = w.generate(seed);
+                let buffered = w.generate_into(seed, &mut buf);
+                assert_eq!(
+                    &owned,
+                    buffered,
+                    "{}: generate_into must match generate (seed {seed})",
+                    w.name()
+                );
+            }
+        }
+        // Cross-shape reuse: a buffer warmed on one shape regenerates
+        // another shape correctly.
+        let big = PoissonWorkload::uniform(CommonParams::small().with_size(8, 200), 1.0);
+        assert_eq!(&big.generate(5), big.generate_into(5, &mut buf));
     }
 
     #[test]

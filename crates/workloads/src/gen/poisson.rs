@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::distributions::{exponential, Zipf};
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Memoryless arrivals at rate `rate`; the requesting server is drawn
@@ -37,6 +37,26 @@ impl PoissonWorkload {
             zipf_exponent: Some(s),
         }
     }
+
+    /// The trace recipe shared by `generate` and `generate_into`.
+    /// Allocation-free for the uniform variant (the Zipf variant builds
+    /// its CDF table per call).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x706f_6973);
+        let zipf = self
+            .zipf_exponent
+            .map(|s| Zipf::new(self.common.servers, s));
+        let mut t = 0.0;
+        for _ in 0..self.common.requests {
+            t += exponential(&mut rng, self.rate);
+            times.push(t);
+            let s = match &zipf {
+                Some(z) => z.sample(&mut rng),
+                None => rng.gen_range(0..self.common.servers),
+            };
+            servers.push(s);
+        }
+    }
 }
 
 impl Workload for PoissonWorkload {
@@ -48,23 +68,16 @@ impl Workload for PoissonWorkload {
     }
 
     fn generate(&self, seed: u64) -> Instance<f64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x706f_6973);
-        let zipf = self
-            .zipf_exponent
-            .map(|s| Zipf::new(self.common.servers, s));
-        let mut t = 0.0;
         let mut times = Vec::with_capacity(self.common.requests);
         let mut servers = Vec::with_capacity(self.common.requests);
-        for _ in 0..self.common.requests {
-            t += exponential(&mut rng, self.rate);
-            times.push(t);
-            let s = match &zipf {
-                Some(z) => z.sample(&mut rng),
-                None => rng.gen_range(0..self.common.servers),
-            };
-            servers.push(s);
-        }
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

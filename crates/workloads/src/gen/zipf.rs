@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use crate::distributions::{exponential, Zipf};
 
-use super::{CommonParams, Workload};
+use super::{CommonParams, InstanceBuf, Workload};
 use mcc_model::Instance;
 
 /// Zipf-popular servers with exponential gaps — the classic skewed-access
@@ -27,6 +27,19 @@ impl ZipfWorkload {
             exponent,
         }
     }
+
+    /// The trace recipe shared by `generate` and `generate_into` (the
+    /// Zipf CDF table is rebuilt per call; only `m`-sized).
+    fn fill(&self, seed: u64, times: &mut Vec<f64>, servers: &mut Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a69_7066);
+        let zipf = Zipf::new(self.common.servers, self.exponent);
+        let mut t = 0.0;
+        for _ in 0..self.common.requests {
+            t += exponential(&mut rng, self.rate);
+            times.push(t);
+            servers.push(zipf.sample(&mut rng));
+        }
+    }
 }
 
 impl Workload for ZipfWorkload {
@@ -35,17 +48,16 @@ impl Workload for ZipfWorkload {
     }
 
     fn generate(&self, seed: u64) -> Instance<f64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a69_7066);
-        let zipf = Zipf::new(self.common.servers, self.exponent);
-        let mut t = 0.0;
         let mut times = Vec::with_capacity(self.common.requests);
         let mut servers = Vec::with_capacity(self.common.requests);
-        for _ in 0..self.common.requests {
-            t += exponential(&mut rng, self.rate);
-            times.push(t);
-            servers.push(zipf.sample(&mut rng));
-        }
+        self.fill(seed, &mut times, &mut servers);
         self.common.build(times, servers)
+    }
+
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        let (times, servers) = buf.stage();
+        self.fill(seed, times, servers);
+        self.common.build_into(buf)
     }
 }
 

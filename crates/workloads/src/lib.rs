@@ -17,8 +17,8 @@ pub mod trace;
 
 pub use gen::{
     standard_suite, AdversarialScWorkload, BurstyWorkload, CommonParams, DiurnalWorkload,
-    MarkovWorkload, MergedUsersWorkload, PoissonWorkload, UnderSpeculationWorkload, Workload,
-    ZipfWorkload,
+    InstanceBuf, MarkovWorkload, MergedUsersWorkload, PoissonWorkload, UnderSpeculationWorkload,
+    Workload, ZipfWorkload,
 };
 pub use predictor::MarkovPredictor;
 pub use trace::TraceWorkload;

@@ -19,7 +19,7 @@ use std::path::Path;
 
 use mcc_model::Instance;
 
-use crate::gen::Workload;
+use crate::gen::{InstanceBuf, Workload};
 
 /// Saves an instance as pretty JSON.
 pub fn save_json(inst: &Instance<f64>, path: &Path) -> io::Result<()> {
@@ -118,6 +118,14 @@ impl Workload for TraceWorkload {
 
     fn generate(&self, _seed: u64) -> Instance<f64> {
         self.instance.clone()
+    }
+
+    fn generate_into<'a>(&self, _seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        // Copies the trace into the buffer's request storage instead of
+        // cloning a fresh vector — allocation-free once the buffer is
+        // warm. Goes through the model buffer directly so the full cost
+        // model (including any upload charge) carries over.
+        buf.rebuild_from(&self.instance)
     }
 }
 
