@@ -9,6 +9,7 @@
 
 pub mod bars;
 pub mod diagram;
+pub mod metrics_report;
 pub mod ratio;
 pub mod report;
 pub mod stats;
@@ -16,6 +17,7 @@ pub mod table;
 
 pub use bars::{hbar, sparkline};
 pub use diagram::{render, render_with, DiagramOptions};
+pub use metrics_report::render_metrics;
 pub use ratio::{measure, RatioCell, RatioSample};
 pub use report::{Report, Section};
 pub use stats::{loglog_slope, Summary};

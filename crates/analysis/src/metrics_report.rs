@@ -1,0 +1,209 @@
+//! Text rendering of an `mcc-obs` `metrics/1` snapshot.
+//!
+//! One layer per section — off-line solver, online executor, fault
+//! layer, parallel sweep — plus a histogram digest with power-of-two
+//! bucket sparklines. Sections whose counters are all zero are omitted,
+//! so a fault-free single-thread run renders a short report.
+
+use std::fmt::Write as _;
+
+use mcc_obs::{Counter, Gauge, Hist, HistSnapshot, MetricsSnapshot};
+
+use crate::bars::sparkline;
+use crate::table::fnum;
+
+/// Milliseconds from a nanosecond counter.
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+/// Cost units from a micro-cost counter.
+fn cost(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+/// `value (share%)` of a total, guarding the empty total.
+fn share(part: u64, total: u64) -> String {
+    if total == 0 {
+        format!("{part}")
+    } else {
+        format!("{part} ({}%)", fnum(part as f64 * 100.0 / total as f64))
+    }
+}
+
+fn hist_line(out: &mut String, label: &str, h: &HistSnapshot, unit: &str) {
+    if h.count == 0 {
+        return;
+    }
+    let buckets: Vec<f64> = h.buckets.iter().map(|&b| b as f64).collect();
+    let _ = writeln!(
+        out,
+        "  {label:<12} n={:<8} mean={:<10} {}",
+        h.count,
+        format!("{}{unit}", fnum(h.mean())),
+        sparkline(&buckets)
+    );
+}
+
+/// Renders a [`MetricsSnapshot`] as a human-readable text report (the
+/// `mcc sweep --metrics-report` output).
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== metrics/1 ==");
+
+    // --- off-line solver ----------------------------------------------
+    let matrix = snap.counter(Counter::SolveMatrixDispatches);
+    let windowed = snap.counter(Counter::SolveSweepDispatches);
+    let solves = matrix + windowed;
+    if solves > 0 {
+        let _ = writeln!(out, "off-line solver");
+        let _ = writeln!(
+            out,
+            "  solves: {solves}  (matrix {}, windowed {})",
+            share(matrix, solves),
+            share(windowed, solves)
+        );
+        let total = snap.counter(Counter::SolveNanos);
+        if total > 0 {
+            let _ = writeln!(
+                out,
+                "  time: {}ms total — prescan {}ms, matrix build {}ms, dp {}ms",
+                fnum(ms(total)),
+                fnum(ms(snap.counter(Counter::SolvePrescanNanos))),
+                fnum(ms(snap.counter(Counter::SolveMatrixBuildNanos))),
+                fnum(ms(snap.counter(Counter::SolveDpNanos)))
+            );
+        }
+    }
+
+    // --- online executor ----------------------------------------------
+    let runs = snap.counter(Counter::Runs);
+    if runs > 0 {
+        let requests = snap.counter(Counter::Requests);
+        let transfers = snap.counter(Counter::Transfers);
+        let caching = snap.counter(Counter::CachingCostMicros);
+        let transfer_cost = snap.counter(Counter::TransferCostMicros);
+        let _ = writeln!(out, "online executor");
+        let _ = writeln!(
+            out,
+            "  runs: {runs}  requests: {requests}  transfers: {}  extensions: {}",
+            share(transfers, requests),
+            share(snap.counter(Counter::Extensions), requests)
+        );
+        let _ = writeln!(
+            out,
+            "  cost split: caching (μ) {}  transfers (λ) {}",
+            fnum(cost(caching)),
+            fnum(cost(transfer_cost))
+        );
+        let _ = writeln!(
+            out,
+            "  audit findings: {}",
+            snap.counter(Counter::AuditFindings)
+        );
+    }
+
+    // --- fault layer ---------------------------------------------------
+    let crash_windows = snap.counter(Counter::FaultCrashWindows);
+    let fault_activity = crash_windows
+        + snap.counter(Counter::FaultRetries)
+        + snap.counter(Counter::FaultFailovers)
+        + snap.counter(Counter::FaultEvacuations)
+        + snap.counter(Counter::FaultCopiesLost)
+        + snap.counter(Counter::FaultDownServes);
+    if fault_activity > 0 {
+        let _ = writeln!(out, "fault layer");
+        let _ = writeln!(
+            out,
+            "  crash windows: {crash_windows}  copies lost: {}  down-serves: {}",
+            snap.counter(Counter::FaultCopiesLost),
+            snap.counter(Counter::FaultDownServes)
+        );
+        let _ = writeln!(
+            out,
+            "  retries: {}  failovers: {}  evacuations: {}  adopted replicas: {}",
+            snap.counter(Counter::FaultRetries),
+            snap.counter(Counter::FaultFailovers),
+            snap.counter(Counter::FaultEvacuations),
+            snap.counter(Counter::FaultAdoptedReplicas)
+        );
+        let _ = writeln!(
+            out,
+            "  retry surcharge (λ): {}",
+            fnum(cost(snap.counter(Counter::FaultRetryCostMicros)))
+        );
+    }
+
+    // --- parallel sweep ------------------------------------------------
+    let workers = snap.counter(Counter::SweepWorkers);
+    if workers > 0 {
+        let _ = writeln!(out, "parallel sweep");
+        let _ = writeln!(
+            out,
+            "  workers: {workers}  units: {}  chunk grabs: {}  dispatch wait: {}ms",
+            snap.counter(Counter::SweepUnits),
+            snap.counter(Counter::SweepChunkGrabs),
+            fnum(ms(snap.counter(Counter::SweepDispatchWaitNanos)))
+        );
+        let _ = writeln!(
+            out,
+            "  threads: {} (of {} hw)  grid units: {}",
+            snap.gauge(Gauge::SweepThreads),
+            snap.gauge(Gauge::HwThreads),
+            snap.gauge(Gauge::SweepGridUnits)
+        );
+    }
+
+    // --- histograms ----------------------------------------------------
+    if Hist::ALL.iter().any(|&h| snap.hist(h).count > 0) {
+        let _ = writeln!(out, "histograms (power-of-two buckets)");
+        hist_line(&mut out, "unit", snap.hist(Hist::UnitNanos), "ns");
+        hist_line(&mut out, "solve", snap.hist(Hist::SolveNanos), "ns");
+        hist_line(&mut out, "worker units", snap.hist(Hist::WorkerUnits), "");
+        hist_line(&mut out, "ratio ×100", snap.hist(Hist::RatioCenti), "");
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_obs::{Registry, Sink};
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let out = render_metrics(&Registry::new().snapshot());
+        assert!(out.starts_with("== metrics/1 =="));
+        assert!(!out.contains("online executor"));
+        assert!(!out.contains("fault layer"));
+    }
+
+    #[test]
+    fn populated_sections_appear() {
+        let reg = Registry::new();
+        reg.add(Counter::Runs, 4);
+        reg.add(Counter::Requests, 120);
+        reg.add(Counter::Transfers, 30);
+        reg.add(Counter::Extensions, 90);
+        reg.add(Counter::SolveMatrixDispatches, 4);
+        reg.add(Counter::SolveNanos, 8_000_000);
+        reg.add(Counter::FaultCrashWindows, 2);
+        reg.add(Counter::SweepWorkers, 2);
+        reg.gauge_max(Gauge::SweepThreads, 2);
+        reg.observe(Hist::RatioCenti, 150);
+        reg.observe(Hist::RatioCenti, 300);
+        let out = render_metrics(&reg.snapshot());
+        for section in [
+            "off-line solver",
+            "online executor",
+            "fault layer",
+            "parallel sweep",
+            "histograms",
+        ] {
+            assert!(out.contains(section), "missing `{section}` in:\n{out}");
+        }
+        assert!(out.contains("transfers: 30 (25%)"), "{out}");
+        assert!(out.contains("8ms total"), "{out}");
+    }
+}

@@ -66,6 +66,25 @@ fn check() -> Result<(), String> {
             bench_sweep::EFFICIENCY_TARGET
         ));
     }
+
+    // Observability gate: attaching a live metrics registry to the run
+    // pipeline must stay within the overhead budget of metrics-off
+    // throughput. Best of three — interference inflates an individual
+    // overhead reading, so the minimum is the noise-robust estimate.
+    let overhead = bench_sweep::measured_metrics_overhead(Scale::quick(), 3);
+    eprintln!(
+        "metrics overhead: {:.1}% (budget {:.0}%)",
+        overhead * 100.0,
+        bench_sweep::METRICS_OVERHEAD_BUDGET * 100.0,
+    );
+    if overhead > bench_sweep::METRICS_OVERHEAD_BUDGET {
+        return Err(format!(
+            "observability is no longer free: metrics-on throughput is {:.1}% below \
+             metrics-off (budget {:.0}%)",
+            overhead * 100.0,
+            bench_sweep::METRICS_OVERHEAD_BUDGET * 100.0,
+        ));
+    }
     Ok(())
 }
 

@@ -31,10 +31,8 @@ use std::time::Instant;
 
 use mcc_core::offline::SolverWorkspace;
 use mcc_model::Json;
-use mcc_simnet::{
-    factory, run_cell_faulty_in, run_cell_in, sweep, FaultSpec, GridCell, PolicyFactory,
-    RunWorkspace,
-};
+use mcc_obs::Registry;
+use mcc_simnet::{factory, sweep, FaultSpec, GridCell, PolicyFactory, RunMode, RunRequest};
 use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
 
 use super::bench_solver::peak_rss_kb;
@@ -204,11 +202,16 @@ fn baseline_pass(sc: &PolicyFactory, w: &dyn Workload, seeds: u64, ws: &mut Solv
     std::hint::black_box((healthy, tolerant, oblivious));
 }
 
-/// One full single-threaded pass of the live pipeline.
-fn live_pass(sc: &PolicyFactory, w: &dyn Workload, seeds: u64, ws: &mut RunWorkspace) {
-    let healthy = run_cell_in(sc, w, 0..seeds, ws);
-    let tolerant = run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(true), ws);
-    let oblivious = run_cell_faulty_in(sc, w, 0..seeds, &fault_spec(false), ws);
+/// One full single-threaded pass of the live pipeline: the same three
+/// cells, driven through one [`RunRequest`] (mode switched per cell, the
+/// workspace and sink wiring carried across all of them).
+fn live_pass(sc: &PolicyFactory, w: &dyn Workload, seeds: u64, req: &mut RunRequest<'_>) {
+    req.set_mode(RunMode::Plain);
+    let healthy = req.run_cell(sc, w, 0..seeds);
+    req.set_mode(RunMode::from_faults(Some(fault_spec(true))));
+    let tolerant = req.run_cell(sc, w, 0..seeds);
+    req.set_mode(RunMode::from_faults(Some(fault_spec(false))));
+    let oblivious = req.run_cell(sc, w, 0..seeds);
     std::hint::black_box((healthy, tolerant, oblivious));
 }
 
@@ -220,12 +223,50 @@ pub fn single_thread_rates(scale: Scale) -> (f64, f64) {
     let baseline = best_rate(units(scale), || {
         baseline_pass(&sc, &w, scale.seeds, &mut solver_ws)
     });
-    let mut run_ws = RunWorkspace::new();
-    let live = best_rate(units(scale), || {
-        live_pass(&sc, &w, scale.seeds, &mut run_ws)
-    });
+    let mut req = RunRequest::new(RunMode::Plain);
+    let live = best_rate(units(scale), || live_pass(&sc, &w, scale.seeds, &mut req));
     (baseline, live)
 }
+
+/// Single-threaded live units/sec with metrics off vs. on:
+/// `(off, on)`. Both sides run the identical three-cell pass through one
+/// warm [`RunRequest`]; the only difference is the sink — [`mcc_obs::noop`]
+/// against a live [`Registry`]. The gap is the whole price of
+/// observability on the hot path.
+pub fn metrics_rates(scale: Scale) -> (f64, f64) {
+    let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
+    let w = workload(scale);
+    let mut req_off = RunRequest::new(RunMode::Plain);
+    let off = best_rate(units(scale), || {
+        live_pass(&sc, &w, scale.seeds, &mut req_off)
+    });
+    let reg = Registry::new();
+    let mut req_on = RunRequest::new(RunMode::Plain).with_sink(&reg);
+    let on = best_rate(units(scale), || {
+        live_pass(&sc, &w, scale.seeds, &mut req_on)
+    });
+    std::hint::black_box(reg.snapshot());
+    (off, on)
+}
+
+/// Relative slowdown of metrics-on over metrics-off
+/// (`1 - on/off`; negative when metrics-on measured faster). Best
+/// (lowest) of `attempts`: interference inflates an individual overhead
+/// reading far more often than it deflates one, so the minimum is the
+/// noise-robust estimate — a real regression drags every attempt up.
+pub fn measured_metrics_overhead(scale: Scale, attempts: usize) -> f64 {
+    (0..attempts.max(1))
+        .map(|_| {
+            let (off, on) = metrics_rates(scale);
+            1.0 - on / off.max(1e-9)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The observability budget: a live sink may cost at most this fraction
+/// of metrics-off throughput on the single-threaded hot path
+/// (`bench_sweep --check` gates on it).
+pub const METRICS_OVERHEAD_BUDGET: f64 = 0.03;
 
 /// The three reference cells as the live parallel sweep runs them.
 fn live_cells<'a>(sc: &'a PolicyFactory, w: &'a dyn Workload) -> Vec<GridCell<'a>> {
@@ -380,6 +421,7 @@ pub fn report(scale: Scale) -> Json {
     let (base_1t, live_1t) = single_thread_rates(scale);
     let speedup = live_1t / base_1t;
     let (scaling, _) = scaling_section(scale);
+    let (metrics_off, metrics_on) = metrics_rates(scale);
 
     let by_threads = Json::Arr(
         THREADS
@@ -424,6 +466,20 @@ pub fn report(scale: Scale) -> Json {
         ),
         ("by_threads".into(), by_threads),
         ("scaling".into(), scaling),
+        (
+            // Optional since the mcc-obs layer landed (E18): documents
+            // committed before it lack the section and stay valid.
+            "metrics_overhead".into(),
+            Json::Obj(vec![
+                ("off_units_per_sec".into(), Json::Float(metrics_off)),
+                ("on_units_per_sec".into(), Json::Float(metrics_on)),
+                (
+                    "overhead".into(),
+                    Json::Float(1.0 - metrics_on / metrics_off.max(1e-9)),
+                ),
+                ("budget".into(), Json::Float(METRICS_OVERHEAD_BUDGET)),
+            ]),
+        ),
         (
             "quick".into(),
             Json::Obj(vec![("speedup".into(), Json::Float(quick_speedup))]),
@@ -523,6 +579,24 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         Some(Json::Bool(_)) => {}
         _ => return Err("scaling.gate.met must be a bool".into()),
     }
+    // `metrics_overhead` is optional (documents predate the mcc-obs
+    // layer) but must be well-formed when present; the overhead itself
+    // may be slightly negative (metrics-on measured faster, pure noise).
+    if let Some(mo) = doc.get("metrics_overhead") {
+        for key in ["off_units_per_sec", "on_units_per_sec"] {
+            let v = mo.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+            if v.is_nan() || v <= 0.0 {
+                return Err(format!("metrics_overhead.{key} must be positive"));
+            }
+        }
+        let ov = mo
+            .get("overhead")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        if ov.is_nan() || ov >= 1.0 {
+            return Err("metrics_overhead.overhead must be a fraction below 1".into());
+        }
+    }
     let q = doc
         .get("quick")
         .and_then(|q| q.get("speedup"))
@@ -549,11 +623,15 @@ mod tests {
         let sc = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
         let w = workload(scale);
         let mut solver_ws = SolverWorkspace::new();
-        let mut run_ws = RunWorkspace::new();
+        let mut req = RunRequest::new(RunMode::Plain);
+        let live_cell = |req: &mut RunRequest<'_>, faults: Option<FaultSpec>| {
+            req.set_mode(RunMode::from_faults(faults));
+            req.run_cell(&sc, &w, 0..scale.seeds)
+        };
         for (old, new) in [
             (
                 pre_pr::run_cell_in(&sc, &w, 0..scale.seeds, &mut solver_ws),
-                run_cell_in(&sc, &w, 0..scale.seeds, &mut run_ws),
+                live_cell(&mut req, None),
             ),
             (
                 pre_pr::run_cell_faulty_in(
@@ -563,7 +641,7 @@ mod tests {
                     &fault_spec(true),
                     &mut solver_ws,
                 ),
-                run_cell_faulty_in(&sc, &w, 0..scale.seeds, &fault_spec(true), &mut run_ws),
+                live_cell(&mut req, Some(fault_spec(true))),
             ),
             (
                 pre_pr::run_cell_faulty_in(
@@ -573,7 +651,7 @@ mod tests {
                     &fault_spec(false),
                     &mut solver_ws,
                 ),
-                run_cell_faulty_in(&sc, &w, 0..scale.seeds, &fault_spec(false), &mut run_ws),
+                live_cell(&mut req, Some(fault_spec(false))),
             ),
         ] {
             assert_eq!(old.len(), new.len());
@@ -681,6 +759,31 @@ mod tests {
                 set(doc, &["scaling", "rows"], Json::Arr(bad));
             },
             "zero efficiency in a row",
+        );
+    }
+
+    #[test]
+    fn validate_checks_metrics_overhead_when_present() {
+        // Absent section: still valid (pre-obs documents).
+        let mut doc = report(Scale::quick());
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "metrics_overhead");
+        }
+        validate(&doc).unwrap();
+        // Present but malformed: rejected.
+        rejects_mutation(
+            |doc| {
+                set(
+                    doc,
+                    &["metrics_overhead", "on_units_per_sec"],
+                    Json::Float(0.0),
+                )
+            },
+            "non-positive metrics-on rate",
+        );
+        rejects_mutation(
+            |doc| set(doc, &["metrics_overhead", "overhead"], Json::Float(1.5)),
+            "overhead at or above 1",
         );
     }
 

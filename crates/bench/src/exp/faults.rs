@@ -13,7 +13,7 @@
 
 use mcc_analysis::{fnum, Section, Summary, Table};
 use mcc_core::online::SpeculativeCaching;
-use mcc_simnet::{factory, run_cell, run_cell_faulty, FaultSpec};
+use mcc_simnet::{factory, FaultSpec, RunMode, RunRequest};
 use mcc_workloads::{CommonParams, PoissonWorkload};
 
 use super::Scale;
@@ -56,8 +56,11 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     let sc = factory(SpeculativeCaching::<f64>::paper());
     let seeds = 0..scale.seeds;
 
+    // One request (and thus one warm workspace) drives the whole grid.
+    let mut req = RunRequest::new(RunMode::Plain);
+
     // Fault-free baseline on the identical traces.
-    let baseline = run_cell(&sc, &workload, seeds.clone());
+    let baseline = req.run_cell(&sc, &workload, seeds.clone());
 
     let mut rows = Vec::new();
     for &crash_rate in &CRASH_RATES {
@@ -67,16 +70,13 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
             mean_downtime: 1.0,
             ..FaultSpec::default()
         };
-        let wrapped = run_cell_faulty(&sc, &workload, seeds.clone(), &spec);
-        let oblivious = run_cell_faulty(
-            &sc,
-            &workload,
-            seeds.clone(),
-            &FaultSpec {
-                tolerant: false,
-                ..spec
-            },
-        );
+        req.set_mode(RunMode::from_faults(Some(spec)));
+        let wrapped = req.run_cell(&sc, &workload, seeds.clone());
+        req.set_mode(RunMode::from_faults(Some(FaultSpec {
+            tolerant: false,
+            ..spec
+        })));
+        let oblivious = req.run_cell(&sc, &workload, seeds.clone());
 
         let mut inflation = Summary::new();
         let mut crashes = 0;

@@ -64,11 +64,32 @@ impl ParsedArgs {
 
 /// Flags that take a value.
 const VALUE_OPTIONS: &[&str] = &[
-    "policy", "servers", "requests", "mu", "lambda", "seed", "out", "rate", "rho", "zipf", "gap",
-    "k", "seeds",
+    "policy",
+    "servers",
+    "requests",
+    "mu",
+    "lambda",
+    "seed",
+    "out",
+    "rate",
+    "rho",
+    "zipf",
+    "gap",
+    "k",
+    "seeds",
+    "threads",
+    "crash-rate",
+    "metrics",
 ];
 /// Bare flags.
-const BARE_FLAGS: &[&str] = &["diagram", "schedule", "analyze", "quick", "json"];
+const BARE_FLAGS: &[&str] = &[
+    "diagram",
+    "schedule",
+    "analyze",
+    "quick",
+    "json",
+    "metrics-report",
+];
 
 /// Parses `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {

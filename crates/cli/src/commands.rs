@@ -3,16 +3,14 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use mcc_analysis::{fnum, render, Table};
-use mcc_core::offline::{optimal_schedule, solve_fast};
-use mcc_core::online::{
-    analyze, run_policy, Follow, KeepEverywhere, OnlinePolicy, SpeculativeCaching, StayAtOrigin,
+use mobile_cloud_cache::analysis::{fnum, render, render_metrics, Summary, Table};
+use mobile_cloud_cache::prelude::{
+    analyze, optimal_cost, optimal_schedule, run_policy, solve_fast, sweep_with, validate,
+    CommonParams, FaultSpec, Follow, GridCell, Instance, KeepEverywhere, MarkovWorkload,
+    OnlinePolicy, PoissonWorkload, PolicyFactory, Prescan, Registry, SpeculativeCaching,
+    StayAtOrigin, Workload,
 };
-use mcc_model::{Instance, Prescan};
-use mcc_workloads::{
-    AdversarialScWorkload, BurstyWorkload, CommonParams, MarkovWorkload, PoissonWorkload, Workload,
-    ZipfWorkload,
-};
+use mobile_cloud_cache::workloads::{trace, AdversarialScWorkload, BurstyWorkload, ZipfWorkload};
 
 use crate::args::ParsedArgs;
 
@@ -29,13 +27,16 @@ USAGE:
                [--out FILE | --json]
   mcc info     <trace>
   mcc classic  <trace> [--k N]
-  mcc sweep    <family> [--seeds N] [generate options]
+  mcc sweep    <family> [--seeds N] [--threads N] [--crash-rate X]
+               [--metrics FILE] [--metrics-report] [generate options]
 
 TRACES:   a .json / .csv trace file, a compact-format text file, or an inline
           instance: -c \"m=2 mu=1 lambda=1 | s2@0.5 s1@2.0\"
 POLICIES: sc | sc:alpha=A | sc:epoch=N | sc:randomized=SEED |
           follow | stay-at-origin | keep-everywhere
 FAMILIES: poisson | zipf | markov | bursty | adversarial
+METRICS:  --metrics FILE writes the versioned metrics/1 JSON snapshot of the
+          sweep; --metrics-report appends the rendered text report
 "
     .to_string()
 }
@@ -54,11 +55,11 @@ pub fn load_instance(args: &ParsedArgs) -> Result<Instance<f64>, String> {
         return Err(format!("no such trace file: {path}"));
     }
     if path.ends_with(".json") {
-        mcc_workloads::trace::load_json(p).map_err(|e| e.to_string())
+        trace::load_json(p).map_err(|e| e.to_string())
     } else if path.ends_with(".csv") {
-        mcc_workloads::trace::load_csv(p).map_err(|e| e.to_string())
+        trace::load_csv(p).map_err(|e| e.to_string())
     } else {
-        mcc_workloads::trace::load_compact(p).map_err(|e| e.to_string())
+        trace::load_compact(p).map_err(|e| e.to_string())
     }
 }
 
@@ -101,7 +102,7 @@ pub fn build_policy(spec: &str) -> Result<Box<dyn OnlinePolicy<f64>>, String> {
 pub fn solve(args: &ParsedArgs) -> Result<String, String> {
     let inst = load_instance(args)?;
     let (sched, cost) = optimal_schedule(&inst);
-    let checked = mcc_model::validate(&inst, &sched)
+    let checked = validate(&inst, &sched)
         .map_err(|e| format!("internal error: optimal schedule failed validation: {e:?}"))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -162,7 +163,7 @@ pub fn online(args: &ParsedArgs) -> Result<String, String> {
 /// `mcc compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String, String> {
     let inst = load_instance(args)?;
-    let opt = mcc_core::offline::optimal_cost(&inst);
+    let opt = optimal_cost(&inst);
     let mut table = Table::new(
         "Policies vs. hindsight optimum",
         &["policy", "cost", "vs OPT", "transfers", "hits"],
@@ -193,11 +194,11 @@ pub fn generate(args: &ParsedArgs) -> Result<String, String> {
         Some(path) => {
             let p = Path::new(path);
             if path.ends_with(".json") {
-                mcc_workloads::trace::save_json(&inst, p).map_err(|e| e.to_string())?;
+                trace::save_json(&inst, p).map_err(|e| e.to_string())?;
             } else if path.ends_with(".csv") {
-                mcc_workloads::trace::save_csv(&inst, p).map_err(|e| e.to_string())?;
+                trace::save_csv(&inst, p).map_err(|e| e.to_string())?;
             } else {
-                mcc_workloads::trace::save_compact(&inst, p).map_err(|e| e.to_string())?;
+                trace::save_compact(&inst, p).map_err(|e| e.to_string())?;
             }
             Ok(format!(
                 "wrote {} requests from {} to {path}\n",
@@ -213,13 +214,15 @@ pub fn generate(args: &ParsedArgs) -> Result<String, String> {
 /// `mcc classic`: fixed-capacity policies (Belady/LRU/FIFO/LFU) priced
 /// under the trace's (μ, λ), against the dynamic optimum.
 pub fn classic(args: &ParsedArgs) -> Result<String, String> {
-    use mcc_classic::{classic_schedule, page_sequence, run_paging, Belady, Fifo, Lfu, Lru};
+    use mobile_cloud_cache::classic::{
+        classic_schedule, page_sequence, run_paging, Belady, Fifo, Lfu, Lru,
+    };
     let inst = load_instance(args)?;
     let k: usize = args.num_or("k", inst.servers().min(4))?;
     if k == 0 || k > inst.servers() {
         return Err(format!("--k must be in 1..={}", inst.servers()));
     }
-    let opt = mcc_core::offline::optimal_cost(&inst);
+    let opt = optimal_cost(&inst);
     let seq = page_sequence(&inst);
     let mut table = Table::new(
         format!("Classic policies at k = {k} (cloud-priced)"),
@@ -236,7 +239,7 @@ pub fn classic(args: &ParsedArgs) -> Result<String, String> {
             let mut policy = $p;
             let paging = run_paging(&mut policy, &seq, k);
             let sched = classic_schedule(&inst, &mut policy, k);
-            let cost = mcc_model::validate(&inst, &sched)
+            let cost = validate(&inst, &sched)
                 .map_err(|e| format!("internal error: bridged schedule invalid: {e:?}"))?
                 .total;
             table.row(&[
@@ -263,38 +266,104 @@ pub fn classic(args: &ParsedArgs) -> Result<String, String> {
 }
 
 /// `mcc sweep`: run every built-in policy over `--seeds` seeds of a
-/// workload family and report mean/worst ratios against the optimum.
+/// workload family through the unified [`sweep_with`] run pipeline and
+/// report mean/worst ratios against the optimum. `--threads` widens the
+/// sweep, `--crash-rate` injects a fault regime (policies run wrapped in
+/// the fault-tolerant layer), `--metrics FILE` exports the `metrics/1`
+/// JSON snapshot and `--metrics-report` appends the rendered text report.
 pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
     let workload = build_workload(args)?;
     let seeds: u64 = args.num_or("seeds", 10u64)?;
     if seeds == 0 {
         return Err("--seeds must be at least 1".into());
     }
+    let threads: usize = args.num_or("threads", 1usize)?;
+    let crash_rate: f64 = args.num_or("crash-rate", 0.0f64)?;
+    if !crash_rate.is_finite() || crash_rate < 0.0 {
+        return Err("--crash-rate must be a non-negative crash rate".into());
+    }
+    let faults = (crash_rate > 0.0).then(|| FaultSpec {
+        seed: args.num_or("seed", 0u64).unwrap_or(0),
+        crash_rate,
+        ..FaultSpec::default()
+    });
+
+    const SPECS: [&str; 4] = ["sc", "follow", "stay-at-origin", "keep-everywhere"];
+    // Factories must be infallible, so each spec is validated up front;
+    // the fallback inside the closure is unreachable after that check.
+    let factories: Vec<PolicyFactory> = SPECS
+        .iter()
+        .map(|spec| -> Result<PolicyFactory, String> {
+            build_policy(spec)?;
+            let spec = spec.to_string();
+            Ok(Box::new(move || {
+                build_policy(&spec).unwrap_or_else(|_| Box::new(SpeculativeCaching::paper()))
+            }))
+        })
+        .collect::<Result<_, _>>()?;
+    let cells: Vec<GridCell<'_>> = SPECS
+        .iter()
+        .zip(&factories)
+        .map(|(spec, f)| {
+            let cell = GridCell::new(*spec, f, workload.as_ref());
+            match faults {
+                Some(fs) => cell.with_faults(fs),
+                None => cell,
+            }
+        })
+        .collect();
+
+    let reg = Registry::new();
+    let cell_results = sweep_with(cells, 0..seeds, threads, &reg);
+
     let mut table = Table::new(
         format!("{} × {seeds} seeds", workload.name()),
         &["policy", "mean ratio", "worst ratio", "mean cost"],
     );
-    for spec in ["sc", "follow", "stay-at-origin", "keep-everywhere"] {
-        let mut ratios = mcc_analysis::Summary::new();
-        let mut costs = mcc_analysis::Summary::new();
-        for seed in 0..seeds {
-            let inst = workload.generate(seed);
-            let mut policy = build_policy(spec)?;
-            let run = run_policy(policy.as_mut(), &inst);
-            let opt = mcc_core::offline::optimal_cost(&inst);
-            if opt > 0.0 {
-                ratios.push(run.total_cost / opt);
+    for cr in &cell_results {
+        let mut ratios = Summary::new();
+        let mut costs = Summary::new();
+        for r in &cr.results {
+            if r.opt_cost > 0.0 {
+                ratios.push(r.online_cost / r.opt_cost);
             }
-            costs.push(run.total_cost);
+            costs.push(r.online_cost);
         }
         table.row(&[
-            spec.to_string(),
+            cr.policy_name.clone(),
             fnum(ratios.mean()),
             fnum(ratios.max()),
             fnum(costs.mean()),
         ]);
     }
-    Ok(table.to_markdown())
+    let mut out = table.to_markdown();
+
+    if faults.is_some() {
+        let _ = writeln!(out);
+        for cr in &cell_results {
+            let fs = cr.fault_stats();
+            let _ = writeln!(
+                out,
+                "{}: {} retries, {} failovers, {} copies lost, {} audit findings",
+                cr.policy_name,
+                fs.retries,
+                fs.failovers,
+                fs.copies_lost,
+                cr.total_audit_findings()
+            );
+        }
+    }
+    if let Some(path) = args.options.get("metrics") {
+        let doc = reg.snapshot().to_json();
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+        let _ = writeln!(out, "wrote metrics/1 snapshot to {path}");
+    }
+    if args.has_flag("metrics-report") {
+        out.push('\n');
+        out.push_str(&render_metrics(&reg.snapshot()));
+    }
+    Ok(out)
 }
 
 /// Builds the workload described by generate-style options.
@@ -484,6 +553,36 @@ mod tests {
         assert!(out.contains("markov(rho=0.9) × 3 seeds"), "{out}");
         assert!(run_line("sweep klingon").is_err());
         assert!(run_line("sweep poisson --seeds 0").is_err());
+    }
+
+    #[test]
+    fn sweep_exports_and_renders_metrics() {
+        let dir = std::env::temp_dir().join("mcc-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let line = format!(
+            "sweep poisson --servers 4 --requests 30 --seeds 2 --metrics {} --metrics-report",
+            path.display()
+        );
+        let out = run_line(&line).unwrap();
+        assert!(out.contains("wrote metrics/1 snapshot"), "{out}");
+        assert!(out.contains("== metrics/1 =="), "{out}");
+        assert!(out.contains("off-line solver"), "{out}");
+        assert!(out.contains("parallel sweep"), "{out}");
+        // The exported file is a valid metrics/1 document.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = mobile_cloud_cache::model::Json::parse(&text).unwrap();
+        mobile_cloud_cache::obs::snapshot::validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn sweep_injects_faults_and_scales_threads() {
+        let out = run_line(
+            "sweep poisson --servers 4 --requests 40 --seeds 3 --threads 2 --crash-rate 0.5",
+        )
+        .unwrap();
+        assert!(out.contains("audit findings"), "{out}");
+        assert!(run_line("sweep poisson --crash-rate -1").is_err());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!              [--seed N] [--out FILE]               workload → trace
 //! mcc info     <trace>                               instance statistics
 //! mcc classic  <trace> [--k N]                       fixed-k policies priced
-//! mcc sweep    <family> [--seeds N] [...generate opts] policy sweep table
+//! mcc sweep    <family> [--seeds N] [--threads N] [--crash-rate X]
+//!              [--metrics FILE] [--metrics-report]   policy sweep table
 //! ```
 //!
 //! `<trace>` is a `.json` trace file, a compact-format file, or an inline

@@ -26,6 +26,7 @@
 //! throwaway workspace.
 
 use mcc_model::{Instance, Prescan, Scalar, ServerLists};
+use mcc_obs::{Counter, Hist, Sink, Span};
 
 use super::naive::WindowPivots;
 use super::tables::{run_dp_into, DpSolution, PivotSource};
@@ -267,8 +268,29 @@ pub fn solve_fast_in<'w, S: Scalar>(
     inst: &Instance<S>,
     ws: &'w mut SolverWorkspace<S>,
 ) -> &'w DpSolution<S> {
-    ws.scan.recompute(inst);
-    ws.matrix.build_in(inst);
+    solve_fast_obs_in(inst, ws, mcc_obs::noop())
+}
+
+/// [`solve_fast_in`] with phase spans reported to `sink`: prescan,
+/// pointer-matrix build, and the DP pass each feed their nanosecond
+/// counter, and the whole solve lands in [`Hist::SolveNanos`]. Against
+/// the no-op sink no clock is ever read; the sink never changes what is
+/// computed.
+pub fn solve_fast_obs_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+    sink: &dyn Sink,
+) -> &'w DpSolution<S> {
+    let _solve = Span::with_hist(sink, Counter::SolveNanos, Hist::SolveNanos);
+    {
+        let _p = Span::start(sink, Counter::SolvePrescanNanos);
+        ws.scan.recompute(inst);
+    }
+    {
+        let _b = Span::start(sink, Counter::SolveMatrixBuildNanos);
+        ws.matrix.build_in(inst);
+    }
+    let _d = Span::start(sink, Counter::SolveDpNanos);
     let mut pivots = MatrixPivots { matrix: &ws.matrix };
     run_dp_into(inst, &ws.scan, &mut pivots, &mut ws.solution);
     &ws.solution
@@ -281,7 +303,22 @@ pub fn solve_naive_in<'w, S: Scalar>(
     inst: &Instance<S>,
     ws: &'w mut SolverWorkspace<S>,
 ) -> &'w DpSolution<S> {
-    ws.scan.recompute(inst);
+    solve_naive_obs_in(inst, ws, mcc_obs::noop())
+}
+
+/// [`solve_naive_in`] with phase spans reported to `sink` (prescan + DP;
+/// the windowed sweep builds no matrix).
+pub fn solve_naive_obs_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+    sink: &dyn Sink,
+) -> &'w DpSolution<S> {
+    let _solve = Span::with_hist(sink, Counter::SolveNanos, Hist::SolveNanos);
+    {
+        let _p = Span::start(sink, Counter::SolvePrescanNanos);
+        ws.scan.recompute(inst);
+    }
+    let _d = Span::start(sink, Counter::SolveDpNanos);
     let mut pivots = WindowPivots { p: &ws.scan.p };
     run_dp_into(inst, &ws.scan, &mut pivots, &mut ws.solution);
     &ws.solution
@@ -309,10 +346,25 @@ pub fn solve_auto_in<'w, S: Scalar>(
     inst: &Instance<S>,
     ws: &'w mut SolverWorkspace<S>,
 ) -> &'w DpSolution<S> {
+    solve_auto_obs_in(inst, ws, mcc_obs::noop())
+}
+
+/// [`solve_auto_in`] reporting the dispatch decision and phase timings
+/// to `sink` — the run pipeline's solver entry point. Counts each
+/// dispatch ([`Counter::SolveMatrixDispatches`] /
+/// [`Counter::SolveSweepDispatches`]) so a sweep's snapshot shows which
+/// side of the `n·m` crossover its instances landed on.
+pub fn solve_auto_obs_in<'w, S: Scalar>(
+    inst: &Instance<S>,
+    ws: &'w mut SolverWorkspace<S>,
+    sink: &dyn Sink,
+) -> &'w DpSolution<S> {
     if inst.n().saturating_mul(inst.servers()) <= AUTO_CROSSOVER_CELLS {
-        solve_fast_in(inst, ws)
+        sink.add(Counter::SolveMatrixDispatches, 1);
+        solve_fast_obs_in(inst, ws, sink)
     } else {
-        solve_naive_in(inst, ws)
+        sink.add(Counter::SolveSweepDispatches, 1);
+        solve_naive_obs_in(inst, ws, sink)
     }
 }
 

@@ -30,9 +30,9 @@ pub mod tables;
 pub use brute::{brute_force_cost, MAX_BRUTE_M, MAX_BRUTE_N};
 pub use capped::{capped_optimal_cost, MAX_CAPPED_M, MAX_CAPPED_N};
 pub use fast::{
-    solve_auto, solve_auto_in, solve_fast, solve_fast_compact, solve_fast_compact_in,
-    solve_fast_compact_with, solve_fast_in, solve_fast_with, solve_naive_in, SolverWorkspace,
-    AUTO_CROSSOVER_CELLS,
+    solve_auto, solve_auto_in, solve_auto_obs_in, solve_fast, solve_fast_compact,
+    solve_fast_compact_in, solve_fast_compact_with, solve_fast_in, solve_fast_obs_in,
+    solve_fast_with, solve_naive_in, solve_naive_obs_in, SolverWorkspace, AUTO_CROSSOVER_CELLS,
 };
 pub use naive::{solve_naive, solve_naive_with, solve_quadratic, solve_quadratic_with};
 pub use reconstruct::reconstruct;

@@ -1,0 +1,36 @@
+//! # mcc-obs — zero-overhead observability
+//!
+//! A lightweight metrics layer for the run pipeline: atomic counters,
+//! gauges, fixed-bucket histograms and span timers behind one [`Sink`]
+//! trait. The pipeline threads a `&dyn Sink` through every layer
+//! (off-line solver, online executor, fault layer, parallel sweep); the
+//! default [`NoopSink`] keeps every instrumentation point a single
+//! indirect call to an empty `#[inline]` body, so metrics-off runs stay
+//! allocation-free and within noise of uninstrumented code, and the
+//! live [`Registry`] is nothing but fixed arrays of `AtomicU64` — no
+//! locks, no heap traffic, safe to share across sweep workers.
+//!
+//! Design rules (DESIGN.md §9):
+//!
+//! * **Metrics never feed back.** Nothing in this crate is read by the
+//!   pipeline; sweep results are bit-identical with any sink.
+//! * **No allocation on the record path.** [`Registry`] pre-sizes all
+//!   storage at construction; [`Sink`] methods only `fetch_add`.
+//! * **Clock reads are gated.** Span timers call `Instant::now` only
+//!   when [`Sink::enabled`] says someone is listening.
+//! * **Snapshots are versioned.** [`Registry::snapshot`] produces a
+//!   [`MetricsSnapshot`] whose JSON form carries `"schema": "metrics/1"`
+//!   and round-trips through [`snapshot::validate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metric;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+
+pub use metric::{Counter, Gauge, Hist};
+pub use registry::Registry;
+pub use sink::{noop, NoopSink, Sink, Span};
+pub use snapshot::{HistSnapshot, MetricsSnapshot};

@@ -1,0 +1,230 @@
+//! Metric identifiers: every counter, gauge and histogram the pipeline
+//! can emit, as dense enums usable as array indices.
+//!
+//! The set is closed on purpose: a fixed universe lets [`crate::Registry`]
+//! pre-size flat atomic arrays (no map lookups, no allocation on the
+//! record path) and keeps the `metrics/1` snapshot schema stable — a new
+//! metric is an additive schema change, never a runtime surprise.
+
+/// Monotone counters, grouped by pipeline layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    // --- off-line solver ------------------------------------------------
+    /// `solve_auto_in` dispatches that took the pointer-matrix pass.
+    SolveMatrixDispatches,
+    /// `solve_auto_in` dispatches that took the windowed sweep.
+    SolveSweepDispatches,
+    /// Nanoseconds spent in the prescan phase (CSR build + bounds).
+    SolvePrescanNanos,
+    /// Nanoseconds spent building the successor pointer matrix.
+    SolveMatrixBuildNanos,
+    /// Nanoseconds spent in the DP recurrence itself.
+    SolveDpNanos,
+    /// Nanoseconds spent in whole off-line solves (all phases).
+    SolveNanos,
+    // --- online executor ------------------------------------------------
+    /// Completed policy runs.
+    Runs,
+    /// Requests served across all runs.
+    Requests,
+    /// Requests served by extending a live copy (no transfer issued).
+    Extensions,
+    /// Transfers issued by the online policy.
+    Transfers,
+    /// Caching cost (`μ` side: useful intervals + speculative tails), in
+    /// micro-cost units.
+    CachingCostMicros,
+    /// Transfer cost (`λ` side), in micro-cost units.
+    TransferCostMicros,
+    /// Auditor findings across all runs (`0` = every run clean).
+    AuditFindings,
+    // --- fault layer (folded from `FaultStats`) -------------------------
+    /// Failed transfer attempts that were retried.
+    FaultRetries,
+    /// Serves/transfers rerouted after the believed source was lost.
+    FaultFailovers,
+    /// Emergency re-replications and crash-time evacuations.
+    FaultEvacuations,
+    /// Live copies destroyed by crashes.
+    FaultCopiesLost,
+    /// Requests served by a remote read because the server was down.
+    FaultDownServes,
+    /// Transfers absorbed by an already-live destination replica.
+    FaultAdoptedReplicas,
+    /// Crash windows injected across all runs.
+    FaultCrashWindows,
+    /// `λ` surcharge paid for failed attempts, in micro-cost units.
+    FaultRetryCostMicros,
+    // --- parallel sweep -------------------------------------------------
+    /// Worker threads launched across all sweeps.
+    SweepWorkers,
+    /// Seed-units completed across all sweeps.
+    SweepUnits,
+    /// Chunk grabs off the atomic dispatcher.
+    SweepChunkGrabs,
+    /// Nanoseconds workers spent acquiring chunks from the dispatcher.
+    SweepDispatchWaitNanos,
+}
+
+/// Last-write / high-water gauges.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Worker threads of the most demanding sweep (high-water).
+    SweepThreads,
+    /// Seed-units of the largest sweep grid (high-water).
+    SweepGridUnits,
+    /// Hardware threads visible to the process.
+    HwThreads,
+}
+
+/// Fixed-bucket (power-of-two) histograms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wall time of one seed-unit, nanoseconds.
+    UnitNanos,
+    /// Wall time of one off-line solve, nanoseconds.
+    SolveNanos,
+    /// Seed-units one worker completed in one sweep.
+    WorkerUnits,
+    /// Per-run competitive ratio, in hundredths (`ratio × 100`).
+    RatioCenti,
+}
+
+impl Counter {
+    /// Number of counters (array sizing).
+    pub const COUNT: usize = Counter::SweepDispatchWaitNanos as usize + 1;
+
+    /// Every counter, in index order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::SolveMatrixDispatches,
+        Counter::SolveSweepDispatches,
+        Counter::SolvePrescanNanos,
+        Counter::SolveMatrixBuildNanos,
+        Counter::SolveDpNanos,
+        Counter::SolveNanos,
+        Counter::Runs,
+        Counter::Requests,
+        Counter::Extensions,
+        Counter::Transfers,
+        Counter::CachingCostMicros,
+        Counter::TransferCostMicros,
+        Counter::AuditFindings,
+        Counter::FaultRetries,
+        Counter::FaultFailovers,
+        Counter::FaultEvacuations,
+        Counter::FaultCopiesLost,
+        Counter::FaultDownServes,
+        Counter::FaultAdoptedReplicas,
+        Counter::FaultCrashWindows,
+        Counter::FaultRetryCostMicros,
+        Counter::SweepWorkers,
+        Counter::SweepUnits,
+        Counter::SweepChunkGrabs,
+        Counter::SweepDispatchWaitNanos,
+    ];
+
+    /// Stable snake_case snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SolveMatrixDispatches => "solve_matrix_dispatches",
+            Counter::SolveSweepDispatches => "solve_sweep_dispatches",
+            Counter::SolvePrescanNanos => "solve_prescan_nanos",
+            Counter::SolveMatrixBuildNanos => "solve_matrix_build_nanos",
+            Counter::SolveDpNanos => "solve_dp_nanos",
+            Counter::SolveNanos => "solve_total_nanos",
+            Counter::Runs => "runs",
+            Counter::Requests => "requests",
+            Counter::Extensions => "extensions",
+            Counter::Transfers => "transfers",
+            Counter::CachingCostMicros => "caching_cost_micros",
+            Counter::TransferCostMicros => "transfer_cost_micros",
+            Counter::AuditFindings => "audit_findings",
+            Counter::FaultRetries => "fault_retries",
+            Counter::FaultFailovers => "fault_failovers",
+            Counter::FaultEvacuations => "fault_evacuations",
+            Counter::FaultCopiesLost => "fault_copies_lost",
+            Counter::FaultDownServes => "fault_down_serves",
+            Counter::FaultAdoptedReplicas => "fault_adopted_replicas",
+            Counter::FaultCrashWindows => "fault_crash_windows",
+            Counter::FaultRetryCostMicros => "fault_retry_cost_micros",
+            Counter::SweepWorkers => "sweep_workers",
+            Counter::SweepUnits => "sweep_units",
+            Counter::SweepChunkGrabs => "sweep_chunk_grabs",
+            Counter::SweepDispatchWaitNanos => "sweep_dispatch_wait_nanos",
+        }
+    }
+}
+
+impl Gauge {
+    /// Number of gauges (array sizing).
+    pub const COUNT: usize = Gauge::HwThreads as usize + 1;
+
+    /// Every gauge, in index order.
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::SweepThreads, Gauge::SweepGridUnits, Gauge::HwThreads];
+
+    /// Stable snake_case snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::SweepThreads => "sweep_threads",
+            Gauge::SweepGridUnits => "sweep_grid_units",
+            Gauge::HwThreads => "hw_threads",
+        }
+    }
+}
+
+impl Hist {
+    /// Number of histograms (array sizing).
+    pub const COUNT: usize = Hist::RatioCenti as usize + 1;
+
+    /// Every histogram, in index order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::UnitNanos,
+        Hist::SolveNanos,
+        Hist::WorkerUnits,
+        Hist::RatioCenti,
+    ];
+
+    /// Stable snake_case snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::UnitNanos => "unit_nanos",
+            Hist::SolveNanos => "solve_nanos",
+            Hist::WorkerUnits => "worker_units",
+            Hist::RatioCenti => "ratio_centi",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_lists_are_dense_and_in_index_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: BTreeSet<&str> = Counter::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(Gauge::ALL.iter().map(|g| g.name()))
+            .chain(Hist::ALL.iter().map(|h| h.name()))
+            .collect();
+        assert_eq!(names.len(), Counter::COUNT + Gauge::COUNT + Hist::COUNT);
+    }
+}

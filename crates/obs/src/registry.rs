@@ -1,0 +1,194 @@
+//! The live sink: flat arrays of atomics, one slot per metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metric::{Counter, Gauge, Hist};
+use crate::sink::Sink;
+use crate::snapshot::{HistSnapshot, MetricsSnapshot};
+
+/// Buckets per histogram: bucket `i` counts values in `[2^(i-1), 2^i)`
+/// (bucket 0 holds `0` and `1`); the last bucket absorbs the tail.
+pub const HIST_BUCKETS: usize = 32;
+
+/// One fixed-bucket histogram: power-of-two buckets plus count and sum.
+struct HistCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCells {
+    const fn new() -> Self {
+        HistCells {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: `⌈log₂ v⌉` clamped to the bucket range.
+fn bucket_of(v: u64) -> usize {
+    let bits = 64 - v.saturating_sub(1).leading_zeros() as usize;
+    bits.min(HIST_BUCKETS - 1)
+}
+
+/// The live metrics store: relaxed atomic counters, high-water gauges
+/// and fixed-bucket histograms. Pre-sized at construction; recording
+/// never allocates, never locks, and is safe to share (`&Registry`)
+/// across sweep workers.
+///
+/// Relaxed ordering is enough: metrics are monotone tallies read only
+/// after the sweep's thread joins (which are full barriers), so no
+/// cross-metric ordering is ever observed mid-flight.
+pub struct Registry {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    hists: [HistCells; Hist::COUNT],
+}
+
+impl Registry {
+    /// A fresh all-zero registry.
+    pub const fn new() -> Self {
+        Registry {
+            counters: [const { AtomicU64::new(0) }; Counter::COUNT],
+            gauges: [const { AtomicU64::new(0) }; Gauge::COUNT],
+            hists: [const { HistCells::new() }; Hist::COUNT],
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current values into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.name(), self.counter(c)))
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|&g| (g.name(), self.gauges[g as usize].load(Ordering::Relaxed)))
+                .collect(),
+            hists: Hist::ALL
+                .iter()
+                .map(|&h| {
+                    let cells = &self.hists[h as usize];
+                    HistSnapshot {
+                        name: h.name(),
+                        count: cells.count.load(Ordering::Relaxed),
+                        sum: cells.sum.load(Ordering::Relaxed),
+                        buckets: cells
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Sink for Registry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_cost(&self, c: Counter, cost: f64) {
+        // `as` saturates on overflow and maps NaN to 0 — a hostile cost
+        // can't wrap the counter.
+        self.add(c, (cost.max(0.0) * 1e6) as u64);
+    }
+
+    #[inline]
+    fn gauge_max(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, h: Hist, v: u64) {
+        let cells = &self.hists[h as usize];
+        cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1 << 20), 20);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_gauges_and_hists_record() {
+        let reg = Registry::new();
+        reg.add(Counter::Runs, 2);
+        reg.add(Counter::Runs, 3);
+        reg.add_cost(Counter::CachingCostMicros, 1.25);
+        reg.gauge_max(Gauge::SweepThreads, 4);
+        reg.gauge_max(Gauge::SweepThreads, 2); // high-water keeps 4
+        reg.observe(Hist::WorkerUnits, 7);
+        reg.observe(Hist::WorkerUnits, 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::Runs), 5);
+        assert_eq!(snap.counter(Counter::CachingCostMicros), 1_250_000);
+        assert_eq!(snap.gauge(Gauge::SweepThreads), 4);
+        let h = snap.hist(Hist::WorkerUnits);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 16);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn hostile_costs_cannot_wrap() {
+        let reg = Registry::new();
+        reg.add_cost(Counter::CachingCostMicros, f64::NAN);
+        reg.add_cost(Counter::CachingCostMicros, f64::INFINITY);
+        reg.add_cost(Counter::CachingCostMicros, -5.0);
+        let v = reg.counter(Counter::CachingCostMicros);
+        assert_eq!(v, u64::MAX, "infinity saturates, NaN and negatives add 0");
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add(Counter::SweepUnits, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter(Counter::SweepUnits), 4000);
+    }
+}

@@ -1,0 +1,276 @@
+//! The versioned `metrics/1` snapshot: a frozen view of a registry,
+//! exportable as JSON (`mcc --metrics out.json`) and renderable as a
+//! text report by `mcc-analysis`.
+
+use mcc_model::Json;
+
+use crate::metric::{Counter, Gauge, Hist};
+
+/// Frozen values of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Stable snapshot key.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts (bucket `i` covers `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean observed value (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A frozen view of every metric, in stable declaration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// One frozen histogram per [`Hist`].
+    pub hists: Vec<HistSnapshot>,
+}
+
+/// Clamp for JSON export: `mcc_model::Json` integers are `i64`.
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].1
+    }
+
+    /// Value of one gauge.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize].1
+    }
+
+    /// One histogram's frozen cells.
+    pub fn hist(&self, h: Hist) -> &HistSnapshot {
+        &self.hists[h as usize]
+    }
+
+    /// The versioned JSON document (`"schema": "metrics/1"`). Counter
+    /// and gauge order is the stable declaration order; histograms drop
+    /// trailing empty buckets to keep snapshots diffable.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|&(name, v)| (name.to_string(), int(v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|&(name, v)| (name.to_string(), int(v)))
+                .collect(),
+        );
+        let hists = Json::Obj(
+            self.hists
+                .iter()
+                .map(|h| {
+                    let trimmed = h
+                        .buckets
+                        .iter()
+                        .rposition(|&b| b > 0)
+                        .map_or(&h.buckets[..0], |last| &h.buckets[..=last]);
+                    (
+                        h.name.to_string(),
+                        Json::Obj(vec![
+                            ("count".into(), int(h.count)),
+                            ("sum".into(), int(h.sum)),
+                            (
+                                "buckets".into(),
+                                Json::Arr(trimmed.iter().map(|&b| int(b)).collect()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("metrics/1".into())),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), hists),
+        ])
+    }
+}
+
+/// Validates the documented shape of a `metrics/1` document; returns the
+/// error description on mismatch.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("metrics/1") {
+        return Err("schema must be \"metrics/1\"".into());
+    }
+    for section in ["counters", "gauges"] {
+        let obj = match doc.get(section) {
+            Some(Json::Obj(fields)) => fields,
+            _ => return Err(format!("{section} must be an object")),
+        };
+        for (name, v) in obj {
+            if v.as_i64().filter(|&v| v >= 0).is_none() {
+                return Err(format!("{section}.{name} must be a non-negative integer"));
+            }
+        }
+    }
+    // Every declared counter and gauge must be present (additive schema:
+    // extra keys are fine, missing ones are not).
+    for c in Counter::ALL {
+        if doc.get("counters").and_then(|o| o.get(c.name())).is_none() {
+            return Err(format!("counters.{} missing", c.name()));
+        }
+    }
+    for g in Gauge::ALL {
+        if doc.get("gauges").and_then(|o| o.get(g.name())).is_none() {
+            return Err(format!("gauges.{} missing", g.name()));
+        }
+    }
+    let hists = match doc.get("histograms") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("histograms must be an object".into()),
+    };
+    for h in Hist::ALL {
+        let entry = hists
+            .iter()
+            .find(|(k, _)| k == h.name())
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("histograms.{} missing", h.name()))?;
+        let count = entry
+            .get("count")
+            .and_then(Json::as_i64)
+            .filter(|&v| v >= 0)
+            .ok_or_else(|| {
+                format!(
+                    "histograms.{}.count must be a non-negative integer",
+                    h.name()
+                )
+            })?;
+        if entry
+            .get("sum")
+            .and_then(Json::as_i64)
+            .filter(|&v| v >= 0)
+            .is_none()
+        {
+            return Err(format!(
+                "histograms.{}.sum must be a non-negative integer",
+                h.name()
+            ));
+        }
+        let buckets = entry
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("histograms.{}.buckets must be an array", h.name()))?;
+        let mut total: i64 = 0;
+        for b in buckets {
+            let v = b.as_i64().filter(|&v| v >= 0).ok_or_else(|| {
+                format!(
+                    "histograms.{}.buckets must hold non-negative integers",
+                    h.name()
+                )
+            })?;
+            total = total.saturating_add(v);
+        }
+        if total != count {
+            return Err(format!(
+                "histograms.{}: bucket total {total} != count {count}",
+                h.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+    use crate::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.add(Counter::Runs, 3);
+        reg.add(Counter::Transfers, 7);
+        reg.gauge_max(Gauge::SweepThreads, 2);
+        reg.observe(Hist::UnitNanos, 1000);
+        reg.observe(Hist::UnitNanos, 2000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_validates_and_round_trips() {
+        let doc = sample().to_json();
+        validate(&doc).unwrap();
+        let reparsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(reparsed.to_string_compact(), doc.to_string_compact());
+        validate(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate(&Json::Null).is_err());
+        let mut doc = sample().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("metrics/0".into());
+        }
+        assert!(validate(&doc).is_err(), "wrong schema version");
+
+        let mut doc = sample().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "histograms");
+        }
+        assert!(validate(&doc).is_err(), "missing histograms");
+
+        let mut doc = sample().to_json();
+        if let Some(Json::Obj(counters)) = match &mut doc {
+            Json::Obj(fields) => fields
+                .iter_mut()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            counters.retain(|(k, _)| k != "runs");
+        }
+        assert!(validate(&doc).is_err(), "missing declared counter");
+    }
+
+    #[test]
+    fn validate_cross_checks_bucket_totals() {
+        let mut doc = sample().to_json();
+        if let Some(Json::Obj(hists)) = match &mut doc {
+            Json::Obj(fields) => fields
+                .iter_mut()
+                .find(|(k, _)| k == "histograms")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Some((_, Json::Obj(h))) = hists.iter_mut().find(|(k, _)| k == "unit_nanos") {
+                if let Some((_, v)) = h.iter_mut().find(|(k, _)| k == "count") {
+                    *v = Json::Int(99);
+                }
+            }
+        }
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn hist_mean_handles_empty() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(snap.hist(Hist::UnitNanos).mean(), 0.0);
+        let s = sample();
+        assert!((s.hist(Hist::UnitNanos).mean() - 1500.0).abs() < 1e-9);
+    }
+}

@@ -41,13 +41,17 @@ pub use error::SimError;
 pub use event::EventQueue;
 pub use fault::{FaultSpec, PlanScratch};
 pub use metrics::{Breakdown, CopyTimeline, FaultBreakdown};
-pub use parallel::{sweep, CellResult, GridCell};
+pub use parallel::{sweep, sweep_with, CellResult, GridCell};
 pub use planned::{
     execute_plan, execute_plan_under_faults, plan_and_execute, FaultyPlannedOutcome, PlannedOutcome,
 };
 pub use runner::{
-    factory, run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, run_seed_faulty_in,
-    run_seed_in, run_seed_oblivious_in, run_unit_faulty_in, run_unit_in, run_unit_oblivious_in,
-    FaultOutcome, PolicyFactory, RunWorkspace, SeedResult,
+    factory, fold_fault_stats, FaultOutcome, PolicyFactory, RunMode, RunPolicy, RunRequest,
+    RunWorkspace, SeedResult,
+};
+#[allow(deprecated)]
+pub use runner::{
+    run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, run_seed_faulty_in, run_seed_in,
+    run_seed_oblivious_in, run_unit_faulty_in, run_unit_in, run_unit_oblivious_in,
 };
 pub use streaming::{AuditScratch, StreamingAuditor};

@@ -24,7 +24,8 @@
 //!   shards are scattered into grid order. No mutex, no slot sharing,
 //!   no write ever crosses a thread while the sweep runs.
 //! * **Zero steady-state allocation.** Each worker reuses one
-//!   [`RunWorkspace`] (instance generation included, via
+//!   [`RunWorkspace`](crate::RunWorkspace) (instance generation
+//!   included, via
 //!   [`mcc_workloads::Workload::generate_into`]) and keeps the current
 //!   cell's policy instance alive across consecutive units of the same
 //!   cell (the executor resets it per run), so the global allocator —
@@ -39,14 +40,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
 
-use mcc_core::online::{FaultPlan, FaultTolerant, OnlinePolicy};
+use mcc_core::online::FaultStats;
+use mcc_obs::{Counter, Gauge, Hist, Sink};
 use mcc_workloads::Workload;
 
 use crate::fault::FaultSpec;
-use crate::runner::{
-    run_unit_faulty_in, run_unit_in, run_unit_oblivious_in, PolicyFactory, RunWorkspace, SeedResult,
-};
+use crate::runner::{fold_fault_stats, PolicyFactory, RunMode, RunPolicy, RunRequest, SeedResult};
 
 /// A named cell of the sweep grid.
 pub struct GridCell<'a> {
@@ -99,26 +100,12 @@ impl CellResult {
     pub fn total_audit_findings(&self) -> usize {
         self.results.iter().map(|r| r.audit_findings).sum()
     }
-}
 
-/// The policy state a worker keeps alive for the cell it is currently
-/// working through. Rebuilt whenever the worker's chunk crosses into a
-/// different cell; reused (and reset by the executor) across consecutive
-/// seeds of the same cell, so steady-state units skip the per-unit
-/// factory call and its boxed allocation.
-enum CellPolicy {
-    /// Healthy cell, or a fault cell run oblivious.
-    Plain(Box<dyn OnlinePolicy<f64>>),
-    /// Fault cell run behind the fault-tolerant wrapper.
-    Tolerant(FaultTolerant<Box<dyn OnlinePolicy<f64>>>),
-}
-
-fn cell_policy(cell: &GridCell<'_>) -> CellPolicy {
-    match &cell.faults {
-        Some(spec) if spec.tolerant => {
-            CellPolicy::Tolerant(FaultTolerant::new((cell.policy)(), FaultPlan::none()))
-        }
-        _ => CellPolicy::Plain((cell.policy)()),
+    /// The cell's fault counters folded into one [`FaultStats`], with
+    /// saturating integer arithmetic (a grid-scale fold must pin at
+    /// `usize::MAX` rather than wrap). All zeros for fault-free cells.
+    pub fn fault_stats(&self) -> FaultStats {
+        fold_fault_stats(&self.results)
     }
 }
 
@@ -129,52 +116,53 @@ fn chunk_size(units: usize, threads: usize) -> usize {
 }
 
 /// One worker: grabs chunks off the shared counter until the grid is
-/// exhausted, returning its privately owned result shard.
+/// exhausted, returning its privately owned result shard. Each worker
+/// drives one [`RunRequest`] (workspace + sink wiring) across every unit
+/// it runs, switching [`RunMode`] and rebuilding the policy only when a
+/// chunk crosses into a different cell.
 fn worker_shard(
     cells: &[GridCell<'_>],
     seeds: &[u64],
     units: usize,
     chunk: usize,
     next: &AtomicUsize,
+    sink: &dyn Sink,
 ) -> Vec<(usize, SeedResult)> {
-    let mut ws = RunWorkspace::new();
+    sink.add(Counter::SweepWorkers, 1);
+    let mut req = RunRequest::new(RunMode::Plain).with_sink(sink);
     let mut shard: Vec<(usize, SeedResult)> = Vec::new();
-    let mut current: Option<(usize, CellPolicy)> = None;
+    let mut current: Option<(usize, RunPolicy)> = None;
+    let mut done: u64 = 0;
     loop {
+        let t0 = sink.enabled().then(Instant::now);
         let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            sink.add(
+                Counter::SweepDispatchWaitNanos,
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         if start >= units {
             break;
         }
+        sink.add(Counter::SweepChunkGrabs, 1);
         for unit in start..(start + chunk).min(units) {
             let cell_idx = unit / seeds.len();
             let seed = seeds[unit % seeds.len()];
             let cell = &cells[cell_idx];
             let stale = !matches!(&current, Some((idx, _)) if *idx == cell_idx);
             if stale {
-                current = Some((cell_idx, cell_policy(cell)));
+                req.set_mode(RunMode::from_faults(cell.faults));
+                current = Some((cell_idx, req.policy(cell.policy)));
             }
             if let Some((_, policy)) = current.as_mut() {
-                let result = match (policy, &cell.faults) {
-                    (CellPolicy::Tolerant(wrapped), Some(spec)) => {
-                        run_unit_faulty_in(wrapped, spec, cell.workload, seed, &mut ws)
-                    }
-                    (CellPolicy::Plain(plain), Some(spec)) => {
-                        run_unit_oblivious_in(plain.as_mut(), spec, cell.workload, seed, &mut ws)
-                    }
-                    (CellPolicy::Plain(plain), None) => {
-                        run_unit_in(plain.as_mut(), cell.workload, seed, &mut ws)
-                    }
-                    // Unreachable by construction (`cell_policy` only
-                    // builds the wrapper for tolerant fault cells); run
-                    // the wrapper plainly rather than panic.
-                    (CellPolicy::Tolerant(wrapped), None) => {
-                        run_unit_in(wrapped, cell.workload, seed, &mut ws)
-                    }
-                };
-                shard.push((unit, result));
+                shard.push((unit, req.run_unit(policy, cell.workload, seed)));
+                done += 1;
             }
         }
     }
+    sink.add(Counter::SweepUnits, done);
+    sink.observe(Hist::WorkerUnits, done);
     shard
 }
 
@@ -187,6 +175,21 @@ pub fn sweep(
     cells: Vec<GridCell<'_>>,
     seeds: std::ops::Range<u64>,
     threads: usize,
+) -> Vec<CellResult> {
+    sweep_with(cells, seeds, threads, mcc_obs::noop())
+}
+
+/// [`sweep`] with a metrics sink shared by every worker: worker and unit
+/// counts, chunk-dispatch waits and per-worker unit histograms land in
+/// `sink` alongside the solver/run/fault counters each unit records.
+/// Metrics never feed back — results stay bit-identical to [`sweep`]'s,
+/// whatever the thread count (the determinism test covers the live-sink
+/// path too).
+pub fn sweep_with(
+    cells: Vec<GridCell<'_>>,
+    seeds: std::ops::Range<u64>,
+    threads: usize,
+    sink: &dyn Sink,
 ) -> Vec<CellResult> {
     let seed_list: Vec<u64> = seeds.collect();
     let n_seeds = seed_list.len();
@@ -204,6 +207,12 @@ pub fn sweep(
             .collect();
     }
     let threads = effective_threads(threads, units);
+    sink.gauge_max(Gauge::SweepThreads, threads as u64);
+    sink.gauge_max(Gauge::SweepGridUnits, units as u64);
+    sink.gauge_max(
+        Gauge::HwThreads,
+        std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
+    );
     let chunk = chunk_size(units, threads);
     let next = AtomicUsize::new(0);
     let next_ref = &next;
@@ -214,7 +223,9 @@ pub fn sweep(
     // join handle — no shared result storage, no locks.
     let shards: Vec<Vec<(usize, SeedResult)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| scope.spawn(move || worker_shard(cells_ref, seed_ref, units, chunk, next_ref)))
+            .map(|_| {
+                scope.spawn(move || worker_shard(cells_ref, seed_ref, units, chunk, next_ref, sink))
+            })
             .collect();
         handles
             .into_iter()
@@ -321,6 +332,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sweep_with_live_sink_is_bit_identical_and_accounts_units() {
+        use mcc_obs::Registry;
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let follow = factory(Follow::new());
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
+        let silent = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 2);
+        let reg = Registry::new();
+        let observed = sweep_with(grid(&sc, &follow, &w1, &w2), 0..4, 2, &reg);
+        for (a, b) in silent.iter().zip(&observed) {
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.online_cost, y.online_cost, "metrics must never feed back");
+                assert_eq!(x.opt_cost, y.opt_cost);
+                assert_eq!(x.audit_findings, y.audit_findings);
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::SweepUnits), 24);
+        assert_eq!(snap.counter(Counter::Runs), 24);
+        assert!(snap.counter(Counter::SweepWorkers) >= 1);
+        assert!(snap.counter(Counter::SweepChunkGrabs) >= 1);
+        assert_eq!(snap.gauge(Gauge::SweepThreads), 2);
+        assert_eq!(snap.gauge(Gauge::SweepGridUnits), 24);
+        assert_eq!(snap.hist(Hist::WorkerUnits).sum, 24);
+        assert_eq!(snap.hist(Hist::UnitNanos).count, 24);
+    }
+
+    #[test]
+    fn cell_fault_stats_fold_matches_manual_sum() {
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let follow = factory(Follow::new());
+        let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let w2 = ZipfWorkload::new(CommonParams::small().with_size(2, 12), 1.0, 1.2);
+        let out = sweep(grid(&sc, &follow, &w1, &w2), 0..4, 2);
+        // Healthy cells fold to all-zero stats.
+        assert_eq!(
+            out[0].fault_stats(),
+            mcc_core::online::FaultStats::default()
+        );
+        // The wrapped fault cell's fold matches a manual field-by-field sum.
+        let folded = out[4].fault_stats();
+        let manual: usize = out[4]
+            .results
+            .iter()
+            .filter_map(|r| r.fault.as_ref())
+            .map(|fo| fo.stats.retries)
+            .sum();
+        assert_eq!(folded.retries, manual);
     }
 
     #[test]

@@ -1,26 +1,41 @@
 //! One experiment cell: a policy set against a workload across seeds.
 //!
+//! The run pipeline has a single front door: [`RunRequest`]. A request
+//! owns the workspace buffers, the audit mode, the fault wiring and the
+//! metrics [`Sink`] in one place, and a [`RunMode`] picks the regime —
+//! [`RunMode::Plain`] (healthy cluster), [`RunMode::Faulty`] (faults
+//! injected, policy wrapped in the fault-tolerant layer) or
+//! [`RunMode::Oblivious`] (faults injected, policy unaware; only the
+//! audit sees the plan). The pre-request entry points (`run_seed_in`,
+//! `run_unit_in`, `run_cell_in` and friends) survive as deprecated
+//! wrappers over the same cores.
+//!
 //! Every run is audited before its result is returned — feasibility
 //! checking is not an opt-in debug mode but part of the measurement
 //! itself, and the per-seed finding count rides along in [`SeedResult`].
 //! The audit happens in-stream ([`StreamingAuditor`], one chronological
-//! pass over the raw run record); [`RunWorkspace::exhaustive`] switches a
-//! cell to the materializing [`ScheduleAuditor`] replay, the slower
-//! arbiter the streaming pass is property-tested against. Fault-injected
-//! cells additionally expand a [`FaultSpec`] into a per-seed
-//! [`FaultPlan`] and (optionally) wrap the policy in the fault-tolerant
-//! layer.
+//! pass over the raw run record); [`RunRequest::with_exhaustive_audit`]
+//! switches a request to the materializing [`ScheduleAuditor`] replay,
+//! the slower arbiter the streaming pass is property-tested against.
+//! Fault-injected modes expand a [`FaultSpec`] into a per-seed
+//! [`FaultPlan`] and (for [`RunMode::Faulty`]) wrap the policy in the
+//! fault-tolerant layer.
 //!
-//! The steady-state seed unit ([`run_seed_in`] and friends) is
-//! allocation-free: policy run, off-line optimum, fault expansion and
-//! audit all work inside the caller's [`RunWorkspace`] buffers
-//! (enforced by `tests/alloc_free.rs`).
+//! The steady-state seed unit ([`RunRequest::run_unit`]) is
+//! allocation-free: policy run, off-line optimum, fault expansion, audit
+//! and metrics recording all work inside the request's [`RunWorkspace`]
+//! buffers and the sink's preallocated cells (enforced by
+//! `tests/alloc_free.rs`, including with a live
+//! [`mcc_obs::Registry`] attached). Metrics never feed back into the
+//! measurement: a request with a live sink produces bit-identical
+//! [`SeedResult`]s to one without.
 
-use mcc_core::offline::{solve_auto_in, SolverWorkspace};
+use mcc_core::offline::{solve_auto_obs_in, SolverWorkspace};
 use mcc_core::online::{
     run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, RunRecord, Runtime,
 };
 use mcc_model::Instance;
+use mcc_obs::{Counter, Hist, Sink};
 use mcc_workloads::{InstanceBuf, Workload};
 
 use crate::audit::ScheduleAuditor;
@@ -102,6 +117,183 @@ impl Default for RunWorkspace {
     }
 }
 
+/// The fault regime of a [`RunRequest`].
+///
+/// The mode — not the spec's `tolerant` flag — decides whether the policy
+/// runs wrapped: [`RunMode::from_faults`] is the canonical mapping from a
+/// cell's `Option<FaultSpec>`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum RunMode {
+    /// Healthy cluster, no fault plan at all.
+    Plain,
+    /// Faults injected and the policy wrapped in [`FaultTolerant`]; the
+    /// wrapper's retry surcharge is folded into `online_cost`.
+    Faulty(FaultSpec),
+    /// Faults injected but the policy runs unaware; only the audit sees
+    /// the plan and reports every violation the faults induce.
+    Oblivious(FaultSpec),
+}
+
+impl RunMode {
+    /// The canonical mode for a grid cell's fault column: `None` runs
+    /// plain, a tolerant spec runs wrapped, a non-tolerant spec runs
+    /// oblivious.
+    pub fn from_faults(faults: Option<FaultSpec>) -> RunMode {
+        match faults {
+            None => RunMode::Plain,
+            Some(spec) if spec.tolerant => RunMode::Faulty(spec),
+            Some(spec) => RunMode::Oblivious(spec),
+        }
+    }
+
+    /// The fault spec, if this mode injects faults.
+    pub fn faults(&self) -> Option<&FaultSpec> {
+        match self {
+            RunMode::Plain => None,
+            RunMode::Faulty(spec) | RunMode::Oblivious(spec) => Some(spec),
+        }
+    }
+}
+
+/// A policy instance shaped for a [`RunMode`]: plain, or behind the
+/// fault-tolerant wrapper. Build one with [`RunRequest::policy`] and
+/// reuse it across the seeds of a cell (the executor resets it per run);
+/// rebuild it when the mode changes cells.
+pub enum RunPolicy {
+    /// Healthy cell, or a fault cell run oblivious.
+    Plain(Box<dyn OnlinePolicy<f64>>),
+    /// Fault cell run behind the fault-tolerant wrapper.
+    Tolerant(FaultTolerant<Box<dyn OnlinePolicy<f64>>>),
+}
+
+/// The run pipeline's single front door: one value owns the workspace,
+/// the audit mode, the fault wiring and the metrics sink, and every
+/// granularity of work — seed, unit, cell — goes through it.
+///
+/// ```
+/// use mcc_simnet::{factory, RunMode, RunRequest};
+/// use mcc_core::online::SpeculativeCaching;
+/// use mcc_workloads::{CommonParams, PoissonWorkload};
+///
+/// let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+/// let f = factory(SpeculativeCaching::paper());
+/// let mut req = RunRequest::new(RunMode::Plain);
+/// let results = req.run_cell(&f, &w, 0..5);
+/// assert_eq!(results.len(), 5);
+/// ```
+///
+/// Attach a live [`mcc_obs::Registry`] with [`RunRequest::with_sink`] to
+/// collect counters, phase timings and histograms; the default sink is
+/// the no-op, which skips every clock read. Metrics never alter results.
+pub struct RunRequest<'s> {
+    mode: RunMode,
+    ws: RunWorkspace,
+    sink: &'s dyn Sink,
+}
+
+impl RunRequest<'static> {
+    /// A request in `mode` with a fresh streaming-audit workspace and the
+    /// no-op sink.
+    pub fn new(mode: RunMode) -> Self {
+        RunRequest {
+            mode,
+            ws: RunWorkspace::new(),
+            sink: mcc_obs::noop(),
+        }
+    }
+}
+
+impl<'s> RunRequest<'s> {
+    /// Attaches a metrics sink (e.g. a live [`mcc_obs::Registry`]).
+    #[must_use]
+    pub fn with_sink<'t>(self, sink: &'t dyn Sink) -> RunRequest<'t> {
+        RunRequest {
+            mode: self.mode,
+            ws: self.ws,
+            sink,
+        }
+    }
+
+    /// Audits with the exhaustive [`ScheduleAuditor`] replay instead of
+    /// the streaming pass (debug arbiter; slower, allocates per seed).
+    #[must_use]
+    pub fn with_exhaustive_audit(mut self) -> Self {
+        self.ws.run.exhaustive = true;
+        self
+    }
+
+    /// Replaces the request's workspace (e.g. to hand a warm one over).
+    #[must_use]
+    pub fn with_workspace(mut self, ws: RunWorkspace) -> Self {
+        self.ws = ws;
+        self
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// Switches mode in place, keeping the warm workspace and sink — the
+    /// parallel sweep does this when a worker's chunk crosses cells.
+    pub fn set_mode(&mut self, mode: RunMode) {
+        self.mode = mode;
+    }
+
+    /// The attached sink.
+    pub fn sink(&self) -> &'s dyn Sink {
+        self.sink
+    }
+
+    /// Recovers the workspace (warm buffers survive the request).
+    pub fn into_workspace(self) -> RunWorkspace {
+        self.ws
+    }
+
+    /// A fresh policy instance shaped for the current mode: wrapped in
+    /// [`FaultTolerant`] under [`RunMode::Faulty`], plain otherwise.
+    pub fn policy(&self, factory: &PolicyFactory) -> RunPolicy {
+        policy_for(self.mode, factory)
+    }
+
+    /// One seed measurement on a pre-generated instance (the
+    /// steady-state body of [`RunRequest::run_unit`], exposed so callers
+    /// with their own instances can skip the generator).
+    pub fn run_seed(
+        &mut self,
+        policy: &mut RunPolicy,
+        seed: u64,
+        inst: &Instance<f64>,
+    ) -> SeedResult {
+        dispatch(self.mode, policy, seed, inst, &mut self.ws.run, self.sink)
+    }
+
+    /// One whole unit — instance generation *and* measurement — in the
+    /// request's workspace. With a warm workspace (and a generator with
+    /// an in-place fill path) the unit performs zero heap allocations,
+    /// live sink included.
+    pub fn run_unit(
+        &mut self,
+        policy: &mut RunPolicy,
+        workload: &dyn Workload,
+        seed: u64,
+    ) -> SeedResult {
+        unit_core(self.mode, policy, workload, seed, &mut self.ws, self.sink)
+    }
+
+    /// Measures `factory()` against `workload` over `seeds`: one policy
+    /// instance, reset by the executor per run; one [`SeedResult`] per
+    /// seed, seed-ascending.
+    pub fn run_cell(
+        &mut self,
+        factory: &PolicyFactory,
+        workload: &dyn Workload,
+        seeds: std::ops::Range<u64>,
+    ) -> Vec<SeedResult> {
+        cell_core(self.mode, factory, workload, seeds, &mut self.ws, self.sink)
+    }
+}
+
 /// What fault injection did to one seed's run.
 #[derive(Clone, Debug)]
 pub struct FaultOutcome {
@@ -133,6 +325,33 @@ pub struct SeedResult {
     pub audit_findings: usize,
     /// Fault-injection outcome (`None` for fault-free cells).
     pub fault: Option<FaultOutcome>,
+}
+
+/// Folds the fault counters of a result slice into one [`FaultStats`]
+/// with *saturating* integer arithmetic — a grid-scale fold across many
+/// seeds must pin at `usize::MAX` rather than wrap (debug builds would
+/// panic, release builds would silently report a tiny count). Fault-free
+/// results contribute nothing.
+pub fn fold_fault_stats(results: &[SeedResult]) -> FaultStats {
+    let mut total = FaultStats::default();
+    for fo in results.iter().filter_map(|r| r.fault.as_ref()) {
+        total.copies_lost = total.copies_lost.saturating_add(fo.stats.copies_lost);
+        total.retries = total.retries.saturating_add(fo.stats.retries);
+        total.failovers = total.failovers.saturating_add(fo.stats.failovers);
+        total.emergency_replications = total
+            .emergency_replications
+            .saturating_add(fo.stats.emergency_replications);
+        total.adopted_replicas = total
+            .adopted_replicas
+            .saturating_add(fo.stats.adopted_replicas);
+        total.down_serves = total.down_serves.saturating_add(fo.stats.down_serves);
+        total.copy_loss_windows = total
+            .copy_loss_windows
+            .saturating_add(fo.stats.copy_loss_windows);
+        total.retry_cost += fo.stats.retry_cost;
+        total.total_delay += fo.stats.total_delay;
+    }
+    total
 }
 
 /// Audit dispatch: the streaming single pass, or the exhaustive replay.
@@ -169,17 +388,124 @@ fn audit_findings(
     }
 }
 
-/// One fault-free seed measurement on a pre-generated instance — the
-/// steady-state unit of [`run_cell_in`], exposed so callers (and the
-/// allocation tests) can drive it without a workload generator in the
-/// loop.
-pub fn run_seed_in(
-    policy: &mut dyn OnlinePolicy<f64>,
+/// Folds one finished seed into the sink: run/request/transfer counts,
+/// the λ/μ cost split, audit findings, the ratio histogram and (when
+/// present) the fault outcome. Pure observation — called after the
+/// [`SeedResult`] is fully built, so it cannot perturb the measurement.
+fn record_seed(sink: &dyn Sink, requests: usize, r: &SeedResult) {
+    sink.add(Counter::Runs, 1);
+    sink.add(Counter::Requests, requests as u64);
+    sink.add(Counter::Transfers, r.transfers as u64);
+    sink.add(
+        Counter::Extensions,
+        requests.saturating_sub(r.transfers) as u64,
+    );
+    sink.add_cost(
+        Counter::CachingCostMicros,
+        r.breakdown.useful_caching + r.breakdown.speculative_tails,
+    );
+    sink.add_cost(Counter::TransferCostMicros, r.breakdown.transfers);
+    sink.add(Counter::AuditFindings, r.audit_findings as u64);
+    sink.observe(Hist::RatioCenti, (r.ratio.max(0.0) * 100.0) as u64);
+    if let Some(fo) = &r.fault {
+        sink.add(Counter::FaultRetries, fo.stats.retries as u64);
+        sink.add(Counter::FaultFailovers, fo.stats.failovers as u64);
+        sink.add(
+            Counter::FaultEvacuations,
+            fo.stats.emergency_replications as u64,
+        );
+        sink.add(Counter::FaultCopiesLost, fo.stats.copies_lost as u64);
+        sink.add(Counter::FaultDownServes, fo.stats.down_serves as u64);
+        sink.add(
+            Counter::FaultAdoptedReplicas,
+            fo.stats.adopted_replicas as u64,
+        );
+        sink.add(Counter::FaultCrashWindows, fo.crashes as u64);
+        sink.add_cost(Counter::FaultRetryCostMicros, fo.stats.retry_cost);
+    }
+}
+
+/// Builds the [`RunPolicy`] variant `mode` calls for.
+fn policy_for(mode: RunMode, factory: &PolicyFactory) -> RunPolicy {
+    match mode {
+        RunMode::Faulty(_) => RunPolicy::Tolerant(FaultTolerant::new(factory(), FaultPlan::none())),
+        RunMode::Plain | RunMode::Oblivious(_) => RunPolicy::Plain(factory()),
+    }
+}
+
+/// Mode × policy dispatch onto the three seed cores. A policy built by
+/// [`policy_for`] for the same mode always hits one of the first three
+/// arms; the mismatch arms (a policy reused across a mode switch without
+/// rebuilding) run the policy as-is under the requested regime, clearing
+/// a tolerant wrapper's stale plan first so it cannot act on a previous
+/// cell's crashes.
+fn dispatch(
+    mode: RunMode,
+    policy: &mut RunPolicy,
     seed: u64,
     inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
+    ws: &mut SeedScratch,
+    sink: &dyn Sink,
 ) -> SeedResult {
-    seed_core(policy, seed, inst, &mut ws.run)
+    match (mode, policy) {
+        (RunMode::Plain, RunPolicy::Plain(p)) => seed_core(p.as_mut(), seed, inst, ws, sink),
+        (RunMode::Faulty(spec), RunPolicy::Tolerant(w)) => {
+            seed_faulty_core(w, &spec, seed, inst, ws, sink)
+        }
+        (RunMode::Oblivious(spec), RunPolicy::Plain(p)) => {
+            seed_oblivious_core(p.as_mut(), &spec, seed, inst, ws, sink)
+        }
+        (RunMode::Plain, RunPolicy::Tolerant(w)) => {
+            *w.plan_mut() = FaultPlan::none();
+            seed_core(w, seed, inst, ws, sink)
+        }
+        (RunMode::Oblivious(spec), RunPolicy::Tolerant(w)) => {
+            *w.plan_mut() = FaultPlan::none();
+            seed_oblivious_core(w, &spec, seed, inst, ws, sink)
+        }
+        (RunMode::Faulty(spec), RunPolicy::Plain(p)) => {
+            seed_oblivious_core(p.as_mut(), &spec, seed, inst, ws, sink)
+        }
+    }
+}
+
+/// One whole unit (generation + measurement) against `ws`, with the unit
+/// wall time observed into [`Hist::UnitNanos`] when the sink wants
+/// clocks.
+fn unit_core(
+    mode: RunMode,
+    policy: &mut RunPolicy,
+    workload: &dyn Workload,
+    seed: u64,
+    ws: &mut RunWorkspace,
+    sink: &dyn Sink,
+) -> SeedResult {
+    let t0 = sink.enabled().then(std::time::Instant::now);
+    let inst = workload.generate_into(seed, &mut ws.gen);
+    let result = dispatch(mode, policy, seed, inst, &mut ws.run, sink);
+    if let Some(t0) = t0 {
+        sink.observe(
+            Hist::UnitNanos,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+    result
+}
+
+/// One cell (one policy instance, reset per run, over a seed range)
+/// against `ws`.
+fn cell_core(
+    mode: RunMode,
+    factory: &PolicyFactory,
+    workload: &dyn Workload,
+    seeds: std::ops::Range<u64>,
+    ws: &mut RunWorkspace,
+    sink: &dyn Sink,
+) -> Vec<SeedResult> {
+    let mut policy = policy_for(mode, factory);
+    seeds
+        .map(|seed| unit_core(mode, &mut policy, workload, seed, ws, sink))
+        .collect()
 }
 
 fn seed_core(
@@ -187,6 +513,7 @@ fn seed_core(
     seed: u64,
     inst: &Instance<f64>,
     ws: &mut SeedScratch,
+    sink: &dyn Sink,
 ) -> SeedResult {
     let (stats, rec) = run_policy_record(policy, inst, &mut ws.rt);
     let findings = audit_findings(
@@ -199,8 +526,8 @@ fn seed_core(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
-    SeedResult {
+    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
+    let result = SeedResult {
         seed,
         online_cost: stats.total_cost,
         opt_cost: opt,
@@ -213,21 +540,9 @@ fn seed_core(
         transfers: stats.transfers,
         audit_findings: findings,
         fault: None,
-    }
-}
-
-/// One fault-injected seed measurement with the fault-tolerant wrapper.
-///
-/// The per-seed plan is expanded straight into the wrapper's plan buffer
-/// (no clone); the wrapper snapshots it on reset.
-pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
-    wrapped: &mut FaultTolerant<P>,
-    spec: &FaultSpec,
-    seed: u64,
-    inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run)
+    };
+    record_seed(sink, inst.n(), &result);
+    result
 }
 
 fn seed_faulty_core<P: OnlinePolicy<f64>>(
@@ -236,6 +551,7 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
     seed: u64,
     inst: &Instance<f64>,
     ws: &mut SeedScratch,
+    sink: &dyn Sink,
 ) -> SeedResult {
     spec.plan_for_into(
         seed,
@@ -257,9 +573,9 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
+    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
     let online_cost = stats.total_cost + fstats.retry_cost;
-    SeedResult {
+    let result = SeedResult {
         seed,
         online_cost,
         opt_cost: opt,
@@ -272,19 +588,9 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
             crashes,
             tolerant: true,
         }),
-    }
-}
-
-/// One fault-injected seed measurement with an *oblivious* policy: the
-/// plan is expanded into the workspace and only the audit sees it.
-pub fn run_seed_oblivious_in(
-    policy: &mut dyn OnlinePolicy<f64>,
-    spec: &FaultSpec,
-    seed: u64,
-    inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run)
+    };
+    record_seed(sink, inst.n(), &result);
+    result
 }
 
 fn seed_oblivious_core(
@@ -293,6 +599,7 @@ fn seed_oblivious_core(
     seed: u64,
     inst: &Instance<f64>,
     ws: &mut SeedScratch,
+    sink: &dyn Sink,
 ) -> SeedResult {
     spec.plan_for_into(
         seed,
@@ -313,8 +620,8 @@ fn seed_oblivious_core(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_in(inst, &mut ws.solver).optimal_cost();
-    SeedResult {
+    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
+    let result = SeedResult {
         seed,
         online_cost: stats.total_cost,
         opt_cost: opt,
@@ -331,13 +638,66 @@ fn seed_oblivious_core(
             crashes,
             tolerant: false,
         }),
-    }
+    };
+    record_seed(sink, inst.n(), &result);
+    result
 }
 
-/// One whole fault-free unit — instance generation *and* measurement —
-/// in the caller's workspace. This is the parallel sweep's steady-state
-/// body: with a warm workspace (and a generator with an in-place fill
-/// path) the unit performs zero heap allocations.
+// ---------------------------------------------------------------------
+// Deprecated pre-RunRequest entry points. Each is a thin delegate onto
+// the same cores the request API uses (identical results, identical
+// allocation behavior, no metrics); new code should build a RunRequest.
+// ---------------------------------------------------------------------
+
+/// One fault-free seed measurement on a pre-generated instance.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_seed` (DESIGN.md §9)"
+)]
+pub fn run_seed_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    seed_core(policy, seed, inst, &mut ws.run, mcc_obs::noop())
+}
+
+/// One fault-injected seed measurement with the fault-tolerant wrapper.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Faulty(spec))` + `run_seed` (DESIGN.md §9)"
+)]
+pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
+    wrapped: &mut FaultTolerant<P>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+}
+
+/// One fault-injected seed measurement with an *oblivious* policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Oblivious(spec))` + `run_seed` (DESIGN.md §9)"
+)]
+pub fn run_seed_oblivious_in(
+    policy: &mut dyn OnlinePolicy<f64>,
+    spec: &FaultSpec,
+    seed: u64,
+    inst: &Instance<f64>,
+    ws: &mut RunWorkspace,
+) -> SeedResult {
+    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+}
+
+/// One whole fault-free unit (generation + measurement).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_unit` (DESIGN.md §9)"
+)]
 pub fn run_unit_in(
     policy: &mut dyn OnlinePolicy<f64>,
     workload: &dyn Workload,
@@ -345,11 +705,14 @@ pub fn run_unit_in(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_core(policy, seed, inst, &mut ws.run)
+    seed_core(policy, seed, inst, &mut ws.run, mcc_obs::noop())
 }
 
-/// One whole fault-injected unit with the fault-tolerant wrapper
-/// (generation + plan expansion + measurement, allocation-free warm).
+/// One whole fault-injected unit with the fault-tolerant wrapper.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Faulty(spec))` + `run_unit` (DESIGN.md §9)"
+)]
 pub fn run_unit_faulty_in<P: OnlinePolicy<f64>>(
     wrapped: &mut FaultTolerant<P>,
     spec: &FaultSpec,
@@ -358,11 +721,14 @@ pub fn run_unit_faulty_in<P: OnlinePolicy<f64>>(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run)
+    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run, mcc_obs::noop())
 }
 
-/// One whole fault-injected unit with an *oblivious* policy
-/// (generation + plan expansion + measurement, allocation-free warm).
+/// One whole fault-injected unit with an *oblivious* policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Oblivious(spec))` + `run_unit` (DESIGN.md §9)"
+)]
 pub fn run_unit_oblivious_in(
     policy: &mut dyn OnlinePolicy<f64>,
     spec: &FaultSpec,
@@ -371,62 +737,70 @@ pub fn run_unit_oblivious_in(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run)
+    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run, mcc_obs::noop())
 }
 
 /// Measures `policy_factory()` against `workload` over `seeds`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_cell` (DESIGN.md §9)"
+)]
 pub fn run_cell(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
 ) -> Vec<SeedResult> {
-    let mut ws = RunWorkspace::new();
-    run_cell_in(policy_factory, workload, seeds, &mut ws)
+    RunRequest::new(RunMode::Plain).run_cell(policy_factory, workload, seeds)
 }
 
 /// [`run_cell`] reusing a caller-owned [`RunWorkspace`] across seeds.
-///
-/// The policy instance is created once and reset per seed (the executor
-/// resets before every run); instance generation, the run record, the
-/// off-line optimum and the audit all reuse `ws`'s buffers, so the
-/// per-seed steady state performs no heap allocation at all (for
-/// generators with an in-place fill path). The parallel sweep gives each
-/// worker thread one workspace.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::Plain).with_workspace(ws)` + `run_cell` (DESIGN.md §9)"
+)]
 pub fn run_cell_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
     ws: &mut RunWorkspace,
 ) -> Vec<SeedResult> {
-    let mut policy = policy_factory();
-    seeds
-        .map(|seed| run_unit_in(policy.as_mut(), workload, seed, ws))
-        .collect()
+    cell_core(
+        RunMode::Plain,
+        policy_factory,
+        workload,
+        seeds,
+        ws,
+        mcc_obs::noop(),
+    )
 }
 
 /// Measures `policy_factory()` against `workload` over `seeds` on a
 /// cluster degraded by `spec` (fresh workspace convenience wrapper).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::from_faults(Some(spec)))` + `run_cell` (DESIGN.md §9)"
+)]
 pub fn run_cell_faulty(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
     seeds: std::ops::Range<u64>,
     spec: &FaultSpec,
 ) -> Vec<SeedResult> {
-    let mut ws = RunWorkspace::new();
-    run_cell_faulty_in(policy_factory, workload, seeds, spec, &mut ws)
+    RunRequest::new(RunMode::from_faults(Some(*spec))).run_cell(policy_factory, workload, seeds)
 }
 
 /// [`run_cell_faulty`] reusing a caller-owned [`RunWorkspace`].
 ///
-/// Each seed expands `spec` into its own [`mcc_core::online::FaultPlan`]
-/// (deterministic in the `(spec seed, run seed)` pair), written into
-/// reusable plan buffers — no per-seed plan clone. With `spec.tolerant`
-/// the policy runs wrapped in [`FaultTolerant`] and its retry surcharge
-/// is folded into `online_cost`; without it the policy runs oblivious
-/// and the audit against the plan reports every violation the faults
-/// induce. The off-line optimum stays clairvoyant *and* fault-free — the
-/// denominator measures what the trace costs on a healthy cluster, so
-/// the ratio captures the full price of degradation.
+/// Dispatches on `spec.tolerant` exactly like [`RunMode::from_faults`]:
+/// wrapped ([`RunMode::Faulty`]) when set, oblivious
+/// ([`RunMode::Oblivious`]) when not. The off-line optimum stays
+/// clairvoyant *and* fault-free — the denominator measures what the
+/// trace costs on a healthy cluster, so the ratio captures the full
+/// price of degradation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a RunRequest: `RunRequest::new(RunMode::from_faults(Some(spec))).with_workspace(ws)` + `run_cell` (DESIGN.md §9)"
+)]
 pub fn run_cell_faulty_in(
     policy_factory: &PolicyFactory,
     workload: &dyn Workload,
@@ -434,30 +808,28 @@ pub fn run_cell_faulty_in(
     spec: &FaultSpec,
     ws: &mut RunWorkspace,
 ) -> Vec<SeedResult> {
-    if spec.tolerant {
-        let mut wrapped = FaultTolerant::new(policy_factory(), FaultPlan::none());
-        seeds
-            .map(|seed| run_unit_faulty_in(&mut wrapped, spec, workload, seed, ws))
-            .collect()
-    } else {
-        let mut policy = policy_factory();
-        seeds
-            .map(|seed| run_unit_oblivious_in(policy.as_mut(), spec, workload, seed, ws))
-            .collect()
-    }
+    cell_core(
+        RunMode::from_faults(Some(*spec)),
+        policy_factory,
+        workload,
+        seeds,
+        ws,
+        mcc_obs::noop(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mcc_core::online::SpeculativeCaching;
+    use mcc_obs::Registry;
     use mcc_workloads::{CommonParams, PoissonWorkload};
 
     #[test]
     fn cell_produces_one_result_per_seed() {
         let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
         let f = factory(SpeculativeCaching::paper());
-        let results = run_cell(&f, &w, 0..5);
+        let results = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..5);
         assert_eq!(results.len(), 5);
         for r in &results {
             assert!(
@@ -472,15 +844,15 @@ mod tests {
     }
 
     #[test]
-    fn workspace_reuse_matches_fresh_runs() {
+    fn request_reuse_across_cells_matches_fresh_requests() {
         let w1 = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
         let w2 = PoissonWorkload::uniform(CommonParams::small().with_size(2, 10), 2.0);
         let f = factory(SpeculativeCaching::paper());
-        let mut ws = RunWorkspace::new();
+        let mut req = RunRequest::new(RunMode::Plain);
         // Dirty the workspace on a different-shaped cell first.
-        let _ = run_cell_in(&f, &w2, 0..3, &mut ws);
-        let reused = run_cell_in(&f, &w1, 0..5, &mut ws);
-        let fresh = run_cell(&f, &w1, 0..5);
+        let _ = req.run_cell(&f, &w2, 0..3);
+        let reused = req.run_cell(&f, &w1, 0..5);
+        let fresh = RunRequest::new(RunMode::Plain).run_cell(&f, &w1, 0..5);
         for (x, y) in reused.iter().zip(&fresh) {
             assert_eq!(x.online_cost, y.online_cost);
             assert_eq!(x.opt_cost, y.opt_cost);
@@ -489,11 +861,110 @@ mod tests {
     }
 
     #[test]
+    fn live_sink_does_not_perturb_results_and_counts_runs() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let silent = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..5);
+        let reg = Registry::new();
+        let observed = RunRequest::new(RunMode::Plain)
+            .with_sink(&reg)
+            .run_cell(&f, &w, 0..5);
+        for (x, y) in silent.iter().zip(&observed) {
+            assert_eq!(x.online_cost, y.online_cost, "metrics must never feed back");
+            assert_eq!(x.opt_cost, y.opt_cost);
+            assert_eq!(x.transfers, y.transfers);
+            assert_eq!(x.audit_findings, y.audit_findings);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::Runs), 5);
+        assert_eq!(snap.counter(Counter::Requests), 5 * 30);
+        let transfers: usize = observed.iter().map(|r| r.transfers).sum();
+        assert_eq!(snap.counter(Counter::Transfers), transfers as u64);
+        assert_eq!(
+            snap.counter(Counter::SolveMatrixDispatches)
+                + snap.counter(Counter::SolveSweepDispatches),
+            5,
+            "every seed runs exactly one auto-dispatched solve"
+        );
+        assert_eq!(snap.hist(Hist::UnitNanos).count, 5);
+        assert_eq!(snap.hist(Hist::RatioCenti).count, 5);
+        assert!(snap.counter(Counter::SolveNanos) > 0, "spans must record");
+        // The λ/μ split covers the whole online cost (micro-unit rounding
+        // loses < 1 micro-unit per seed).
+        let total_micros: u64 =
+            snap.counter(Counter::CachingCostMicros) + snap.counter(Counter::TransferCostMicros);
+        let expect: f64 = observed.iter().map(|r| r.online_cost).sum::<f64>() * 1e6;
+        assert!((total_micros as f64 - expect).abs() <= 5.0 + expect * 1e-9);
+    }
+
+    #[test]
+    fn faulty_mode_records_fault_counters() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 60), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let spec = FaultSpec {
+            seed: 7,
+            crash_rate: 0.4,
+            mean_downtime: 2.0,
+            ..FaultSpec::default()
+        };
+        let reg = Registry::new();
+        let results = RunRequest::new(RunMode::Faulty(spec))
+            .with_sink(&reg)
+            .run_cell(&f, &w, 0..6);
+        let snap = reg.snapshot();
+        let crashes: usize = results
+            .iter()
+            .filter_map(|r| r.fault.as_ref())
+            .map(|fo| fo.crashes)
+            .sum();
+        assert!(crashes > 0, "the regime must actually inject crashes");
+        assert_eq!(snap.counter(Counter::FaultCrashWindows), crashes as u64);
+        let folded = fold_fault_stats(&results);
+        assert_eq!(snap.counter(Counter::FaultRetries), folded.retries as u64);
+        assert_eq!(
+            snap.counter(Counter::FaultFailovers),
+            folded.failovers as u64
+        );
+    }
+
+    #[test]
+    fn fold_fault_stats_saturates_instead_of_wrapping() {
+        // Regression: the fold across a grid of seeds must pin at
+        // usize::MAX, not wrap (debug builds used to panic on `+`).
+        let huge = FaultStats {
+            retries: usize::MAX - 1,
+            failovers: usize::MAX / 2 + 1,
+            copies_lost: usize::MAX,
+            ..FaultStats::default()
+        };
+        let mk = |stats: FaultStats| SeedResult {
+            seed: 0,
+            online_cost: 1.0,
+            opt_cost: 1.0,
+            ratio: 1.0,
+            breakdown: Breakdown::default(),
+            transfers: 0,
+            audit_findings: 0,
+            fault: Some(FaultOutcome {
+                stats,
+                crashes: 0,
+                tolerant: true,
+            }),
+        };
+        let results = vec![mk(huge.clone()), mk(huge)];
+        let total = fold_fault_stats(&results);
+        assert_eq!(total.retries, usize::MAX);
+        assert_eq!(total.failovers, usize::MAX);
+        assert_eq!(total.copies_lost, usize::MAX);
+        assert_eq!(total.down_serves, 0, "untouched fields stay zero");
+    }
+
+    #[test]
     fn results_are_deterministic() {
         let w = PoissonWorkload::uniform(CommonParams::small().with_size(3, 20), 1.0);
         let f = factory(SpeculativeCaching::paper());
-        let a = run_cell(&f, &w, 3..6);
-        let b = run_cell(&f, &w, 3..6);
+        let a = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 3..6);
+        let b = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 3..6);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.online_cost, y.online_cost);
             assert_eq!(x.opt_cost, y.opt_cost);
@@ -511,10 +982,12 @@ mod tests {
             tolerant: false,
             ..FaultSpec::default()
         };
-        let mut fast = RunWorkspace::new();
-        let mut slow = RunWorkspace::exhaustive();
-        let a = run_cell_faulty_in(&f, &w, 0..6, &spec, &mut fast);
-        let b = run_cell_faulty_in(&f, &w, 0..6, &spec, &mut slow);
+        let mode = RunMode::from_faults(Some(spec));
+        assert!(matches!(mode, RunMode::Oblivious(_)));
+        let a = RunRequest::new(mode).run_cell(&f, &w, 0..6);
+        let b = RunRequest::new(mode)
+            .with_exhaustive_audit()
+            .run_cell(&f, &w, 0..6);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.online_cost, y.online_cost);
             assert_eq!(x.opt_cost, y.opt_cost);
@@ -530,8 +1003,9 @@ mod tests {
     fn trivial_fault_spec_matches_fault_free_cell() {
         let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
         let f = factory(SpeculativeCaching::paper());
-        let plain = run_cell(&f, &w, 0..4);
-        let faulty = run_cell_faulty(&f, &w, 0..4, &FaultSpec::none());
+        let plain = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..4);
+        let faulty =
+            RunRequest::new(RunMode::from_faults(Some(FaultSpec::none()))).run_cell(&f, &w, 0..4);
         for (x, y) in plain.iter().zip(&faulty) {
             assert_eq!(
                 x.online_cost, y.online_cost,
@@ -555,7 +1029,7 @@ mod tests {
             mean_downtime: 2.0,
             ..FaultSpec::default()
         };
-        let wrapped = run_cell_faulty(&f, &w, 0..6, &spec);
+        let wrapped = RunRequest::new(RunMode::Faulty(spec)).run_cell(&f, &w, 0..6);
         for r in &wrapped {
             assert_eq!(
                 r.audit_findings, 0,
@@ -569,19 +1043,85 @@ mod tests {
             .sum();
         assert!(crashes > 0, "the regime must actually inject crashes");
 
-        let oblivious = run_cell_faulty(
-            &f,
-            &w,
-            0..6,
-            &FaultSpec {
-                tolerant: false,
-                ..spec
-            },
-        );
+        let oblivious = RunRequest::new(RunMode::Oblivious(spec)).run_cell(&f, &w, 0..6);
         let findings: usize = oblivious.iter().map(|r| r.audit_findings).sum();
         assert!(
             findings > 0,
             "oblivious SC must trip the auditor under a crashy plan"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_request_api() {
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let spec = FaultSpec {
+            seed: 3,
+            crash_rate: 0.3,
+            mean_downtime: 1.5,
+            ..FaultSpec::default()
+        };
+
+        let new_plain = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..4);
+        let old_plain = run_cell(&f, &w, 0..4);
+        let mut ws = RunWorkspace::new();
+        let old_plain_in = run_cell_in(&f, &w, 0..4, &mut ws);
+
+        let new_faulty = RunRequest::new(RunMode::Faulty(spec)).run_cell(&f, &w, 0..4);
+        let old_faulty = run_cell_faulty(&f, &w, 0..4, &spec);
+        let obl = FaultSpec {
+            tolerant: false,
+            ..spec
+        };
+        let new_obl = RunRequest::new(RunMode::Oblivious(obl)).run_cell(&f, &w, 0..4);
+        let old_obl = run_cell_faulty_in(&f, &w, 0..4, &obl, &mut ws);
+
+        for (news, olds) in [
+            (&new_plain, &old_plain),
+            (&new_plain, &old_plain_in),
+            (&new_faulty, &old_faulty),
+            (&new_obl, &old_obl),
+        ] {
+            for (x, y) in news.iter().zip(olds.iter()) {
+                assert_eq!(x.online_cost, y.online_cost);
+                assert_eq!(x.opt_cost, y.opt_cost);
+                assert_eq!(x.audit_findings, y.audit_findings);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_mismatch_arms_still_run_sensibly() {
+        // A policy built for one mode but run under another (the sweep
+        // never does this; the API tolerates it): results must match the
+        // policy's actual wrapping, not crash.
+        let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 30), 1.0);
+        let f = factory(SpeculativeCaching::paper());
+        let spec = FaultSpec {
+            seed: 5,
+            crash_rate: 0.3,
+            mean_downtime: 1.5,
+            ..FaultSpec::default()
+        };
+        let mut req = RunRequest::new(RunMode::Faulty(spec));
+        let mut plain_policy = RunRequest::new(RunMode::Plain).policy(&f);
+        let mut tolerant_policy = req.policy(&f);
+        // Faulty mode + plain policy degrades to an oblivious run.
+        let a = req.run_unit(&mut plain_policy, &w, 0);
+        assert!(matches!(
+            a.fault,
+            Some(FaultOutcome {
+                tolerant: false,
+                ..
+            })
+        ));
+        // Plain mode + tolerant policy clears the stale plan and runs clean.
+        req.set_mode(RunMode::Plain);
+        let b = req.run_unit(&mut tolerant_policy, &w, 0);
+        assert!(b.fault.is_none());
+        assert_eq!(b.audit_findings, 0);
+        let clean = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..1);
+        assert_eq!(b.online_cost, clean[0].online_cost);
     }
 }

@@ -1,8 +1,12 @@
 //! Asserts the run pipeline's zero-allocation guarantee: once a
-//! [`RunWorkspace`] is warm, a full unit — **instance generation**
-//! (via `Workload::generate_into`), policy run, streaming audit, cost
-//! breakdown, off-line optimum, and (for fault cells) plan expansion —
-//! performs **zero** heap allocations.
+//! [`RunRequest`]'s workspace is warm, a full unit — **instance
+//! generation** (via `Workload::generate_into`), policy run, streaming
+//! audit, cost breakdown, off-line optimum, and (for fault modes) plan
+//! expansion — performs **zero** heap allocations. The guarantee holds
+//! with a **live metrics sink** attached: every request here records
+//! into a shared [`mcc_obs::Registry`], whose record path is flat atomic
+//! arrays, so observability costs counters and clock reads but never an
+//! allocation.
 //!
 //! This file must remain the SOLE test in its integration-test binary:
 //! the counting `#[global_allocator]` observes the whole process, and the
@@ -12,12 +16,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use mcc_core::online::{FaultPlan, FaultTolerant, OnlinePolicy, SpeculativeCaching};
 use mcc_model::Instance;
-use mcc_simnet::{
-    run_seed_faulty_in, run_seed_in, run_seed_oblivious_in, run_unit_faulty_in, run_unit_in,
-    run_unit_oblivious_in, FaultSpec, RunWorkspace,
-};
+use mcc_obs::{Counter, Registry};
+use mcc_simnet::{factory, FaultSpec, RunMode, RunRequest};
 use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
 
 /// Counts allocation *events* (alloc/realloc/alloc_zeroed) while armed.
@@ -57,9 +58,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
-fn warm_workspace_seed_units_allocate_nothing() {
-    // Pre-generated-instance path: the workspace's generation buffer is
-    // bypassed entirely; only the run scratch is exercised.
+fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
     let workload = PoissonWorkload::uniform(CommonParams::small().with_size(6, 120), 1.0);
     let instances: Vec<Instance<f64>> = (0..4u64).map(|s| workload.generate(s)).collect();
     let spec = FaultSpec {
@@ -68,21 +67,32 @@ fn warm_workspace_seed_units_allocate_nothing() {
         mean_downtime: 2.0,
         ..FaultSpec::default()
     };
+    let f = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());
 
-    let mut ws = RunWorkspace::new();
-    let mut policy: Box<dyn OnlinePolicy<f64>> = Box::new(SpeculativeCaching::paper());
-    let mut oblivious: Box<dyn OnlinePolicy<f64>> = Box::new(SpeculativeCaching::paper());
-    let mut wrapped = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), FaultPlan::none());
+    // One live registry shared by all three requests: the record path is
+    // preallocated atomics, so metrics must not break the guarantee.
+    let reg = Registry::new();
+    let mut req_plain = RunRequest::new(RunMode::Plain).with_sink(&reg);
+    let mut req_faulty = RunRequest::new(RunMode::Faulty(spec)).with_sink(&reg);
+    let mut req_obl = RunRequest::new(RunMode::Oblivious(spec)).with_sink(&reg);
+    let mut p_plain = req_plain.policy(&f);
+    let mut p_tol = req_faulty.policy(&f);
+    let mut p_obl = req_obl.policy(&f);
+    let mut runs: u64 = 0;
 
+    // Pre-generated-instance path first: the generation buffers are
+    // bypassed entirely; only the run scratch is exercised.
+    //
     // Warm-up: one pass over every (seed, mode) grows all buffers to the
     // high-water mark that exact pass will need again (runs are
     // seed-deterministic).
     let mut expect = Vec::new();
     for (i, inst) in instances.iter().enumerate() {
         let seed = i as u64;
-        let a = run_seed_in(policy.as_mut(), seed, inst, &mut ws);
-        let b = run_seed_faulty_in(&mut wrapped, &spec, seed, inst, &mut ws);
-        let c = run_seed_oblivious_in(oblivious.as_mut(), &spec, seed, inst, &mut ws);
+        let a = req_plain.run_seed(&mut p_plain, seed, inst);
+        let b = req_faulty.run_seed(&mut p_tol, seed, inst);
+        let c = req_obl.run_seed(&mut p_obl, seed, inst);
+        runs += 3;
         expect.push((
             a.online_cost,
             b.online_cost,
@@ -95,9 +105,10 @@ fn warm_workspace_seed_units_allocate_nothing() {
     for _ in 0..3 {
         for (i, inst) in instances.iter().enumerate() {
             let seed = i as u64;
-            let a = run_seed_in(policy.as_mut(), seed, inst, &mut ws);
-            let b = run_seed_faulty_in(&mut wrapped, &spec, seed, inst, &mut ws);
-            let c = run_seed_oblivious_in(oblivious.as_mut(), &spec, seed, inst, &mut ws);
+            let a = req_plain.run_seed(&mut p_plain, seed, inst);
+            let b = req_faulty.run_seed(&mut p_tol, seed, inst);
+            let c = req_obl.run_seed(&mut p_obl, seed, inst);
+            runs += 3;
             // Results must also be bit-identical to the cold pass.
             assert_eq!(a.online_cost, expect[i].0);
             assert_eq!(b.online_cost, expect[i].1);
@@ -113,18 +124,19 @@ fn warm_workspace_seed_units_allocate_nothing() {
         "steady-state seed units must not touch the heap ({events} allocation events)"
     );
 
-    // Full-unit path: generation included. `run_unit_*` regenerate each
-    // seed's instance into the workspace's `InstanceBuf` before running
-    // it — once that buffer is warm, the whole unit (generate + run +
-    // audit + optimum) must stay off the heap too. Uniform Poisson fills
-    // its trace without any per-call tables, so a warm buffer is
+    // Full-unit path: generation included. `run_unit` regenerates each
+    // seed's instance into the request's `InstanceBuf` before running it
+    // — once that buffer is warm, the whole unit (generate + run + audit
+    // + optimum + metrics) must stay off the heap too. Uniform Poisson
+    // fills its trace without any per-call tables, so a warm buffer is
     // genuinely allocation-free.
     EVENTS.store(0, Ordering::SeqCst);
     let mut unit_expect = Vec::new();
     for seed in 0..4u64 {
-        let a = run_unit_in(policy.as_mut(), &workload, seed, &mut ws);
-        let b = run_unit_faulty_in(&mut wrapped, &spec, &workload, seed, &mut ws);
-        let c = run_unit_oblivious_in(oblivious.as_mut(), &spec, &workload, seed, &mut ws);
+        let a = req_plain.run_unit(&mut p_plain, &workload, seed);
+        let b = req_faulty.run_unit(&mut p_tol, &workload, seed);
+        let c = req_obl.run_unit(&mut p_obl, &workload, seed);
+        runs += 3;
         unit_expect.push((a.online_cost, b.online_cost, c.online_cost));
         // The unit pipeline must agree with the pre-generated-instance
         // pipeline seed for seed.
@@ -136,9 +148,10 @@ fn warm_workspace_seed_units_allocate_nothing() {
     ARMED.store(true, Ordering::SeqCst);
     for _ in 0..3 {
         for seed in 0..4u64 {
-            let a = run_unit_in(policy.as_mut(), &workload, seed, &mut ws);
-            let b = run_unit_faulty_in(&mut wrapped, &spec, &workload, seed, &mut ws);
-            let c = run_unit_oblivious_in(oblivious.as_mut(), &spec, &workload, seed, &mut ws);
+            let a = req_plain.run_unit(&mut p_plain, &workload, seed);
+            let b = req_faulty.run_unit(&mut p_tol, &workload, seed);
+            let c = req_obl.run_unit(&mut p_obl, &workload, seed);
+            runs += 3;
             assert_eq!(a.online_cost, unit_expect[seed as usize].0);
             assert_eq!(b.online_cost, unit_expect[seed as usize].1);
             assert_eq!(c.online_cost, unit_expect[seed as usize].2);
@@ -149,7 +162,13 @@ fn warm_workspace_seed_units_allocate_nothing() {
     let events = EVENTS.load(Ordering::SeqCst);
     assert_eq!(
         events, 0,
-        "steady-state full units (generation included) must not touch the heap \
-         ({events} allocation events)"
+        "steady-state full units (generation included, live sink attached) \
+         must not touch the heap ({events} allocation events)"
     );
+
+    // The sink really was live the whole time: every run above landed in
+    // the registry (snapshotting is allowed to allocate — we are disarmed).
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(Counter::Runs), runs);
+    assert!(snap.counter(Counter::SolveNanos) > 0, "spans recorded");
 }

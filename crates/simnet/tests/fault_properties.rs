@@ -9,7 +9,8 @@
 
 use mcc_core::online::{run_policy, FaultPlan, FaultTolerant, SpeculativeCaching};
 use mcc_model::{CostModel, Instance, Request, ServerId};
-use mcc_simnet::{factory, run_cell, run_cell_faulty, FaultSpec, ScheduleAuditor};
+use mcc_obs::Registry;
+use mcc_simnet::{factory, FaultSpec, RunMode, RunRequest, ScheduleAuditor};
 use mcc_workloads::{CommonParams, PoissonWorkload};
 use proptest::prelude::*;
 
@@ -111,8 +112,9 @@ proptest! {
             1.0,
         );
         let sc = factory(SpeculativeCaching::<f64>::paper());
-        let plain = run_cell(&sc, &workload, seed..seed + 1);
-        let faultless = run_cell_faulty(&sc, &workload, seed..seed + 1, &FaultSpec::none());
+        let plain = RunRequest::new(RunMode::Plain).run_cell(&sc, &workload, seed..seed + 1);
+        let faultless = RunRequest::new(RunMode::from_faults(Some(FaultSpec::none())))
+            .run_cell(&sc, &workload, seed..seed + 1);
         prop_assert_eq!(plain.len(), 1);
         prop_assert_eq!(faultless.len(), 1);
         let (p, f) = (&plain[0], &faultless[0]);
@@ -121,5 +123,55 @@ proptest! {
         prop_assert_eq!(p.transfers, f.transfers);
         prop_assert_eq!(p.audit_findings, 0);
         prop_assert_eq!(f.audit_findings, 0);
+    }
+
+    /// Observability never feeds back: attaching a live [`Registry`] to
+    /// the run pipeline leaves every [`SeedResult`] bit-identical to the
+    /// metrics-off run — plain, faulty and oblivious modes alike.
+    ///
+    /// [`SeedResult`]: mcc_simnet::SeedResult
+    #[test]
+    fn live_metrics_never_perturb_results(
+        servers in 2usize..=6,
+        requests in 1usize..=40,
+        seed in 0u64..256,
+        spec in random_spec(),
+        tolerant_bit in 0u8..2,
+    ) {
+        let tolerant = tolerant_bit == 1;
+        let workload = PoissonWorkload::uniform(
+            CommonParams { servers, requests, mu: 1.0, lambda: 1.0 },
+            1.0,
+        );
+        let sc = factory(SpeculativeCaching::<f64>::paper());
+        let spec = FaultSpec { tolerant, ..spec };
+        for mode in [RunMode::Plain, RunMode::from_faults(Some(spec))] {
+            let quiet = RunRequest::new(mode).run_cell(&sc, &workload, seed..seed + 2);
+            let reg = Registry::new();
+            let observed = RunRequest::new(mode)
+                .with_sink(&reg)
+                .run_cell(&sc, &workload, seed..seed + 2);
+            prop_assert_eq!(quiet.len(), observed.len());
+            for (q, o) in quiet.iter().zip(&observed) {
+                prop_assert_eq!(q.seed, o.seed);
+                prop_assert_eq!(q.online_cost.to_bits(), o.online_cost.to_bits());
+                prop_assert_eq!(q.opt_cost.to_bits(), o.opt_cost.to_bits());
+                prop_assert_eq!(q.ratio.to_bits(), o.ratio.to_bits());
+                prop_assert_eq!(q.transfers, o.transfers);
+                prop_assert_eq!(q.audit_findings, o.audit_findings);
+                match (&q.fault, &o.fault) {
+                    (None, None) => {}
+                    (Some(qf), Some(of)) => {
+                        prop_assert_eq!(qf.stats.retries, of.stats.retries);
+                        prop_assert_eq!(qf.stats.copies_lost, of.stats.copies_lost);
+                        prop_assert_eq!(
+                            qf.stats.retry_cost.to_bits(),
+                            of.stats.retry_cost.to_bits()
+                        );
+                    }
+                    _ => prop_assert!(false, "fault outcome presence diverged"),
+                }
+            }
+        }
     }
 }

@@ -51,10 +51,19 @@ pub use mcc_core::hetero;
 pub use mcc_core::offline;
 pub use mcc_core::online;
 pub use mcc_model as model;
+pub use mcc_obs as obs;
 pub use mcc_simnet as simnet;
 pub use mcc_workloads as workloads;
 
 /// The most common imports in one place.
+///
+/// This is the supported surface for downstream code (`examples/`, the
+/// `mcc` CLI): instance construction, the off-line solvers, the online
+/// policies, the unified [`RunRequest`](mcc_simnet::RunRequest) run
+/// pipeline, and the `metrics/1` observability types. Anything deeper
+/// (solver workspaces, engine internals) is reachable through the
+/// module re-exports above but is not covered by the same stability
+/// expectations.
 pub mod prelude {
     pub use mcc_core::offline::{optimal_cost, optimal_schedule, solve_fast, DpSolution};
     pub use mcc_core::online::{
@@ -64,6 +73,11 @@ pub mod prelude {
     pub use mcc_model::{
         unit_instance, validate, CostModel, Fixed, Instance, InstanceBuilder, Prescan, Request,
         Scalar, Schedule, ServerId,
+    };
+    pub use mcc_obs::{MetricsSnapshot, Registry, Sink};
+    pub use mcc_simnet::{
+        factory, fold_fault_stats, sweep, sweep_with, CellResult, FaultSpec, GridCell,
+        PolicyFactory, RunMode, RunPolicy, RunRequest, RunWorkspace, SeedResult,
     };
     pub use mcc_workloads::{
         standard_suite, CommonParams, MarkovWorkload, PoissonWorkload, Workload,
