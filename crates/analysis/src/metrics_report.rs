@@ -54,14 +54,16 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
     // --- off-line solver ----------------------------------------------
     let matrix = snap.counter(Counter::SolveMatrixDispatches);
     let windowed = snap.counter(Counter::SolveSweepDispatches);
-    let solves = matrix + windowed;
+    let batched = snap.counter(Counter::SolveBatchInstances);
+    let solves = matrix + windowed + batched;
     if solves > 0 {
         let _ = writeln!(out, "off-line solver");
         let _ = writeln!(
             out,
-            "  solves: {solves}  (matrix {}, windowed {})",
+            "  solves: {solves}  (matrix {}, windowed {}, batched {})",
             share(matrix, solves),
-            share(windowed, solves)
+            share(windowed, solves),
+            share(batched, solves)
         );
         let total = snap.counter(Counter::SolveNanos);
         if total > 0 {
@@ -72,6 +74,15 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
                 fnum(ms(snap.counter(Counter::SolvePrescanNanos))),
                 fnum(ms(snap.counter(Counter::SolveMatrixBuildNanos))),
                 fnum(ms(snap.counter(Counter::SolveDpNanos)))
+            );
+        }
+        let dispatches = snap.counter(Counter::SolveBatchDispatches);
+        if dispatches > 0 {
+            let _ = writeln!(
+                out,
+                "  batches: {dispatches}  stage {}ms  batch dp {}ms",
+                fnum(ms(snap.counter(Counter::SolveBatchStageNanos))),
+                fnum(ms(snap.counter(Counter::SolveBatchDpNanos)))
             );
         }
     }
@@ -159,6 +170,12 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "histograms (power-of-two buckets)");
         hist_line(&mut out, "unit", snap.hist(Hist::UnitNanos), "ns");
         hist_line(&mut out, "solve", snap.hist(Hist::SolveNanos), "ns");
+        hist_line(
+            &mut out,
+            "batch solve",
+            snap.hist(Hist::BatchSolveNanos),
+            "ns",
+        );
         hist_line(&mut out, "worker units", snap.hist(Hist::WorkerUnits), "");
         hist_line(&mut out, "ratio ×100", snap.hist(Hist::RatioCenti), "");
     }
@@ -187,6 +204,10 @@ mod tests {
         reg.add(Counter::Transfers, 30);
         reg.add(Counter::Extensions, 90);
         reg.add(Counter::SolveMatrixDispatches, 4);
+        reg.add(Counter::SolveBatchInstances, 12);
+        reg.add(Counter::SolveBatchDispatches, 2);
+        reg.add(Counter::SolveBatchStageNanos, 1_000_000);
+        reg.add(Counter::SolveBatchDpNanos, 2_000_000);
         reg.add(Counter::SolveNanos, 8_000_000);
         reg.add(Counter::FaultCrashWindows, 2);
         reg.add(Counter::SweepWorkers, 2);
@@ -205,5 +226,7 @@ mod tests {
         }
         assert!(out.contains("transfers: 30 (25%)"), "{out}");
         assert!(out.contains("8ms total"), "{out}");
+        assert!(out.contains("batched 12 (75%)"), "{out}");
+        assert!(out.contains("batches: 2  stage 1ms  batch dp 2ms"), "{out}");
     }
 }

@@ -14,8 +14,8 @@
 use std::time::Instant;
 
 use mcc_core::offline::{
-    solve_auto_in, solve_fast, solve_fast_compact, solve_fast_compact_in, solve_fast_in,
-    solve_naive, SolverWorkspace, AUTO_CROSSOVER_CELLS,
+    solve_auto_in, solve_batch_in, solve_fast, solve_fast_compact, solve_fast_compact_in,
+    solve_fast_in, solve_naive, BatchWorkspace, SolverWorkspace, AUTO_CROSSOVER_CELLS,
 };
 use mcc_core::online::{Follow, SpeculativeCaching};
 use mcc_model::{Instance, Json};
@@ -30,6 +30,12 @@ const TARGET_SECS: f64 = 0.2;
 /// The acceptance threshold: warm-workspace speedup over the seed's
 /// allocating pipeline on the largest grid point.
 const SPEEDUP_TARGET: f64 = 1.3;
+/// The batch acceptance threshold: batched-kernel throughput over the
+/// `auto_workspace` path on the largest grid point.
+pub const BATCH_SPEEDUP_TARGET: f64 = 2.0;
+/// Instances per batched-kernel measurement (matches the sweep's
+/// [`mcc_simnet::BATCH_UNITS`] chunk width).
+pub const BATCH_K: usize = 8;
 
 /// ns/request for every variant at one grid point.
 #[derive(Copy, Clone, Debug)]
@@ -54,6 +60,9 @@ pub struct GridPoint {
     /// pipeline calls): matrix pass at/below the crossover, windowed
     /// sweep above it.
     pub auto_workspace: f64,
+    /// Batched SoA kernel on a warm [`BatchWorkspace`], ns/request
+    /// amortized over [`BATCH_K`] instances per kernel call.
+    pub batch: f64,
 }
 
 impl GridPoint {
@@ -67,6 +76,12 @@ impl GridPoint {
     /// what buffer reuse alone buys on top of the algorithmic work.
     pub fn speedup_vs_fast(&self) -> f64 {
         self.fast / self.fast_workspace
+    }
+
+    /// Batched-kernel speedup over the per-instance `auto_workspace` path
+    /// — the batch acceptance headline.
+    pub fn speedup_batch_vs_auto(&self) -> f64 {
+        self.auto_workspace / self.batch
     }
 }
 
@@ -93,7 +108,7 @@ fn ns_per_request<F: FnMut()>(n: usize, mut f: F) -> f64 {
     best * 1e9 / n.max(1) as f64
 }
 
-fn instance(n: usize, m: usize) -> Instance<f64> {
+fn instance_seeded(n: usize, m: usize, seed: u64) -> Instance<f64> {
     PoissonWorkload::uniform(
         CommonParams {
             servers: m,
@@ -103,7 +118,36 @@ fn instance(n: usize, m: usize) -> Instance<f64> {
         },
         1.0,
     )
-    .generate(42)
+    .generate(seed)
+}
+
+fn instance(n: usize, m: usize) -> Instance<f64> {
+    instance_seeded(n, m, 42)
+}
+
+/// Measures the batched kernel at one shape: [`BATCH_K`] distinct
+/// instances staged and solved per kernel call, ns/request amortized over
+/// all `BATCH_K · n` requests, every lane cross-checked against the
+/// windowed-sweep reference.
+fn measure_batch(n: usize, m: usize) -> f64 {
+    let insts: Vec<Instance<f64>> = (0..BATCH_K)
+        .map(|j| instance_seeded(n, m, 42 + j as u64))
+        .collect();
+    let refs: Vec<f64> = insts
+        .iter()
+        .map(|i| solve_naive(i).optimal_cost())
+        .collect();
+    let views: Vec<&Instance<f64>> = insts.iter().collect();
+    let mut ws = BatchWorkspace::new();
+    ns_per_request(n * BATCH_K, || {
+        solve_batch_in(&views, &mut ws);
+        for (k, &reference) in refs.iter().enumerate() {
+            assert!(
+                (ws.optimal_cost(k) - reference).abs() < 1e-6,
+                "batch solver disagreement"
+            );
+        }
+    })
 }
 
 /// Measures one grid point; every variant is cross-checked against the
@@ -126,6 +170,7 @@ pub fn measure_point(n: usize, m: usize) -> GridPoint {
         check(solve_fast_compact_in(&inst, &mut ws).optimal_cost())
     });
     let auto_workspace = ns_per_request(n, || check(solve_auto_in(&inst, &mut ws).optimal_cost()));
+    let batch = measure_batch(n, m);
 
     GridPoint {
         n,
@@ -137,16 +182,89 @@ pub fn measure_point(n: usize, m: usize) -> GridPoint {
         compact_workspace,
         naive,
         auto_workspace,
+        batch,
     }
 }
 
 /// The measurement grid: the acceptance point `(n ≥ 10⁴, m ≥ 64)` last.
+/// The (2048, 16) point sits just below the auto-dispatch crossover and
+/// (4096, 16) just above it, so the committed grid brackets the rule the
+/// crossover regression test audits.
 pub fn grid(scale: Scale) -> Vec<(usize, usize)> {
     if scale.requests >= 1000 {
-        vec![(4_096, 16), (16_384, 64)]
+        vec![(2_048, 16), (4_096, 16), (16_384, 64)]
     } else {
         vec![(512, 8)]
     }
+}
+
+/// The shape the `--check` re-measurement anchor runs at: large enough
+/// that the window scan (not per-call overhead) dominates, so the batch
+/// speedup is stable under scheduler noise, yet cheap enough for CI.
+pub const QUICK_SHAPE: (usize, usize) = (1_024, 16);
+
+/// The quick-shape batched-vs-auto speedup: the cheap re-measurement
+/// `--check` runs against the committed `quick` section. One shape, two
+/// variants, single attempt (callers take the best of several).
+///
+/// Unlike the grid (two independent timing windows), the two variants are
+/// timed in *alternating* reps inside one window: seconds-scale
+/// interference (co-tenant bursts, frequency drift) then hits both sides
+/// of the ratio alike instead of deflating whichever variant it landed
+/// on, and the per-variant minimum still rejects per-rep jitter. Each
+/// auto rep solves the instance [`BATCH_K`] times so one rep of either
+/// variant covers the same `BATCH_K · n` requests.
+pub fn quick_batch_speedup() -> f64 {
+    let (n, m) = QUICK_SHAPE;
+    let inst = instance(n, m);
+    let reference = solve_naive(&inst).optimal_cost();
+    let insts: Vec<Instance<f64>> = (0..BATCH_K)
+        .map(|j| instance_seeded(n, m, 42 + j as u64))
+        .collect();
+    let refs: Vec<f64> = insts
+        .iter()
+        .map(|i| solve_naive(i).optimal_cost())
+        .collect();
+    let views: Vec<&Instance<f64>> = insts.iter().collect();
+    let mut ws = SolverWorkspace::new();
+    let mut bws = BatchWorkspace::new();
+
+    let mut auto_rep = || {
+        for _ in 0..BATCH_K {
+            assert!((solve_auto_in(&inst, &mut ws).optimal_cost() - reference).abs() < 1e-6);
+        }
+    };
+    let mut batch_rep = || {
+        solve_batch_in(&views, &mut bws);
+        for (k, &r) in refs.iter().enumerate() {
+            assert!(
+                (bws.optimal_cost(k) - r).abs() < 1e-6,
+                "batch solver disagreement"
+            );
+        }
+    };
+
+    // Warm-up both variants (pages, predictors, buffer high-water marks).
+    auto_rep();
+    batch_rep();
+
+    let mut best_auto = f64::INFINITY;
+    let mut best_batch = f64::INFINITY;
+    let mut pairs = 0u32;
+    let t0 = Instant::now();
+    loop {
+        let t = Instant::now();
+        auto_rep();
+        best_auto = best_auto.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        batch_rep();
+        best_batch = best_batch.min(t.elapsed().as_secs_f64());
+        pairs += 1;
+        if pairs >= 3 && t0.elapsed().as_secs_f64() >= 2.0 * TARGET_SECS {
+            break;
+        }
+    }
+    best_auto / best_batch
 }
 
 /// Times one end-to-end parallel sweep; returns (cells, seeds, cells/sec).
@@ -193,6 +311,7 @@ pub fn report(scale: Scale) -> Json {
         .map(|(n, m)| measure_point(n, m))
         .collect();
     let last = points.last().expect("grid is never empty");
+    let quick_speedup = quick_batch_speedup();
     let (cells, seeds, cells_per_sec) = sweep_rate(scale);
 
     let grid_json = Json::Arr(
@@ -212,6 +331,7 @@ pub fn report(scale: Scale) -> Json {
                             ("compact_workspace".into(), Json::Float(p.compact_workspace)),
                             ("naive".into(), Json::Float(p.naive)),
                             ("auto_workspace".into(), Json::Float(p.auto_workspace)),
+                            ("batch".into(), Json::Float(p.batch)),
                         ]),
                     ),
                     (
@@ -222,13 +342,17 @@ pub fn report(scale: Scale) -> Json {
                         "speedup_workspace_vs_fast".into(),
                         Json::Float(p.speedup_vs_fast()),
                     ),
+                    (
+                        "speedup_batch_vs_auto".into(),
+                        Json::Float(p.speedup_batch_vs_auto()),
+                    ),
                 ])
             })
             .collect(),
     );
 
     Json::Obj(vec![
-        ("schema".into(), Json::Str("bench-solver/2".into())),
+        ("schema".into(), Json::Str("bench-solver/3".into())),
         ("grid".into(), grid_json),
         (
             "crossover".into(),
@@ -251,6 +375,28 @@ pub fn report(scale: Scale) -> Json {
             ]),
         ),
         (
+            "batch_acceptance".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::Int(last.n as i64)),
+                ("m".into(), Json::Int(last.m as i64)),
+                ("k".into(), Json::Int(BATCH_K as i64)),
+                ("speedup".into(), Json::Float(last.speedup_batch_vs_auto())),
+                ("target".into(), Json::Float(BATCH_SPEEDUP_TARGET)),
+                (
+                    "met".into(),
+                    Json::Bool(last.speedup_batch_vs_auto() >= BATCH_SPEEDUP_TARGET),
+                ),
+            ]),
+        ),
+        (
+            "quick".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::Int(QUICK_SHAPE.0 as i64)),
+                ("m".into(), Json::Int(QUICK_SHAPE.1 as i64)),
+                ("batch_speedup_vs_auto".into(), Json::Float(quick_speedup)),
+            ]),
+        ),
+        (
             "sweep".into(),
             Json::Obj(vec![
                 ("cells".into(), Json::Int(cells as i64)),
@@ -265,6 +411,101 @@ pub fn report(scale: Scale) -> Json {
     ])
 }
 
+/// All ns/request keys a bench-solver/3 grid row must carry.
+pub const NS_KEYS: [&str; 8] = [
+    "baseline",
+    "fast",
+    "fast_workspace",
+    "compact",
+    "compact_workspace",
+    "naive",
+    "auto_workspace",
+    "batch",
+];
+
+/// Structural validation of a committed `BENCH_solver.json`: schema tag,
+/// grid rows with every ns/request key positive, crossover, both
+/// acceptance sections and the quick re-measurement anchor. Returns a
+/// human-readable description of the first problem found.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bench-solver/3") => {}
+        other => return Err(format!("schema is {other:?}, expected bench-solver/3")),
+    }
+    let grid = doc
+        .get("grid")
+        .and_then(Json::as_arr)
+        .ok_or("grid missing or not an array")?;
+    if grid.is_empty() {
+        return Err("grid is empty".into());
+    }
+    for (i, row) in grid.iter().enumerate() {
+        for dim in ["n", "m"] {
+            let v = row
+                .get(dim)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("grid[{i}].{dim} missing"))?;
+            if v <= 0 {
+                return Err(format!("grid[{i}].{dim} = {v} not positive"));
+            }
+        }
+        let ns = row
+            .get("ns_per_request")
+            .ok_or_else(|| format!("grid[{i}].ns_per_request missing"))?;
+        for key in NS_KEYS {
+            let v = ns
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("grid[{i}].ns_per_request.{key} missing"))?;
+            if v.is_nan() || v <= 0.0 {
+                return Err(format!("grid[{i}].ns_per_request.{key} = {v} not positive"));
+            }
+        }
+        let speedup = row
+            .get("speedup_batch_vs_auto")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("grid[{i}].speedup_batch_vs_auto missing"))?;
+        if speedup.is_nan() || speedup <= 0.0 {
+            return Err(format!("grid[{i}].speedup_batch_vs_auto = {speedup}"));
+        }
+    }
+    doc.get("crossover")
+        .and_then(|c| c.get("cells"))
+        .and_then(Json::as_i64)
+        .ok_or("crossover.cells missing")?;
+    for section in ["acceptance", "batch_acceptance"] {
+        let acc = doc
+            .get(section)
+            .ok_or_else(|| format!("{section} missing"))?;
+        let speedup = acc
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{section}.speedup missing"))?;
+        if speedup.is_nan() || speedup <= 0.0 {
+            return Err(format!("{section}.speedup = {speedup} not positive"));
+        }
+        match acc.get("met") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(format!("{section}.met missing or not a bool")),
+        }
+    }
+    let quick = doc
+        .get("quick")
+        .and_then(|q| q.get("batch_speedup_vs_auto"))
+        .and_then(Json::as_f64)
+        .ok_or("quick.batch_speedup_vs_auto missing")?;
+    if quick.is_nan() || quick <= 0.0 {
+        return Err(format!(
+            "quick.batch_speedup_vs_auto = {quick} not positive"
+        ));
+    }
+    doc.get("sweep")
+        .and_then(|s| s.get("cells_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or("sweep.cells_per_sec missing")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,7 +515,7 @@ mod tests {
         let doc = report(Scale::quick());
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("bench-solver/2")
+            Some("bench-solver/3")
         );
         let crossover = doc.get("crossover").unwrap();
         assert_eq!(
@@ -284,23 +525,32 @@ mod tests {
         let grid = doc.get("grid").and_then(Json::as_arr).unwrap();
         assert!(!grid.is_empty());
         let ns = grid[0].get("ns_per_request").unwrap();
-        for key in [
-            "baseline",
-            "fast",
-            "fast_workspace",
-            "compact",
-            "compact_workspace",
-            "naive",
-            "auto_workspace",
-        ] {
+        for key in NS_KEYS {
             assert!(ns.get(key).and_then(Json::as_f64).unwrap() > 0.0, "{key}");
         }
         let acc = doc.get("acceptance").unwrap();
         assert!(acc.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        let batch_acc = doc.get("batch_acceptance").unwrap();
+        assert!(batch_acc.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            batch_acc.get("k").and_then(Json::as_i64),
+            Some(BATCH_K as i64)
+        );
+        assert!(
+            doc.get("quick")
+                .and_then(|q| q.get("batch_speedup_vs_auto"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        // The document the report emits is exactly what the validator
+        // accepts — `--check` never rejects a freshly generated file.
+        validate(&doc).unwrap();
         // Round-trips through the parser (the file is meant to be diffed
         // and re-read by tooling).
         let reparsed = Json::parse(&doc.to_string_pretty()).unwrap();
         assert_eq!(reparsed.to_string_compact(), doc.to_string_compact());
+        validate(&reparsed).unwrap();
     }
 
     #[test]

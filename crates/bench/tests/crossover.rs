@@ -1,0 +1,75 @@
+//! Regression gate for the `solve_auto` shape dispatch.
+//!
+//! The auto crossover is an empirical constant; nothing ties it to the
+//! hardware the committed trajectory was measured on except this test. For
+//! every grid row of the committed `BENCH_solver.json` it recomputes which
+//! kernel `solve_auto_in` would pick under the *current*
+//! [`AUTO_CROSSOVER_CELLS`] and fails when that pick loses to the best
+//! per-instance kernel by more than [`TOLERANCE`] — the miscalibration the
+//! old 64 Ki threshold had at (4096, 16), where the dispatch kept the
+//! matrix pass exactly at the boundary shape the sweep won by ~30%.
+
+use mcc_core::offline::AUTO_CROSSOVER_CELLS;
+use mcc_model::Json;
+
+/// How far (relative) the auto pick may trail the best kernel on a
+/// committed grid row before the dispatch counts as miscalibrated.
+const TOLERANCE: f64 = 0.15;
+
+fn committed() -> Json {
+    let body = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_solver.json"
+    ))
+    .expect("committed BENCH_solver.json");
+    Json::parse(&body).expect("committed BENCH_solver.json parses")
+}
+
+#[test]
+fn auto_dispatch_never_loses_badly_on_the_committed_grid() {
+    let doc = committed();
+    assert_eq!(
+        doc.get("crossover")
+            .and_then(|c| c.get("cells"))
+            .and_then(Json::as_i64),
+        Some(AUTO_CROSSOVER_CELLS as i64),
+        "committed BENCH_solver.json was generated under a different \
+         AUTO_CROSSOVER_CELLS — regenerate it (cargo run --release -p \
+         mcc-bench --bin bench_solver)"
+    );
+    let grid = doc.get("grid").and_then(Json::as_arr).expect("grid");
+    assert!(!grid.is_empty());
+    for row in grid {
+        let n = row.get("n").and_then(Json::as_i64).expect("n") as usize;
+        let m = row.get("m").and_then(Json::as_i64).expect("m") as usize;
+        let ns = row.get("ns_per_request").expect("ns_per_request");
+        let read = |key: &str| ns.get(key).and_then(Json::as_f64).expect("ns key");
+        let matrix = read("fast_workspace");
+        let sweep = read("naive");
+        // The same rule solve_auto_obs_in applies (`<=` is degenerate
+        // while the calibrated constant sits at 0, but must mirror the
+        // dispatch verbatim).
+        #[allow(clippy::absurd_extreme_comparisons)]
+        let pick = if n * m <= AUTO_CROSSOVER_CELLS {
+            matrix
+        } else {
+            sweep
+        };
+        let best = matrix.min(sweep);
+        assert!(
+            pick <= best * (1.0 + TOLERANCE),
+            "auto dispatch miscalibrated at (n={n}, m={m}): picks a kernel at \
+             {pick:.1} ns/request, {:.0}% behind the best ({best:.1})",
+            (pick / best - 1.0) * 100.0
+        );
+        // And the measured auto path itself must track its pick: if
+        // auto_workspace drifts far from the kernel the rule selects, the
+        // dispatch rule in the binary and the committed file disagree.
+        let auto = read("auto_workspace");
+        assert!(
+            auto <= pick * (1.0 + TOLERANCE),
+            "measured auto_workspace ({auto:.1} ns) trails the dispatched \
+             kernel ({pick:.1} ns) at (n={n}, m={m})"
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`solve_auto`] — shape-based dispatch between the matrix pass and the
 //!   windowed sweep (whichever is empirically faster at the instance's
 //!   `n·m`), used by the sweep hot path;
+//! * [`solve_batch_in`] — the batched SoA kernel: K instances staged into
+//!   one [`BatchWorkspace`] and solved lane by lane, amortizing per-instance
+//!   setup (bit-identical values, no provenance);
 //! * [`solve_quadratic`] — the paper's Θ(n²) straightforward implementation;
 //! * [`brute_force_cost`] — an exponential exact oracle for tiny instances
 //!   sharing no code with the recurrences;
@@ -20,6 +23,7 @@
 //!
 //! One-call conveniences: [`optimal_cost`] and [`optimal_schedule`].
 
+pub mod batch;
 pub mod brute;
 pub mod capped;
 pub mod fast;
@@ -27,6 +31,7 @@ pub mod naive;
 pub mod reconstruct;
 pub mod tables;
 
+pub use batch::{solve_batch_in, solve_batch_obs_in, BatchWorkspace};
 pub use brute::{brute_force_cost, MAX_BRUTE_M, MAX_BRUTE_N};
 pub use capped::{capped_optimal_cost, MAX_CAPPED_M, MAX_CAPPED_N};
 pub use fast::{

@@ -10,7 +10,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use mcc_core::offline::{solve_fast_compact_in, solve_fast_in, SolverWorkspace};
+use mcc_core::offline::{
+    solve_batch_in, solve_fast_compact_in, solve_fast_in, BatchWorkspace, SolverWorkspace,
+};
 use mcc_model::{CostModel, Instance, Request, ServerId};
 
 /// Counts allocation *events* (alloc/realloc/alloc_zeroed) while armed.
@@ -73,6 +75,13 @@ fn warm_workspace_solves_allocate_nothing() {
     let expect = solve_fast_in(&big, &mut ws).optimal_cost();
     let _ = solve_fast_compact_in(&big, &mut ws);
 
+    // Warm the batched kernel at its largest staging (the sweep's chunk
+    // width is 8; warm one wider to cover ragged final chunks).
+    let batch_insts = [&big, &small, &big, &small, &big, &small, &big, &small, &big];
+    let mut bws = BatchWorkspace::new();
+    solve_batch_in(&batch_insts, &mut bws);
+    let batch_expect = bws.optimal_cost(0);
+
     ARMED.store(true, Ordering::SeqCst);
     for _ in 0..5 {
         let got = solve_fast_in(&big, &mut ws).optimal_cost();
@@ -81,6 +90,11 @@ fn warm_workspace_solves_allocate_nothing() {
         let _ = solve_fast_in(&small, &mut ws);
         let _ = solve_fast_compact_in(&small, &mut ws);
         let _ = solve_fast_compact_in(&big, &mut ws);
+        // The warm batched kernel: full restage + solve, zero allocations.
+        solve_batch_in(&batch_insts, &mut bws);
+        assert_eq!(bws.optimal_cost(0), batch_expect);
+        // Smaller batches over the dirty buffers stay free as well.
+        solve_batch_in(&[&small, &big], &mut bws);
     }
     ARMED.store(false, Ordering::SeqCst);
 

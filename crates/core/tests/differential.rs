@@ -8,9 +8,9 @@
 //! at exactly the DP's claimed cost.
 
 use mcc_core::offline::{
-    brute_force_cost, reconstruct, solve_fast, solve_fast_compact_in, solve_fast_compact_with,
-    solve_fast_in, solve_fast_with, solve_naive, solve_naive_with, solve_quadratic_with,
-    SolverWorkspace,
+    brute_force_cost, reconstruct, solve_auto_in, solve_batch_in, solve_fast,
+    solve_fast_compact_in, solve_fast_compact_with, solve_fast_in, solve_fast_with, solve_naive,
+    solve_naive_with, solve_quadratic_with, BatchWorkspace, SolverWorkspace,
 };
 use mcc_model::{validate, CostModel, Fixed, Instance, Prescan, Request, Scalar};
 use proptest::prelude::*;
@@ -154,6 +154,59 @@ proptest! {
         }
     }
 
+    /// The batched kernel over K random instances is bit-identical to K
+    /// independent per-instance solves ([`Fixed`], exact `==` on the full
+    /// `C`/`D` lanes) — staged through a *dirty* workspace, so lane
+    /// boundaries and leftover state from a previous batch can't leak.
+    #[test]
+    fn batch_matches_per_instance_solves_exactly(
+        dirty in (0usize..=3).prop_flat_map(|k| proptest::collection::vec(small_instance(), k)),
+        insts in (0usize..=5).prop_flat_map(|k| proptest::collection::vec(small_instance(), k)),
+    ) {
+        let mut bws = BatchWorkspace::new();
+        let dirty_views: Vec<&Instance<Fixed>> = dirty.iter().collect();
+        solve_batch_in(&dirty_views, &mut bws);
+        let views: Vec<&Instance<Fixed>> = insts.iter().collect();
+        solve_batch_in(&views, &mut bws);
+        prop_assert_eq!(bws.len(), insts.len());
+        let mut ws = SolverWorkspace::new();
+        for (k, inst) in insts.iter().enumerate() {
+            let scalar = solve_fast_in(inst, &mut ws);
+            prop_assert_eq!(bws.c(k), &scalar.c[..], "C lane {} on {}", k, inst.to_compact());
+            prop_assert_eq!(bws.d(k), &scalar.d[..], "D lane {} on {}", k, inst.to_compact());
+            prop_assert_eq!(bws.optimal_cost(k), scalar.optimal_cost());
+        }
+    }
+
+    /// The same bit-identity holds for `f64` at scale (`to_bits`
+    /// comparison, no tolerance): the batched lanes reproduce the windowed
+    /// sweep's and the auto dispatch's tables bit for bit, so swapping the
+    /// sweep pipeline onto the batched kernel can never change a result.
+    #[test]
+    fn batch_is_bit_identical_to_auto_at_scale(
+        insts in (1usize..=4).prop_flat_map(|k| proptest::collection::vec(medium_instance(), k)),
+    ) {
+        let views: Vec<&Instance<f64>> = insts.iter().collect();
+        let mut bws = BatchWorkspace::new();
+        solve_batch_in(&views, &mut bws);
+        let mut ws = SolverWorkspace::new();
+        for (k, inst) in insts.iter().enumerate() {
+            let scalar = solve_auto_in(inst, &mut ws);
+            for i in 0..=inst.n() {
+                prop_assert_eq!(
+                    bws.c(k)[i].to_bits(),
+                    scalar.c[i].to_bits(),
+                    "C({}) lane {}", i, k
+                );
+                prop_assert_eq!(
+                    bws.d(k)[i].to_bits(),
+                    scalar.d[i].to_bits(),
+                    "D({}) lane {}", i, k
+                );
+            }
+        }
+    }
+
     /// At scale (f64): both fast variants agree with the naive sweep to
     /// floating-point tolerance, and reconstruction stays feasible.
     #[test]
@@ -173,4 +226,43 @@ proptest! {
         .map_err(|e| TestCaseError::fail(format!("infeasible: {e:?}")))?;
         prop_assert!(validated.total.approx_eq(fast.optimal_cost(), 1e-7));
     }
+}
+
+/// The batched kernel on every degenerate shape at once: an empty batch,
+/// then a mixed batch of n = 0, n = 1, m = 1 and a normal lane — each lane
+/// bit-identical to its per-instance solve, including across the reuse.
+#[test]
+fn batch_handles_degenerate_shapes_exactly() {
+    let empty_n = Instance::<f64>::from_compact("m=3 mu=1 lambda=1 |").unwrap();
+    let one_req = Instance::<f64>::from_compact("m=2 mu=2 lambda=0.5 | s2@1.5").unwrap();
+    let one_server =
+        Instance::<f64>::from_compact("m=1 mu=1 lambda=1 | s1@0.5 s1@1.0 s1@3.5").unwrap();
+    let normal =
+        Instance::<f64>::from_compact("m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6")
+            .unwrap();
+
+    let mut bws = BatchWorkspace::new();
+    // An empty batch is legal and leaves nothing behind.
+    solve_batch_in(&[], &mut bws);
+    assert_eq!(bws.len(), 0);
+    assert!(bws.is_empty());
+
+    let insts = [&empty_n, &one_req, &one_server, &normal];
+    solve_batch_in(&insts, &mut bws);
+    let mut ws = SolverWorkspace::new();
+    for (k, inst) in insts.iter().enumerate() {
+        let scalar = solve_fast_in(inst, &mut ws);
+        assert_eq!(bws.c(k), &scalar.c[..], "C lane {k}");
+        assert_eq!(bws.n_of(k), inst.n(), "lane length {k}");
+        for i in 0..=inst.n() {
+            let (bd, sd) = (bws.d(k)[i], scalar.d[i]);
+            assert!(
+                bd.to_bits() == sd.to_bits(),
+                "D({i}) lane {k}: {bd} vs {sd}"
+            );
+        }
+    }
+    // n = 0 solves to zero cost; a lone request must be cached (μσ + B).
+    assert_eq!(bws.optimal_cost(0), 0.0);
+    assert_eq!(bws.optimal_cost(1), solve_naive(&one_req).optimal_cost());
 }

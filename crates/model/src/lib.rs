@@ -47,7 +47,7 @@ pub use error::{ModelError, Violation};
 pub use ids::ServerId;
 pub use instance::{Instance, InstanceBuf};
 pub use json::{Json, JsonScalar};
-pub use prescan::{Prescan, ServerLists};
+pub use prescan::{Prescan, PrescanBatch, ServerLists};
 pub use request::Request;
 pub use scalar::{Fixed, Scalar, FIXED_SCALE};
 pub use schedule::{CacheInterval, Schedule, Transfer};

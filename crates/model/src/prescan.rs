@@ -219,6 +219,225 @@ impl<S: Scalar> Prescan<S> {
     pub fn total_lower_bound(&self) -> S {
         *self.big_b.last().expect("big_b always has entry 0")
     }
+
+    /// Stages `insts` into one packed [`PrescanBatch`] — the batched
+    /// variant of the pre-scan, one lane per instance. Convenience over
+    /// [`PrescanBatch::push`]; batch callers that stage incrementally
+    /// (and allocation-free) drive a reusable `PrescanBatch` directly.
+    pub fn batch(insts: &[&Instance<S>]) -> PrescanBatch<S> {
+        let mut batch = PrescanBatch::new();
+        for inst in insts {
+            batch.push(inst);
+        }
+        batch
+    }
+}
+
+/// Chunk width of the batched running-bound pass: chunks are unrolled so
+/// the loop control amortizes, while the adds stay in left-to-right order
+/// (see [`PrescanBatch`] — associativity is what keeps the lanes
+/// bit-identical to the scalar [`Prescan`]).
+const BIG_B_CHUNK: usize = 4;
+
+/// Structure-of-arrays pre-scan over a batch of instances.
+///
+/// Where [`Prescan`] derives one instance's `p`/`σ`/`b`/`B` tables as
+/// `Option`-carrying vectors, a `PrescanBatch` packs K instances into
+/// contiguous *lanes*: instance `k` occupies index range
+/// `starts[k]..starts[k+1]` (length `n_k + 1`, entry 0 the boundary
+/// request) of every packed array. The packing changes representation,
+/// never values:
+///
+/// * `p1` stores the previous-request pointer **shifted by one** —
+///   `p(i) + 1`, with `0` encoding the paper's `−∞` dummy. The shift makes
+///   the pivot-window membership test `p(k) < p(i)` (dummy compares below
+///   every real index) a single unsigned compare, `p1[k] < p1[i]`, with no
+///   `Option` discriminant to branch on.
+/// * `sigma` holds `σ_i = t_i − t_{p(i)}` in real lanes and `0` in dummy
+///   lanes (a *safe finite placeholder*, never `∞`: [`Scalar::mul`] must
+///   not see an infinite operand). Dummy entries are masked via `p1`.
+/// * `b` is computed branch-free: `min(λ, μσ)` unconditionally (finite by
+///   the placeholder), then a select on `p1 == 0` pins dummy lanes to `λ`
+///   — exactly [`crate::CostModel::marginal_bound`], without its `Option`
+///   match in the hot loop.
+/// * `big_b` is the running sum over `b`, accumulated in chunks of
+///   `BIG_B_CHUNK` with left-to-right association preserved, so every
+///   entry is bit-identical to the scalar [`Prescan::recompute`] result
+///   (floating-point addition does not reassociate for free).
+///
+/// The batch holds no CSR per-server lists: the batched DP kernel
+/// enumerates pivots from the `p1` lane alone (the windowed sweep), so the
+/// CSR build — a full counting + fill + shift pass per instance in the
+/// scalar pre-scan — is skipped entirely. That is where the amortized
+/// per-instance setup saving comes from.
+///
+/// A `PrescanBatch` is reusable: [`PrescanBatch::clear`] keeps every
+/// buffer's capacity, so staging a new batch of no larger total size
+/// performs no heap allocation.
+#[derive(Clone, Debug)]
+pub struct PrescanBatch<S> {
+    /// Lane boundaries: instance `k` spans `starts[k]..starts[k+1]`.
+    starts: Vec<u32>,
+    /// Per-instance caching rate `μ`.
+    mu: Vec<S>,
+    /// Per-instance transfer charge `λ`.
+    lambda: Vec<S>,
+    /// Packed request times `t_0..t_n` per lane (`t_0 = 0`).
+    pub t: Vec<S>,
+    /// Packed shifted previous-pointers `p(i) + 1` (`0` = dummy).
+    pub p1: Vec<u32>,
+    /// Packed `σ_i` (0 in dummy lanes; mask with `p1`).
+    pub sigma: Vec<S>,
+    /// Packed marginal bounds `b_i = min(λ, μσ_i)`; `b_0 = 0`.
+    pub b: Vec<S>,
+    /// Packed running bounds `B_i`; `B_0 = 0`.
+    pub big_b: Vec<S>,
+    /// Scratch: most recent logical index per server while staging.
+    last_on: Vec<u32>,
+}
+
+impl<S: Scalar> Default for PrescanBatch<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> PrescanBatch<S> {
+    /// An empty batch; buffers grow on first use.
+    pub fn new() -> Self {
+        PrescanBatch {
+            starts: vec![0],
+            mu: Vec::new(),
+            lambda: Vec::new(),
+            t: Vec::new(),
+            p1: Vec::new(),
+            sigma: Vec::new(),
+            b: Vec::new(),
+            big_b: Vec::new(),
+            last_on: Vec::new(),
+        }
+    }
+
+    /// Drops every staged instance, keeping all buffer capacity.
+    pub fn clear(&mut self) {
+        self.starts.clear();
+        self.starts.push(0);
+        self.mu.clear();
+        self.lambda.clear();
+        self.t.clear();
+        self.p1.clear();
+        self.sigma.clear();
+        self.b.clear();
+        self.big_b.clear();
+    }
+
+    /// Number of staged instances `K`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// `true` when no instance is staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lane `k`'s index range into the packed arrays.
+    #[inline]
+    pub fn lane(&self, k: usize) -> std::ops::Range<usize> {
+        self.starts[k] as usize..self.starts[k + 1] as usize
+    }
+
+    /// Requests `n_k` of staged instance `k`.
+    #[inline]
+    pub fn n_of(&self, k: usize) -> usize {
+        (self.starts[k + 1] - self.starts[k]) as usize - 1
+    }
+
+    /// Caching rate `μ` of staged instance `k`.
+    #[inline]
+    pub fn mu_of(&self, k: usize) -> S {
+        self.mu[k]
+    }
+
+    /// Transfer charge `λ` of staged instance `k`.
+    #[inline]
+    pub fn lambda_of(&self, k: usize) -> S {
+        self.lambda[k]
+    }
+
+    /// Stages one instance: appends its lane to every packed array.
+    /// Allocation-free while the buffers' capacity lasts.
+    pub fn push(&mut self, inst: &Instance<S>) {
+        let n = inst.n();
+        let base = self.t.len();
+        let cost = *inst.cost();
+        self.mu.push(cost.mu);
+        self.lambda.push(cost.lambda);
+
+        self.last_on.clear();
+        self.last_on.resize(inst.servers(), NO_REQ);
+        self.last_on[ServerId::ORIGIN.index()] = 0;
+
+        // Pass 1 — times, shifted pointers and raw σ, one scan over the
+        // requests (the same recurrence as `Prescan::recompute`, so σ is
+        // the identical subtraction `t_i − t_{p(i)}`).
+        self.t.push(S::ZERO);
+        self.p1.push(0);
+        self.sigma.push(S::ZERO);
+        for (idx, r) in inst.requests().iter().enumerate() {
+            let i = (idx + 1) as u32;
+            let s = r.server.index();
+            let prev = self.last_on[s];
+            self.t.push(r.time);
+            if prev == NO_REQ {
+                self.p1.push(0);
+                self.sigma.push(S::ZERO);
+            } else {
+                self.p1.push(prev + 1);
+                self.sigma.push(r.time - self.t[base + prev as usize]);
+            }
+            self.last_on[s] = i;
+        }
+
+        // Pass 2 — branch-free marginal bounds over the lane: the
+        // speculative bound `min(λ, μσ)` computes unconditionally (σ = 0
+        // in dummy lanes keeps the product finite), and a select pins
+        // dummy entries to λ. No branch, no Option: the pass
+        // autovectorizes.
+        self.b.push(S::ZERO);
+        for j in base + 1..base + n + 1 {
+            let speculative = cost.lambda.min2(cost.mu.mul(self.sigma[j]));
+            self.b.push(if self.p1[j] == 0 {
+                cost.lambda
+            } else {
+                speculative
+            });
+        }
+
+        // Pass 3 — running bounds in unrolled chunks. The adds stay in
+        // lane order (left-to-right), so `big_b` is bit-identical to the
+        // scalar pre-scan's running sum.
+        self.big_b.push(S::ZERO);
+        let mut running = S::ZERO;
+        let mut j = base + 1;
+        let end = base + n + 1;
+        while j + BIG_B_CHUNK <= end {
+            for step in 0..BIG_B_CHUNK {
+                running = running + self.b[j + step];
+                self.big_b.push(running);
+            }
+            j += BIG_B_CHUNK;
+        }
+        while j < end {
+            running = running + self.b[j];
+            self.big_b.push(running);
+            j += 1;
+        }
+
+        self.starts.push(self.t.len() as u32);
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +545,49 @@ mod tests {
         let scan = Prescan::compute(&fig6());
         assert!((scan.bound_between(2, 6) - 3.6).abs() < 1e-9);
         assert_eq!(scan.bound_between(3, 3), 0.0);
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_prescan_bit_for_bit() {
+        let a = fig6();
+        let b = Instance::<f64>::from_compact("m=2 mu=2 lambda=3 | s2@0.5 s1@1.0 s2@4.5").unwrap();
+        let empty = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 |").unwrap();
+        let batch = Prescan::batch(&[&a, &b, &empty]);
+        assert_eq!(batch.len(), 3);
+        for (k, inst) in [&a, &b, &empty].iter().enumerate() {
+            let scan = Prescan::compute(inst);
+            let lane = batch.lane(k);
+            assert_eq!(batch.n_of(k), inst.n());
+            assert_eq!(batch.mu_of(k), inst.cost().mu);
+            assert_eq!(batch.lambda_of(k), inst.cost().lambda);
+            for i in 0..=inst.n() {
+                let at = lane.start + i;
+                assert_eq!(batch.t[at], inst.t(i), "t lane {k}/{i}");
+                let p1 = scan.p[i].map_or(0, |p| p as u32 + 1);
+                assert_eq!(batch.p1[at], p1, "p1 lane {k}/{i}");
+                if let Some(sigma) = scan.sigma[i] {
+                    assert_eq!(batch.sigma[at], sigma, "sigma lane {k}/{i}");
+                }
+                assert_eq!(batch.b[at], scan.b[i], "b lane {k}/{i}");
+                assert_eq!(batch.big_b[at], scan.big_b[i], "big_b lane {k}/{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_clear_reuses_lanes_without_state_leaks() {
+        let a = fig6();
+        let small = Instance::<f64>::from_compact("m=2 mu=1 lambda=1 | s2@0.5 s1@1.0").unwrap();
+        let mut batch = PrescanBatch::new();
+        batch.push(&a);
+        batch.push(&a);
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&small);
+        let fresh = Prescan::batch(&[&small]);
+        assert_eq!(batch.p1, fresh.p1);
+        assert_eq!(batch.big_b, fresh.big_b);
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]

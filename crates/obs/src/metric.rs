@@ -65,6 +65,15 @@ pub enum Counter {
     SweepChunkGrabs,
     /// Nanoseconds workers spent acquiring chunks from the dispatcher.
     SweepDispatchWaitNanos,
+    // --- batched solver ---------------------------------------------------
+    /// `solve_batch_obs_in` calls (one per filled batch, any size).
+    SolveBatchDispatches,
+    /// Instances solved through the batched kernel.
+    SolveBatchInstances,
+    /// Nanoseconds spent staging batches (generate + SoA prescan fill).
+    SolveBatchStageNanos,
+    /// Nanoseconds spent in the batched DP kernel (all lanes).
+    SolveBatchDpNanos,
 }
 
 /// Last-write / high-water gauges.
@@ -91,11 +100,13 @@ pub enum Hist {
     WorkerUnits,
     /// Per-run competitive ratio, in hundredths (`ratio × 100`).
     RatioCenti,
+    /// Wall time of one batched DP kernel pass (all lanes), nanoseconds.
+    BatchSolveNanos,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = Counter::SweepDispatchWaitNanos as usize + 1;
+    pub const COUNT: usize = Counter::SolveBatchDpNanos as usize + 1;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -124,6 +135,10 @@ impl Counter {
         Counter::SweepUnits,
         Counter::SweepChunkGrabs,
         Counter::SweepDispatchWaitNanos,
+        Counter::SolveBatchDispatches,
+        Counter::SolveBatchInstances,
+        Counter::SolveBatchStageNanos,
+        Counter::SolveBatchDpNanos,
     ];
 
     /// Stable snake_case snapshot key.
@@ -154,6 +169,10 @@ impl Counter {
             Counter::SweepUnits => "sweep_units",
             Counter::SweepChunkGrabs => "sweep_chunk_grabs",
             Counter::SweepDispatchWaitNanos => "sweep_dispatch_wait_nanos",
+            Counter::SolveBatchDispatches => "solve_batch_dispatches",
+            Counter::SolveBatchInstances => "solve_batch_instances",
+            Counter::SolveBatchStageNanos => "solve_batch_stage_nanos",
+            Counter::SolveBatchDpNanos => "solve_batch_dp_nanos",
         }
     }
 }
@@ -178,7 +197,7 @@ impl Gauge {
 
 impl Hist {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = Hist::RatioCenti as usize + 1;
+    pub const COUNT: usize = Hist::BatchSolveNanos as usize + 1;
 
     /// Every histogram, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -186,6 +205,7 @@ impl Hist {
         Hist::SolveNanos,
         Hist::WorkerUnits,
         Hist::RatioCenti,
+        Hist::BatchSolveNanos,
     ];
 
     /// Stable snake_case snapshot key.
@@ -195,6 +215,7 @@ impl Hist {
             Hist::SolveNanos => "solve_nanos",
             Hist::WorkerUnits => "worker_units",
             Hist::RatioCenti => "ratio_centi",
+            Hist::BatchSolveNanos => "batch_solve_nanos",
         }
     }
 }

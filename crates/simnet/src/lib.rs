@@ -47,7 +47,7 @@ pub use planned::{
 };
 pub use runner::{
     factory, fold_fault_stats, FaultOutcome, PolicyFactory, RunMode, RunPolicy, RunRequest,
-    RunWorkspace, SeedResult,
+    RunWorkspace, SeedResult, BATCH_UNITS,
 };
 #[allow(deprecated)]
 pub use runner::{

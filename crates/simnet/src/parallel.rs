@@ -132,6 +132,7 @@ fn worker_shard(
     let mut req = RunRequest::new(RunMode::Plain).with_sink(sink);
     let mut shard: Vec<(usize, SeedResult)> = Vec::new();
     let mut current: Option<(usize, RunPolicy)> = None;
+    let mut batch_out: Vec<SeedResult> = Vec::new();
     let mut done: u64 = 0;
     loop {
         let t0 = sink.enabled().then(Instant::now);
@@ -146,9 +147,19 @@ fn worker_shard(
             break;
         }
         sink.add(Counter::SweepChunkGrabs, 1);
-        for unit in start..(start + chunk).min(units) {
+        let end = (start + chunk).min(units);
+        // Split the grabbed chunk into maximal same-cell unit runs and
+        // hand each run to the batched unit path in one call, so the
+        // off-line optima of consecutive units solve through one SoA
+        // kernel pass. Results are bit-identical to the per-unit path
+        // whatever the run boundaries (the batched kernel solves each
+        // lane independently), so chunk geometry stays unobservable.
+        let mut unit = start;
+        while unit < end {
             let cell_idx = unit / seeds.len();
-            let seed = seeds[unit % seeds.len()];
+            let lo = unit % seeds.len();
+            let run_end = end.min((cell_idx + 1) * seeds.len());
+            let run_seeds = &seeds[lo..lo + (run_end - unit)];
             let cell = &cells[cell_idx];
             let stale = !matches!(&current, Some((idx, _)) if *idx == cell_idx);
             if stale {
@@ -156,9 +167,14 @@ fn worker_shard(
                 current = Some((cell_idx, req.policy(cell.policy)));
             }
             if let Some((_, policy)) = current.as_mut() {
-                shard.push((unit, req.run_unit(policy, cell.workload, seed)));
-                done += 1;
+                batch_out.clear();
+                req.run_units(policy, cell.workload, run_seeds, &mut batch_out);
+                for (off, result) in batch_out.drain(..).enumerate() {
+                    shard.push((unit + off, result));
+                    done += 1;
+                }
             }
+            unit = run_end;
         }
     }
     sink.add(Counter::SweepUnits, done);

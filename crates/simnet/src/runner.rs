@@ -30,12 +30,12 @@
 //! measurement: a request with a live sink produces bit-identical
 //! [`SeedResult`]s to one without.
 
-use mcc_core::offline::{solve_auto_obs_in, SolverWorkspace};
+use mcc_core::offline::{solve_auto_obs_in, BatchWorkspace, SolverWorkspace};
 use mcc_core::online::{
     run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, RunRecord, Runtime,
 };
 use mcc_model::Instance;
-use mcc_obs::{Counter, Hist, Sink};
+use mcc_obs::{Counter, Hist, Sink, Span};
 use mcc_workloads::{InstanceBuf, Workload};
 
 use crate::audit::ScheduleAuditor;
@@ -69,6 +69,13 @@ pub struct RunWorkspace {
     gen: InstanceBuf,
     /// Everything a seed measurement needs beyond the instance.
     run: SeedScratch,
+    /// Per-slot generation buffers for the batched unit path — the whole
+    /// chunk's instances must be alive at once so the batched solver can
+    /// stage them into one SoA kernel call.
+    batch_gen: Vec<InstanceBuf>,
+    /// The batched off-line solver ([`mcc_core::offline::BatchWorkspace`]):
+    /// one kernel pass computes every chunk instance's optimum.
+    batch: BatchWorkspace<f64>,
 }
 
 /// The per-seed half of [`RunWorkspace`]: solver tables, runtime record
@@ -97,6 +104,8 @@ impl RunWorkspace {
                 fault_plan: FaultPlan::none(),
                 exhaustive: false,
             },
+            batch_gen: Vec::new(),
+            batch: BatchWorkspace::new(),
         }
     }
 
@@ -265,7 +274,15 @@ impl<'s> RunRequest<'s> {
         seed: u64,
         inst: &Instance<f64>,
     ) -> SeedResult {
-        dispatch(self.mode, policy, seed, inst, &mut self.ws.run, self.sink)
+        dispatch(
+            self.mode,
+            policy,
+            seed,
+            inst,
+            None,
+            &mut self.ws.run,
+            self.sink,
+        )
     }
 
     /// One whole unit — instance generation *and* measurement — in the
@@ -279,6 +296,40 @@ impl<'s> RunRequest<'s> {
         seed: u64,
     ) -> SeedResult {
         unit_core(self.mode, policy, workload, seed, &mut self.ws, self.sink)
+    }
+
+    /// A whole run of consecutive units of one cell, with the off-line
+    /// optima computed through the **batched** solver kernel: the seeds
+    /// are processed in chunks of [`BATCH_UNITS`] — each chunk's instances
+    /// are generated into per-slot buffers, staged into one SoA
+    /// [`BatchWorkspace`] and solved in a single kernel pass, and only
+    /// then does each seed's policy measurement run against its instance
+    /// with the precomputed optimum. Results are **bit-identical** to
+    /// calling [`RunRequest::run_unit`] per seed (the batched kernel
+    /// computes the same `C` tables bit-for-bit; asserted by the
+    /// differential proptests), appended to `out` seed-order.
+    ///
+    /// This is the parallel sweep's worker path: the per-instance solver
+    /// setup (prescan allocation patterns, pointer-matrix builds, CSR
+    /// lists) amortizes across the chunk, which is where the batched
+    /// throughput win comes from. Zero heap allocations once the
+    /// workspace is warm at the chunk shape, live sink included.
+    pub fn run_units(
+        &mut self,
+        policy: &mut RunPolicy,
+        workload: &dyn Workload,
+        seeds: &[u64],
+        out: &mut Vec<SeedResult>,
+    ) {
+        units_batch_core(
+            self.mode,
+            policy,
+            workload,
+            seeds,
+            &mut self.ws,
+            self.sink,
+            out,
+        );
     }
 
     /// Measures `factory()` against `workload` over `seeds`: one policy
@@ -444,28 +495,46 @@ fn dispatch(
     policy: &mut RunPolicy,
     seed: u64,
     inst: &Instance<f64>,
+    opt: Option<f64>,
     ws: &mut SeedScratch,
     sink: &dyn Sink,
 ) -> SeedResult {
     match (mode, policy) {
-        (RunMode::Plain, RunPolicy::Plain(p)) => seed_core(p.as_mut(), seed, inst, ws, sink),
+        (RunMode::Plain, RunPolicy::Plain(p)) => seed_core(p.as_mut(), seed, inst, opt, ws, sink),
         (RunMode::Faulty(spec), RunPolicy::Tolerant(w)) => {
-            seed_faulty_core(w, &spec, seed, inst, ws, sink)
+            seed_faulty_core(w, &spec, seed, inst, opt, ws, sink)
         }
         (RunMode::Oblivious(spec), RunPolicy::Plain(p)) => {
-            seed_oblivious_core(p.as_mut(), &spec, seed, inst, ws, sink)
+            seed_oblivious_core(p.as_mut(), &spec, seed, inst, opt, ws, sink)
         }
         (RunMode::Plain, RunPolicy::Tolerant(w)) => {
             *w.plan_mut() = FaultPlan::none();
-            seed_core(w, seed, inst, ws, sink)
+            seed_core(w, seed, inst, opt, ws, sink)
         }
         (RunMode::Oblivious(spec), RunPolicy::Tolerant(w)) => {
             *w.plan_mut() = FaultPlan::none();
-            seed_oblivious_core(w, &spec, seed, inst, ws, sink)
+            seed_oblivious_core(w, &spec, seed, inst, opt, ws, sink)
         }
         (RunMode::Faulty(spec), RunPolicy::Plain(p)) => {
-            seed_oblivious_core(p.as_mut(), &spec, seed, inst, ws, sink)
+            seed_oblivious_core(p.as_mut(), &spec, seed, inst, opt, ws, sink)
         }
+    }
+}
+
+/// The off-line optimum for a seed: the precomputed batch-kernel value
+/// when the caller staged one, otherwise a fresh auto-dispatched solve.
+/// The two are bit-identical (the batched kernel computes the same `C`
+/// tables bit-for-bit), so which path produced the number is
+/// unobservable in the results — only in the metrics.
+fn opt_cost_for(
+    inst: &Instance<f64>,
+    precomputed: Option<f64>,
+    ws: &mut SeedScratch,
+    sink: &dyn Sink,
+) -> f64 {
+    match precomputed {
+        Some(opt) => opt,
+        None => solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost(),
     }
 }
 
@@ -482,7 +551,7 @@ fn unit_core(
 ) -> SeedResult {
     let t0 = sink.enabled().then(std::time::Instant::now);
     let inst = workload.generate_into(seed, &mut ws.gen);
-    let result = dispatch(mode, policy, seed, inst, &mut ws.run, sink);
+    let result = dispatch(mode, policy, seed, inst, None, &mut ws.run, sink);
     if let Some(t0) = t0 {
         sink.observe(
             Hist::UnitNanos,
@@ -490,6 +559,56 @@ fn unit_core(
         );
     }
     result
+}
+
+/// Chunk width of the batched unit path ([`RunRequest::run_units`]): how
+/// many instances are staged into one batched-solver kernel call. Large
+/// enough to amortize per-instance setup, small enough that a chunk's
+/// instances (all alive at once) stay cache-resident at sweep shapes.
+pub const BATCH_UNITS: usize = 8;
+
+/// The batched unit path: generation and the off-line optima run chunked
+/// through the SoA batch kernel, then each seed's policy measurement runs
+/// with its precomputed optimum. One [`Hist::UnitNanos`] observation per
+/// seed (covering the measurement half; the shared staging + kernel time
+/// lands in the batch counters), so a sweep's unit accounting is
+/// unchanged.
+fn units_batch_core(
+    mode: RunMode,
+    policy: &mut RunPolicy,
+    workload: &dyn Workload,
+    seeds: &[u64],
+    ws: &mut RunWorkspace,
+    sink: &dyn Sink,
+    out: &mut Vec<SeedResult>,
+) {
+    for chunk in seeds.chunks(BATCH_UNITS) {
+        if ws.batch_gen.len() < chunk.len() {
+            ws.batch_gen.resize_with(chunk.len(), InstanceBuf::new);
+        }
+        ws.batch.clear();
+        {
+            let _stage = Span::start(sink, Counter::SolveBatchStageNanos);
+            for (slot, &seed) in ws.batch_gen.iter_mut().zip(chunk) {
+                let inst = workload.generate_into(seed, slot);
+                ws.batch.push(inst);
+            }
+        }
+        ws.batch.solve_obs(sink);
+        for (j, &seed) in chunk.iter().enumerate() {
+            let t0 = sink.enabled().then(std::time::Instant::now);
+            let opt = ws.batch.optimal_cost(j);
+            let inst = ws.batch_gen[j].instance();
+            let result = dispatch(mode, policy, seed, inst, Some(opt), &mut ws.run, sink);
+            if let Some(t0) = t0 {
+                sink.observe(
+                    Hist::UnitNanos,
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
+            out.push(result);
+        }
+    }
 }
 
 /// One cell (one policy instance, reset per run, over a seed range)
@@ -512,6 +631,7 @@ fn seed_core(
     policy: &mut dyn OnlinePolicy<f64>,
     seed: u64,
     inst: &Instance<f64>,
+    precomputed_opt: Option<f64>,
     ws: &mut SeedScratch,
     sink: &dyn Sink,
 ) -> SeedResult {
@@ -526,7 +646,7 @@ fn seed_core(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
+    let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
     let result = SeedResult {
         seed,
         online_cost: stats.total_cost,
@@ -550,6 +670,7 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
     spec: &FaultSpec,
     seed: u64,
     inst: &Instance<f64>,
+    precomputed_opt: Option<f64>,
     ws: &mut SeedScratch,
     sink: &dyn Sink,
 ) -> SeedResult {
@@ -573,7 +694,7 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
+    let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
     let online_cost = stats.total_cost + fstats.retry_cost;
     let result = SeedResult {
         seed,
@@ -598,6 +719,7 @@ fn seed_oblivious_core(
     spec: &FaultSpec,
     seed: u64,
     inst: &Instance<f64>,
+    precomputed_opt: Option<f64>,
     ws: &mut SeedScratch,
     sink: &dyn Sink,
 ) -> SeedResult {
@@ -620,7 +742,7 @@ fn seed_oblivious_core(
         ws.exhaustive,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
-    let opt = solve_auto_obs_in(inst, &mut ws.solver, sink).optimal_cost();
+    let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
     let result = SeedResult {
         seed,
         online_cost: stats.total_cost,
@@ -660,7 +782,7 @@ pub fn run_seed_in(
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
 ) -> SeedResult {
-    seed_core(policy, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_core(policy, seed, inst, None, &mut ws.run, mcc_obs::noop())
 }
 
 /// One fault-injected seed measurement with the fault-tolerant wrapper.
@@ -675,7 +797,15 @@ pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
 ) -> SeedResult {
-    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_faulty_core(
+        wrapped,
+        spec,
+        seed,
+        inst,
+        None,
+        &mut ws.run,
+        mcc_obs::noop(),
+    )
 }
 
 /// One fault-injected seed measurement with an *oblivious* policy.
@@ -690,7 +820,7 @@ pub fn run_seed_oblivious_in(
     inst: &Instance<f64>,
     ws: &mut RunWorkspace,
 ) -> SeedResult {
-    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_oblivious_core(policy, spec, seed, inst, None, &mut ws.run, mcc_obs::noop())
 }
 
 /// One whole fault-free unit (generation + measurement).
@@ -705,7 +835,7 @@ pub fn run_unit_in(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_core(policy, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_core(policy, seed, inst, None, &mut ws.run, mcc_obs::noop())
 }
 
 /// One whole fault-injected unit with the fault-tolerant wrapper.
@@ -721,7 +851,15 @@ pub fn run_unit_faulty_in<P: OnlinePolicy<f64>>(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_faulty_core(wrapped, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_faulty_core(
+        wrapped,
+        spec,
+        seed,
+        inst,
+        None,
+        &mut ws.run,
+        mcc_obs::noop(),
+    )
 }
 
 /// One whole fault-injected unit with an *oblivious* policy.
@@ -737,7 +875,7 @@ pub fn run_unit_oblivious_in(
     ws: &mut RunWorkspace,
 ) -> SeedResult {
     let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_oblivious_core(policy, spec, seed, inst, &mut ws.run, mcc_obs::noop())
+    seed_oblivious_core(policy, spec, seed, inst, None, &mut ws.run, mcc_obs::noop())
 }
 
 /// Measures `policy_factory()` against `workload` over `seeds`.

@@ -166,9 +166,53 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
          must not touch the heap ({events} allocation events)"
     );
 
+    // Batched path: `run_units` hands the whole seed chunk to the batched
+    // solver — generation staged into per-slot buffers, one SoA solve,
+    // precomputed optima threaded to the seed cores. Warm, a full batched
+    // sweep chunk must stay off the heap too, and agree with the scalar
+    // unit pipeline seed for seed.
+    EVENTS.store(0, Ordering::SeqCst);
+    let seeds: Vec<u64> = (0..4u64).collect();
+    let mut out = Vec::new();
+    req_plain.run_units(&mut p_plain, &workload, &seeds, &mut out);
+    req_faulty.run_units(&mut p_tol, &workload, &seeds, &mut out);
+    runs += 8;
+    for (i, r) in out.iter().take(4).enumerate() {
+        assert_eq!(r.online_cost, unit_expect[i].0, "batched vs unit, plain");
+    }
+    for (i, r) in out.iter().skip(4).enumerate() {
+        assert_eq!(r.online_cost, unit_expect[i].1, "batched vs unit, faulty");
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        out.clear();
+        req_plain.run_units(&mut p_plain, &workload, &seeds, &mut out);
+        req_faulty.run_units(&mut p_tol, &workload, &seeds, &mut out);
+        runs += 8;
+        for (i, r) in out.iter().take(4).enumerate() {
+            assert_eq!(r.online_cost, unit_expect[i].0);
+        }
+        for (i, r) in out.iter().skip(4).enumerate() {
+            assert_eq!(r.online_cost, unit_expect[i].1);
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let events = EVENTS.load(Ordering::SeqCst);
+    assert_eq!(
+        events, 0,
+        "steady-state batched units (staging + SoA solve + run, live sink \
+         attached) must not touch the heap ({events} allocation events)"
+    );
+
     // The sink really was live the whole time: every run above landed in
     // the registry (snapshotting is allowed to allocate — we are disarmed).
     let snap = reg.snapshot();
     assert_eq!(snap.counter(Counter::Runs), runs);
     assert!(snap.counter(Counter::SolveNanos) > 0, "spans recorded");
+    assert!(
+        snap.counter(Counter::SolveBatchDispatches) > 0,
+        "the batched path really ran"
+    );
 }
