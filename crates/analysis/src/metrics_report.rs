@@ -121,27 +121,55 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
         + snap.counter(Counter::FaultFailovers)
         + snap.counter(Counter::FaultEvacuations)
         + snap.counter(Counter::FaultCopiesLost)
-        + snap.counter(Counter::FaultDownServes);
+        + snap.counter(Counter::FaultDownServes)
+        + snap.counter(Counter::FaultBurstWindows)
+        + snap.counter(Counter::FaultPartitionWindows)
+        + snap.counter(Counter::FaultBrownoutWindows)
+        + snap.counter(Counter::FaultDeferred);
     if fault_activity > 0 {
         let _ = writeln!(out, "fault layer");
         let _ = writeln!(
             out,
-            "  crash windows: {crash_windows}  copies lost: {}  down-serves: {}",
-            snap.counter(Counter::FaultCopiesLost),
-            snap.counter(Counter::FaultDownServes)
+            "  crash windows: {crash_windows} (bursts: {})  partitions: {}  brownouts: {}",
+            snap.counter(Counter::FaultBurstWindows),
+            snap.counter(Counter::FaultPartitionWindows),
+            snap.counter(Counter::FaultBrownoutWindows)
         );
         let _ = writeln!(
             out,
-            "  retries: {}  failovers: {}  evacuations: {}  adopted replicas: {}",
+            "  copies lost: {}  down-serves: {}  reseeds: {}",
+            snap.counter(Counter::FaultCopiesLost),
+            snap.counter(Counter::FaultDownServes),
+            snap.counter(Counter::FaultReseeds)
+        );
+        let _ = writeln!(
+            out,
+            "  retries: {}  failovers: {}  evacuations: {}  adopted replicas: {}  \
+             budget exhaustions: {}",
             snap.counter(Counter::FaultRetries),
             snap.counter(Counter::FaultFailovers),
             snap.counter(Counter::FaultEvacuations),
-            snap.counter(Counter::FaultAdoptedReplicas)
+            snap.counter(Counter::FaultAdoptedReplicas),
+            snap.counter(Counter::FaultBudgetExhausted)
         );
+        let deferred = snap.counter(Counter::FaultDeferred);
+        if deferred > 0 {
+            let _ = writeln!(
+                out,
+                "  degraded queue: deferred {deferred}  replayed {}  dropped {}  \
+                 partition deferrals {}",
+                snap.counter(Counter::FaultReplayed),
+                snap.counter(Counter::FaultDropped),
+                snap.counter(Counter::FaultPartitionDeferrals)
+            );
+        }
         let _ = writeln!(
             out,
-            "  retry surcharge (λ): {}",
-            fnum(cost(snap.counter(Counter::FaultRetryCostMicros)))
+            "  surcharges (λ): retry {}  replay {}  reseed {}  brownout (μ excess) {}",
+            fnum(cost(snap.counter(Counter::FaultRetryCostMicros))),
+            fnum(cost(snap.counter(Counter::FaultReplayCostMicros))),
+            fnum(cost(snap.counter(Counter::FaultReseedCostMicros))),
+            fnum(cost(snap.counter(Counter::FaultBrownoutCostMicros)))
         );
     }
 
@@ -178,6 +206,13 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
         );
         hist_line(&mut out, "worker units", snap.hist(Hist::WorkerUnits), "");
         hist_line(&mut out, "ratio ×100", snap.hist(Hist::RatioCenti), "");
+        hist_line(&mut out, "queue peak", snap.hist(Hist::FaultQueuePeak), "");
+        hist_line(
+            &mut out,
+            "backoff wait",
+            snap.hist(Hist::FaultBackoffWaitMicros),
+            "µs",
+        );
     }
 
     out
@@ -210,10 +245,17 @@ mod tests {
         reg.add(Counter::SolveBatchDpNanos, 2_000_000);
         reg.add(Counter::SolveNanos, 8_000_000);
         reg.add(Counter::FaultCrashWindows, 2);
+        reg.add(Counter::FaultBurstWindows, 1);
+        reg.add(Counter::FaultPartitionWindows, 3);
+        reg.add(Counter::FaultDeferred, 5);
+        reg.add(Counter::FaultReplayed, 4);
+        reg.add(Counter::FaultDropped, 1);
         reg.add(Counter::SweepWorkers, 2);
         reg.gauge_max(Gauge::SweepThreads, 2);
         reg.observe(Hist::RatioCenti, 150);
         reg.observe(Hist::RatioCenti, 300);
+        reg.observe(Hist::FaultQueuePeak, 3);
+        reg.observe(Hist::FaultBackoffWaitMicros, 50_000);
         let out = render_metrics(&reg.snapshot());
         for section in [
             "off-line solver",
@@ -225,6 +267,16 @@ mod tests {
             assert!(out.contains(section), "missing `{section}` in:\n{out}");
         }
         assert!(out.contains("transfers: 30 (25%)"), "{out}");
+        assert!(
+            out.contains("crash windows: 2 (bursts: 1)  partitions: 3  brownouts: 0"),
+            "{out}"
+        );
+        assert!(
+            out.contains("degraded queue: deferred 5  replayed 4  dropped 1"),
+            "{out}"
+        );
+        assert!(out.contains("queue peak"), "{out}");
+        assert!(out.contains("backoff wait"), "{out}");
         assert!(out.contains("8ms total"), "{out}");
         assert!(out.contains("batched 12 (75%)"), "{out}");
         assert!(out.contains("batches: 2  stage 1ms  batch dp 2ms"), "{out}");

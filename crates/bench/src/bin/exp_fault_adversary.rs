@@ -1,0 +1,74 @@
+//! E20 — adversarial fault-schedule search.
+//!
+//! Default: runs the full-scale search, prints the report section, and
+//! writes the reproducible worst-case artifact to `E20_adversary.json`
+//! in the current directory. `--quick` is the CI smoke: a small search
+//! budget that must still find an adversarial schedule beating the
+//! random-schedule mean ratio (prints, writes nothing). `--check`
+//! validates the committed `E20_adversary.json` (schema, ratio sanity,
+//! the ≥1.2× gain acceptance, zero auditor findings).
+
+use mcc_bench::exp::{fault_adversary, Scale};
+use mcc_model::Json;
+
+fn check() -> Result<(), String> {
+    let body = std::fs::read_to_string("E20_adversary.json")
+        .map_err(|e| format!("cannot read committed E20_adversary.json: {e}"))?;
+    let doc = Json::parse(&body).map_err(|e| format!("committed E20_adversary.json: {e:?}"))?;
+    fault_adversary::validate(&doc)?;
+    eprintln!("E20_adversary.json: schema, acceptance, and audit gates all pass");
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        if let Err(e) = check() {
+            eprintln!("E20 check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = Scale::from_args();
+    let outcome = fault_adversary::measure(scale);
+    println!("{}", fault_adversary::section(scale).to_markdown());
+
+    if outcome.dirty_runs > 0 {
+        eprintln!(
+            "E20: {} wrapped runs tripped the auditor — hunted bugs, investigate",
+            outcome.dirty_runs
+        );
+        std::process::exit(1);
+    }
+    if quick {
+        // Smoke acceptance: the adversary must beat the random mean even
+        // at the small budget (the 1.2x bar is asserted on the committed
+        // full-scale artifact by --check).
+        if outcome.best.ratio <= outcome.baseline_mean {
+            eprintln!(
+                "E20 smoke failed: adversarial ratio {} does not beat the random mean {}",
+                outcome.best.ratio, outcome.baseline_mean
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if !outcome.met() {
+        eprintln!(
+            "E20: gain {:.3}x below the {:.1}x target — not writing the artifact",
+            outcome.gain(),
+            fault_adversary::GAIN_TARGET
+        );
+        std::process::exit(1);
+    }
+    let doc = fault_adversary::report(scale, &outcome);
+    match std::fs::write("E20_adversary.json", doc.to_string_pretty()) {
+        Ok(()) => eprintln!("wrote E20_adversary.json"),
+        Err(e) => {
+            eprintln!("could not write E20_adversary.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
         exp::prediction::section(scale),
         exp::hetero::section(scale),
         exp::faults::section(scale),
+        exp::fault_adversary::section(scale),
     ];
     let total = sections.len();
     for (k, s) in sections.into_iter().enumerate() {

@@ -12,6 +12,7 @@ pub mod bench_sweep;
 pub mod breakdown;
 pub mod classic;
 pub mod epoch;
+pub mod fault_adversary;
 pub mod faults;
 pub mod figs_offline;
 pub mod figs_online;

@@ -79,6 +79,19 @@ const VALUE_OPTIONS: &[&str] = &[
     "seeds",
     "threads",
     "crash-rate",
+    "mean-downtime",
+    "burst-rate",
+    "burst-coverage",
+    "partition-rate",
+    "partition-mean",
+    "brownout-rate",
+    "brownout-mean",
+    "brownout-factor",
+    "fail-prob",
+    "retry-budget",
+    "backoff-base",
+    "queue-cap",
+    "mean-delay",
     "metrics",
 ];
 /// Bare flags.

@@ -27,8 +27,8 @@ USAGE:
                [--out FILE | --json]
   mcc info     <trace>
   mcc classic  <trace> [--k N]
-  mcc sweep    <family> [--seeds N] [--threads N] [--crash-rate X]
-               [--metrics FILE] [--metrics-report] [generate options]
+  mcc sweep    <family> [--seeds N] [--threads N] [--metrics FILE]
+               [--metrics-report] [fault options] [generate options]
 
 TRACES:   a .json / .csv trace file, a compact-format text file, or an inline
           instance: -c \"m=2 mu=1 lambda=1 | s2@0.5 s1@2.0\"
@@ -37,6 +37,11 @@ POLICIES: sc | sc:alpha=A | sc:epoch=N | sc:randomized=SEED |
 FAMILIES: poisson | zipf | markov | bursty | adversarial
 METRICS:  --metrics FILE writes the versioned metrics/1 JSON snapshot of the
           sweep; --metrics-report appends the rendered text report
+FAULTS:   any positive --crash-rate X, --burst-rate X, --partition-rate X, or
+          --brownout-rate X enables the chaos layer; shaping knobs:
+          --mean-downtime X --burst-coverage P --partition-mean X
+          --brownout-mean X --brownout-factor F --fail-prob P
+          --retry-budget N --backoff-base X --queue-cap N --mean-delay X
 "
     .to_string()
 }
@@ -265,11 +270,65 @@ pub fn classic(args: &ParsedArgs) -> Result<String, String> {
     Ok(table.to_markdown())
 }
 
+/// Assembles the sweep's [`FaultSpec`] from the chaos-layer knobs.
+/// Returns `None` (fault-free sweep) unless at least one fault *source*
+/// — crashes, bursts, partitions, or brownouts — has a positive rate;
+/// the remaining knobs only shape an already-enabled regime.
+fn fault_spec_from_args(args: &ParsedArgs) -> Result<Option<FaultSpec>, String> {
+    let base = FaultSpec::default();
+    let rate = |key: &str, default: f64| -> Result<f64, String> {
+        let v: f64 = args.num_or(key, default)?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("--{key} must be finite and non-negative"));
+        }
+        Ok(v)
+    };
+    let crash_rate = rate("crash-rate", 0.0)?;
+    let burst_rate = rate("burst-rate", 0.0)?;
+    let partition_rate = rate("partition-rate", 0.0)?;
+    let brownout_rate = rate("brownout-rate", 0.0)?;
+    if crash_rate + burst_rate + partition_rate + brownout_rate == 0.0 {
+        return Ok(None);
+    }
+    let burst_coverage = rate("burst-coverage", base.burst_coverage)?;
+    if burst_coverage > 1.0 {
+        return Err("--burst-coverage must be a probability in [0, 1]".into());
+    }
+    let fail_prob = rate("fail-prob", base.fail_prob)?;
+    if fail_prob >= 1.0 {
+        return Err("--fail-prob must be a probability below 1".into());
+    }
+    let brownout_factor = rate("brownout-factor", base.brownout_factor)?;
+    if brownout_factor < 1.0 {
+        return Err("--brownout-factor must be at least 1".into());
+    }
+    Ok(Some(FaultSpec {
+        seed: args.num_or("seed", 0u64)?,
+        crash_rate,
+        mean_downtime: rate("mean-downtime", base.mean_downtime)?,
+        burst_rate,
+        burst_coverage,
+        partition_rate,
+        partition_mean: rate("partition-mean", base.partition_mean)?,
+        brownout_rate,
+        brownout_mean: rate("brownout-mean", base.brownout_mean)?,
+        brownout_factor,
+        fail_prob,
+        retry_budget: args.num_or("retry-budget", base.retry_budget)?,
+        backoff_base: rate("backoff-base", base.backoff_base)?,
+        queue_cap: args.num_or("queue-cap", base.queue_cap)?,
+        mean_delay: rate("mean-delay", base.mean_delay)?,
+        tolerant: true,
+    }))
+}
+
 /// `mcc sweep`: run every built-in policy over `--seeds` seeds of a
 /// workload family through the unified [`sweep_with`] run pipeline and
 /// report mean/worst ratios against the optimum. `--threads` widens the
-/// sweep, `--crash-rate` injects a fault regime (policies run wrapped in
-/// the fault-tolerant layer), `--metrics FILE` exports the `metrics/1`
+/// sweep, the chaos-layer knobs (`--crash-rate`, `--burst-rate`,
+/// `--partition-rate`, `--brownout-rate`, plus shaping options — see
+/// [`fault_spec_from_args`]) inject a fault regime (policies run wrapped
+/// in the fault-tolerant layer), `--metrics FILE` exports the `metrics/1`
 /// JSON snapshot and `--metrics-report` appends the rendered text report.
 pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
     let workload = build_workload(args)?;
@@ -278,15 +337,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
         return Err("--seeds must be at least 1".into());
     }
     let threads: usize = args.num_or("threads", 1usize)?;
-    let crash_rate: f64 = args.num_or("crash-rate", 0.0f64)?;
-    if !crash_rate.is_finite() || crash_rate < 0.0 {
-        return Err("--crash-rate must be a non-negative crash rate".into());
-    }
-    let faults = (crash_rate > 0.0).then(|| FaultSpec {
-        seed: args.num_or("seed", 0u64).unwrap_or(0),
-        crash_rate,
-        ..FaultSpec::default()
-    });
+    let faults = fault_spec_from_args(args)?;
 
     const SPECS: [&str; 4] = ["sc", "follow", "stay-at-origin", "keep-everywhere"];
     // Factories must be infallible, so each spec is validated up front;
@@ -351,6 +402,14 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
                 fs.copies_lost,
                 cr.total_audit_findings()
             );
+            if fs.deferred > 0 || fs.reseeds > 0 || fs.budget_exhausted > 0 {
+                let _ = writeln!(
+                    out,
+                    "  degraded mode: {} deferred ({} replayed, {} dropped), \
+                     {} reseeds, {} budget exhaustions",
+                    fs.deferred, fs.replayed, fs.dropped, fs.reseeds, fs.budget_exhausted
+                );
+            }
         }
     }
     if let Some(path) = args.options.get("metrics") {
@@ -583,6 +642,33 @@ mod tests {
         .unwrap();
         assert!(out.contains("audit findings"), "{out}");
         assert!(run_line("sweep poisson --crash-rate -1").is_err());
+    }
+
+    #[test]
+    fn sweep_chaos_knobs_enable_and_shape_the_fault_layer() {
+        // A partition-only regime enables the chaos layer without any
+        // crashes; deep-chaos knobs all parse and thread through.
+        let out = run_line(
+            "sweep poisson --servers 4 --requests 40 --seeds 3 \
+             --partition-rate 0.3 --partition-mean 0.8 --brownout-rate 0.2 \
+             --brownout-factor 2.5 --burst-rate 0.1 --burst-coverage 0.6 \
+             --crash-rate 0.4 --mean-downtime 1.5 --fail-prob 0.1 \
+             --retry-budget 8 --backoff-base 0.05 --queue-cap 4 \
+             --mean-delay 0.05 --metrics-report",
+        )
+        .unwrap();
+        assert!(out.contains("audit findings"), "{out}");
+        assert!(out.contains("fault layer"), "{out}");
+        assert!(out.contains("partitions:"), "{out}");
+        // Invalid shapes are rejected with the offending knob named.
+        for bad in [
+            "sweep poisson --burst-rate 0.1 --burst-coverage 1.5",
+            "sweep poisson --crash-rate 0.1 --fail-prob 1.0",
+            "sweep poisson --brownout-rate 0.1 --brownout-factor 0.5",
+            "sweep poisson --partition-rate -2",
+        ] {
+            assert!(run_line(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

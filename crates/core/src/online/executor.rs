@@ -60,6 +60,9 @@ pub struct RunStats<S> {
     pub transfers: usize,
     /// Requests served from a local live copy.
     pub cache_hits: usize,
+    /// Requests deferred into a degraded-mode queue ([`ServeAction::Deferred`])
+    /// instead of being served in-schedule. Zero for fault-free policies.
+    pub deferred: usize,
 }
 
 /// Runs `policy` over `inst`'s request sequence on a caller-provided
@@ -78,11 +81,15 @@ pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
     policy.reset(inst.servers(), inst.cost());
     rt.reset(inst.servers());
     let mut cache_hits = 0usize;
+    let mut deferred = 0usize;
     for i in 1..=inst.n() {
-        if let ServeAction::Cache = policy.on_request(inst.t(i), inst.server(i), rt) {
-            cache_hits += 1;
+        match policy.on_request(inst.t(i), inst.server(i), rt) {
+            ServeAction::Cache => cache_hits += 1,
+            ServeAction::Deferred => deferred += 1,
+            ServeAction::Transfer { .. } => {}
         }
     }
+    policy.on_finish();
     let horizon = inst.horizon();
     let record = if inst.n() == 0 {
         // No service period at all: the initial copy never speculates.
@@ -106,6 +113,7 @@ pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
         transfer_cost,
         transfers: record.transfers.len(),
         cache_hits,
+        deferred,
     };
     (stats, record)
 }
@@ -127,6 +135,7 @@ pub fn run_policy<S: Scalar, P: OnlinePolicy<S> + ?Sized>(
         let action = policy.on_request(inst.t(i), inst.server(i), &mut rt);
         actions.push(action);
     }
+    policy.on_finish();
     let horizon = inst.horizon();
     let record = if inst.n() == 0 {
         // No service period at all: the initial copy never speculates.

@@ -1,11 +1,16 @@
 //! Fault model and the fault-tolerant policy wrapper.
 //!
 //! A [`FaultPlan`] is a deterministic description of everything that goes
-//! wrong during one run: server crash/recovery windows, transfer failures
-//! (a transfer attempt that must be retried, each failed attempt paying a
-//! full `λ`), and transfer delays. Plans are plain data — the seed-driven
-//! generator lives in `mcc-simnet` — so the same plan can degrade an
-//! online run and an off-line plan execution identically.
+//! wrong during one run: server crash/recovery windows (independent or
+//! correlated bursts — the plan stores only the resulting windows),
+//! network partitions (timed windows during which transfers between the
+//! two sides are illegal), brownouts (a server stays up but its `μ`/`λ`
+//! costs are multiplied by a degradation factor for a window), transfer
+//! failures (each failed attempt pays a full `λ`, drawn against a per-run
+//! retry budget with exponential backoff), and transfer delays. Plans are
+//! plain data — the seed-driven generator lives in `mcc-simnet` — so the
+//! same plan can degrade an online run and an off-line plan execution
+//! identically.
 //!
 //! [`FaultTolerant`] wraps any [`OnlinePolicy`] and makes it survive a
 //! plan. The wrapped policy keeps issuing operations against what it
@@ -15,37 +20,74 @@
 //! * a **crash** closes the server's live copy at the crash instant
 //!   (copies do not survive an outage — cached state is volatile);
 //! * a **touch on a crash-lost copy** becomes a failover transfer from the
-//!   cheapest surviving replica (uniform `λ` makes every source equally
-//!   cheap, so "cheapest" resolves to the most recently used live copy,
-//!   whose speculative window has the longest remaining life);
-//! * a **transfer from a crash-lost source** fails over the source the
-//!   same way;
+//!   cheapest surviving replica on the requester's partition side (uniform
+//!   `λ` makes every legal source equally cheap, so "cheapest" resolves to
+//!   the most recently used live copy, whose speculative window has the
+//!   longest remaining life);
+//! * a **transfer from a crash-lost, down, or partition-severed source**
+//!   fails over the source the same way;
 //! * a **transfer onto a server that already holds a management replica**
 //!   adopts the replica instead (a local serve, no `λ` paid);
 //! * a **transfer onto a server that is currently down** degrades to a
 //!   remote read: the copy serves the request instant and is dropped
 //!   (`λ` paid, no caching accrues — the same shape `StayAtOrigin` uses);
 //! * whenever a crash leaves a **single live copy** while more crashes are
-//!   still to come, the wrapper re-replicates to the lowest-indexed up
-//!   server (emergency re-replication, one `λ`); if every other server is
-//!   down, the replication is pended and executed at the next recovery.
+//!   still to come, the wrapper re-replicates to the lowest-indexed up,
+//!   reachable server (emergency re-replication, one `λ`); if no target is
+//!   legal, the replication is pended and executed at the next recovery.
 //!
-//! Transfer failures never abort service: the plan prescribes how many
-//! attempts fail before one succeeds ([`FaultPlan::failed_attempts`]), and
-//! the wrapper charges each failed attempt a full `λ` as a retry
-//! surcharge, tracked in [`FaultStats::retry_cost`] *outside* the
-//! schedule (the schedule records the successful attempt only, keeping it
-//! referee-valid).
+//! # Degraded mode (total outage)
+//!
+//! There is no "at least one server is always up" invariant: a plan may
+//! down every server at once (a zone outage, or any crash on an `m = 1`
+//! cluster). When the last live copy is lost, the wrapper enters degraded
+//! mode: requests are **deferred** into a bounded offline queue
+//! ([`ServeAction::Deferred`]) — buffered up to [`FaultPlan::queue_cap`],
+//! then **dropped with explicit accounting** — and **replayed at first
+//! recovery** (one `λ` remote read each, [`FaultStats::replay_cost`]). At
+//! the first recovery instant the wrapper **reseeds** a copy from durable
+//! storage on the lowest-indexed up server ([`CopyOps::reseed`], one `λ`
+//! in [`FaultStats::reseed_cost`]); an end-of-run queue is replayed in
+//! [`OnlinePolicy::on_finish`]. Requests that cannot reach any live copy
+//! across an active partition defer the same way and replay when the
+//! partition lifts. When a crash strands the sole copy with every up
+//! server across a partition, the wrapper reseeds from durable storage on
+//! the spot (durable reads need no transfer edge, so partitions cannot
+//! block them) — `live == 0` therefore holds exactly during total
+//! outages. The survival guarantee is: **no request is silently lost and
+//! every cost is accounted** — `deferred == replayed + dropped` after
+//! every run.
+//!
+//! # Retry budget and backoff
+//!
+//! Transfer failures never abort service: [`FaultPlan::draw_failures`]
+//! prescribes how many attempts fail before one succeeds (deterministic
+//! geometric draw), charged against a **per-run retry budget**. Each
+//! failed attempt pays a full `λ` surcharge
+//! ([`FaultStats::retry_cost`], *outside* the schedule — the schedule
+//! records the successful attempt only, keeping it referee-valid) and
+//! waits an exponentially growing, deterministically jittered backoff
+//! ([`FaultStats::backoff_wait`], a latency metric like
+//! [`FaultStats::total_delay`]). When the budget runs dry the transfer is
+//! forced through degraded and the exhaustion is surfaced as a typed
+//! count ([`FaultStats::budget_exhausted`]) instead of a panic-adjacent
+//! dead end.
 //!
 //! With a trivial plan ([`FaultPlan::none`]) the wrapper is an exact
 //! pass-through: every operation reaches the runtime unchanged, so
 //! fault-free wrapped runs are bit-identical to unwrapped runs (asserted
 //! by the property tests in `mcc-simnet`).
 
+// The chaos layer is reachable from user input (CLI fault knobs feed
+// straight into plan expansion), so it carries the same no-panic bar as
+// mcc-simnet / mcc-cli: CI greps for unwrap/expect and clippy enforces
+// the lints below.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use mcc_model::{CostModel, Scalar, ServerId};
 
 use super::policy::{OnlinePolicy, ServeAction};
-use super::tracker::CopyOps;
+use super::tracker::{CopyOps, RunRecord};
 
 /// One server outage: the server is down over the half-open `[from, to)`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -58,25 +100,146 @@ pub struct CrashWindow {
     pub to: f64,
 }
 
+/// One network partition: over the half-open `[from, to)` the cluster is
+/// split in two sides and transfers between the sides are illegal.
+///
+/// Server `i`'s side is bit `i` of `mask` (servers with index ≥ 64 sit on
+/// side 0). A mask that puts every server on one side partitions nothing.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PartitionWindow {
+    /// Partition start (inclusive).
+    pub from: f64,
+    /// Heal instant (exclusive — transfers are legal again at `to`).
+    pub to: f64,
+    /// Side assignment: bit `i` is server `i`'s side.
+    pub mask: u64,
+}
+
+impl PartitionWindow {
+    /// Which side of this partition `server` sits on.
+    #[inline]
+    pub fn side(&self, server: ServerId) -> u64 {
+        let i = server.index();
+        if i < 64 {
+            (self.mask >> i) & 1
+        } else {
+            0
+        }
+    }
+}
+
+/// One brownout: `server` stays up over the half-open `[from, to)` but its
+/// costs are degraded by `factor > 1` (each unit of caching time costs
+/// `factor·μ`; a transfer touching the server at a browned-out instant
+/// costs `λ·factor`). The excess over the healthy cost is accounted as a
+/// surcharge ([`brownout_surcharge`]), not rewritten into the schedule.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct BrownoutWindow {
+    /// The degraded server.
+    pub server: ServerId,
+    /// Degradation start (inclusive).
+    pub from: f64,
+    /// Recovery instant (exclusive).
+    pub to: f64,
+    /// Cost multiplier (`> 1`; windows with `factor ≤ 1` are dropped).
+    pub factor: f64,
+}
+
+/// Outcome of one transfer-failure draw against the per-run retry budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryDraw {
+    /// Failed attempts actually charged (each pays `λ`), `≤ budget_left`.
+    pub failures: u32,
+    /// The draw wanted more retries than the budget had left: the transfer
+    /// was forced through degraded.
+    pub exhausted: bool,
+}
+
 /// A deterministic description of every fault in one run.
 ///
-/// Invariant expected by [`FaultTolerant`]'s survival guarantee: at every
-/// crash instant at least one server is up (the seed-driven generator in
-/// `mcc-simnet` enforces a cap of `m − 1` concurrent outages). A plan
-/// violating this can extinguish the item; the wrapper then degrades to
-/// unserved requests (reported by the auditor) rather than panicking.
+/// Plans carry no availability invariant: total outages (every server down
+/// at once) are legal, and [`FaultTolerant`] degrades to a bounded offline
+/// request queue instead of relying on a surviving server (see the module
+/// docs). Unwrapped policies run against such plans produce schedules the
+/// auditors flag rather than panics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Outages, sorted by crash instant.
     crashes: Vec<CrashWindow>,
-    /// Seed for the deterministic transfer-failure/delay draws.
+    /// Partitions, sorted by start instant.
+    partitions: Vec<PartitionWindow>,
+    /// Brownouts, sorted by start instant.
+    brownouts: Vec<BrownoutWindow>,
+    /// Seed for the deterministic transfer-failure/delay/backoff draws.
     fail_seed: u64,
     /// Per-attempt transfer failure probability in `[0, 1)`.
     fail_prob: f64,
-    /// Cap on consecutive failed attempts of one transfer.
-    max_failed_attempts: u32,
+    /// Per-run budget of failed transfer attempts.
+    retry_budget: u32,
+    /// First-retry backoff wait; doubles per attempt. `0` disables.
+    backoff_base: f64,
     /// Mean transfer delay (exponential); `0` disables delays.
     mean_delay: f64,
+    /// Degraded-mode queue bound: deferrals past it are dropped.
+    queue_cap: u32,
+    /// Correlated burst events the generator expanded into `crashes`
+    /// (metadata for reporting; the windows themselves are ordinary).
+    bursts: u32,
+}
+
+fn valid_window(from: f64, to: f64) -> bool {
+    from.is_finite() && to.is_finite() && from >= 0.0 && to > from
+}
+
+fn clamp_prob(p: f64) -> f64 {
+    if p.is_finite() {
+        p.clamp(0.0, 0.999)
+    } else {
+        0.0
+    }
+}
+
+fn clamp_nonneg(x: f64) -> f64 {
+    if x.is_finite() {
+        x.max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Coalesces overlapping or touching windows on the same server, leaving
+/// the list sorted by (from, server, to). Correlated bursts can land on
+/// top of base crash windows, but every consumer of the plan — the
+/// wrapper's event stream, both auditors' crash geometry — assumes each
+/// server's downtime windows are disjoint, so the constructors normalize
+/// here. Allocation-free: two in-place unstable sorts and a compaction.
+fn coalesce_crashes(crashes: &mut Vec<CrashWindow>) {
+    crashes.sort_unstable_by(|a, b| {
+        a.server
+            .cmp(&b.server)
+            .then(a.from.total_cmp(&b.from))
+            .then(a.to.total_cmp(&b.to))
+    });
+    if crashes.len() > 1 {
+        let mut w = 0usize;
+        for r in 1..crashes.len() {
+            let cur = crashes[r];
+            let last = &mut crashes[w];
+            if cur.server == last.server && cur.from <= last.to {
+                last.to = last.to.max(cur.to);
+            } else {
+                w += 1;
+                crashes[w] = cur;
+            }
+        }
+        crashes.truncate(w + 1);
+    }
+    crashes.sort_unstable_by(|a, b| {
+        a.from
+            .total_cmp(&b.from)
+            .then(a.server.cmp(&b.server))
+            .then(a.to.total_cmp(&b.to))
+    });
 }
 
 impl FaultPlan {
@@ -84,94 +247,157 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             crashes: Vec::new(),
+            partitions: Vec::new(),
+            brownouts: Vec::new(),
             fail_seed: 0,
             fail_prob: 0.0,
-            max_failed_attempts: 0,
+            retry_budget: 0,
+            backoff_base: 0.0,
             mean_delay: 0.0,
+            queue_cap: 64,
+            bursts: 0,
         }
     }
 
     /// Builds a plan from explicit parts. Windows are sorted by crash
     /// instant; malformed windows (non-finite, negative, or empty) are
-    /// dropped. `fail_prob` is clamped to `[0, 0.999]`.
+    /// dropped, and overlapping same-server windows are coalesced.
+    /// `fail_prob` is clamped to `[0, 0.999]`. Partitions and
+    /// brownouts start empty — attach them with
+    /// [`FaultPlan::with_partitions`] / [`FaultPlan::with_brownouts`].
     pub fn new(
         mut crashes: Vec<CrashWindow>,
         fail_seed: u64,
         fail_prob: f64,
-        max_failed_attempts: u32,
+        retry_budget: u32,
         mean_delay: f64,
     ) -> Self {
-        crashes
-            .retain(|w| w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from);
-        crashes.sort_by(|a, b| a.from.total_cmp(&b.from).then(a.server.cmp(&b.server)));
+        crashes.retain(|w| valid_window(w.from, w.to));
+        coalesce_crashes(&mut crashes);
         FaultPlan {
             crashes,
+            partitions: Vec::new(),
+            brownouts: Vec::new(),
             fail_seed,
-            fail_prob: if fail_prob.is_finite() {
-                fail_prob.clamp(0.0, 0.999)
-            } else {
-                0.0
-            },
-            max_failed_attempts,
-            mean_delay: if mean_delay.is_finite() {
-                mean_delay.max(0.0)
-            } else {
-                0.0
-            },
+            fail_prob: clamp_prob(fail_prob),
+            retry_budget,
+            backoff_base: 0.0,
+            mean_delay: clamp_nonneg(mean_delay),
+            queue_cap: 64,
+            bursts: 0,
         }
     }
 
+    /// Attaches partition windows (validated and sorted like crashes).
+    pub fn with_partitions(mut self, mut partitions: Vec<PartitionWindow>) -> Self {
+        partitions.retain(|w| valid_window(w.from, w.to));
+        partitions.sort_by(|a, b| {
+            a.from
+                .total_cmp(&b.from)
+                .then(a.to.total_cmp(&b.to))
+                .then(a.mask.cmp(&b.mask))
+        });
+        self.partitions = partitions;
+        self
+    }
+
+    /// Attaches brownout windows (validated, `factor ≤ 1` dropped, sorted).
+    pub fn with_brownouts(mut self, mut brownouts: Vec<BrownoutWindow>) -> Self {
+        brownouts.retain(|w| valid_window(w.from, w.to) && w.factor.is_finite() && w.factor > 1.0);
+        brownouts.sort_by(|a, b| {
+            a.from
+                .total_cmp(&b.from)
+                .then(a.server.cmp(&b.server))
+                .then(a.to.total_cmp(&b.to))
+        });
+        self.brownouts = brownouts;
+        self
+    }
+
+    /// Sets the retry backoff base wait (`0` disables backoff waits).
+    pub fn with_backoff(mut self, base: f64) -> Self {
+        self.backoff_base = clamp_nonneg(base);
+        self
+    }
+
+    /// Sets the degraded-mode queue bound.
+    pub fn with_queue_cap(mut self, cap: u32) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
     /// Refills this plan in place from explicit parts — the
-    /// capacity-reusing twin of [`FaultPlan::new`] (same window validation
-    /// and sorting, same clamping). A warm plan buffer absorbs a new
-    /// expansion without touching the allocator unless the window count
+    /// capacity-reusing twin of [`FaultPlan::new`] + builders (same window
+    /// validation, same clamping). A warm plan buffer absorbs a new
+    /// expansion without touching the allocator unless a window count
     /// grows past its capacity.
+    #[allow(clippy::too_many_arguments)] // the one generator call site fills every knob
     pub fn assign(
         &mut self,
         crashes: &[CrashWindow],
+        partitions: &[PartitionWindow],
+        brownouts: &[BrownoutWindow],
         fail_seed: u64,
         fail_prob: f64,
-        max_failed_attempts: u32,
+        retry_budget: u32,
+        backoff_base: f64,
         mean_delay: f64,
+        queue_cap: u32,
+        bursts: u32,
     ) {
         self.crashes.clear();
         self.crashes.extend_from_slice(crashes);
-        self.crashes
-            .retain(|w| w.from.is_finite() && w.to.is_finite() && w.from >= 0.0 && w.to > w.from);
-        // Unstable sort on the full window: deterministic (equal keys mean
-        // equal windows) and allocation-free, unlike `new`'s stable sort.
-        self.crashes.sort_unstable_by(|a, b| {
+        self.crashes.retain(|w| valid_window(w.from, w.to));
+        coalesce_crashes(&mut self.crashes);
+        self.partitions.clear();
+        self.partitions.extend_from_slice(partitions);
+        self.partitions.retain(|w| valid_window(w.from, w.to));
+        self.partitions.sort_unstable_by(|a, b| {
+            a.from
+                .total_cmp(&b.from)
+                .then(a.to.total_cmp(&b.to))
+                .then(a.mask.cmp(&b.mask))
+        });
+        self.brownouts.clear();
+        self.brownouts.extend_from_slice(brownouts);
+        self.brownouts
+            .retain(|w| valid_window(w.from, w.to) && w.factor.is_finite() && w.factor > 1.0);
+        self.brownouts.sort_unstable_by(|a, b| {
             a.from
                 .total_cmp(&b.from)
                 .then(a.server.cmp(&b.server))
                 .then(a.to.total_cmp(&b.to))
         });
         self.fail_seed = fail_seed;
-        self.fail_prob = if fail_prob.is_finite() {
-            fail_prob.clamp(0.0, 0.999)
-        } else {
-            0.0
-        };
-        self.max_failed_attempts = max_failed_attempts;
-        self.mean_delay = if mean_delay.is_finite() {
-            mean_delay.max(0.0)
-        } else {
-            0.0
-        };
+        self.fail_prob = clamp_prob(fail_prob);
+        self.retry_budget = retry_budget;
+        self.backoff_base = clamp_nonneg(backoff_base);
+        self.mean_delay = clamp_nonneg(mean_delay);
+        self.queue_cap = queue_cap;
+        self.bursts = bursts;
     }
 
-    /// Deep-copies `other` into this plan, reusing the window buffer.
+    /// Deep-copies `other` into this plan, reusing the window buffers.
     pub fn copy_from(&mut self, other: &FaultPlan) {
         self.crashes.clone_from(&other.crashes);
+        self.partitions.clone_from(&other.partitions);
+        self.brownouts.clone_from(&other.brownouts);
         self.fail_seed = other.fail_seed;
         self.fail_prob = other.fail_prob;
-        self.max_failed_attempts = other.max_failed_attempts;
+        self.retry_budget = other.retry_budget;
+        self.backoff_base = other.backoff_base;
         self.mean_delay = other.mean_delay;
+        self.queue_cap = other.queue_cap;
+        self.bursts = other.bursts;
     }
 
     /// Whether the plan injects no faults at all.
     pub fn is_trivial(&self) -> bool {
-        self.crashes.is_empty() && self.fail_prob == 0.0 && self.mean_delay == 0.0
+        self.crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.brownouts.is_empty()
+            && self.fail_prob == 0.0
+            && self.mean_delay == 0.0
     }
 
     /// Whether any crash windows exist.
@@ -184,12 +410,86 @@ impl FaultPlan {
         &self.crashes
     }
 
+    /// The partition windows, sorted by start instant.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// The brownout windows, sorted by start instant.
+    pub fn brownouts(&self) -> &[BrownoutWindow] {
+        &self.brownouts
+    }
+
+    /// Correlated burst events expanded into this plan (metadata).
+    pub fn bursts(&self) -> u32 {
+        self.bursts
+    }
+
+    /// The degraded-mode queue bound.
+    pub fn queue_cap(&self) -> u32 {
+        self.queue_cap
+    }
+
+    /// The per-run failed-attempt budget.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// Seed of the deterministic failure/delay/backoff draw stream.
+    pub fn fail_seed(&self) -> u64 {
+        self.fail_seed
+    }
+
+    /// Per-attempt transfer failure probability.
+    pub fn fail_prob(&self) -> f64 {
+        self.fail_prob
+    }
+
+    /// First-retry backoff wait (`0` = backoff disabled).
+    pub fn backoff_base(&self) -> f64 {
+        self.backoff_base
+    }
+
+    /// Mean transfer delay (`0` = delays disabled).
+    pub fn mean_delay(&self) -> f64 {
+        self.mean_delay
+    }
+
     /// Whether `server` is down at instant `t`.
     pub fn is_down(&self, server: ServerId, t: f64) -> bool {
         self.crashes
             .iter()
             .take_while(|w| w.from <= t)
             .any(|w| w.server == server && t < w.to)
+    }
+
+    /// Whether a transfer `a → b` is illegal at `t` because an active
+    /// partition puts the two servers on opposite sides.
+    pub fn partitioned(&self, a: ServerId, b: ServerId, t: f64) -> bool {
+        self.partitions
+            .iter()
+            .take_while(|w| w.from <= t)
+            .any(|w| t < w.to && w.side(a) != w.side(b))
+    }
+
+    /// Whether any partition window covers instant `t`.
+    pub fn partition_active(&self, t: f64) -> bool {
+        self.partitions
+            .iter()
+            .take_while(|w| w.from <= t)
+            .any(|w| t < w.to)
+    }
+
+    /// Summed brownout excess `Σ (factor − 1)` over windows degrading
+    /// `server` at instant `t` (overlapping brownouts stack additively).
+    pub fn brownout_excess(&self, server: ServerId, t: f64) -> f64 {
+        let mut excess = 0.0;
+        for w in self.brownouts.iter().take_while(|w| w.from <= t) {
+            if w.server == server && t < w.to {
+                excess += w.factor - 1.0;
+            }
+        }
+        excess
     }
 
     /// The first crash of `server` strictly after `t`, if any.
@@ -206,13 +506,78 @@ impl FaultPlan {
         self.crashes.last().map_or(f64::NEG_INFINITY, |w| w.from)
     }
 
-    /// How many attempts of the transfer `src → dst` at `t` fail before
-    /// one succeeds. Deterministic in `(fail_seed, src, dst, t)`:
-    /// geometric with per-attempt probability `fail_prob`, capped at
-    /// `max_failed_attempts`.
-    pub fn failed_attempts(&self, src: ServerId, dst: ServerId, t: f64) -> u32 {
-        if self.fail_prob <= 0.0 || self.max_failed_attempts == 0 {
-            return 0;
+    /// Computes the **total-outage** windows — maximal positive-length
+    /// spans over which *every* one of the `servers` servers is down — into
+    /// `out`, reusing the caller's scratch buffers (zero-allocation once
+    /// warm). Over these spans no live copy can exist and the wrapper's
+    /// degraded-mode queue is the only service path; the auditors waive
+    /// coverage and service findings inside them and ground the recovery
+    /// reseed at each span's end.
+    pub fn total_outages_into(
+        &self,
+        servers: usize,
+        events: &mut Vec<(f64, u8, u32)>,
+        depth: &mut Vec<u32>,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        out.clear();
+        if servers == 0 {
+            return;
+        }
+        events.clear();
+        for w in &self.crashes {
+            if w.server.index() < servers {
+                events.push((w.from, 0, w.server.index() as u32));
+                events.push((w.to, 1, w.server.index() as u32));
+            }
+        }
+        // Starts sort before ends at equal instants, matching the
+        // half-open `[from, to)` union semantics of `is_down`.
+        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        depth.clear();
+        depth.resize(servers, 0);
+        let mut down = 0usize;
+        let mut start = 0.0f64;
+        for &(t, kind, s) in events.iter() {
+            let s = s as usize;
+            if kind == 0 {
+                if depth[s] == 0 {
+                    down += 1;
+                    if down == servers {
+                        start = t;
+                    }
+                }
+                depth[s] += 1;
+            } else {
+                depth[s] -= 1;
+                if depth[s] == 0 {
+                    if down == servers && t > start {
+                        out.push((start, t));
+                    }
+                    down -= 1;
+                }
+            }
+        }
+    }
+
+    /// Draws how many attempts of the transfer `src → dst` at `t` fail
+    /// before one succeeds, charged against the remaining per-run budget.
+    /// Deterministic in `(fail_seed, src, dst, t)`: geometric with
+    /// per-attempt probability `fail_prob`. A draw wanting more failures
+    /// than `budget_left` charges exactly `budget_left` and reports
+    /// exhaustion (the transfer goes through degraded).
+    pub fn draw_failures(
+        &self,
+        src: ServerId,
+        dst: ServerId,
+        t: f64,
+        budget_left: u32,
+    ) -> RetryDraw {
+        if self.fail_prob <= 0.0 {
+            return RetryDraw {
+                failures: 0,
+                exhausted: false,
+            };
         }
         let mut x = mix(self
             .fail_seed
@@ -220,14 +585,45 @@ impl FaultPlan {
             .wrapping_add((dst.index() as u64) << 16)
             .wrapping_add(t.to_bits()));
         let mut k = 0u32;
-        while k < self.max_failed_attempts {
+        loop {
             x = mix(x);
             if unit(x) >= self.fail_prob {
                 break;
             }
+            if k == budget_left {
+                return RetryDraw {
+                    failures: budget_left,
+                    exhausted: true,
+                };
+            }
             k += 1;
         }
-        k
+        RetryDraw {
+            failures: k,
+            exhausted: false,
+        }
+    }
+
+    /// Total backoff wait for `k` failed attempts of `src → dst` at `t`:
+    /// `Σ base·2^i·jitter_i` with deterministic jitter in `[0.5, 1)` per
+    /// attempt (a latency metric, like [`FaultPlan::delay_for`]).
+    pub fn backoff_wait(&self, src: ServerId, dst: ServerId, t: f64, k: u32) -> f64 {
+        if self.backoff_base <= 0.0 || k == 0 {
+            return 0.0;
+        }
+        let mut h = mix(self
+            .fail_seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add((src.index() as u64) << 36)
+            .wrapping_add((dst.index() as u64) << 18)
+            .wrapping_add(t.to_bits()));
+        let mut total = 0.0;
+        for i in 0..k {
+            h = mix(h);
+            let jitter = 0.5 + 0.5 * unit(h);
+            total += self.backoff_base * (1u64 << i.min(32)) as f64 * jitter;
+        }
+        total
     }
 
     /// Deterministic exponential transfer delay for `src → dst` at `t`
@@ -246,6 +642,46 @@ impl FaultPlan {
             .wrapping_add(t.to_bits()));
         -self.mean_delay * (1.0 - unit(x)).ln()
     }
+}
+
+/// The brownout cost surcharge of one run under `plan`: for every copy
+/// interval, `μ·(factor − 1)` per unit of browned-out caching time; for
+/// every transfer, `λ·max(excess(src), excess(dst))` at the transfer
+/// instant. Zero when the plan has no brownouts. The surcharge is costed
+/// *outside* the schedule (the schedule's own `μ/λ` costs stay healthy)
+/// and added to the reported online cost by the run pipeline; the auditors
+/// recompute it from the same geometry.
+pub fn brownout_surcharge<S: Scalar>(
+    plan: &FaultPlan,
+    rec: &RunRecord<S>,
+    cost: &CostModel<S>,
+) -> f64 {
+    if plan.brownouts().is_empty() {
+        return 0.0;
+    }
+    let mu = cost.mu.to_f64();
+    let lambda = cost.lambda.to_f64();
+    let mut sur = 0.0;
+    for r in &rec.records {
+        for w in plan.brownouts() {
+            if w.server == r.server {
+                let overlap = r.to.to_f64().min(w.to) - r.from.to_f64().max(w.from);
+                if overlap > 0.0 {
+                    sur += (w.factor - 1.0) * mu * overlap;
+                }
+            }
+        }
+    }
+    for t in &rec.transfers {
+        let at = t.at.to_f64();
+        let excess = plan
+            .brownout_excess(t.src, at)
+            .max(plan.brownout_excess(t.dst, at));
+        if excess > 0.0 {
+            sur += lambda * excess;
+        }
+    }
+    sur
 }
 
 /// splitmix64 finalizer: a well-mixed 64-bit hash step.
@@ -279,45 +715,75 @@ pub struct FaultStats {
     pub down_serves: usize,
     /// Periods the system spent at a single live copy after a crash.
     pub copy_loss_windows: usize,
+    /// Requests deferred into the degraded-mode queue (buffered + dropped).
+    pub deferred: usize,
+    /// Deferred requests replayed at recovery (or at run end).
+    pub replayed: usize,
+    /// Deferred requests dropped because the queue bound was hit.
+    pub dropped: usize,
+    /// Peak degraded-mode queue depth.
+    pub queue_peak: usize,
+    /// Deferrals caused by a partition (no reachable live copy), not an
+    /// outage.
+    pub partition_deferrals: usize,
+    /// Copies re-materialized from durable storage after a total outage.
+    pub reseeds: usize,
+    /// Transfers forced through after the retry budget ran dry.
+    pub budget_exhausted: usize,
     /// Total `λ` surcharge paid for failed transfer attempts.
     pub retry_cost: f64,
+    /// Total `λ` surcharge paid replaying deferred requests.
+    pub replay_cost: f64,
+    /// Total `λ` surcharge paid re-materializing copies after outages.
+    pub reseed_cost: f64,
+    /// Brownout cost surcharge of the run (filled by the run pipeline,
+    /// which sees the finalized record geometry).
+    pub brownout_cost: f64,
+    /// Total backoff wait accrued (latency metric, not `λ/μ` cost).
+    pub backoff_wait: f64,
     /// Total transfer latency accrued (latency metric, not `λ/μ` cost).
     pub total_delay: f64,
 }
 
-/// A crash or recovery instant, in the merged per-run event order.
+/// A crash, recovery, or partition-heal instant, in the merged per-run
+/// event order.
 #[derive(Copy, Clone, Debug)]
 enum FaultEvent {
     Up { at: f64 },
+    PartitionEnd { at: f64 },
     Down { server: ServerId, at: f64 },
 }
 
 impl FaultEvent {
     fn at(&self) -> f64 {
         match *self {
-            FaultEvent::Up { at, .. } | FaultEvent::Down { at, .. } => at,
+            FaultEvent::Up { at }
+            | FaultEvent::PartitionEnd { at }
+            | FaultEvent::Down { at, .. } => at,
         }
     }
-    /// Recoveries sort before crashes at the same instant, so a pended
-    /// replication can land on a server recovering exactly when another
-    /// crashes.
+    /// Recoveries sort before heals sort before crashes at the same
+    /// instant, so a pended replication or queue drain can land on a
+    /// server recovering exactly when another crashes.
     fn order(&self) -> u8 {
         match self {
             FaultEvent::Up { .. } => 0,
-            FaultEvent::Down { .. } => 1,
+            FaultEvent::PartitionEnd { .. } => 1,
+            FaultEvent::Down { .. } => 2,
         }
     }
-    /// Sort tiebreak within one instant and kind (recoveries carry no
-    /// server, crashes keep the plan's per-server order).
+    /// Sort tiebreak within one instant and kind (recoveries and heals
+    /// carry no server, crashes keep the plan's per-server order).
     fn server_key(&self) -> usize {
         match *self {
-            FaultEvent::Up { .. } => 0,
+            FaultEvent::Up { .. } | FaultEvent::PartitionEnd { .. } => 0,
             FaultEvent::Down { server, .. } => server.index(),
         }
     }
 }
 
-/// Wraps an online policy with crash/failure handling for a [`FaultPlan`].
+/// Wraps an online policy with crash/partition/failure handling for a
+/// [`FaultPlan`].
 ///
 /// See the module docs for the exact degradation semantics. The inner
 /// policy's believed copy state can drift from reality after a crash; the
@@ -332,11 +798,17 @@ pub struct FaultTolerant<P> {
     next_event: usize,
     pending_replica: bool,
     bootstrapped: bool,
+    /// Degraded-mode queue depth (pure accounting — deferred requests
+    /// carry no payload, so a counter suffices and stays allocation-free).
+    queued: u32,
+    /// Remaining per-run failed-attempt budget.
+    budget_left: u32,
 }
 
 impl<P> FaultTolerant<P> {
     /// Wraps `inner` to run against `plan`.
     pub fn new(inner: P, plan: FaultPlan) -> Self {
+        let budget_left = plan.retry_budget();
         FaultTolerant {
             inner,
             plan,
@@ -346,12 +818,20 @@ impl<P> FaultTolerant<P> {
             next_event: 0,
             pending_replica: false,
             bootstrapped: false,
+            queued: 0,
+            budget_left,
         }
     }
 
     /// The fault counters accumulated by the current run.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Mutable access to the counters (the run pipeline fills
+    /// [`FaultStats::brownout_cost`] after finalization).
+    pub fn stats_mut(&mut self) -> &mut FaultStats {
+        &mut self.stats
     }
 
     /// The plan this wrapper runs against.
@@ -368,7 +848,7 @@ impl<P> FaultTolerant<P> {
     }
 
     /// Replaces the wrapper's plan with a copy of `plan`, reusing the
-    /// existing window buffer. Only between runs, as with
+    /// existing window buffers. Only between runs, as with
     /// [`FaultTolerant::plan_mut`].
     pub fn set_plan(&mut self, plan: &FaultPlan) {
         self.plan.copy_from(plan);
@@ -380,14 +860,19 @@ impl<P> FaultTolerant<P> {
     }
 }
 
-/// The live copy with the latest last touch (ties: lowest index), i.e. the
-/// cheapest surviving replica under uniform `λ`. `exclude` skips the
-/// failed destination itself.
-fn best_source<S: Scalar>(rt: &dyn CopyOps<S>, exclude: Option<ServerId>) -> Option<ServerId> {
+/// The live copy with the latest last touch (ties: lowest index) among
+/// servers that can legally send to `dst` at `t` — i.e. the cheapest
+/// surviving reachable replica under uniform `λ`.
+fn best_source<S: Scalar>(
+    rt: &dyn CopyOps<S>,
+    dst: ServerId,
+    plan: &FaultPlan,
+    t: f64,
+) -> Option<ServerId> {
     let mut best: Option<(S, ServerId)> = None;
     for j in 0..rt.servers() {
         let id = ServerId::from_index(j);
-        if Some(id) == exclude || !rt.is_open(id) {
+        if id == dst || !rt.is_open(id) || plan.partitioned(id, dst, t) {
             continue;
         }
         if let Some(lt) = rt.last_touch(id) {
@@ -404,16 +889,67 @@ fn best_source<S: Scalar>(rt: &dyn CopyOps<S>, exclude: Option<ServerId>) -> Opt
 }
 
 impl<P> FaultTolerant<P> {
-    /// Processes every crash/recovery event at or before `until`.
+    /// Replays the whole degraded-mode queue (one `λ` remote read per
+    /// request; pure accounting — replays never enter the schedule).
+    fn drain_queue(&mut self) {
+        if self.queued > 0 {
+            self.stats.replayed += self.queued as usize;
+            self.stats.replay_cost += self.queued as f64 * self.lambda;
+            self.queued = 0;
+        }
+    }
+
+    /// Buffers one request in the degraded-mode queue (dropping past the
+    /// bound) and reports the deferral.
+    fn defer(&mut self, partition: bool) -> ServeAction {
+        self.stats.deferred += 1;
+        if partition {
+            self.stats.partition_deferrals += 1;
+        }
+        if self.queued < self.plan.queue_cap() {
+            self.queued += 1;
+            self.stats.queue_peak = self.stats.queue_peak.max(self.queued as usize);
+        } else {
+            self.stats.dropped += 1;
+        }
+        ServeAction::Deferred
+    }
+
+    /// Processes every crash/recovery/heal event at or before `until`.
     fn advance_faults<S: Scalar>(&mut self, rt: &mut dyn CopyOps<S>, until: f64) {
         while self.next_event < self.events.len() && self.events[self.next_event].at() <= until {
             let ev = self.events[self.next_event];
             self.next_event += 1;
             match ev {
-                FaultEvent::Up { at, .. } => {
-                    if self.pending_replica && rt.live_copies() == 1 {
-                        self.pending_replica = false;
-                        self.ensure_redundancy(rt, S::from_f64(at));
+                FaultEvent::Up { at } => {
+                    if rt.live_copies() == 0 {
+                        // First recovery after a total outage: re-materialize
+                        // from durable storage on the lowest-indexed up
+                        // server (`λ` accounted in `reseed_cost`), then
+                        // replay the queue.
+                        let target = (0..rt.servers())
+                            .map(ServerId::from_index)
+                            .find(|&s| !self.plan.is_down(s, at));
+                        if let Some(dst) = target {
+                            rt.reseed(dst, S::from_f64(at));
+                            self.stats.reseeds += 1;
+                            self.stats.reseed_cost += self.lambda;
+                            self.drain_queue();
+                            self.ensure_redundancy(rt, S::from_f64(at), true);
+                        }
+                    } else {
+                        self.drain_queue();
+                        if self.pending_replica && rt.live_copies() == 1 {
+                            self.pending_replica = false;
+                            self.ensure_redundancy(rt, S::from_f64(at), false);
+                        }
+                    }
+                }
+                FaultEvent::PartitionEnd { at: _ } => {
+                    // Partition-deferred requests become servable once the
+                    // partition heals (some copy is reachable again).
+                    if rt.live_copies() > 0 {
+                        self.drain_queue();
                     }
                 }
                 FaultEvent::Down { server, at } => {
@@ -427,12 +963,15 @@ impl<P> FaultTolerant<P> {
                     let mut evacuated = false;
                     if rt.live_copies() == 1 {
                         // The sole copy is on the crashing server: evacuate
-                        // it in the instant before the crash takes hold.
-                        // The generator's concurrency cap guarantees an up
-                        // target exists at every crash start.
-                        let target = (0..rt.servers())
-                            .map(ServerId::from_index)
-                            .find(|&s| s != server && !self.plan.is_down(s, at));
+                        // it in the instant before the crash takes hold, if
+                        // any up, reachable target exists. If the whole
+                        // cluster is going dark there is nowhere to go and
+                        // the wrapper enters degraded mode instead.
+                        let target = (0..rt.servers()).map(ServerId::from_index).find(|&s| {
+                            s != server
+                                && !self.plan.is_down(s, at)
+                                && !self.plan.partitioned(server, s, at)
+                        });
                         if let Some(dst) = target {
                             self.charge_transfer(server, dst, ct.to_f64());
                             rt.transfer(server, dst, ct);
@@ -442,7 +981,25 @@ impl<P> FaultTolerant<P> {
                     }
                     rt.close(server, ct);
                     self.stats.copies_lost += 1;
-                    if rt.live_copies() == 1 {
+                    if rt.live_copies() == 0 {
+                        // Evacuation found no reachable target (every up
+                        // server sits across an active partition), yet the
+                        // cluster is not fully dark: reseed from durable
+                        // storage immediately — it needs no transfer edge,
+                        // so the partition cannot block it. This keeps the
+                        // invariant that `live == 0` holds exactly during
+                        // total outages.
+                        let target = (0..rt.servers())
+                            .map(ServerId::from_index)
+                            .find(|&s| !self.plan.is_down(s, at));
+                        if let Some(dst) = target {
+                            rt.reseed(dst, ct);
+                            self.stats.reseeds += 1;
+                            self.stats.reseed_cost += self.lambda;
+                            self.drain_queue();
+                            self.ensure_redundancy(rt, ct, true);
+                        }
+                    } else if rt.live_copies() == 1 {
                         self.stats.copy_loss_windows += 1;
                         if evacuated {
                             // The survivor was created this very instant; it
@@ -451,7 +1008,7 @@ impl<P> FaultTolerant<P> {
                             // the second replica waits for the next event.
                             self.pending_replica = true;
                         } else {
-                            self.ensure_redundancy(rt, ct);
+                            self.ensure_redundancy(rt, ct, false);
                         }
                     }
                 }
@@ -459,10 +1016,13 @@ impl<P> FaultTolerant<P> {
         }
     }
 
-    /// Re-replicates the sole surviving copy to the lowest-indexed up
-    /// server, or pends the replication if everything else is down. A
+    /// Re-replicates the sole surviving copy to the lowest-indexed up,
+    /// reachable server, or pends the replication if no target is legal. A
     /// no-op once no further crash can start (insurance would be wasted).
-    fn ensure_redundancy<S: Scalar>(&mut self, rt: &mut dyn CopyOps<S>, at: S) {
+    /// `grounded` marks a holder that may source a same-instant transfer
+    /// (the origin's initial copy at `t = 0`, or a copy reseeded from
+    /// durable storage this instant).
+    fn ensure_redundancy<S: Scalar>(&mut self, rt: &mut dyn CopyOps<S>, at: S, grounded: bool) {
         if rt.live_copies() != 1 || at.to_f64() > self.plan.last_crash_start() {
             return;
         }
@@ -475,15 +1035,19 @@ impl<P> FaultTolerant<P> {
         };
         // A copy whose latest touch *is* this instant may have been created
         // right now (same-instant relay chains are infeasible); defer unless
-        // it is the origin's initial copy, which grounds transfers at t = 0.
-        let grounded = holder == ServerId::ORIGIN && at.to_f64() == 0.0;
+        // it is grounded — the origin's initial copy at t = 0, or a
+        // durable-storage reseed, both of which legally source transfers at
+        // their creation instant.
+        let grounded = grounded || (holder == ServerId::ORIGIN && at.to_f64() == 0.0);
         if rt.last_touch(holder) == Some(at) && !grounded {
             self.pending_replica = true;
             return;
         }
-        let target = (0..rt.servers())
-            .map(ServerId::from_index)
-            .find(|&s| s != holder && !self.plan.is_down(s, at.to_f64()));
+        let target = (0..rt.servers()).map(ServerId::from_index).find(|&s| {
+            s != holder
+                && !self.plan.is_down(s, at.to_f64())
+                && !self.plan.partitioned(holder, s, at.to_f64())
+        });
         match target {
             None => self.pending_replica = true,
             Some(dst) => {
@@ -494,11 +1058,17 @@ impl<P> FaultTolerant<P> {
         }
     }
 
-    /// Accrues the retry surcharge and delay for one successful transfer.
+    /// Accrues the retry surcharge, backoff wait and delay for one
+    /// successful transfer, drawing against the per-run retry budget.
     fn charge_transfer(&mut self, src: ServerId, dst: ServerId, t: f64) {
-        let k = self.plan.failed_attempts(src, dst, t);
-        self.stats.retries += k as usize;
-        self.stats.retry_cost += k as f64 * self.lambda;
+        let draw = self.plan.draw_failures(src, dst, t, self.budget_left);
+        self.budget_left -= draw.failures;
+        self.stats.retries += draw.failures as usize;
+        self.stats.retry_cost += draw.failures as f64 * self.lambda;
+        self.stats.backoff_wait += self.plan.backoff_wait(src, dst, t, draw.failures);
+        if draw.exhausted {
+            self.stats.budget_exhausted += 1;
+        }
         self.stats.total_delay += self.plan.delay_for(src, dst, t);
     }
 }
@@ -520,6 +1090,9 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
             });
             self.events.push(FaultEvent::Up { at: w.to });
         }
+        for w in self.plan.partitions() {
+            self.events.push(FaultEvent::PartitionEnd { at: w.to });
+        }
         // Unstable but fully keyed (time, kind, server): deterministic for
         // any plan, and no stable-sort merge buffer in the per-run reset.
         self.events.sort_unstable_by(|a, b| {
@@ -531,6 +1104,8 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
         self.next_event = 0;
         self.pending_replica = false;
         self.bootstrapped = false;
+        self.queued = 0;
+        self.budget_left = self.plan.retry_budget();
     }
 
     fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
@@ -539,10 +1114,20 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
             if self.plan.has_crashes() {
                 // Insurance from the start: the origin's sole initial copy
                 // is one crash away from extinction.
-                self.ensure_redundancy(rt, S::ZERO);
+                self.ensure_redundancy(rt, S::ZERO, false);
             }
         }
         self.advance_faults(rt, t.to_f64());
+        if rt.live_copies() == 0 {
+            // Total outage: no copy anywhere, nothing to serve from. Defer
+            // into the degraded-mode queue until first recovery.
+            return self.defer(false);
+        }
+        if !rt.is_open(server) && best_source(rt, server, &self.plan, t.to_f64()).is_none() {
+            // Every live copy sits across an active partition: the serving
+            // transfer is illegal, so the request waits for the heal.
+            return self.defer(true);
+        }
         // Split borrows: the mediator takes the plan and counters, the
         // inner policy drives it.
         let mut view = FaultView {
@@ -550,6 +1135,7 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
             plan: &self.plan,
             stats: &mut self.stats,
             lambda: self.lambda,
+            budget_left: &mut self.budget_left,
         };
         self.inner.on_request(t, server, &mut view)
     }
@@ -563,30 +1149,44 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
             _ => t,
         }
     }
+
+    fn on_finish(&mut self) {
+        // End-of-run recovery: whatever is still queued is replayed against
+        // durable storage, so no request is ever silently lost.
+        self.drain_queue();
+        self.inner.on_finish();
+    }
 }
 
 /// The mediating [`CopyOps`] the inner policy drives: reconciles each
-/// believed operation against actual (post-crash) copy state.
+/// believed operation against actual (post-crash, partitioned) copy state.
 struct FaultView<'a, S> {
     rt: &'a mut dyn CopyOps<S>,
     plan: &'a FaultPlan,
     stats: &'a mut FaultStats,
     lambda: f64,
+    budget_left: &'a mut u32,
 }
 
 impl<S: Scalar> FaultView<'_, S> {
     fn charge(&mut self, src: ServerId, dst: ServerId, t: f64) {
-        let k = self.plan.failed_attempts(src, dst, t);
-        self.stats.retries += k as usize;
-        self.stats.retry_cost += k as f64 * self.lambda;
+        let draw = self.plan.draw_failures(src, dst, t, *self.budget_left);
+        *self.budget_left -= draw.failures;
+        self.stats.retries += draw.failures as usize;
+        self.stats.retry_cost += draw.failures as f64 * self.lambda;
+        self.stats.backoff_wait += self.plan.backoff_wait(src, dst, t, draw.failures);
+        if draw.exhausted {
+            self.stats.budget_exhausted += 1;
+        }
         self.stats.total_delay += self.plan.delay_for(src, dst, t);
     }
 
-    /// Delivers a copy to `dst` from the best live source; degrades to a
-    /// serve-and-drop when `dst` is down. No-op (an unserved request the
-    /// auditor will flag) in the unreachable all-dead state.
+    /// Delivers a copy to `dst` from the best legal live source; degrades
+    /// to a serve-and-drop when `dst` is down. No-op when no source is
+    /// reachable (the wrapper defers requests in that state before the
+    /// inner policy runs; a management replica simply isn't placed).
     fn deliver(&mut self, dst: ServerId, t: S) {
-        let src = match best_source(self.rt, Some(dst)) {
+        let src = match best_source(self.rt, dst, self.plan, t.to_f64()) {
             Some(s) => s,
             None => return,
         };
@@ -631,7 +1231,10 @@ impl<S: Scalar> CopyOps<S> for FaultView<'_, S> {
             self.rt.touch(dst, t);
             return;
         }
-        if self.rt.is_open(src) && !self.plan.is_down(src, t.to_f64()) {
+        if self.rt.is_open(src)
+            && !self.plan.is_down(src, t.to_f64())
+            && !self.plan.partitioned(src, dst, t.to_f64())
+        {
             self.charge(src, dst, t.to_f64());
             self.rt.transfer(src, dst, t);
             if self.plan.is_down(dst, t.to_f64()) {
@@ -639,9 +1242,15 @@ impl<S: Scalar> CopyOps<S> for FaultView<'_, S> {
                 self.stats.down_serves += 1;
             }
         } else {
+            // Lost, down, or partition-severed source: fail over.
             self.stats.failovers += 1;
             self.deliver(dst, t);
         }
+    }
+
+    fn reseed(&mut self, server: ServerId, t: S) {
+        // Inner policies never reseed; pass through for completeness.
+        self.rt.reseed(server, t)
     }
 
     fn close(&mut self, server: ServerId, t: S) {
@@ -673,8 +1282,9 @@ impl<S: Scalar> CopyOps<S> for FaultView<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::online::executor::run_policy;
+    use crate::online::executor::{run_policy, run_policy_record};
     use crate::online::sc::SpeculativeCaching;
+    use crate::online::tracker::Runtime;
     use mcc_model::Instance;
 
     fn inst() -> Instance<f64> {
@@ -726,32 +1336,224 @@ mod tests {
     }
 
     #[test]
-    fn failed_attempts_are_deterministic_and_capped() {
-        let plan = FaultPlan::new(Vec::new(), 42, 0.5, 3, 0.0);
-        let a = plan.failed_attempts(ServerId(0), ServerId(1), 1.25);
-        let b = plan.failed_attempts(ServerId(0), ServerId(1), 1.25);
-        assert_eq!(a, b, "same inputs, same draw");
-        for k in 0..200 {
-            let t = 0.1 * k as f64;
-            assert!(plan.failed_attempts(ServerId(0), ServerId(2), t) <= 3);
-        }
-        // With p = 0.5 some transfer in 200 tries fails at least once.
+    fn total_outage_defers_and_replays_with_conservation() {
+        // All three servers down over [1.0, 2.0): the requests at 1.4 is
+        // deferred, replayed at the recovery reseed, and every count and
+        // cost is conserved.
+        let windows: Vec<CrashWindow> = (0..3)
+            .map(|s| CrashWindow {
+                server: ServerId::from_index(s),
+                from: 1.0,
+                to: 2.0,
+            })
+            .collect();
+        let plan = FaultPlan::new(windows, 7, 0.0, 0, 0.0);
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan);
+        let mut rt = Runtime::new(3);
+        let (stats, _rec) = run_policy_record(&mut ft, &inst(), &mut rt);
+        let f = ft.stats();
+        assert_eq!(stats.deferred, f.deferred, "executor and wrapper agree");
+        assert!(f.deferred >= 1, "the request at 1.4 falls in the outage");
+        assert_eq!(
+            f.deferred,
+            f.replayed + f.dropped,
+            "no request silently lost: {f:?}"
+        );
+        assert_eq!(f.reseeds, 1, "one durable-storage reseed at recovery");
+        assert!((f.replay_cost - f.replayed as f64).abs() < 1e-12, "λ=1");
+        assert!((f.reseed_cost - 1.0).abs() < 1e-12, "λ=1");
+    }
+
+    #[test]
+    fn queue_cap_drops_with_accounting() {
+        // m=1: any crash is a total outage. Cap the queue at 1 so the
+        // second deferred request is dropped — but still counted.
+        let inst = Instance::<f64>::from_compact("m=1 mu=1 lambda=1 | s1@0.5 s1@1.2 s1@1.6 s1@3.0")
+            .unwrap();
+        let plan = FaultPlan::new(
+            vec![CrashWindow {
+                server: ServerId(0),
+                from: 1.0,
+                to: 2.0,
+            }],
+            0,
+            0.0,
+            0,
+            0.0,
+        )
+        .with_queue_cap(1);
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan);
+        let mut rt = Runtime::new(1);
+        let (stats, _rec) = run_policy_record(&mut ft, &inst, &mut rt);
+        let f = ft.stats();
+        assert_eq!(f.deferred, 2, "requests at 1.2 and 1.6 defer: {f:?}");
+        assert_eq!(f.dropped, 1, "queue cap 1 drops the second");
+        assert_eq!(f.replayed, 1);
+        assert_eq!(f.queue_peak, 1);
+        assert_eq!(f.deferred, f.replayed + f.dropped);
+        assert_eq!(stats.deferred, 2);
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_transfers() {
+        // Servers {0} | {1, 2} split over [0.0, 5.0): requests on side 1
+        // can never be served from the origin's copy.
+        let plan = FaultPlan::none().with_partitions(vec![PartitionWindow {
+            from: 0.0,
+            to: 5.0,
+            mask: 0b110,
+        }]);
+        assert!(plan.partitioned(ServerId(0), ServerId(1), 1.0));
+        assert!(!plan.partitioned(ServerId(1), ServerId(2), 1.0));
+        assert!(!plan.partitioned(ServerId(0), ServerId(1), 5.0));
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan);
+        let mut rt = Runtime::new(3);
+        let (_stats, rec) = run_policy_record(&mut ft, &inst(), &mut rt);
+        let f = ft.stats();
         assert!(
-            (0..200).any(|k| plan.failed_attempts(ServerId(0), ServerId(2), 0.1 * k as f64) > 0)
+            f.partition_deferrals > 0,
+            "cross-side requests defer: {f:?}"
+        );
+        assert_eq!(f.deferred, f.replayed + f.dropped);
+        for t in &rec.transfers {
+            assert!(
+                t.src.index() != 0 || t.dst.index() == 0 || t.at >= 5.0,
+                "transfer {t:?} crosses the active partition"
+            );
+        }
+    }
+
+    #[test]
+    fn brownout_excess_stacks_and_surcharge_accrues() {
+        let plan = FaultPlan::none().with_brownouts(vec![
+            BrownoutWindow {
+                server: ServerId(0),
+                from: 1.0,
+                to: 3.0,
+                factor: 2.0,
+            },
+            BrownoutWindow {
+                server: ServerId(0),
+                from: 2.0,
+                to: 4.0,
+                factor: 1.5,
+            },
+            BrownoutWindow {
+                server: ServerId(1),
+                from: 0.0,
+                to: 1.0,
+                factor: 0.5, // dropped: factor ≤ 1
+            },
+        ]);
+        assert_eq!(plan.brownouts().len(), 2);
+        assert!((plan.brownout_excess(ServerId(0), 1.5) - 1.0).abs() < 1e-12);
+        assert!((plan.brownout_excess(ServerId(0), 2.5) - 1.5).abs() < 1e-12);
+        assert!((plan.brownout_excess(ServerId(0), 3.5) - 0.5).abs() < 1e-12);
+        assert_eq!(plan.brownout_excess(ServerId(1), 0.5), 0.0);
+        // A run whose origin interval overlaps the windows accrues μ
+        // surcharge proportional to the degraded time.
+        let mut ft = FaultTolerant::new(SpeculativeCaching::<f64>::paper(), plan.clone());
+        let mut rt = Runtime::new(3);
+        let (_stats, rec) = run_policy_record(&mut ft, &inst(), &mut rt);
+        let sur = brownout_surcharge(&plan, rec, &CostModel::unit());
+        assert!(sur > 0.0, "origin holds through [1, 3): surcharge accrues");
+        assert_eq!(
+            brownout_surcharge(&FaultPlan::none(), rec, &CostModel::unit()),
+            0.0
         );
     }
 
     #[test]
-    fn retry_surcharge_is_lambda_per_failed_attempt() {
-        let plan = FaultPlan::new(Vec::new(), 3, 0.9, 5, 0.0);
-        let mut ft = FaultTolerant::new(crate::online::Follow::new(), plan);
-        let _run = run_policy(&mut ft, &inst());
-        let stats = ft.stats();
-        assert!(stats.retries > 0, "p=0.9 must produce retries");
-        assert!(
-            (stats.retry_cost - stats.retries as f64).abs() < 1e-12,
-            "λ=1"
+    fn draw_failures_respects_budget_and_reports_exhaustion() {
+        let plan = FaultPlan::new(Vec::new(), 42, 0.5, 3, 0.0);
+        let a = plan.draw_failures(ServerId(0), ServerId(1), 1.25, u32::MAX);
+        let b = plan.draw_failures(ServerId(0), ServerId(1), 1.25, u32::MAX);
+        assert_eq!(a, b, "same inputs, same draw");
+        // Find a draw that fails at least once, then shrink the budget
+        // under it: the charge caps at the budget and reports exhaustion.
+        let (t, k) = (0..400)
+            .map(|i| {
+                let t = 0.1 * i as f64;
+                (
+                    t,
+                    plan.draw_failures(ServerId(0), ServerId(2), t, u32::MAX)
+                        .failures,
+                )
+            })
+            .find(|&(_, k)| k > 0)
+            .expect("p=0.5 must fail somewhere in 400 draws");
+        let capped = plan.draw_failures(ServerId(0), ServerId(2), t, k - 1);
+        assert_eq!(capped.failures, k - 1);
+        assert!(capped.exhausted);
+        let zero = plan.draw_failures(ServerId(0), ServerId(2), t, 0);
+        assert_eq!(zero.failures, 0);
+        assert!(zero.exhausted);
+    }
+
+    #[test]
+    fn backoff_waits_are_deterministic_and_grow() {
+        let plan = FaultPlan::new(Vec::new(), 9, 0.5, 8, 0.0).with_backoff(0.25);
+        let w1 = plan.backoff_wait(ServerId(0), ServerId(1), 2.0, 1);
+        let w3 = plan.backoff_wait(ServerId(0), ServerId(1), 2.0, 3);
+        assert_eq!(w1, plan.backoff_wait(ServerId(0), ServerId(1), 2.0, 1));
+        assert!(w1 > 0.0 && w3 > w1, "w1={w1} w3={w3}");
+        // Each attempt waits base·2^i·jitter with jitter in [0.5, 1).
+        assert!((0.25 * 0.5..0.25).contains(&w1));
+        assert_eq!(plan.backoff_wait(ServerId(0), ServerId(1), 2.0, 0), 0.0);
+        assert_eq!(
+            FaultPlan::none().backoff_wait(ServerId(0), ServerId(1), 2.0, 3),
+            0.0
         );
+    }
+
+    #[test]
+    fn total_outages_are_unions_of_full_coverage() {
+        let plan = FaultPlan::new(
+            vec![
+                CrashWindow {
+                    server: ServerId(0),
+                    from: 1.0,
+                    to: 3.0,
+                },
+                CrashWindow {
+                    server: ServerId(1),
+                    from: 2.0,
+                    to: 5.0,
+                },
+                // Overlapping second window on server 0 extends its outage.
+                CrashWindow {
+                    server: ServerId(0),
+                    from: 2.5,
+                    to: 4.0,
+                },
+                // Both down again over [7, 8) via abutting windows on 1.
+                CrashWindow {
+                    server: ServerId(0),
+                    from: 7.0,
+                    to: 8.0,
+                },
+                CrashWindow {
+                    server: ServerId(1),
+                    from: 6.5,
+                    to: 7.5,
+                },
+                CrashWindow {
+                    server: ServerId(1),
+                    from: 7.5,
+                    to: 9.0,
+                },
+            ],
+            0,
+            0.0,
+            0,
+            0.0,
+        );
+        let (mut ev, mut depth, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        plan.total_outages_into(2, &mut ev, &mut depth, &mut out);
+        assert_eq!(out, vec![(2.0, 4.0), (7.0, 8.0)]);
+        // One server alone is always in "total outage" during its windows.
+        plan.total_outages_into(1, &mut ev, &mut depth, &mut out);
+        assert_eq!(out, vec![(1.0, 4.0), (7.0, 8.0)]);
     }
 
     #[test]
@@ -795,9 +1597,42 @@ mod tests {
                 to: 1.0, // malformed, dropped
             },
         ];
-        let built = FaultPlan::new(windows.clone(), 9, 1.5, 4, -1.0);
+        let partitions = vec![
+            PartitionWindow {
+                from: 2.0,
+                to: 3.0,
+                mask: 0b01,
+            },
+            PartitionWindow {
+                from: 1.0,
+                to: 1.0,
+                mask: 0b10,
+            }, // empty, dropped
+        ];
+        let brownouts = vec![BrownoutWindow {
+            server: ServerId(1),
+            from: 0.5,
+            to: 1.5,
+            factor: 2.0,
+        }];
+        let built = FaultPlan::new(windows.clone(), 9, 1.5, 4, -1.0)
+            .with_partitions(partitions.clone())
+            .with_brownouts(brownouts.clone())
+            .with_backoff(0.5)
+            .with_queue_cap(16);
         let mut assigned = FaultPlan::none();
-        assigned.assign(&windows, 9, 1.5, 4, -1.0);
+        assigned.assign(
+            &windows,
+            &partitions,
+            &brownouts,
+            9,
+            1.5,
+            4,
+            0.5,
+            -1.0,
+            16,
+            0,
+        );
         assert_eq!(built, assigned);
         let mut copied = FaultPlan::none();
         copied.copy_from(&built);

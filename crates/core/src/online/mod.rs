@@ -22,7 +22,10 @@ pub mod tracker;
 pub use baselines::{Follow, KeepEverywhere, StayAtOrigin};
 pub use dt::{double_transfer, DtCache, DtSchedule, DtTransfer};
 pub use executor::{run_policy, run_policy_record, OnlineRun, RunStats};
-pub use fault::{CrashWindow, FaultPlan, FaultStats, FaultTolerant};
+pub use fault::{
+    brownout_surcharge, BrownoutWindow, CrashWindow, FaultPlan, FaultStats, FaultTolerant,
+    PartitionWindow, RetryDraw,
+};
 pub use policy::{OnlinePolicy, ServeAction};
 pub use reduction::{analyze, ReductionReport};
 pub use sc::SpeculativeCaching;

@@ -20,6 +20,11 @@ pub enum ServeAction {
         /// The source server.
         from: ServerId,
     },
+    /// Not served now: buffered in a degraded-mode offline queue (total
+    /// outage or partition isolation) for replay at first recovery — or
+    /// dropped with explicit accounting if the queue bound is hit. Only the
+    /// fault-tolerant wrapper emits this.
+    Deferred,
 }
 
 /// An online caching policy.
@@ -43,6 +48,12 @@ pub trait OnlinePolicy<S: Scalar> {
     fn close_time(&self, _server: ServerId, last_touch: S, _horizon: S) -> S {
         last_touch
     }
+
+    /// Called once by the executor after the last request and before
+    /// finalization. Defaults to a no-op; the fault-tolerant wrapper drains
+    /// its degraded-mode queue here so end-of-run deferrals are still
+    /// replayed (and costed) rather than silently lost.
+    fn on_finish(&mut self) {}
 }
 
 impl<S: Scalar, P: OnlinePolicy<S> + ?Sized> OnlinePolicy<S> for Box<P> {
@@ -57,6 +68,9 @@ impl<S: Scalar, P: OnlinePolicy<S> + ?Sized> OnlinePolicy<S> for Box<P> {
     }
     fn close_time(&self, server: ServerId, last_touch: S, horizon: S) -> S {
         (**self).close_time(server, last_touch, horizon)
+    }
+    fn on_finish(&mut self) {
+        (**self).on_finish()
     }
 }
 

@@ -72,6 +72,14 @@ pub trait CopyOps<S: Scalar> {
     fn touch(&mut self, server: ServerId, t: S);
     /// Records a transfer `src → dst` at `t`.
     fn transfer(&mut self, src: ServerId, dst: ServerId, t: S);
+    /// Opens a copy on `server` at `t` with no transfer edge: a
+    /// re-materialization from durable storage after a total outage left
+    /// the cluster with zero live copies. The fault layer accounts its
+    /// cost separately (λ per reseed in [`FaultStats`]); fault-free
+    /// policies never need it.
+    ///
+    /// [`FaultStats`]: crate::online::FaultStats
+    fn reseed(&mut self, server: ServerId, t: S);
     /// Closes the copy on `server` at time `t`.
     fn close(&mut self, server: ServerId, t: S);
     /// Starts a new epoch at time `t`.
@@ -98,6 +106,9 @@ impl<S: Scalar> CopyOps<S> for Runtime<S> {
     }
     fn transfer(&mut self, src: ServerId, dst: ServerId, t: S) {
         Runtime::transfer(self, src, dst, t)
+    }
+    fn reseed(&mut self, server: ServerId, t: S) {
+        Runtime::reseed(self, server, t)
     }
     fn close(&mut self, server: ServerId, t: S) {
         Runtime::close(self, server, t)
@@ -215,6 +226,21 @@ impl<S: Scalar> Runtime<S> {
             dst,
             at: t,
             epoch: self.epoch,
+        });
+    }
+
+    /// Opens a copy on `server` at `t` with no transfer record — the
+    /// degraded-mode re-materialization of [`CopyOps::reseed`].
+    pub fn reseed(&mut self, server: ServerId, t: S) {
+        assert!(
+            !self.is_open(server),
+            "reseed on {server} which already holds a copy"
+        );
+        assert!(t >= self.now, "reseed at t={t} before now={}", self.now);
+        self.now = t;
+        self.open[server.index()] = Some(OpenCopy {
+            from: t,
+            last_touch: t,
         });
     }
 

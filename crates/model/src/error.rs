@@ -88,6 +88,14 @@ pub enum Violation {
     /// Fault replay: a transfer departs a server that is down at the
     /// transfer instant.
     TransferDuringOutage { src: ServerId, at: f64 },
+    /// Fault replay: a transfer crosses an active network partition — its
+    /// endpoints sit on opposite sides of a partition window covering the
+    /// transfer instant.
+    TransferAcrossPartition {
+        src: ServerId,
+        dst: ServerId,
+        at: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -134,6 +142,12 @@ impl fmt::Display for Violation {
                 write!(
                     f,
                     "transfer departs {src} at t={at} while the server is down"
+                )
+            }
+            Violation::TransferAcrossPartition { src, dst, at } => {
+                write!(
+                    f,
+                    "transfer Tr({src}, {dst}, {at}) crosses an active network partition"
                 )
             }
         }

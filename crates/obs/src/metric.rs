@@ -56,6 +56,30 @@ pub enum Counter {
     FaultCrashWindows,
     /// `λ` surcharge paid for failed attempts, in micro-cost units.
     FaultRetryCostMicros,
+    /// Correlated crash-burst windows injected across all runs.
+    FaultBurstWindows,
+    /// Network-partition windows injected across all runs.
+    FaultPartitionWindows,
+    /// Brownout windows injected across all runs.
+    FaultBrownoutWindows,
+    /// Requests deferred into the degraded-mode queue.
+    FaultDeferred,
+    /// Deferred requests replayed at recovery (or run end).
+    FaultReplayed,
+    /// Deferred requests dropped at the queue bound.
+    FaultDropped,
+    /// Deferrals caused by an active partition (no reachable live copy).
+    FaultPartitionDeferrals,
+    /// Copies re-materialized from durable storage after total outages.
+    FaultReseeds,
+    /// Transfers forced through after the retry budget ran dry.
+    FaultBudgetExhausted,
+    /// `λ` surcharge paid replaying deferred requests, in micro-cost units.
+    FaultReplayCostMicros,
+    /// `λ` surcharge paid re-seeding after outages, in micro-cost units.
+    FaultReseedCostMicros,
+    /// Brownout `μ/λ` surcharge across all runs, in micro-cost units.
+    FaultBrownoutCostMicros,
     // --- parallel sweep -------------------------------------------------
     /// Worker threads launched across all sweeps.
     SweepWorkers,
@@ -102,6 +126,10 @@ pub enum Hist {
     RatioCenti,
     /// Wall time of one batched DP kernel pass (all lanes), nanoseconds.
     BatchSolveNanos,
+    /// Peak degraded-mode queue depth of one faulty run.
+    FaultQueuePeak,
+    /// Backoff wait accrued by one faulty run, micro-time units.
+    FaultBackoffWaitMicros,
 }
 
 impl Counter {
@@ -131,6 +159,18 @@ impl Counter {
         Counter::FaultAdoptedReplicas,
         Counter::FaultCrashWindows,
         Counter::FaultRetryCostMicros,
+        Counter::FaultBurstWindows,
+        Counter::FaultPartitionWindows,
+        Counter::FaultBrownoutWindows,
+        Counter::FaultDeferred,
+        Counter::FaultReplayed,
+        Counter::FaultDropped,
+        Counter::FaultPartitionDeferrals,
+        Counter::FaultReseeds,
+        Counter::FaultBudgetExhausted,
+        Counter::FaultReplayCostMicros,
+        Counter::FaultReseedCostMicros,
+        Counter::FaultBrownoutCostMicros,
         Counter::SweepWorkers,
         Counter::SweepUnits,
         Counter::SweepChunkGrabs,
@@ -165,6 +205,18 @@ impl Counter {
             Counter::FaultAdoptedReplicas => "fault_adopted_replicas",
             Counter::FaultCrashWindows => "fault_crash_windows",
             Counter::FaultRetryCostMicros => "fault_retry_cost_micros",
+            Counter::FaultBurstWindows => "fault_burst_windows",
+            Counter::FaultPartitionWindows => "fault_partition_windows",
+            Counter::FaultBrownoutWindows => "fault_brownout_windows",
+            Counter::FaultDeferred => "fault_deferred",
+            Counter::FaultReplayed => "fault_replayed",
+            Counter::FaultDropped => "fault_dropped",
+            Counter::FaultPartitionDeferrals => "fault_partition_deferrals",
+            Counter::FaultReseeds => "fault_reseeds",
+            Counter::FaultBudgetExhausted => "fault_budget_exhausted",
+            Counter::FaultReplayCostMicros => "fault_replay_cost_micros",
+            Counter::FaultReseedCostMicros => "fault_reseed_cost_micros",
+            Counter::FaultBrownoutCostMicros => "fault_brownout_cost_micros",
             Counter::SweepWorkers => "sweep_workers",
             Counter::SweepUnits => "sweep_units",
             Counter::SweepChunkGrabs => "sweep_chunk_grabs",
@@ -197,7 +249,7 @@ impl Gauge {
 
 impl Hist {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = Hist::BatchSolveNanos as usize + 1;
+    pub const COUNT: usize = Hist::FaultBackoffWaitMicros as usize + 1;
 
     /// Every histogram, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -206,6 +258,8 @@ impl Hist {
         Hist::WorkerUnits,
         Hist::RatioCenti,
         Hist::BatchSolveNanos,
+        Hist::FaultQueuePeak,
+        Hist::FaultBackoffWaitMicros,
     ];
 
     /// Stable snake_case snapshot key.
@@ -216,6 +270,8 @@ impl Hist {
             Hist::WorkerUnits => "worker_units",
             Hist::RatioCenti => "ratio_centi",
             Hist::BatchSolveNanos => "batch_solve_nanos",
+            Hist::FaultQueuePeak => "fault_queue_peak",
+            Hist::FaultBackoffWaitMicros => "fault_backoff_wait_micros",
         }
     }
 }

@@ -16,11 +16,18 @@
 //!
 //! When a [`FaultPlan`] is supplied the replay additionally applies
 //! *reality*: copies die at crash instants, intervals claimed on a down
-//! server are stillborn, transfers out of a down or crash-lost source are
-//! invalid and their delivered copies (and everything served from them)
-//! die in cascade. A fault-oblivious policy's believed schedule lights up
-//! with findings under this replay; the fault-tolerant wrapper's schedule
-//! must stay clean (property-tested in `tests/fault_properties.rs`).
+//! server are stillborn, transfers out of a down or crash-lost source —
+//! or across an active network partition — are invalid and their
+//! delivered copies (and everything served from them) die in cascade.
+//! Findings that no policy could avoid are *waived*: requests and
+//! coverage gaps inside a **total outage** (every server down), requests
+//! a partition strands with no same-side live copy, and cache intervals
+//! grounded as durable-storage reseeds (at a total-outage end, or at a
+//! crash instant under an active partition). Brownout windows do not
+//! change feasibility but surcharge the cost recompute. A fault-oblivious
+//! policy's believed schedule lights up with findings under this replay;
+//! the fault-tolerant wrapper's schedule must stay clean (property-tested
+//! in `tests/fault_properties.rs`).
 //!
 //! Boundary semantics: a copy may be read *at* the crash instant (the
 //! evacuation "last gasp" — state just before the crash takes hold), so a
@@ -31,6 +38,96 @@ use mcc_core::online::{FaultPlan, OnlineRun};
 use mcc_model::{Instance, Schedule, ServerId, Violation};
 
 use crate::engine::SimOutcome;
+
+// --- shared fault-waiver helpers ------------------------------------------
+//
+// Both auditors (this replay and the streaming sweep in
+// `crate::streaming`) judge the new fault classes through these exact
+// functions, so their verdicts — and the bit pattern of every recomputed
+// cost — cannot drift apart.
+
+/// Approximate time equality at `tol`, the same rule as the model referee.
+pub(crate) fn eq_tol(tol: f64, a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Whether a cache interval starting at `from` with no incoming transfer
+/// is *grounded* — justified as a durable-storage reseed: it starts at a
+/// total-outage end (first-recovery reseed) or at a crash instant under an
+/// active partition (the wrapper's stranded-evacuation reseed). Grounded
+/// intervals may also source transfers at their own start instant, like
+/// the origin's initial copy at `t = 0`.
+pub(crate) fn grounded_start(
+    tol: f64,
+    plan: &FaultPlan,
+    outages: &[(f64, f64)],
+    from: f64,
+) -> bool {
+    outages.iter().any(|w| eq_tol(tol, from, w.1))
+        || plan
+            .crashes()
+            .iter()
+            .any(|c| eq_tol(tol, from, c.from) && plan.partition_active(c.from))
+}
+
+/// Whether instant `t` falls inside a total outage `[from, to)` — requests
+/// there are unservable by any policy and their service findings are
+/// waived (the wrapper defers them into its offline queue).
+pub(crate) fn outage_covers(tol: f64, outages: &[(f64, f64)], t: f64) -> bool {
+    outages
+        .iter()
+        .any(|w| (w.0 <= t || eq_tol(tol, w.0, t)) && t < w.1 && !eq_tol(tol, t, w.1))
+}
+
+/// Whether a coverage gap `[from, to]` lies inside a total outage (within
+/// tolerance): no copy can exist anywhere over such a span.
+pub(crate) fn gap_waived(tol: f64, outages: &[(f64, f64)], from: f64, to: f64) -> bool {
+    outages
+        .iter()
+        .any(|w| (w.0 <= from || eq_tol(tol, w.0, from)) && (to <= w.1 || eq_tol(tol, to, w.1)))
+}
+
+/// Brownout `μ` surcharge of one merged cache interval: `(factor − 1)·μ`
+/// per unit of overlap with each degrading window (overlaps stack).
+pub(crate) fn interval_surcharge(
+    plan: &FaultPlan,
+    server: ServerId,
+    from: f64,
+    to: f64,
+    mu: f64,
+) -> f64 {
+    let mut sur = 0.0;
+    for w in plan.brownouts() {
+        if w.server == server {
+            let overlap = to.min(w.to) - from.max(w.from);
+            if overlap > 0.0 {
+                sur += (w.factor - 1.0) * mu * overlap;
+            }
+        }
+    }
+    sur
+}
+
+/// Brownout `λ` surcharge of one transfer: the worse endpoint's excess.
+pub(crate) fn transfer_surcharge(
+    plan: &FaultPlan,
+    src: ServerId,
+    dst: ServerId,
+    at: f64,
+    lambda: f64,
+) -> f64 {
+    let excess = plan
+        .brownout_excess(src, at)
+        .max(plan.brownout_excess(dst, at));
+    if excess > 0.0 {
+        lambda * excess
+    } else {
+        0.0
+    }
+}
 
 /// One defect found by the auditor.
 #[derive(Clone, Debug, PartialEq)]
@@ -126,6 +223,8 @@ struct Iv {
     to: f64,
     actual_to: f64,
     alive: bool,
+    /// Justified as a durable-storage reseed (see [`grounded_start`]).
+    grounded: bool,
 }
 
 impl ScheduleAuditor {
@@ -196,6 +295,17 @@ impl ScheduleAuditor {
         }
 
         let servers = inst.servers();
+
+        // Total-outage windows: spans where every server is down. Service
+        // and coverage findings inside them are waived (the wrapper's
+        // degraded-mode queue is the only service path there), and reseeds
+        // at their ends are grounded.
+        let mut outages: Vec<(f64, f64)> = Vec::new();
+        if let Some(plan) = plan {
+            let (mut events, mut depth) = (Vec::new(), Vec::new());
+            plan.total_outages_into(servers, &mut events, &mut depth, &mut outages);
+        }
+
         // Per-server interval index, sorted by start.
         let mut ivs: Vec<Vec<Iv>> = vec![Vec::new(); servers];
         for h in &sched.caches {
@@ -205,6 +315,7 @@ impl ScheduleAuditor {
                     to: h.to,
                     actual_to: h.to,
                     alive: true,
+                    grounded: plan.is_some_and(|p| grounded_start(self.tol, p, &outages, h.from)),
                 });
             }
         }
@@ -246,7 +357,11 @@ impl ScheduleAuditor {
             for (k, iv) in list.iter().enumerate() {
                 let origin_start = s == ServerId::ORIGIN.index() && self.eq(iv.from, 0.0);
                 let continuation = k > 0 && self.le(iv.from, list[k - 1].to);
-                if !origin_start && !continuation && !has_time(&incoming[s], iv.from, &eqf) {
+                if !origin_start
+                    && !continuation
+                    && !iv.grounded
+                    && !has_time(&incoming[s], iv.from, &eqf)
+                {
                     findings.push(AuditFinding::Violation(Violation::UnjustifiedCacheStart {
                         server: ServerId::from_index(s),
                         at: iv.from,
@@ -322,14 +437,36 @@ impl ScheduleAuditor {
                         && self.le(iv.from, tr.at)
                         && self.le(tr.at, iv.actual_to)
                         && (iv.from < tr.at
-                            || (tr.src == ServerId::ORIGIN && self.eq(iv.from, 0.0)))
+                            || (tr.src == ServerId::ORIGIN && self.eq(iv.from, 0.0))
+                            || (iv.grounded && self.eq(iv.from, tr.at)))
                 });
-            if src_alive {
+            // A grounded *pass-through*: a durable-storage reseed that
+            // relays the copy onward at the very instant it lands leaves a
+            // zero-length interval in the raw record, which `normalize`
+            // drops from the schedule — so the transfer it sourced has no
+            // covering interval here. The raw record keeps the interval
+            // (the streaming auditor accepts it through its grounded
+            // flag); the replay accepts the phantom at the same grounded
+            // instants.
+            let phantom_grounded = !src_down
+                && !src_alive
+                && plan.is_some_and(|p| grounded_start(self.tol, p, &outages, tr.at));
+            let src_alive = src_alive || phantom_grounded;
+            // An otherwise-valid transfer crossing an active partition is
+            // illegal (outage and dead-source findings take precedence).
+            let severed = src_alive && plan.is_some_and(|p| p.partitioned(tr.src, tr.dst, tr.at));
+            if src_alive && !severed {
                 delivered[tr.dst.index()].push(tr.at);
             } else {
                 findings.push(AuditFinding::Violation(if src_down {
                     Violation::TransferDuringOutage {
                         src: tr.src,
+                        at: tr.at,
+                    }
+                } else if severed {
+                    Violation::TransferAcrossPartition {
+                        src: tr.src,
+                        dst: tr.dst,
                         at: tr.at,
                     }
                 } else {
@@ -353,6 +490,11 @@ impl ScheduleAuditor {
         }
 
         // --- service ----------------------------------------------------
+        // Latest request that pins the coverage obligation: one served
+        // in-schedule, or one unserved without a deferral waiver. Requests
+        // past it were all absorbed by the wrapper's offline queue, so the
+        // schedule owes no coverage beyond the last covered instant.
+        let mut tail_block = f64::NEG_INFINITY;
         for i in 1..=inst.n() {
             let (s, t) = (inst.server(i), inst.t(i));
             let cached = s.index() < servers
@@ -360,12 +502,32 @@ impl ScheduleAuditor {
                     .iter()
                     .any(|iv| iv.alive && self.le(iv.from, t) && self.le(t, iv.actual_to));
             let transferred = s.index() < servers && has_time(&delivered[s.index()], t, &eqf);
+            if cached || transferred {
+                tail_block = tail_block.max(t);
+            }
             if !cached && !transferred {
-                findings.push(AuditFinding::Violation(Violation::UnservedRequest {
-                    request: i,
-                    server: s,
-                    at: t,
-                }));
+                // Waived when reality made service impossible: a total
+                // outage covers `t`, or a partition puts every live copy
+                // on the far side (the wrapper defers such requests into
+                // its accounted offline queue).
+                let waived = plan.is_some_and(|p| {
+                    outage_covers(self.tol, &outages, t)
+                        || (p.partition_active(t)
+                            && !ivs.iter().enumerate().any(|(s2, list)| {
+                                !p.partitioned(ServerId::from_index(s2), s, t)
+                                    && list.iter().any(|iv| {
+                                        iv.alive && self.le(iv.from, t) && self.le(t, iv.actual_to)
+                                    })
+                            }))
+                });
+                if !waived {
+                    tail_block = tail_block.max(t);
+                    findings.push(AuditFinding::Violation(Violation::UnservedRequest {
+                        request: i,
+                        server: s,
+                        at: t,
+                    }));
+                }
             }
         }
 
@@ -389,10 +551,14 @@ impl ScheduleAuditor {
             let mut gap_reported = false;
             for (from, to) in spans {
                 if from > reach && !self.eq(from, reach) {
-                    findings.push(AuditFinding::Violation(Violation::CoverageGap {
-                        at: reach,
-                    }));
-                    gap_reported = true;
+                    // A gap lying inside a total outage is waived: no
+                    // policy can hold a copy anywhere over it.
+                    if !gap_waived(self.tol, &outages, reach, from) {
+                        findings.push(AuditFinding::Violation(Violation::CoverageGap {
+                            at: reach,
+                        }));
+                        gap_reported = true;
+                    }
                     // Jump the gap and keep scanning: one report per gap.
                     reach = from;
                 }
@@ -401,7 +567,19 @@ impl ScheduleAuditor {
                     break;
                 }
             }
-            if !gap_reported && reach < horizon && !self.eq(reach, horizon) {
+            // A trailing gap is also waived when every request past `reach`
+            // was deferred into the wrapper's accounted offline queue: the
+            // run's last in-schedule obligation ends at `reach`, and the
+            // replay of the queue happens against durable storage, outside
+            // the schedule.
+            let tail_deferred =
+                plan.is_some() && (tail_block <= reach || self.eq(tail_block, reach));
+            if !gap_reported
+                && reach < horizon
+                && !self.eq(reach, horizon)
+                && !tail_deferred
+                && !gap_waived(self.tol, &outages, reach, horizon)
+            {
                 findings.push(AuditFinding::Violation(Violation::CoverageGap {
                     at: reach,
                 }));
@@ -411,8 +589,25 @@ impl ScheduleAuditor {
         // --- accounting -------------------------------------------------
         if let Some(reported) = reported_cost {
             // The *believed* schedule is what the run charged itself for;
-            // drift means the run's own arithmetic disagrees with it.
-            let recomputed = sched.cost(inst.cost());
+            // drift means the run's own arithmetic disagrees with it. The
+            // brownout surcharge is part of the reported cost, so it is
+            // recomputed here too — interval terms in (server, start)
+            // order, then transfer terms in (time, src, dst) order,
+            // exactly as the streaming auditor sums them.
+            let mut recomputed = sched.cost(inst.cost());
+            if let Some(p) = plan {
+                if !p.brownouts().is_empty() {
+                    let (mu, lambda) = (inst.cost().mu, inst.cost().lambda);
+                    let mut sur = 0.0;
+                    for h in &sched.caches {
+                        sur += interval_surcharge(p, h.server, h.from, h.to, mu);
+                    }
+                    for tr in &sched.transfers {
+                        sur += transfer_surcharge(p, tr.src, tr.dst, tr.at, lambda);
+                    }
+                    recomputed += sur;
+                }
+            }
             if !self.eq(reported, recomputed) {
                 findings.push(AuditFinding::CostDrift {
                     reported,

@@ -49,9 +49,4 @@ pub use runner::{
     factory, fold_fault_stats, FaultOutcome, PolicyFactory, RunMode, RunPolicy, RunRequest,
     RunWorkspace, SeedResult, BATCH_UNITS,
 };
-#[allow(deprecated)]
-pub use runner::{
-    run_cell, run_cell_faulty, run_cell_faulty_in, run_cell_in, run_seed_faulty_in, run_seed_in,
-    run_seed_oblivious_in, run_unit_faulty_in, run_unit_in, run_unit_oblivious_in,
-};
 pub use streaming::{AuditScratch, StreamingAuditor};

@@ -298,11 +298,25 @@ mod tests {
         w2: &'a dyn Workload,
     ) -> Vec<GridCell<'a>> {
         // A fixed-seed fault regime rides along so determinism across
-        // thread counts covers the fault-injected path too.
+        // thread counts covers the fault-injected path too — with every
+        // chaos-layer class on (bursts, partitions, brownouts, failures
+        // with backoff, delays, a finite degraded-mode queue).
         let spec = FaultSpec {
             seed: 11,
             crash_rate: 0.3,
             mean_downtime: 1.5,
+            burst_rate: 0.1,
+            burst_coverage: 0.5,
+            partition_rate: 0.1,
+            partition_mean: 0.6,
+            brownout_rate: 0.1,
+            brownout_mean: 0.8,
+            brownout_factor: 2.5,
+            fail_prob: 0.1,
+            retry_budget: 8,
+            backoff_base: 0.05,
+            queue_cap: 4,
+            mean_delay: 0.1,
             ..FaultSpec::default()
         };
         vec![

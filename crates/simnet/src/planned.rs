@@ -174,6 +174,7 @@ pub fn execute_plan_under_faults(
     // so the two paths cannot drift.
     let base = execute_plan(&actualized, actual);
     let mut retry_cost = 0.0;
+    let mut budget_left = faults.retry_budget();
     if base.repair_transfers > 0 {
         let (holdover_server, mut coverage_end) = actualized
             .caches
@@ -202,9 +203,11 @@ pub fn execute_plan_under_faults(
                 coverage_end = t; // mirrors execute_plan's holdover step
             }
             // Same deterministic draw the online wrapper uses; repairs are
-            // sourced from wherever the item lives, keyed on the origin.
-            let attempts = faults.failed_attempts(ServerId::ORIGIN, s, t);
-            retry_cost += lambda * f64::from(attempts);
+            // sourced from wherever the item lives, keyed on the origin,
+            // and share one per-run retry budget with the wrapper's rule.
+            let draw = faults.draw_failures(ServerId::ORIGIN, s, t, budget_left);
+            budget_left -= draw.failures;
+            retry_cost += lambda * f64::from(draw.failures);
         }
     }
 

@@ -7,8 +7,8 @@
 //! injected, policy wrapped in the fault-tolerant layer) or
 //! [`RunMode::Oblivious`] (faults injected, policy unaware; only the
 //! audit sees the plan). The pre-request entry points (`run_seed_in`,
-//! `run_unit_in`, `run_cell_in` and friends) survive as deprecated
-//! wrappers over the same cores.
+//! `run_unit_in`, `run_cell_in` and friends) are gone — every caller
+//! goes through a request.
 //!
 //! Every run is audited before its result is returned — feasibility
 //! checking is not an opt-in debug mode but part of the measurement
@@ -32,7 +32,8 @@
 
 use mcc_core::offline::{solve_auto_obs_in, BatchWorkspace, SolverWorkspace};
 use mcc_core::online::{
-    run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy, RunRecord, Runtime,
+    brownout_surcharge, run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy,
+    RunRecord, Runtime,
 };
 use mcc_model::Instance;
 use mcc_obs::{Counter, Hist, Sink, Span};
@@ -168,6 +169,10 @@ impl RunMode {
 /// fault-tolerant wrapper. Build one with [`RunRequest::policy`] and
 /// reuse it across the seeds of a cell (the executor resets it per run);
 /// rebuild it when the mode changes cells.
+// One RunPolicy exists per (cell, worker), not per seed — boxing the
+// tolerant arm would buy nothing but an extra indirection on the hot
+// dispatch.
+#[allow(clippy::large_enum_variant)]
 pub enum RunPolicy {
     /// Healthy cell, or a fault cell run oblivious.
     Plain(Box<dyn OnlinePolicy<f64>>),
@@ -285,6 +290,31 @@ impl<'s> RunRequest<'s> {
         )
     }
 
+    /// One seed measurement against an explicit, caller-built
+    /// [`FaultPlan`] instead of expanding the request's spec — the
+    /// adversarial schedule search (experiment E20) evaluates perturbed
+    /// plans directly through this door. A tolerant policy runs wrapped
+    /// under the plan; a plain policy runs oblivious to it (the audit
+    /// still sees it). The request's own mode is ignored for this seed.
+    pub fn run_seed_with_plan(
+        &mut self,
+        policy: &mut RunPolicy,
+        seed: u64,
+        inst: &Instance<f64>,
+        plan: &FaultPlan,
+    ) -> SeedResult {
+        match policy {
+            RunPolicy::Tolerant(w) => {
+                w.set_plan(plan);
+                seed_faulty_body(w, seed, inst, None, &mut self.ws.run, self.sink)
+            }
+            RunPolicy::Plain(p) => {
+                self.ws.run.fault_plan.copy_from(plan);
+                seed_oblivious_body(p.as_mut(), seed, inst, None, &mut self.ws.run, self.sink)
+            }
+        }
+    }
+
     /// One whole unit — instance generation *and* measurement — in the
     /// request's workspace. With a warm workspace (and a generator with
     /// an in-place fill path) the unit performs zero heap allocations,
@@ -353,6 +383,12 @@ pub struct FaultOutcome {
     pub stats: FaultStats,
     /// Crash windows in this seed's plan.
     pub crashes: usize,
+    /// Correlated burst events expanded into this seed's plan.
+    pub bursts: usize,
+    /// Network-partition windows in this seed's plan.
+    pub partitions: usize,
+    /// Brownout windows in this seed's plan.
+    pub brownouts: usize,
     /// Whether the policy ran wrapped in the fault-tolerant layer.
     pub tolerant: bool,
 }
@@ -399,7 +435,23 @@ pub fn fold_fault_stats(results: &[SeedResult]) -> FaultStats {
         total.copy_loss_windows = total
             .copy_loss_windows
             .saturating_add(fo.stats.copy_loss_windows);
+        total.deferred = total.deferred.saturating_add(fo.stats.deferred);
+        total.replayed = total.replayed.saturating_add(fo.stats.replayed);
+        total.dropped = total.dropped.saturating_add(fo.stats.dropped);
+        // A peak is folded as the grid-wide maximum, not a sum.
+        total.queue_peak = total.queue_peak.max(fo.stats.queue_peak);
+        total.partition_deferrals = total
+            .partition_deferrals
+            .saturating_add(fo.stats.partition_deferrals);
+        total.reseeds = total.reseeds.saturating_add(fo.stats.reseeds);
+        total.budget_exhausted = total
+            .budget_exhausted
+            .saturating_add(fo.stats.budget_exhausted);
         total.retry_cost += fo.stats.retry_cost;
+        total.replay_cost += fo.stats.replay_cost;
+        total.reseed_cost += fo.stats.reseed_cost;
+        total.brownout_cost += fo.stats.brownout_cost;
+        total.backoff_wait += fo.stats.backoff_wait;
         total.total_delay += fo.stats.total_delay;
     }
     total
@@ -472,7 +524,30 @@ fn record_seed(sink: &dyn Sink, requests: usize, r: &SeedResult) {
             fo.stats.adopted_replicas as u64,
         );
         sink.add(Counter::FaultCrashWindows, fo.crashes as u64);
+        sink.add(Counter::FaultBurstWindows, fo.bursts as u64);
+        sink.add(Counter::FaultPartitionWindows, fo.partitions as u64);
+        sink.add(Counter::FaultBrownoutWindows, fo.brownouts as u64);
+        sink.add(Counter::FaultDeferred, fo.stats.deferred as u64);
+        sink.add(Counter::FaultReplayed, fo.stats.replayed as u64);
+        sink.add(Counter::FaultDropped, fo.stats.dropped as u64);
+        sink.add(
+            Counter::FaultPartitionDeferrals,
+            fo.stats.partition_deferrals as u64,
+        );
+        sink.add(Counter::FaultReseeds, fo.stats.reseeds as u64);
+        sink.add(
+            Counter::FaultBudgetExhausted,
+            fo.stats.budget_exhausted as u64,
+        );
         sink.add_cost(Counter::FaultRetryCostMicros, fo.stats.retry_cost);
+        sink.add_cost(Counter::FaultReplayCostMicros, fo.stats.replay_cost);
+        sink.add_cost(Counter::FaultReseedCostMicros, fo.stats.reseed_cost);
+        sink.add_cost(Counter::FaultBrownoutCostMicros, fo.stats.brownout_cost);
+        sink.observe(Hist::FaultQueuePeak, fo.stats.queue_peak as u64);
+        sink.observe(
+            Hist::FaultBackoffWaitMicros,
+            (fo.stats.backoff_wait.max(0.0) * 1e6) as u64,
+        );
     }
 }
 
@@ -681,13 +756,34 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
         wrapped.plan_mut(),
         &mut ws.plan_scratch,
     );
+    seed_faulty_body(wrapped, seed, inst, precomputed_opt, ws, sink)
+}
+
+/// The wrapped measurement once the plan sits in the wrapper: run, charge
+/// the brownout surcharge against the finished record geometry, audit
+/// against the surcharged cost, and fold every wrapper surcharge
+/// (retries, replays, reseeds, brownouts) into `online_cost` so the ratio
+/// prices the whole degradation.
+fn seed_faulty_body<P: OnlinePolicy<f64>>(
+    wrapped: &mut FaultTolerant<P>,
+    seed: u64,
+    inst: &Instance<f64>,
+    precomputed_opt: Option<f64>,
+    ws: &mut SeedScratch,
+    sink: &dyn Sink,
+) -> SeedResult {
     let crashes = wrapped.plan().crashes().len();
+    let bursts = wrapped.plan().bursts() as usize;
+    let partitions = wrapped.plan().partitions().len();
+    let brownouts = wrapped.plan().brownouts().len();
     let (stats, rec) = run_policy_record(wrapped, inst, &mut ws.rt);
+    let sur = brownout_surcharge(wrapped.plan(), rec, inst.cost());
+    wrapped.stats_mut().brownout_cost = sur;
     let fstats = wrapped.stats().clone();
     let findings = audit_findings(
         inst,
         rec,
-        stats.total_cost,
+        stats.total_cost + sur,
         stats.transfers,
         Some(wrapped.plan()),
         &mut ws.audit,
@@ -695,7 +791,8 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
     let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
-    let online_cost = stats.total_cost + fstats.retry_cost;
+    let online_cost =
+        stats.total_cost + sur + fstats.retry_cost + fstats.replay_cost + fstats.reseed_cost;
     let result = SeedResult {
         seed,
         online_cost,
@@ -707,6 +804,9 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
         fault: Some(FaultOutcome {
             stats: fstats,
             crashes,
+            bursts,
+            partitions,
+            brownouts,
             tolerant: true,
         }),
     };
@@ -730,12 +830,32 @@ fn seed_oblivious_core(
         &mut ws.fault_plan,
         &mut ws.plan_scratch,
     );
+    seed_oblivious_body(policy, seed, inst, precomputed_opt, ws, sink)
+}
+
+/// The oblivious measurement once the plan sits in `ws.fault_plan`. The
+/// brownout surcharge still applies — degraded bandwidth taxes the run
+/// whether or not the policy knows about it — so both the audited and the
+/// reported cost carry it.
+fn seed_oblivious_body(
+    policy: &mut dyn OnlinePolicy<f64>,
+    seed: u64,
+    inst: &Instance<f64>,
+    precomputed_opt: Option<f64>,
+    ws: &mut SeedScratch,
+    sink: &dyn Sink,
+) -> SeedResult {
     let crashes = ws.fault_plan.crashes().len();
+    let bursts = ws.fault_plan.bursts() as usize;
+    let partitions = ws.fault_plan.partitions().len();
+    let brownouts = ws.fault_plan.brownouts().len();
     let (stats, rec) = run_policy_record(policy, inst, &mut ws.rt);
+    let sur = brownout_surcharge(&ws.fault_plan, rec, inst.cost());
+    let online_cost = stats.total_cost + sur;
     let findings = audit_findings(
         inst,
         rec,
-        stats.total_cost,
+        online_cost,
         stats.transfers,
         Some(&ws.fault_plan),
         &mut ws.audit,
@@ -743,217 +863,29 @@ fn seed_oblivious_core(
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
     let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
+    let fstats = FaultStats {
+        brownout_cost: sur,
+        ..FaultStats::default()
+    };
     let result = SeedResult {
         seed,
-        online_cost: stats.total_cost,
+        online_cost,
         opt_cost: opt,
-        ratio: if opt > 0.0 {
-            stats.total_cost / opt
-        } else {
-            1.0
-        },
+        ratio: if opt > 0.0 { online_cost / opt } else { 1.0 },
         breakdown,
         transfers: stats.transfers,
         audit_findings: findings,
         fault: Some(FaultOutcome {
-            stats: FaultStats::default(),
+            stats: fstats,
             crashes,
+            bursts,
+            partitions,
+            brownouts,
             tolerant: false,
         }),
     };
     record_seed(sink, inst.n(), &result);
     result
-}
-
-// ---------------------------------------------------------------------
-// Deprecated pre-RunRequest entry points. Each is a thin delegate onto
-// the same cores the request API uses (identical results, identical
-// allocation behavior, no metrics); new code should build a RunRequest.
-// ---------------------------------------------------------------------
-
-/// One fault-free seed measurement on a pre-generated instance.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_seed` (DESIGN.md §9)"
-)]
-pub fn run_seed_in(
-    policy: &mut dyn OnlinePolicy<f64>,
-    seed: u64,
-    inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    seed_core(policy, seed, inst, None, &mut ws.run, mcc_obs::noop())
-}
-
-/// One fault-injected seed measurement with the fault-tolerant wrapper.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Faulty(spec))` + `run_seed` (DESIGN.md §9)"
-)]
-pub fn run_seed_faulty_in<P: OnlinePolicy<f64>>(
-    wrapped: &mut FaultTolerant<P>,
-    spec: &FaultSpec,
-    seed: u64,
-    inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    seed_faulty_core(
-        wrapped,
-        spec,
-        seed,
-        inst,
-        None,
-        &mut ws.run,
-        mcc_obs::noop(),
-    )
-}
-
-/// One fault-injected seed measurement with an *oblivious* policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Oblivious(spec))` + `run_seed` (DESIGN.md §9)"
-)]
-pub fn run_seed_oblivious_in(
-    policy: &mut dyn OnlinePolicy<f64>,
-    spec: &FaultSpec,
-    seed: u64,
-    inst: &Instance<f64>,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    seed_oblivious_core(policy, spec, seed, inst, None, &mut ws.run, mcc_obs::noop())
-}
-
-/// One whole fault-free unit (generation + measurement).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_unit` (DESIGN.md §9)"
-)]
-pub fn run_unit_in(
-    policy: &mut dyn OnlinePolicy<f64>,
-    workload: &dyn Workload,
-    seed: u64,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_core(policy, seed, inst, None, &mut ws.run, mcc_obs::noop())
-}
-
-/// One whole fault-injected unit with the fault-tolerant wrapper.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Faulty(spec))` + `run_unit` (DESIGN.md §9)"
-)]
-pub fn run_unit_faulty_in<P: OnlinePolicy<f64>>(
-    wrapped: &mut FaultTolerant<P>,
-    spec: &FaultSpec,
-    workload: &dyn Workload,
-    seed: u64,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_faulty_core(
-        wrapped,
-        spec,
-        seed,
-        inst,
-        None,
-        &mut ws.run,
-        mcc_obs::noop(),
-    )
-}
-
-/// One whole fault-injected unit with an *oblivious* policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Oblivious(spec))` + `run_unit` (DESIGN.md §9)"
-)]
-pub fn run_unit_oblivious_in(
-    policy: &mut dyn OnlinePolicy<f64>,
-    spec: &FaultSpec,
-    workload: &dyn Workload,
-    seed: u64,
-    ws: &mut RunWorkspace,
-) -> SeedResult {
-    let inst = workload.generate_into(seed, &mut ws.gen);
-    seed_oblivious_core(policy, spec, seed, inst, None, &mut ws.run, mcc_obs::noop())
-}
-
-/// Measures `policy_factory()` against `workload` over `seeds`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Plain)` + `run_cell` (DESIGN.md §9)"
-)]
-pub fn run_cell(
-    policy_factory: &PolicyFactory,
-    workload: &dyn Workload,
-    seeds: std::ops::Range<u64>,
-) -> Vec<SeedResult> {
-    RunRequest::new(RunMode::Plain).run_cell(policy_factory, workload, seeds)
-}
-
-/// [`run_cell`] reusing a caller-owned [`RunWorkspace`] across seeds.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::Plain).with_workspace(ws)` + `run_cell` (DESIGN.md §9)"
-)]
-pub fn run_cell_in(
-    policy_factory: &PolicyFactory,
-    workload: &dyn Workload,
-    seeds: std::ops::Range<u64>,
-    ws: &mut RunWorkspace,
-) -> Vec<SeedResult> {
-    cell_core(
-        RunMode::Plain,
-        policy_factory,
-        workload,
-        seeds,
-        ws,
-        mcc_obs::noop(),
-    )
-}
-
-/// Measures `policy_factory()` against `workload` over `seeds` on a
-/// cluster degraded by `spec` (fresh workspace convenience wrapper).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::from_faults(Some(spec)))` + `run_cell` (DESIGN.md §9)"
-)]
-pub fn run_cell_faulty(
-    policy_factory: &PolicyFactory,
-    workload: &dyn Workload,
-    seeds: std::ops::Range<u64>,
-    spec: &FaultSpec,
-) -> Vec<SeedResult> {
-    RunRequest::new(RunMode::from_faults(Some(*spec))).run_cell(policy_factory, workload, seeds)
-}
-
-/// [`run_cell_faulty`] reusing a caller-owned [`RunWorkspace`].
-///
-/// Dispatches on `spec.tolerant` exactly like [`RunMode::from_faults`]:
-/// wrapped ([`RunMode::Faulty`]) when set, oblivious
-/// ([`RunMode::Oblivious`]) when not. The off-line optimum stays
-/// clairvoyant *and* fault-free — the denominator measures what the
-/// trace costs on a healthy cluster, so the ratio captures the full
-/// price of degradation.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a RunRequest: `RunRequest::new(RunMode::from_faults(Some(spec))).with_workspace(ws)` + `run_cell` (DESIGN.md §9)"
-)]
-pub fn run_cell_faulty_in(
-    policy_factory: &PolicyFactory,
-    workload: &dyn Workload,
-    seeds: std::ops::Range<u64>,
-    spec: &FaultSpec,
-    ws: &mut RunWorkspace,
-) -> Vec<SeedResult> {
-    cell_core(
-        RunMode::from_faults(Some(*spec)),
-        policy_factory,
-        workload,
-        seeds,
-        ws,
-        mcc_obs::noop(),
-    )
 }
 
 #[cfg(test)]
@@ -1086,6 +1018,9 @@ mod tests {
             fault: Some(FaultOutcome {
                 stats,
                 crashes: 0,
+                bursts: 0,
+                partitions: 0,
+                brownouts: 0,
                 tolerant: true,
             }),
         };
@@ -1190,8 +1125,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_request_api() {
+    fn run_seed_with_plan_matches_spec_expansion() {
+        // The explicit-plan door must be bit-identical to the spec path
+        // when handed the very plan the spec would expand.
         let w = PoissonWorkload::uniform(CommonParams::small().with_size(4, 40), 1.0);
         let f = factory(SpeculativeCaching::paper());
         let spec = FaultSpec {
@@ -1200,32 +1136,25 @@ mod tests {
             mean_downtime: 1.5,
             ..FaultSpec::default()
         };
-
-        let new_plain = RunRequest::new(RunMode::Plain).run_cell(&f, &w, 0..4);
-        let old_plain = run_cell(&f, &w, 0..4);
-        let mut ws = RunWorkspace::new();
-        let old_plain_in = run_cell_in(&f, &w, 0..4, &mut ws);
-
-        let new_faulty = RunRequest::new(RunMode::Faulty(spec)).run_cell(&f, &w, 0..4);
-        let old_faulty = run_cell_faulty(&f, &w, 0..4, &spec);
-        let obl = FaultSpec {
-            tolerant: false,
-            ..spec
-        };
-        let new_obl = RunRequest::new(RunMode::Oblivious(obl)).run_cell(&f, &w, 0..4);
-        let old_obl = run_cell_faulty_in(&f, &w, 0..4, &obl, &mut ws);
-
-        for (news, olds) in [
-            (&new_plain, &old_plain),
-            (&new_plain, &old_plain_in),
-            (&new_faulty, &old_faulty),
-            (&new_obl, &old_obl),
-        ] {
-            for (x, y) in news.iter().zip(olds.iter()) {
-                assert_eq!(x.online_cost, y.online_cost);
-                assert_eq!(x.opt_cost, y.opt_cost);
-                assert_eq!(x.audit_findings, y.audit_findings);
-            }
+        let via_spec = RunRequest::new(RunMode::Faulty(spec)).run_cell(&f, &w, 0..4);
+        let mut req = RunRequest::new(RunMode::Faulty(spec));
+        let mut policy = req.policy(&f);
+        let mut scratch = PlanScratch::default();
+        let mut plan = FaultPlan::none();
+        let mut gen = mcc_workloads::InstanceBuf::new();
+        for r in &via_spec {
+            let inst = w.generate_into(r.seed, &mut gen);
+            spec.plan_for_into(
+                r.seed,
+                inst.servers(),
+                inst.horizon(),
+                &mut plan,
+                &mut scratch,
+            );
+            let x = req.run_seed_with_plan(&mut policy, r.seed, inst, &plan);
+            assert_eq!(x.online_cost, r.online_cost, "seed {}", r.seed);
+            assert_eq!(x.opt_cost, r.opt_cost);
+            assert_eq!(x.audit_findings, r.audit_findings);
         }
     }
 

@@ -44,7 +44,10 @@
 use mcc_core::online::{CrashWindow, FaultPlan, RunRecord};
 use mcc_model::{Instance, ServerId, Violation};
 
-use crate::audit::{AuditFinding, AuditReport};
+use crate::audit::{
+    gap_waived, grounded_start, interval_surcharge, outage_covers, transfer_surcharge,
+    AuditFinding, AuditReport,
+};
 
 /// Per-server incremental audit state: the *current* (latest) merged
 /// cache interval plus the provenance/outage context needed to judge the
@@ -76,6 +79,10 @@ struct SrvState {
     /// Crash onset at/after the current believed end: if a later record
     /// merges the interval past it, the truncation applies retroactively.
     pending_crash: Option<f64>,
+    /// Justified as a durable-storage reseed (see
+    /// [`crate::audit`]'s `grounded_start`): needs no incoming transfer
+    /// and may source same-instant transfers.
+    grounded: bool,
     /// Believed end of the previous merged interval (continuation check).
     prev_to: f64,
     /// Whether `prev_to` is meaningful.
@@ -112,6 +119,7 @@ impl Default for SrvState {
             killed: false,
             truncated: false,
             pending_crash: None,
+            grounded: false,
             prev_to: 0.0,
             has_prev: false,
             down_from: f64::NEG_INFINITY,
@@ -131,9 +139,17 @@ pub struct AuditScratch {
     incoming: Vec<Vec<f64>>,
     delivered: Vec<Vec<f64>>,
     spans: Vec<(f64, f64)>,
-    /// `(server, from, believed length)` per merged interval, for the
-    /// cost recompute in the replay auditor's summation order.
+    /// `(server, from, believed to)` per merged interval, for the cost
+    /// recompute in the replay auditor's summation order.
     costs: Vec<(usize, f64, f64)>,
+    /// Event/depth buffers for [`FaultPlan::total_outages_into`].
+    outage_events: Vec<(f64, u8, u32)>,
+    outage_depth: Vec<u32>,
+    /// Total-outage spans of the current plan (empty without a plan).
+    outages: Vec<(f64, f64)>,
+    /// `(at, src, dst)` per transfer, sorted like a normalized schedule's
+    /// transfer list, for the brownout surcharge summation order.
+    tr_order: Vec<(f64, u32, u32)>,
     findings: Vec<AuditFinding>,
 }
 
@@ -156,6 +172,8 @@ impl AuditScratch {
         }
         self.spans.clear();
         self.costs.clear();
+        self.outages.clear();
+        self.tr_order.clear();
         self.findings.clear();
     }
 }
@@ -219,7 +237,7 @@ impl StreamingAuditor {
         if eff > st.from {
             spans.push((st.from, eff));
         }
-        costs.push((s, st.from, st.to - st.from));
+        costs.push((s, st.from, st.to));
         if s == ServerId::ORIGIN.index() && self.eq(st.from, 0.0) && eff > 0.0 {
             *anchored = true;
         }
@@ -250,8 +268,18 @@ impl StreamingAuditor {
             delivered,
             spans,
             costs,
+            outage_events,
+            outage_depth,
+            outages,
+            tr_order,
             findings,
         } = scratch;
+
+        // Total-outage windows of the plan (see the replay auditor): the
+        // waiver and grounding rules below all read from this one list.
+        if let Some(plan) = plan {
+            plan.total_outages_into(servers, outage_events, outage_depth, outages);
+        }
 
         // --- structural: malformed merged intervals stop the audit ------
         // Normalization drops empty records and merges seamless ones, so
@@ -323,6 +351,11 @@ impl StreamingAuditor {
         let crashes = plan.map_or(no_crashes, |p| p.crashes());
         let n = inst.n();
         let mut anchored = false;
+        // Latest request that pins the coverage obligation: one served
+        // in-schedule, or one unserved without a deferral waiver. Requests
+        // past it were all absorbed by the wrapper's offline queue, so the
+        // schedule owes no coverage beyond the last covered instant.
+        let mut tail_block = f64::NEG_INFINITY;
         let (mut ri, mut ti, mut qi, mut ci) = (0usize, 0usize, 1usize, 0usize);
         loop {
             // Skip empty records (dropped by normalization).
@@ -425,11 +458,18 @@ impl StreamingAuditor {
                         st.killed = false;
                         st.truncated = false;
                         st.pending_crash = None;
+                        st.grounded =
+                            plan.is_some_and(|p| grounded_start(self.tol, p, outages, r.from));
                         // Provenance: origin at t = 0, seamless successor,
-                        // or an incoming transfer at the start instant.
+                        // a durable-storage reseed, or an incoming transfer
+                        // at the start instant.
                         let origin_start = s == ServerId::ORIGIN.index() && self.eq(r.from, 0.0);
                         let continuation = st.has_prev && self.le(r.from, st.prev_to);
-                        if !origin_start && !continuation && !self.has_time(&incoming[s], r.from) {
+                        if !origin_start
+                            && !continuation
+                            && !st.grounded
+                            && !self.has_time(&incoming[s], r.from)
+                        {
                             findings.push(AuditFinding::Violation(
                                 Violation::UnjustifiedCacheStart {
                                     server: r.server,
@@ -473,13 +513,35 @@ impl StreamingAuditor {
                         && self.le(src.from, tr.at)
                         && self.le(tr.at, src.crash_actual_to)
                         && (src.from < tr.at
-                            || (tr.src == ServerId::ORIGIN && self.eq(src.from, 0.0)));
-                    if src_alive {
+                            || (tr.src == ServerId::ORIGIN && self.eq(src.from, 0.0))
+                            || (src.grounded && self.eq(src.from, tr.at)));
+                    // A grounded *pass-through*: a durable-storage reseed
+                    // relayed onward at the very instant it lands leaves a
+                    // zero-length interval, which the record sweep skips
+                    // (mirroring `normalize`) — accept the sourceless
+                    // transfer at the same grounded instants the replay
+                    // does.
+                    let phantom_grounded = !src_down
+                        && !src_alive
+                        && plan.is_some_and(|p| grounded_start(self.tol, p, outages, tr.at));
+                    let src_alive = src_alive || phantom_grounded;
+                    // An otherwise-valid transfer crossing an active
+                    // partition is illegal (outage and dead-source
+                    // findings take precedence).
+                    let severed =
+                        src_alive && plan.is_some_and(|p| p.partitioned(tr.src, tr.dst, tr.at));
+                    if src_alive && !severed {
                         delivered[tr.dst.index()].push(tr.at);
                     } else {
                         findings.push(AuditFinding::Violation(if src_down {
                             Violation::TransferDuringOutage {
                                 src: tr.src,
+                                at: tr.at,
+                            }
+                        } else if severed {
+                            Violation::TransferAcrossPartition {
+                                src: tr.src,
+                                dst: tr.dst,
                                 at: tr.at,
                             }
                         } else {
@@ -508,12 +570,32 @@ impl StreamingAuditor {
                         (st.alive() && self.le(st.from, t) && self.le(t, st.crash_actual_to))
                             || self.has_time(&delivered[s.index()], t)
                     };
+                    if served {
+                        tail_block = tail_block.max(t);
+                    }
                     if !served {
-                        findings.push(AuditFinding::Violation(Violation::UnservedRequest {
-                            request: qi - 1,
-                            server: s,
-                            at: t,
-                        }));
+                        // Waived when reality made service impossible: a
+                        // total outage covers `t`, or a partition puts
+                        // every live copy on the far side (the wrapper
+                        // defers such requests into its accounted queue).
+                        let waived = plan.is_some_and(|p| {
+                            outage_covers(self.tol, outages, t)
+                                || (p.partition_active(t)
+                                    && !srv.iter().enumerate().any(|(s2, st)| {
+                                        !p.partitioned(ServerId::from_index(s2), s, t)
+                                            && st.alive()
+                                            && self.le(st.from, t)
+                                            && self.le(t, st.crash_actual_to)
+                                    }))
+                        });
+                        if !waived {
+                            tail_block = tail_block.max(t);
+                            findings.push(AuditFinding::Violation(Violation::UnservedRequest {
+                                request: qi - 1,
+                                server: s,
+                                at: t,
+                            }));
+                        }
                     }
                 }
             }
@@ -535,10 +617,14 @@ impl StreamingAuditor {
             let mut gap_reported = false;
             for &(from, to) in spans.iter() {
                 if from > reach && !self.eq(from, reach) {
-                    findings.push(AuditFinding::Violation(Violation::CoverageGap {
-                        at: reach,
-                    }));
-                    gap_reported = true;
+                    // A gap lying inside a total outage is waived: no
+                    // policy can hold a copy anywhere over it.
+                    if !gap_waived(self.tol, outages, reach, from) {
+                        findings.push(AuditFinding::Violation(Violation::CoverageGap {
+                            at: reach,
+                        }));
+                        gap_reported = true;
+                    }
                     reach = from;
                 }
                 reach = reach.max(to);
@@ -546,7 +632,19 @@ impl StreamingAuditor {
                     break;
                 }
             }
-            if !gap_reported && reach < horizon && !self.eq(reach, horizon) {
+            // A trailing gap is also waived when every request past `reach`
+            // was deferred into the wrapper's accounted offline queue: the
+            // run's last in-schedule obligation ends at `reach`, and the
+            // replay of the queue happens against durable storage, outside
+            // the schedule.
+            let tail_deferred =
+                plan.is_some() && (tail_block <= reach || self.eq(tail_block, reach));
+            if !gap_reported
+                && reach < horizon
+                && !self.eq(reach, horizon)
+                && !tail_deferred
+                && !gap_waived(self.tol, outages, reach, horizon)
+            {
                 findings.push(AuditFinding::Violation(Violation::CoverageGap {
                     at: reach,
                 }));
@@ -561,14 +659,37 @@ impl StreamingAuditor {
             costs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
             let model = inst.cost();
             let mut caching = 0.0;
-            for &(_, _, len) in costs.iter() {
-                caching += model.caching(len);
+            for &(_, from, to) in costs.iter() {
+                caching += model.caching(to - from);
             }
             let mut transfer = 0.0;
             for _ in 0..transfers.len() {
                 transfer += model.lambda;
             }
-            let recomputed = caching + transfer;
+            let mut recomputed = caching + transfer;
+            // Brownout surcharge, in the replay auditor's exact summation
+            // order: interval terms over merged geometry sorted by
+            // (server, start), then transfer terms sorted like a
+            // normalized schedule's transfer list — (time, src, dst).
+            if let Some(p) = plan {
+                if !p.brownouts().is_empty() {
+                    let mut sur = 0.0;
+                    for &(s, from, to) in costs.iter() {
+                        sur += interval_surcharge(p, ServerId::from_index(s), from, to, model.mu);
+                    }
+                    for tr in transfers {
+                        tr_order.push((tr.at, tr.src.0, tr.dst.0));
+                    }
+                    tr_order.sort_unstable_by(|a, b| {
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                    });
+                    for &(at, src, dst) in tr_order.iter() {
+                        sur +=
+                            transfer_surcharge(p, ServerId(src), ServerId(dst), at, model.lambda);
+                    }
+                    recomputed += sur;
+                }
+            }
             if !self.eq(reported, recomputed) {
                 findings.push(AuditFinding::CostDrift {
                     reported,

@@ -61,10 +61,26 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
     let workload = PoissonWorkload::uniform(CommonParams::small().with_size(6, 120), 1.0);
     let instances: Vec<Instance<f64>> = (0..4u64).map(|s| workload.generate(s)).collect();
+    // Every chaos-layer class on: correlated bursts, partitions,
+    // brownouts, transfer failures with backoff, delays, and a finite
+    // degraded-mode queue — the warm unit must absorb them all without
+    // touching the heap.
     let spec = FaultSpec {
         seed: 7,
         crash_rate: 0.4,
         mean_downtime: 2.0,
+        burst_rate: 0.1,
+        burst_coverage: 0.5,
+        partition_rate: 0.1,
+        partition_mean: 0.6,
+        brownout_rate: 0.1,
+        brownout_mean: 0.8,
+        brownout_factor: 2.5,
+        fail_prob: 0.1,
+        retry_budget: 8,
+        backoff_base: 0.05,
+        queue_cap: 4,
+        mean_delay: 0.1,
         ..FaultSpec::default()
     };
     let f = factory(mcc_core::online::SpeculativeCaching::<f64>::paper());

@@ -9,7 +9,8 @@
 //! by check, streaming emits by time), so the comparison sorts.
 
 use mcc_core::online::{
-    run_policy, FaultPlan, FaultTolerant, Follow, RunRecord, SpeculativeCaching,
+    brownout_surcharge, run_policy, run_policy_record, FaultPlan, FaultTolerant, Follow, RunRecord,
+    Runtime, SpeculativeCaching,
 };
 use mcc_model::{CostModel, Instance, Request, ServerId};
 use mcc_simnet::fault::FaultSpec;
@@ -39,16 +40,36 @@ fn random_instance() -> impl Strategy<Value = Instance<f64>> {
 
 /// Crash-heavy spec space: high rates and long outages maximize the
 /// number of findings the oblivious runs produce, which is where the two
-/// auditors have the most opportunity to disagree.
+/// auditors have the most opportunity to disagree. Bursts, partitions and
+/// brownouts ride along so every finding class (partition-severed
+/// transfers, deferral waivers, surcharge drift) is exercised in both.
 fn random_spec() -> impl Strategy<Value = FaultSpec> {
-    (0u64..u64::MAX, 0.0f64..2.0, 0.05f64..5.0).prop_map(|(seed, crash_rate, mean_downtime)| {
-        FaultSpec {
-            seed,
-            crash_rate,
-            mean_downtime,
-            ..FaultSpec::default()
-        }
-    })
+    (
+        (0u64..u64::MAX, 0.0f64..2.0, 0.05f64..5.0),
+        (0.0f64..0.3, 0.0f64..1.0),
+        (0.0f64..0.4, 0.05f64..2.0),
+        (0.0f64..0.3, 0.05f64..2.0, 1.01f64..4.0),
+    )
+        .prop_map(
+            |(
+                (seed, crash_rate, mean_downtime),
+                (burst_rate, burst_coverage),
+                (partition_rate, partition_mean),
+                (brownout_rate, brownout_mean, brownout_factor),
+            )| FaultSpec {
+                seed,
+                crash_rate,
+                mean_downtime,
+                burst_rate,
+                burst_coverage,
+                partition_rate,
+                partition_mean,
+                brownout_rate,
+                brownout_mean,
+                brownout_factor,
+                ..FaultSpec::default()
+            },
+        )
 }
 
 fn multiset(findings: &[AuditFinding]) -> Vec<String> {
@@ -115,8 +136,10 @@ proptest! {
     ) {
         let plan = spec.plan_for(run_seed, inst.servers(), inst.horizon());
         let mut wrapped = FaultTolerant::new(SpeculativeCaching::paper(), plan.clone());
-        let run = run_policy(&mut wrapped, &inst);
-        assert_equivalent(&inst, &run.record, run.total_cost, Some(&plan))?;
+        let mut rt = Runtime::new(inst.servers());
+        let (stats, rec) = run_policy_record(&mut wrapped, &inst, &mut rt);
+        let sur = brownout_surcharge(&plan, rec, inst.cost());
+        assert_equivalent(&inst, rec, stats.total_cost + sur, Some(&plan))?;
     }
 
     /// Follow produces a different record shape (single roaming copy,
