@@ -193,6 +193,35 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
         );
     }
 
+    // --- fleet layer ---------------------------------------------------
+    let fleet_items = snap.counter(Counter::FleetItems);
+    if fleet_items > 0 {
+        let _ = writeln!(out, "fleet layer");
+        let _ = writeln!(
+            out,
+            "  items: {fleet_items}  (largest fleet: {})  sim {}ms  capacity sweep {}ms",
+            snap.gauge(Gauge::FleetSize),
+            fnum(ms(snap.counter(Counter::FleetSimNanos))),
+            fnum(ms(snap.counter(Counter::FleetCapacityNanos)))
+        );
+        let events = snap.counter(Counter::FleetCapacityEvents);
+        if events > 0 || snap.gauge(Gauge::FleetCapacitySlots) > 0 {
+            let _ = writeln!(
+                out,
+                "  capacity: {} slots/server  events: {events}  occupancy peak: {}",
+                snap.gauge(Gauge::FleetCapacitySlots),
+                snap.gauge(Gauge::FleetOccupancyPeak)
+            );
+            let _ = writeln!(
+                out,
+                "  evictions: {}  eviction cost (λ): {}  violations: {}",
+                snap.counter(Counter::FleetEvictions),
+                fnum(cost(snap.counter(Counter::FleetEvictionCostMicros))),
+                snap.counter(Counter::FleetCapacityViolations)
+            );
+        }
+    }
+
     // --- histograms ----------------------------------------------------
     if Hist::ALL.iter().any(|&h| snap.hist(h).count > 0) {
         let _ = writeln!(out, "histograms (power-of-two buckets)");
@@ -213,6 +242,55 @@ pub fn render_metrics(snap: &MetricsSnapshot) -> String {
             snap.hist(Hist::FaultBackoffWaitMicros),
             "µs",
         );
+        hist_line(
+            &mut out,
+            "item cost ×100",
+            snap.hist(Hist::FleetItemCostCenti),
+            "",
+        );
+        hist_line(
+            &mut out,
+            "srv occupancy",
+            snap.hist(Hist::FleetServerOccupancyPeak),
+            "",
+        );
+    }
+
+    // --- raw dump ------------------------------------------------------
+    // Every nonzero metric by its registry id. The narrative sections
+    // above curate; this section guarantees nothing recorded can hide —
+    // a regression test renders a fully-populated snapshot and asserts
+    // every registered id appears.
+    let any_raw = Counter::ALL.iter().any(|&c| snap.counter(c) > 0)
+        || Gauge::ALL.iter().any(|&g| snap.gauge(g) > 0)
+        || Hist::ALL.iter().any(|&h| snap.hist(h).count > 0);
+    if any_raw {
+        let _ = writeln!(out, "raw (nonzero)");
+        for &c in &Counter::ALL {
+            let v = snap.counter(c);
+            if v > 0 {
+                let _ = writeln!(out, "  {} = {v}", c.name());
+            }
+        }
+        for &g in &Gauge::ALL {
+            let v = snap.gauge(g);
+            if v > 0 {
+                let _ = writeln!(out, "  {} = {v}", g.name());
+            }
+        }
+        for &h in &Hist::ALL {
+            let s = snap.hist(h);
+            if s.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} : n={} mean={} sum={}",
+                    h.name(),
+                    s.count,
+                    fnum(s.mean()),
+                    s.sum
+                );
+            }
+        }
     }
 
     out
@@ -280,5 +358,69 @@ mod tests {
         assert!(out.contains("8ms total"), "{out}");
         assert!(out.contains("batched 12 (75%)"), "{out}");
         assert!(out.contains("batches: 2  stage 1ms  batch dp 2ms"), "{out}");
+    }
+
+    /// Every metric id registered in mcc-obs must surface somewhere in the
+    /// text report.  The raw-dump section guarantees this even for metrics
+    /// that have no dedicated narrative line yet; this test keeps the report
+    /// from silently dropping newly added counters/gauges/histograms.
+    #[test]
+    fn every_registered_metric_id_appears_when_populated() {
+        let reg = Registry::new();
+        for &c in &Counter::ALL {
+            reg.add(c, 7);
+        }
+        for &g in &Gauge::ALL {
+            reg.gauge_max(g, 5);
+        }
+        for &h in &Hist::ALL {
+            reg.observe(h, 100);
+        }
+        let out = render_metrics(&reg.snapshot());
+        for &c in &Counter::ALL {
+            assert!(
+                out.contains(c.name()),
+                "counter `{}` missing in:\n{out}",
+                c.name()
+            );
+        }
+        for &g in &Gauge::ALL {
+            assert!(
+                out.contains(g.name()),
+                "gauge `{}` missing in:\n{out}",
+                g.name()
+            );
+        }
+        for &h in &Hist::ALL {
+            assert!(
+                out.contains(h.name()),
+                "hist `{}` missing in:\n{out}",
+                h.name()
+            );
+        }
+        assert!(out.contains("fleet layer"), "{out}");
+        assert!(out.contains("raw (nonzero)"), "{out}");
+    }
+
+    #[test]
+    fn fleet_section_renders_capacity_block() {
+        let reg = Registry::new();
+        reg.add(Counter::FleetItems, 1_000_000);
+        reg.add(Counter::FleetSimNanos, 360_000_000);
+        reg.add(Counter::FleetCapacityNanos, 40_000_000);
+        reg.add(Counter::FleetCapacityEvents, 12_345);
+        reg.add(Counter::FleetEvictions, 678);
+        reg.add(Counter::FleetEvictionCostMicros, 9_000_000);
+        reg.add(Counter::FleetCapacityViolations, 0);
+        reg.gauge_max(Gauge::FleetSize, 1_000_000);
+        reg.gauge_max(Gauge::FleetCapacitySlots, 64);
+        reg.gauge_max(Gauge::FleetOccupancyPeak, 61);
+        reg.observe(Hist::FleetItemCostCenti, 250);
+        reg.observe(Hist::FleetServerOccupancyPeak, 61);
+        let out = render_metrics(&reg.snapshot());
+        assert!(out.contains("fleet layer"), "{out}");
+        assert!(out.contains("item cost ×100"), "{out}");
+        assert!(out.contains("srv occupancy"), "{out}");
+        assert!(out.contains("evictions: 678"), "{out}");
     }
 }

@@ -7,6 +7,7 @@
 pub mod adversary;
 pub mod alpha;
 pub mod baseline;
+pub mod bench_fleet;
 pub mod bench_solver;
 pub mod bench_sweep;
 pub mod breakdown;

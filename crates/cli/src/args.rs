@@ -21,6 +21,9 @@ pub enum Command {
     Classic,
     /// Multi-seed policy sweep over a workload family.
     Sweep,
+    /// Fleet of independent per-item SC instances with capacity-
+    /// constrained servers.
+    Fleet,
     /// Usage text.
     Help,
 }
@@ -93,6 +96,12 @@ const VALUE_OPTIONS: &[&str] = &[
     "queue-cap",
     "mean-delay",
     "metrics",
+    "items",
+    "capacity",
+    "eviction",
+    "eviction-price",
+    "mu-dist",
+    "lambda-dist",
 ];
 /// Bare flags.
 const BARE_FLAGS: &[&str] = &[
@@ -102,6 +111,7 @@ const BARE_FLAGS: &[&str] = &[
     "quick",
     "json",
     "metrics-report",
+    "no-audit",
 ];
 
 /// Parses `argv` (without the program name).
@@ -116,6 +126,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
         Some("info") => Command::Info,
         Some("classic") => Command::Classic,
         Some("sweep") => Command::Sweep,
+        Some("fleet") => Command::Fleet,
         Some(other) => return Err(format!("unknown command `{other}` (try `mcc help`)")),
     };
     let mut parsed = ParsedArgs {

@@ -4,12 +4,14 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use mobile_cloud_cache::analysis::{fnum, render, render_metrics, Summary, Table};
+use mobile_cloud_cache::fleet::EvictionPolicy;
 use mobile_cloud_cache::prelude::{
-    analyze, optimal_cost, optimal_schedule, run_policy, solve_fast, sweep_with, validate,
-    CommonParams, FaultSpec, Follow, GridCell, Instance, KeepEverywhere, MarkovWorkload,
-    OnlinePolicy, PoissonWorkload, PolicyFactory, Prescan, Registry, SpeculativeCaching,
-    StayAtOrigin, Workload,
+    analyze, factory, optimal_cost, optimal_schedule, run_fleet, run_policy, solve_fast,
+    sweep_with, validate, CommonParams, FaultSpec, FleetSpec, FleetWorkspace, Follow, GridCell,
+    Instance, KeepEverywhere, MarkovWorkload, OnlinePolicy, PoissonWorkload, PolicyFactory,
+    Prescan, Registry, SpeculativeCaching, StayAtOrigin, Workload,
 };
+use mobile_cloud_cache::workloads::distributions::ParamDist;
 use mobile_cloud_cache::workloads::{trace, AdversarialScWorkload, BurstyWorkload, ZipfWorkload};
 
 use crate::args::ParsedArgs;
@@ -29,6 +31,10 @@ USAGE:
   mcc classic  <trace> [--k N]
   mcc sweep    <family> [--seeds N] [--threads N] [--metrics FILE]
                [--metrics-report] [fault options] [generate options]
+  mcc fleet    [--items N] [--servers N] [--requests N] [--rate X]
+               [--mu-dist D] [--lambda-dist D] [--seed N] [--threads N]
+               [--capacity N] [--eviction lru|none] [--eviction-price X]
+               [--no-audit] [--metrics FILE] [--metrics-report]
 
 TRACES:   a .json / .csv trace file, a compact-format text file, or an inline
           instance: -c \"m=2 mu=1 lambda=1 | s2@0.5 s1@2.0\"
@@ -42,6 +48,12 @@ FAULTS:   any positive --crash-rate X, --burst-rate X, --partition-rate X, or
           --mean-downtime X --burst-coverage P --partition-mean X
           --brownout-mean X --brownout-factor F --fail-prob P
           --retry-budget N --backoff-base X --queue-cap N --mean-delay X
+FLEET:    --items independent per-item SC instances, each drawing (μ, λ)
+          from --mu-dist / --lambda-dist (`fixed:X`, `uniform:LO,HI`,
+          `exp:MEAN`); --capacity N caps per-server slots (--eviction lru
+          charges --eviction-price per eviction, --eviction none reports
+          capacity violations); --no-audit selects the sim-only
+          throughput regime (identical costs, no per-item verification)
 "
     .to_string()
 }
@@ -327,7 +339,7 @@ fn fault_spec_from_args(args: &ParsedArgs) -> Result<Option<FaultSpec>, String> 
 /// report mean/worst ratios against the optimum. `--threads` widens the
 /// sweep, the chaos-layer knobs (`--crash-rate`, `--burst-rate`,
 /// `--partition-rate`, `--brownout-rate`, plus shaping options — see
-/// [`fault_spec_from_args`]) inject a fault regime (policies run wrapped
+/// `fault_spec_from_args`) inject a fault regime (policies run wrapped
 /// in the fault-tolerant layer), `--metrics FILE` exports the `metrics/1`
 /// JSON snapshot and `--metrics-report` appends the rendered text report.
 pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
@@ -409,6 +421,117 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, String> {
                      {} reseeds, {} budget exhaustions",
                     fs.deferred, fs.replayed, fs.dropped, fs.reseeds, fs.budget_exhausted
                 );
+            }
+        }
+    }
+    if let Some(path) = args.options.get("metrics") {
+        let doc = reg.snapshot().to_json();
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+        let _ = writeln!(out, "wrote metrics/1 snapshot to {path}");
+    }
+    if args.has_flag("metrics-report") {
+        out.push('\n');
+        out.push_str(&render_metrics(&reg.snapshot()));
+    }
+    Ok(out)
+}
+
+/// `mcc fleet`: simulate `--items` independent per-item SC instances
+/// over the batched fleet layer and report the aggregate
+/// [`mobile_cloud_cache::fleet::FleetSummary`]. Per-item `(μ, λ)` draw
+/// from `--mu-dist` / `--lambda-dist` (`fixed:X`, `uniform:LO,HI`,
+/// `exp:MEAN`; a plain `--mu X` / `--lambda X` is shorthand for
+/// `fixed:X`). `--capacity N` runs the post-hoc capacity sweep with the
+/// `--eviction` policy; `--no-audit` switches to the sim-only
+/// throughput regime. `--metrics` / `--metrics-report` export the same
+/// `metrics/1` snapshot the sweep command does.
+pub fn fleet(args: &ParsedArgs) -> Result<String, String> {
+    if args.operand.is_some() {
+        return Err("`mcc fleet` takes no operand (it generates per-item traces itself)".into());
+    }
+    let dist = |key: &str, fixed_key: &str| -> Result<ParamDist, String> {
+        match args.options.get(key) {
+            Some(text) => ParamDist::parse(text).map_err(|e| format!("--{key}: {e}")),
+            None => Ok(ParamDist::Fixed(args.num_or(fixed_key, 1.0f64)?)),
+        }
+    };
+    let eviction = match args.opt_or("eviction", "none") {
+        "none" => EvictionPolicy::None,
+        "lru" => EvictionPolicy::Lru {
+            price: args.num_or("eviction-price", 1.0f64)?,
+        },
+        other => return Err(format!("unknown eviction policy `{other}` (lru | none)")),
+    };
+    let spec = FleetSpec {
+        items: args.num_or("items", 10_000usize)?,
+        servers: args.num_or("servers", 8usize)?,
+        requests_per_item: args.num_or("requests", 16usize)?,
+        rate: args.num_or("rate", 1.0f64)?,
+        mu: dist("mu-dist", "mu")?,
+        lambda: dist("lambda-dist", "lambda")?,
+        seed: args.num_or("seed", 0u64)?,
+        capacity: match args.options.get("capacity") {
+            Some(_) => Some(args.num_or("capacity", 0usize)?),
+            None => None,
+        },
+        eviction,
+        threads: args.num_or("threads", 1usize)?,
+        audit: !args.has_flag("no-audit"),
+    };
+    let f: PolicyFactory = factory(SpeculativeCaching::<f64>::paper());
+    let reg = Registry::new();
+    let mut ws = FleetWorkspace::new();
+    let sum = run_fleet(&spec, &f, &mut ws, &reg)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} items × {} requests on {} servers ({} thread{})",
+        sum.items,
+        spec.requests_per_item,
+        spec.servers,
+        spec.threads,
+        if spec.threads == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(
+        out,
+        "  online cost Σ: {}  (OPT Σ: {})",
+        fnum(sum.online_cost),
+        fnum(sum.opt_cost)
+    );
+    let _ = writeln!(
+        out,
+        "  ratio: mean {}  worst {}",
+        fnum(sum.mean_ratio),
+        fnum(sum.max_ratio)
+    );
+    let _ = writeln!(
+        out,
+        "  transfers: {}  audit findings: {}{}",
+        sum.transfers,
+        sum.audit_findings,
+        if spec.audit { "" } else { " (audit off)" }
+    );
+    if let Some(cap) = spec.capacity {
+        let _ = writeln!(
+            out,
+            "  capacity {cap}/server: occupancy peak {}, {} events",
+            sum.occupancy_peak, sum.capacity_events
+        );
+        match spec.eviction {
+            EvictionPolicy::Lru { price } => {
+                let _ = writeln!(
+                    out,
+                    "  evictions: {} charged {} (price {} each) → total cost {}",
+                    sum.evictions,
+                    fnum(sum.eviction_cost),
+                    fnum(price),
+                    fnum(sum.total_cost())
+                );
+            }
+            EvictionPolicy::None => {
+                let _ = writeln!(out, "  capacity violations: {}", sum.capacity_violations);
             }
         }
     }
@@ -672,6 +795,51 @@ mod tests {
     }
 
     #[test]
+    fn fleet_reports_summary_and_metrics() {
+        let out = run_line(
+            "fleet --items 64 --servers 4 --requests 8 --mu-dist uniform:0.5,2.0 \
+             --lambda-dist exp:1.0 --seed 7 --threads 2 --metrics-report",
+        )
+        .unwrap();
+        assert!(
+            out.contains("fleet: 64 items × 8 requests on 4 servers"),
+            "{out}"
+        );
+        assert!(out.contains("ratio: mean"), "{out}");
+        assert!(out.contains("audit findings: 0"), "{out}");
+        assert!(out.contains("fleet layer"), "{out}");
+    }
+
+    #[test]
+    fn fleet_capacity_policies_and_no_audit() {
+        // LRU eviction prices capacity pressure into the total.
+        let lru = run_line(
+            "fleet --items 64 --servers 4 --requests 8 --capacity 2 \
+             --eviction lru --eviction-price 0.25",
+        )
+        .unwrap();
+        assert!(lru.contains("capacity 2/server"), "{lru}");
+        assert!(lru.contains("price 0.25 each"), "{lru}");
+        // Eviction disabled: violations are reported instead.
+        let none = run_line("fleet --items 64 --servers 4 --requests 8 --capacity 2").unwrap();
+        assert!(none.contains("capacity violations:"), "{none}");
+        // The sim-only regime keeps the cost lines bit-identical.
+        let audited = run_line("fleet --items 64 --servers 4 --requests 8").unwrap();
+        let quiet = run_line("fleet --items 64 --servers 4 --requests 8 --no-audit").unwrap();
+        assert!(quiet.contains("(audit off)"), "{quiet}");
+        let cost_line = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("online cost"))
+                .map(str::to_string)
+        };
+        assert_eq!(cost_line(&audited), cost_line(&quiet));
+        // Bad shapes name the offending knob.
+        assert!(run_line("fleet --eviction stack").is_err());
+        assert!(run_line("fleet --mu-dist nope:1").is_err());
+        assert!(run_line("fleet extra-operand").is_err());
+    }
+
+    #[test]
     fn info_reports_bounds() {
         let out = run_inline("info", FIG6, &[]).unwrap();
         assert!(out.contains("running bound B_n:       6.6"), "{out}");
@@ -693,7 +861,7 @@ mod tests {
     #[test]
     fn help_covers_every_command() {
         let h = help();
-        for c in ["solve", "online", "compare", "generate", "info"] {
+        for c in ["solve", "online", "compare", "generate", "info", "fleet"] {
             assert!(h.contains(c));
         }
     }

@@ -12,6 +12,8 @@
 //! mcc classic  <trace> [--k N]                       fixed-k policies priced
 //! mcc sweep    <family> [--seeds N] [--threads N] [--crash-rate X]
 //!              [--metrics FILE] [--metrics-report]   policy sweep table
+//! mcc fleet    [--items N] [--capacity N] [--eviction lru|none]
+//!              [--mu-dist D] [--lambda-dist D]       per-item fleet summary
 //! ```
 //!
 //! `<trace>` is a `.json` trace file, a compact-format file, or an inline
@@ -45,6 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Info => commands::info(&parsed),
         Command::Classic => commands::classic(&parsed),
         Command::Sweep => commands::sweep(&parsed),
+        Command::Fleet => commands::fleet(&parsed),
         Command::Help => Ok(commands::help()),
     }
 }

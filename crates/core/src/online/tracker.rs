@@ -312,6 +312,13 @@ impl<S: Scalar> Runtime<S> {
         self.finalize(close_at);
         self.rec
     }
+
+    /// The record as it stands: complete between [`Runtime::finalize`] and
+    /// the next [`Runtime::reset`], which is when the fleet layer harvests
+    /// the finished run's residency intervals without copying them.
+    pub fn record(&self) -> &RunRecord<S> {
+        &self.rec
+    }
 }
 
 /// The immutable outcome of an online run (before schedule conversion).

@@ -1,0 +1,366 @@
+//! Phase 2: the per-server capacity/eviction sweep.
+//!
+//! Phase 1 harvests every item's copy-residency intervals (borrowed out
+//! of the run records through [`mcc_simnet::RunRequest::run_units_observed`],
+//! never recomputed). This module turns them into per-server start/end
+//! events, sorts them under a total order that is independent of which
+//! worker produced them — `(server, time, kind, item)`, ends before
+//! starts at equal times — and replays each server's timeline tracking
+//! occupancy against the slot budget.
+//!
+//! Pressure is resolved one of two ways:
+//!
+//! * [`EvictionPolicy::Lru`]: evict the resident whose copy goes longest
+//!   unused (the interval's recorded last touch; the sweep is post-hoc,
+//!   so the touch is known — landlord-style), charge `price` per
+//!   eviction into its own cost class. Occupancy then *never* exceeds
+//!   the budget.
+//! * [`EvictionPolicy::None`]: admit anyway, count the violation and
+//!   report a typed [`AuditFinding::CapacityViolation`].
+//!
+//! Evictions truncate occupancy bookkeeping only — they never feed back
+//! into per-item online/OPT costs, which is exactly why a fleet whose
+//! capacity covers every item is bit-identical to independent runs (the
+//! conservation proptests pin this).
+//!
+//! Determinism: the LRU heap breaks last-touch ties by item index, and
+//! stale heap entries (closed or already-evicted residents) are skipped
+//! lazily via a per-`(item, server)` generation counter, so the replay
+//! is a pure function of the sorted event list.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mcc_obs::{Counter, Gauge, Hist, Sink};
+use mcc_simnet::AuditFinding;
+
+use crate::spec::{EvictionPolicy, FleetSpec};
+
+/// End events sort before start events at equal `(server, time)`: an
+/// interval ending exactly when another starts frees its slot first.
+pub(crate) const KIND_END: u8 = 0;
+/// See [`KIND_END`].
+pub(crate) const KIND_START: u8 = 1;
+
+/// One residency boundary: a copy of `item` opening or closing on
+/// `server`. `last_touch` rides along on start events to key the LRU.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct CopyEvent {
+    pub time: f64,
+    pub last_touch: f64,
+    pub item: u32,
+    pub server: u32,
+    pub kind: u8,
+}
+
+/// At most this many typed capacity-violation findings are materialized
+/// per run (the full count is always in the summary; the findings are
+/// samples for reports, not the ledger).
+pub(crate) const FINDINGS_CAP: usize = 16;
+
+/// Reusable sweep storage: the merged event list, per-`(item, server)`
+/// generation counters, per-server occupancy/peak arrays and the lazy
+/// LRU heap. Warm reuse allocates nothing.
+#[derive(Default)]
+pub(crate) struct CapacityScratch {
+    pub events: Vec<CopyEvent>,
+    /// Generation per `(item × servers + server)`: odd = open. A heap
+    /// entry is valid only while its recorded generation still matches.
+    gens: Vec<u32>,
+    occ: Vec<usize>,
+    peaks: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u64, u32, u32)>>,
+}
+
+/// The sweep's aggregate outcome (per-item eviction counts land in the
+/// `evictions` column, typed findings in `findings`).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub(crate) struct CapacityOutcome {
+    pub evictions: u64,
+    pub eviction_cost: f64,
+    pub violations: u64,
+    pub peak: usize,
+    pub events: u64,
+}
+
+/// Replays the merged event list against per-server budgets of `cap`
+/// slots. `scratch.events` must hold every event of the run; order does
+/// not matter (the sweep sorts).
+pub(crate) fn capacity_sweep(
+    spec: &FleetSpec,
+    cap: usize,
+    items: usize,
+    scratch: &mut CapacityScratch,
+    evictions_col: &mut [u32],
+    findings: &mut Vec<AuditFinding>,
+    sink: &dyn Sink,
+) -> CapacityOutcome {
+    let m = spec.servers;
+    scratch.events.sort_unstable_by(|a, b| {
+        a.server
+            .cmp(&b.server)
+            .then_with(|| a.time.total_cmp(&b.time))
+            .then(a.kind.cmp(&b.kind))
+            .then(a.item.cmp(&b.item))
+    });
+    scratch.gens.clear();
+    scratch.gens.resize(items * m, 0);
+    scratch.occ.clear();
+    scratch.occ.resize(m, 0);
+    scratch.peaks.clear();
+    scratch.peaks.resize(m, 0);
+    scratch.heap.clear();
+
+    let lru_price = match spec.eviction {
+        EvictionPolicy::Lru { price } => Some(price),
+        EvictionPolicy::None => None,
+    };
+    let mut evictions = 0u64;
+    let mut violations = 0u64;
+    let mut cur_server = u32::MAX;
+    for ev in &scratch.events {
+        if ev.server != cur_server {
+            cur_server = ev.server;
+            scratch.heap.clear();
+        }
+        let s = ev.server as usize;
+        let idx = ev.item as usize * m + s;
+        if ev.kind == KIND_END {
+            // Skip ends of intervals an eviction already closed (even
+            // generation); otherwise close and free the slot.
+            if scratch.gens[idx] % 2 == 1 {
+                scratch.gens[idx] += 1;
+                scratch.occ[s] -= 1;
+            }
+            continue;
+        }
+        if scratch.occ[s] >= cap {
+            match lru_price {
+                Some(_) => {
+                    let mut evicted = false;
+                    while let Some(Reverse((_, vitem, vgen))) = scratch.heap.pop() {
+                        let vidx = vitem as usize * m + s;
+                        if scratch.gens[vidx] == vgen {
+                            scratch.gens[vidx] += 1;
+                            scratch.occ[s] -= 1;
+                            evictions += 1;
+                            evictions_col[vitem as usize] += 1;
+                            evicted = true;
+                            break;
+                        }
+                    }
+                    // Every resident has a live heap entry, so a full
+                    // server always yields a victim; counted defensively
+                    // rather than panicking on a corrupt event list.
+                    debug_assert!(evicted, "full server with no LRU candidate");
+                    if !evicted {
+                        violations += 1;
+                    }
+                }
+                None => {
+                    violations += 1;
+                    if findings.len() < FINDINGS_CAP {
+                        findings.push(AuditFinding::CapacityViolation {
+                            server: s,
+                            at: ev.time,
+                            occupancy: scratch.occ[s] + 1,
+                            capacity: cap,
+                        });
+                    }
+                }
+            }
+        }
+        scratch.gens[idx] += 1;
+        debug_assert!(scratch.gens[idx] % 2 == 1, "start on an open interval");
+        scratch.occ[s] += 1;
+        if scratch.occ[s] > scratch.peaks[s] {
+            scratch.peaks[s] = scratch.occ[s];
+        }
+        if lru_price.is_some() {
+            scratch.heap.push(Reverse((
+                ev.last_touch.to_bits(),
+                ev.item,
+                scratch.gens[idx],
+            )));
+        }
+    }
+
+    let mut peak = 0usize;
+    for &p in &scratch.peaks {
+        sink.observe(Hist::FleetServerOccupancyPeak, p as u64);
+        peak = peak.max(p);
+    }
+    let eviction_cost = evictions as f64 * lru_price.unwrap_or(0.0);
+    sink.add(Counter::FleetCapacityEvents, scratch.events.len() as u64);
+    sink.add(Counter::FleetEvictions, evictions);
+    sink.add_cost(Counter::FleetEvictionCostMicros, eviction_cost);
+    sink.add(Counter::FleetCapacityViolations, violations);
+    sink.gauge_max(Gauge::FleetCapacitySlots, cap as u64);
+    sink.gauge_max(Gauge::FleetOccupancyPeak, peak as u64);
+    CapacityOutcome {
+        evictions,
+        eviction_cost,
+        violations,
+        peak,
+        events: scratch.events.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(item: u32, server: u32, from: f64, last_touch: f64, to: f64) -> [CopyEvent; 2] {
+        [
+            CopyEvent {
+                time: from,
+                last_touch,
+                item,
+                server,
+                kind: KIND_START,
+            },
+            CopyEvent {
+                time: to,
+                last_touch,
+                item,
+                server,
+                kind: KIND_END,
+            },
+        ]
+    }
+
+    fn sweep(
+        eviction: EvictionPolicy,
+        cap: usize,
+        items: usize,
+        events: Vec<CopyEvent>,
+    ) -> (CapacityOutcome, Vec<u32>, Vec<AuditFinding>) {
+        let spec = FleetSpec {
+            servers: 2,
+            capacity: Some(cap),
+            eviction,
+            ..FleetSpec::default()
+        };
+        let mut scratch = CapacityScratch {
+            events,
+            ..CapacityScratch::default()
+        };
+        let mut col = vec![0u32; items];
+        let mut findings = Vec::new();
+        let out = capacity_sweep(
+            &spec,
+            cap,
+            items,
+            &mut scratch,
+            &mut col,
+            &mut findings,
+            mcc_obs::noop(),
+        );
+        (out, col, findings)
+    }
+
+    #[test]
+    fn under_capacity_timeline_is_untouched() {
+        let mut events = Vec::new();
+        events.extend(iv(0, 0, 0.0, 4.0, 5.0));
+        events.extend(iv(1, 0, 1.0, 2.0, 3.0));
+        let (out, col, findings) = sweep(EvictionPolicy::Lru { price: 2.0 }, 2, 2, events);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(out.eviction_cost, 0.0);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.peak, 2);
+        assert_eq!(out.events, 4);
+        assert!(col.iter().all(|&c| c == 0));
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_longest_unused_resident() {
+        // Items 0 and 1 resident; 0's copy goes untouched after t=1,
+        // 1's stays warm until t=9. Item 2 arriving at t=2 must evict 0.
+        let mut events = Vec::new();
+        events.extend(iv(0, 0, 0.0, 1.0, 10.0));
+        events.extend(iv(1, 0, 0.0, 9.0, 10.0));
+        events.extend(iv(2, 0, 2.0, 8.0, 10.0));
+        let (out, col, findings) = sweep(EvictionPolicy::Lru { price: 0.5 }, 2, 3, events);
+        assert_eq!(out.evictions, 1);
+        assert_eq!(out.eviction_cost, 0.5);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.peak, 2, "LRU keeps occupancy at the budget");
+        assert_eq!(col, vec![1, 0, 0]);
+        assert!(findings.is_empty());
+        // The evicted interval's own end event must not underflow the
+        // occupancy (it is skipped via the generation counter) — peak
+        // staying at 2 and evictions at 1 already pin this; re-run with
+        // the end events first in the vector to stress the sort.
+    }
+
+    #[test]
+    fn disabled_eviction_reports_typed_violations() {
+        let mut events = Vec::new();
+        for item in 0..4u32 {
+            events.extend(iv(item, 1, 0.0, 5.0, 10.0));
+        }
+        let (out, col, findings) = sweep(EvictionPolicy::None, 2, 4, events);
+        assert_eq!(out.evictions, 0);
+        assert_eq!(out.violations, 2, "items 2 and 3 overflow");
+        assert_eq!(out.peak, 4, "over-capacity admissions still tracked");
+        assert!(col.iter().all(|&c| c == 0));
+        assert_eq!(findings.len(), 2);
+        match &findings[0] {
+            AuditFinding::CapacityViolation {
+                server,
+                occupancy,
+                capacity,
+                ..
+            } => {
+                assert_eq!(*server, 1);
+                assert_eq!(*occupancy, 3);
+                assert_eq!(*capacity, 2);
+            }
+            other => panic!("expected a capacity violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopened_items_use_fresh_generations() {
+        // Item 0 is evicted, its first interval's end is skipped, and a
+        // later interval of the same item must open and close cleanly.
+        let mut events = Vec::new();
+        events.extend(iv(0, 0, 0.0, 0.5, 4.0));
+        events.extend(iv(1, 0, 1.0, 9.0, 10.0));
+        events.extend(iv(2, 0, 2.0, 8.0, 10.0)); // evicts item 0 (cap 2)
+        events.extend(iv(0, 0, 6.0, 7.0, 8.0)); // item 0 returns
+        let (out, col, _) = sweep(EvictionPolicy::Lru { price: 1.0 }, 2, 3, events);
+        assert_eq!(out.evictions, 2, "item 0's return evicts the next-LRU");
+        assert_eq!(col[0], 1);
+        assert_eq!(out.peak, 2);
+    }
+
+    #[test]
+    fn event_order_in_the_input_does_not_matter() {
+        let mut a = Vec::new();
+        a.extend(iv(0, 0, 0.0, 1.0, 10.0));
+        a.extend(iv(1, 0, 0.0, 9.0, 10.0));
+        a.extend(iv(2, 0, 2.0, 8.0, 10.0));
+        let mut b = a.clone();
+        b.reverse();
+        let ra = sweep(EvictionPolicy::Lru { price: 1.0 }, 2, 3, a);
+        let rb = sweep(EvictionPolicy::Lru { price: 1.0 }, 2, 3, b);
+        assert_eq!(ra.0, rb.0);
+        assert_eq!(ra.1, rb.1);
+    }
+
+    #[test]
+    fn back_to_back_intervals_free_the_slot_first() {
+        // Item 0 ends at exactly t=5; item 1 starts at t=5 on a cap-1
+        // server: the end sorts first, so no pressure.
+        let mut events = Vec::new();
+        events.extend(iv(0, 0, 0.0, 4.0, 5.0));
+        events.extend(iv(1, 0, 5.0, 9.0, 10.0));
+        let (out, _, findings) = sweep(EvictionPolicy::None, 1, 2, events);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.peak, 1);
+        assert!(findings.is_empty());
+    }
+}

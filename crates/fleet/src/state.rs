@@ -1,0 +1,131 @@
+//! Structure-of-arrays item state and the whole-fleet summary.
+
+/// Per-item state as parallel columns, one row per item. SoA keeps the
+/// aggregation passes and the bench's scatter writes sequential (no
+/// struct padding in the hot loops) and lets the sharded workers split
+/// each column into disjoint `&mut` ranges — the same disjoint-ownership
+/// idiom as the parallel sweep, with no locks and no unsafe.
+///
+/// Columns are plain `pub` vectors: the analysis layer reads them
+/// directly (percentiles, per-item drill-downs) and the workspace reuses
+/// their capacity run to run.
+#[derive(Clone, Debug, Default)]
+pub struct ItemStates {
+    /// Per-item caching rate μ.
+    pub mu: Vec<f64>,
+    /// Per-item transfer charge λ.
+    pub lambda: Vec<f64>,
+    /// Per-item online policy cost.
+    pub online_cost: Vec<f64>,
+    /// Per-item off-line optimum.
+    pub opt_cost: Vec<f64>,
+    /// Per-item online/OPT ratio.
+    pub ratio: Vec<f64>,
+    /// Per-item transfer count.
+    pub transfers: Vec<u32>,
+    /// Per-item audit findings (0 = clean).
+    pub audit_findings: Vec<u32>,
+    /// Per-item evictions suffered in the capacity sweep.
+    pub evictions: Vec<u32>,
+}
+
+impl ItemStates {
+    /// Rows currently held.
+    pub fn len(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// Whether the state holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.mu.is_empty()
+    }
+
+    /// Resizes every column to `items` rows, zero-filled, keeping
+    /// capacity (no allocation when shrinking or re-running at the same
+    /// size).
+    pub fn reset(&mut self, items: usize) {
+        fn refill<T: Copy>(col: &mut Vec<T>, items: usize, zero: T) {
+            col.clear();
+            col.resize(items, zero);
+        }
+        refill(&mut self.mu, items, 0.0);
+        refill(&mut self.lambda, items, 0.0);
+        refill(&mut self.online_cost, items, 0.0);
+        refill(&mut self.opt_cost, items, 0.0);
+        refill(&mut self.ratio, items, 0.0);
+        refill(&mut self.transfers, items, 0);
+        refill(&mut self.audit_findings, items, 0);
+        refill(&mut self.evictions, items, 0);
+    }
+}
+
+/// Whole-fleet aggregates of one [`crate::run_fleet`] call. `Copy`, so a
+/// warm benchmark loop can return it without touching the allocator; the
+/// per-item columns stay in the workspace ([`crate::FleetWorkspace::states`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct FleetSummary {
+    /// Items simulated.
+    pub items: usize,
+    /// Σ per-item online cost (eviction surcharge *not* included — see
+    /// [`FleetSummary::total_cost`]).
+    pub online_cost: f64,
+    /// Σ per-item off-line optima.
+    pub opt_cost: f64,
+    /// Mean per-item online/OPT ratio (0 for an empty fleet).
+    pub mean_ratio: f64,
+    /// Worst per-item online/OPT ratio (0 for an empty fleet).
+    pub max_ratio: f64,
+    /// Σ per-item transfers.
+    pub transfers: u64,
+    /// Σ per-item audit findings (0 = every item ran clean).
+    pub audit_findings: u64,
+    /// Evictions performed by the capacity sweep.
+    pub evictions: u64,
+    /// Eviction surcharge (`evictions × price`) — the typed cost class
+    /// capacity pressure is priced as.
+    pub eviction_cost: f64,
+    /// Over-capacity admissions observed with eviction disabled (each is
+    /// also reported as a typed capacity-violation audit finding).
+    pub capacity_violations: u64,
+    /// Highest occupancy any server reached during the capacity sweep.
+    pub occupancy_peak: usize,
+    /// Residency events the capacity sweep processed.
+    pub capacity_events: u64,
+}
+
+impl FleetSummary {
+    /// The fleet's total cost: online cost plus the eviction surcharge.
+    pub fn total_cost(&self) -> f64 {
+        self.online_cost + self.eviction_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zero_fills_and_keeps_capacity() {
+        let mut s = ItemStates::default();
+        s.reset(8);
+        assert_eq!(s.len(), 8);
+        s.online_cost[3] = 7.0;
+        s.evictions[5] = 2;
+        let cap = s.online_cost.capacity();
+        s.reset(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.online_cost.iter().all(|&v| v == 0.0));
+        assert!(s.evictions.iter().all(|&v| v == 0));
+        assert_eq!(s.online_cost.capacity(), cap, "shrinking keeps capacity");
+    }
+
+    #[test]
+    fn total_cost_adds_the_eviction_class() {
+        let s = FleetSummary {
+            online_cost: 10.0,
+            eviction_cost: 2.5,
+            ..FleetSummary::default()
+        };
+        assert_eq!(s.total_cost(), 12.5);
+    }
+}

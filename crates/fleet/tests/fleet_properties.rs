@@ -1,0 +1,197 @@
+//! Property tests for the fleet layer.
+//!
+//! For random fleet shapes, parameter distributions and capacities:
+//! * under LRU eviction, occupancy never exceeds the per-server slot
+//!   budget at any event time (the sweep's peak is the max over all
+//!   servers and event times) and no capacity violation is ever counted;
+//! * eviction charges are conserved exactly — `charged == evictions ×
+//!   price`, and the per-item eviction ledger sums to the fleet total;
+//! * with eviction disabled, overflow is visible: a peak above the
+//!   budget implies counted violations (and vice versa), evictions stay
+//!   zero, and the typed-finding sample stays bounded;
+//! * a fleet whose capacity covers every item is **bit-identical**, item
+//!   by item, to running each item as its own independent
+//!   [`RunRequest::run_unit`] — the fleet layer adds throughput, never
+//!   semantics;
+//! * thread count is unobservable: 1/2/8-thread runs agree bitwise on
+//!   the summary and every SoA column.
+
+use mcc_core::online::SpeculativeCaching;
+use mcc_fleet::{run_fleet, EvictionPolicy, FleetSpec, FleetWorkspace};
+use mcc_obs::noop;
+use mcc_simnet::{factory, PolicyFactory, RunMode, RunRequest};
+use mcc_workloads::distributions::ParamDist;
+use mcc_workloads::{CommonParams, PoissonWorkload};
+use proptest::prelude::*;
+
+fn sc() -> PolicyFactory {
+    factory(SpeculativeCaching::<f64>::paper())
+}
+
+fn random_dist() -> impl Strategy<Value = ParamDist> {
+    prop_oneof![
+        (0.2f64..3.0).prop_map(ParamDist::Fixed),
+        (0.2f64..1.0, 1.0f64..3.0).prop_map(|(lo, hi)| ParamDist::Uniform { lo, hi }),
+        (0.2f64..2.0).prop_map(|mean| ParamDist::Exp { mean }),
+    ]
+}
+
+fn random_fleet() -> impl Strategy<Value = FleetSpec> {
+    (
+        1usize..48,
+        2usize..6,
+        1usize..20,
+        0.2f64..3.0,
+        0u64..u64::MAX,
+        random_dist(),
+        random_dist(),
+    )
+        .prop_map(
+            |(items, servers, requests_per_item, rate, seed, mu, lambda)| FleetSpec {
+                items,
+                servers,
+                requests_per_item,
+                rate,
+                mu,
+                lambda,
+                seed,
+                ..FleetSpec::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lru_occupancy_never_exceeds_capacity_and_charges_balance(
+        spec in random_fleet(),
+        cap in 1usize..8,
+        price in 0.0f64..3.0,
+    ) {
+        let spec = FleetSpec {
+            capacity: Some(cap),
+            eviction: EvictionPolicy::Lru { price },
+            ..spec
+        };
+        let f = sc();
+        let mut ws = FleetWorkspace::new();
+        let s = run_fleet(&spec, &f, &mut ws, noop()).unwrap();
+        prop_assert!(
+            s.occupancy_peak <= cap,
+            "peak {} exceeds the {cap}-slot budget",
+            s.occupancy_peak
+        );
+        prop_assert_eq!(s.capacity_violations, 0, "LRU never over-admits");
+        prop_assert_eq!(s.eviction_cost, s.evictions as f64 * price);
+        prop_assert_eq!(s.total_cost(), s.online_cost + s.eviction_cost);
+        let per_item: u64 = ws.states().evictions.iter().map(|&e| u64::from(e)).sum();
+        prop_assert_eq!(per_item, s.evictions, "per-item ledger must balance");
+    }
+
+    #[test]
+    fn disabled_eviction_makes_overflow_visible(
+        spec in random_fleet(),
+        cap in 1usize..4,
+    ) {
+        let spec = FleetSpec {
+            capacity: Some(cap),
+            eviction: EvictionPolicy::None,
+            ..spec
+        };
+        let f = sc();
+        let mut ws = FleetWorkspace::new();
+        let s = run_fleet(&spec, &f, &mut ws, noop()).unwrap();
+        prop_assert_eq!(s.evictions, 0);
+        prop_assert_eq!(s.eviction_cost, 0.0);
+        prop_assert_eq!(
+            s.occupancy_peak > cap,
+            s.capacity_violations > 0,
+            "peak {} vs cap {cap} must agree with {} violations",
+            s.occupancy_peak,
+            s.capacity_violations
+        );
+        prop_assert!(ws.findings().len() <= 16, "finding sample stays bounded");
+        prop_assert!(
+            (s.capacity_violations == 0) == ws.findings().is_empty(),
+            "violations and typed findings appear together"
+        );
+    }
+
+    #[test]
+    fn thread_count_is_unobservable(
+        spec in random_fleet(),
+        threads in 2usize..9,
+        cap in prop_oneof![Just(None), (1usize..6).prop_map(Some)],
+    ) {
+        let base = FleetSpec {
+            capacity: cap,
+            eviction: match cap {
+                Some(_) => EvictionPolicy::Lru { price: 0.5 },
+                None => EvictionPolicy::None,
+            },
+            ..spec
+        };
+        let f = sc();
+        let mut ws1 = FleetWorkspace::new();
+        let one = run_fleet(&base, &f, &mut ws1, noop()).unwrap();
+        let mut wst = FleetWorkspace::new();
+        let t = run_fleet(&FleetSpec { threads, ..base }, &f, &mut wst, noop()).unwrap();
+        prop_assert_eq!(t, one);
+        prop_assert_eq!(wst.states().online_cost, ws1.states().online_cost);
+        prop_assert_eq!(wst.states().opt_cost, ws1.states().opt_cost);
+        prop_assert_eq!(wst.states().ratio, ws1.states().ratio);
+        prop_assert_eq!(wst.states().mu, ws1.states().mu);
+        prop_assert_eq!(wst.states().lambda, ws1.states().lambda);
+        prop_assert_eq!(wst.states().transfers, ws1.states().transfers);
+        prop_assert_eq!(wst.states().evictions, ws1.states().evictions);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn covered_fleet_is_bit_identical_to_independent_runs(
+        spec in random_fleet(),
+    ) {
+        let covered = FleetSpec {
+            capacity: Some(spec.items),
+            eviction: EvictionPolicy::Lru { price: 9.0 },
+            ..spec
+        };
+        let f = sc();
+        let mut ws = FleetWorkspace::new();
+        let s = run_fleet(&covered, &f, &mut ws, noop()).unwrap();
+        prop_assert_eq!(s.evictions, 0, "covering capacity must never evict");
+        prop_assert_eq!(s.eviction_cost, 0.0);
+        let st = ws.states();
+        for item in 0..spec.items as u64 {
+            let (mu, lambda) = spec.item_params(item);
+            prop_assert_eq!(st.mu[item as usize].to_bits(), mu.to_bits());
+            prop_assert_eq!(st.lambda[item as usize].to_bits(), lambda.to_bits());
+            let w = PoissonWorkload::uniform(
+                CommonParams {
+                    servers: spec.servers,
+                    requests: spec.requests_per_item,
+                    mu,
+                    lambda,
+                },
+                spec.rate,
+            );
+            let mut req = RunRequest::new(RunMode::Plain);
+            let mut policy = req.policy(&f);
+            let r = req.run_unit(&mut policy, &w, spec.trace_seed(item));
+            let j = item as usize;
+            prop_assert_eq!(
+                r.online_cost.to_bits(),
+                st.online_cost[j].to_bits(),
+                "item {item} online cost diverged"
+            );
+            prop_assert_eq!(r.opt_cost.to_bits(), st.opt_cost[j].to_bits());
+            prop_assert_eq!(r.ratio.to_bits(), st.ratio[j].to_bits());
+            prop_assert_eq!(r.transfers as u32, st.transfers[j]);
+            prop_assert_eq!(r.audit_findings as u32, st.audit_findings[j]);
+        }
+    }
+}

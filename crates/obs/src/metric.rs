@@ -98,6 +98,21 @@ pub enum Counter {
     SolveBatchStageNanos,
     /// Nanoseconds spent in the batched DP kernel (all lanes).
     SolveBatchDpNanos,
+    // --- fleet layer ------------------------------------------------------
+    /// Items simulated across all fleet runs.
+    FleetItems,
+    /// Nanoseconds spent in the per-item simulation phase (all shards).
+    FleetSimNanos,
+    /// Nanoseconds spent in the capacity/eviction sweep phase.
+    FleetCapacityNanos,
+    /// Residency events processed by the capacity sweep.
+    FleetCapacityEvents,
+    /// Evictions performed by the capacity sweep.
+    FleetEvictions,
+    /// Eviction surcharge paid into the cost model, in micro-cost units.
+    FleetEvictionCostMicros,
+    /// Over-capacity admissions observed with eviction disabled.
+    FleetCapacityViolations,
 }
 
 /// Last-write / high-water gauges.
@@ -110,6 +125,12 @@ pub enum Gauge {
     SweepGridUnits,
     /// Hardware threads visible to the process.
     HwThreads,
+    /// Items of the largest fleet run (high-water).
+    FleetSize,
+    /// Per-server capacity slots of the largest fleet run (high-water).
+    FleetCapacitySlots,
+    /// Highest server occupancy any fleet capacity sweep reached.
+    FleetOccupancyPeak,
 }
 
 /// Fixed-bucket (power-of-two) histograms.
@@ -130,11 +151,15 @@ pub enum Hist {
     FaultQueuePeak,
     /// Backoff wait accrued by one faulty run, micro-time units.
     FaultBackoffWaitMicros,
+    /// Per-item online cost of one fleet item, in hundredths.
+    FleetItemCostCenti,
+    /// Peak occupancy one server reached during a fleet capacity sweep.
+    FleetServerOccupancyPeak,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = Counter::SolveBatchDpNanos as usize + 1;
+    pub const COUNT: usize = Counter::FleetCapacityViolations as usize + 1;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -179,6 +204,13 @@ impl Counter {
         Counter::SolveBatchInstances,
         Counter::SolveBatchStageNanos,
         Counter::SolveBatchDpNanos,
+        Counter::FleetItems,
+        Counter::FleetSimNanos,
+        Counter::FleetCapacityNanos,
+        Counter::FleetCapacityEvents,
+        Counter::FleetEvictions,
+        Counter::FleetEvictionCostMicros,
+        Counter::FleetCapacityViolations,
     ];
 
     /// Stable snake_case snapshot key.
@@ -225,17 +257,30 @@ impl Counter {
             Counter::SolveBatchInstances => "solve_batch_instances",
             Counter::SolveBatchStageNanos => "solve_batch_stage_nanos",
             Counter::SolveBatchDpNanos => "solve_batch_dp_nanos",
+            Counter::FleetItems => "fleet_items",
+            Counter::FleetSimNanos => "fleet_sim_nanos",
+            Counter::FleetCapacityNanos => "fleet_capacity_nanos",
+            Counter::FleetCapacityEvents => "fleet_capacity_events",
+            Counter::FleetEvictions => "fleet_evictions",
+            Counter::FleetEvictionCostMicros => "fleet_eviction_cost_micros",
+            Counter::FleetCapacityViolations => "fleet_capacity_violations",
         }
     }
 }
 
 impl Gauge {
     /// Number of gauges (array sizing).
-    pub const COUNT: usize = Gauge::HwThreads as usize + 1;
+    pub const COUNT: usize = Gauge::FleetOccupancyPeak as usize + 1;
 
     /// Every gauge, in index order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::SweepThreads, Gauge::SweepGridUnits, Gauge::HwThreads];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::SweepThreads,
+        Gauge::SweepGridUnits,
+        Gauge::HwThreads,
+        Gauge::FleetSize,
+        Gauge::FleetCapacitySlots,
+        Gauge::FleetOccupancyPeak,
+    ];
 
     /// Stable snake_case snapshot key.
     pub fn name(self) -> &'static str {
@@ -243,13 +288,16 @@ impl Gauge {
             Gauge::SweepThreads => "sweep_threads",
             Gauge::SweepGridUnits => "sweep_grid_units",
             Gauge::HwThreads => "hw_threads",
+            Gauge::FleetSize => "fleet_size",
+            Gauge::FleetCapacitySlots => "fleet_capacity_slots",
+            Gauge::FleetOccupancyPeak => "fleet_occupancy_peak",
         }
     }
 }
 
 impl Hist {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = Hist::FaultBackoffWaitMicros as usize + 1;
+    pub const COUNT: usize = Hist::FleetServerOccupancyPeak as usize + 1;
 
     /// Every histogram, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -260,6 +308,8 @@ impl Hist {
         Hist::BatchSolveNanos,
         Hist::FaultQueuePeak,
         Hist::FaultBackoffWaitMicros,
+        Hist::FleetItemCostCenti,
+        Hist::FleetServerOccupancyPeak,
     ];
 
     /// Stable snake_case snapshot key.
@@ -272,6 +322,8 @@ impl Hist {
             Hist::BatchSolveNanos => "batch_solve_nanos",
             Hist::FaultQueuePeak => "fault_queue_peak",
             Hist::FaultBackoffWaitMicros => "fault_backoff_wait_micros",
+            Hist::FleetItemCostCenti => "fleet_item_cost_centi",
+            Hist::FleetServerOccupancyPeak => "fleet_server_occupancy_peak",
         }
     }
 }

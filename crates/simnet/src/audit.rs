@@ -149,6 +149,19 @@ pub enum AuditFinding {
         /// Transfers in the costed schedule.
         costed: usize,
     },
+    /// A capacity-constrained server admitted more items than it has
+    /// slots (fleet capacity sweep with eviction disabled — an enabled
+    /// eviction policy resolves the pressure instead of reporting it).
+    CapacityViolation {
+        /// Server whose slots overflowed.
+        server: usize,
+        /// Event time of the over-capacity admission.
+        at: f64,
+        /// Occupancy the admission produced.
+        occupancy: usize,
+        /// The server's slot budget.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for AuditFinding {
@@ -165,6 +178,15 @@ impl std::fmt::Display for AuditFinding {
             AuditFinding::UnpaidTransfers { recorded, costed } => {
                 write!(f, "{recorded} transfers performed but {costed} costed")
             }
+            AuditFinding::CapacityViolation {
+                server,
+                at,
+                occupancy,
+                capacity,
+            } => write!(
+                f,
+                "server {server} holds {occupancy} items at t={at} with only {capacity} slots"
+            ),
         }
     }
 }

@@ -47,6 +47,6 @@ pub use planned::{
 };
 pub use runner::{
     factory, fold_fault_stats, FaultOutcome, PolicyFactory, RunMode, RunPolicy, RunRequest,
-    RunWorkspace, SeedResult, BATCH_UNITS,
+    RunWorkspace, SeedResult, UnitSource, BATCH_UNITS,
 };
 pub use streaming::{AuditScratch, StreamingAuditor};

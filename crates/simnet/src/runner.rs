@@ -17,6 +17,11 @@
 //! pass over the raw run record); [`RunRequest::with_exhaustive_audit`]
 //! switches a request to the materializing [`ScheduleAuditor`] replay,
 //! the slower arbiter the streaming pass is property-tested against.
+//! [`RunRequest::without_audit`] drops verification entirely — the
+//! throughput regime for fleet-scale sweeps of tiny instances, where the
+//! audit would otherwise be a third of the per-item wall time. The audit
+//! is pure observation, so only `audit_findings` (reported as `0`)
+//! changes; every cost, ratio and transfer count stays bit-identical.
 //! Fault-injected modes expand a [`FaultSpec`] into a per-seed
 //! [`FaultPlan`] and (for [`RunMode::Faulty`]) wrap the policy in the
 //! fault-tolerant layer.
@@ -56,6 +61,24 @@ where
     Box::new(move || Box::new(proto.clone()))
 }
 
+/// A per-seed instance source for the batched unit path
+/// ([`RunRequest::run_units_src`]). The classic source is a [`Workload`]
+/// — every seed drawn from one parameter set — and the blanket impl makes
+/// every workload a source unchanged. The fleet layer implements it
+/// directly: there the "seed" is an *item index* and each item generates
+/// under its own `(μ, λ)`, which is what makes the run pipeline
+/// item-generic without a second code path.
+pub trait UnitSource {
+    /// Generates (or fills in place) the instance for `seed`.
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64>;
+}
+
+impl<W: Workload + ?Sized> UnitSource for W {
+    fn generate_into<'a>(&self, seed: u64, buf: &'a mut InstanceBuf) -> &'a Instance<f64> {
+        Workload::generate_into(self, seed, buf)
+    }
+}
+
 /// Per-worker storage for the whole run pipeline: instance-generation
 /// buffers, solver tables, runtime record buffers, audit scratch and
 /// fault-plan buffers. With a warm workspace a whole unit — instance
@@ -77,6 +100,23 @@ pub struct RunWorkspace {
     /// The batched off-line solver ([`mcc_core::offline::BatchWorkspace`]):
     /// one kernel pass computes every chunk instance's optimum.
     batch: BatchWorkspace<f64>,
+    /// Chunk width of the batched unit path; [`BATCH_UNITS`] unless the
+    /// request overrode it ([`RunRequest::with_batch_units`]).
+    batch_units: usize,
+}
+
+/// Which auditor (if any) verifies each seed's run record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum AuditRegime {
+    /// The single-pass [`StreamingAuditor`] — the default; zero heap
+    /// allocations once its scratch is warm.
+    Streaming,
+    /// The materializing [`ScheduleAuditor`] replay (debug arbiter;
+    /// slower, allocates per seed).
+    Exhaustive,
+    /// No auditor at all: `audit_findings` is reported as `0`. The audit
+    /// is pure observation, so simulation results are unaffected.
+    Off,
 }
 
 /// The per-seed half of [`RunWorkspace`]: solver tables, runtime record
@@ -89,7 +129,7 @@ struct SeedScratch {
     /// Plan storage for oblivious fault cells (tolerant cells expand
     /// straight into the wrapper's own plan buffer).
     fault_plan: FaultPlan,
-    exhaustive: bool,
+    regime: AuditRegime,
 }
 
 impl RunWorkspace {
@@ -103,10 +143,11 @@ impl RunWorkspace {
                 audit: AuditScratch::default(),
                 plan_scratch: PlanScratch::default(),
                 fault_plan: FaultPlan::none(),
-                exhaustive: false,
+                regime: AuditRegime::Streaming,
             },
             batch_gen: Vec::new(),
             batch: BatchWorkspace::new(),
+            batch_units: BATCH_UNITS,
         }
     }
 
@@ -116,7 +157,7 @@ impl RunWorkspace {
     /// streaming-audit divergences.
     pub fn exhaustive() -> Self {
         let mut ws = RunWorkspace::new();
-        ws.run.exhaustive = true;
+        ws.run.regime = AuditRegime::Exhaustive;
         ws
     }
 }
@@ -209,9 +250,18 @@ impl RunRequest<'static> {
     /// A request in `mode` with a fresh streaming-audit workspace and the
     /// no-op sink.
     pub fn new(mode: RunMode) -> Self {
+        RunRequest::from_workspace(mode, RunWorkspace::new())
+    }
+
+    /// A request in `mode` around a caller-supplied workspace, without
+    /// allocating a fresh one first ([`RunRequest::new`] followed by
+    /// [`RunRequest::with_workspace`] would build and immediately drop a
+    /// default workspace — a heap allocation the warm fleet path must
+    /// not pay per run).
+    pub fn from_workspace(mode: RunMode, ws: RunWorkspace) -> Self {
         RunRequest {
             mode,
-            ws: RunWorkspace::new(),
+            ws,
             sink: mcc_obs::noop(),
         }
     }
@@ -232,7 +282,41 @@ impl<'s> RunRequest<'s> {
     /// the streaming pass (debug arbiter; slower, allocates per seed).
     #[must_use]
     pub fn with_exhaustive_audit(mut self) -> Self {
-        self.ws.run.exhaustive = true;
+        self.ws.run.regime = AuditRegime::Exhaustive;
+        self
+    }
+
+    /// Disables the per-seed audit entirely: no auditor runs and every
+    /// [`SeedResult::audit_findings`] comes back `0`. The audit is pure
+    /// observation, so all costs, ratios and transfer counts are
+    /// bit-identical to an audited request — this is the throughput
+    /// regime for fleet-scale sweeps of tiny instances, where
+    /// verification would otherwise be a third of the per-item time.
+    #[must_use]
+    pub fn without_audit(mut self) -> Self {
+        self.ws.run.regime = AuditRegime::Off;
+        self
+    }
+
+    /// Restores the default single-pass streaming audit (e.g. on a
+    /// workspace handed over from an unaudited or exhaustive request).
+    #[must_use]
+    pub fn with_streaming_audit(mut self) -> Self {
+        self.ws.run.regime = AuditRegime::Streaming;
+        self
+    }
+
+    /// Overrides the chunk width of the batched unit path (default
+    /// [`BATCH_UNITS`], clamped to `1..=256`). [`BATCH_UNITS`] is sized
+    /// for sweep-shaped instances (thousands of requests each, where a
+    /// chunk must stay cache-resident); fleet-shaped instances of a
+    /// handful of requests amortize the per-chunk staging much further —
+    /// the fleet layer runs at 64. Results are bit-identical at any
+    /// width (the kernel computes each instance's tables independently);
+    /// only throughput and the chunk-granular metrics change.
+    #[must_use]
+    pub fn with_batch_units(mut self, width: usize) -> Self {
+        self.ws.batch_units = width.clamp(1, 256);
         self
     }
 
@@ -359,6 +443,57 @@ impl<'s> RunRequest<'s> {
             &mut self.ws,
             self.sink,
             out,
+            |_, _| {},
+        );
+    }
+
+    /// [`RunRequest::run_units`] generalized over the instance source: the
+    /// same batched pipeline (BATCH_UNITS staging, one SoA kernel pass per
+    /// chunk, precomputed optima) against any [`UnitSource`]. With a
+    /// workload source this is bit-identical to `run_units`.
+    pub fn run_units_src<Src: UnitSource + ?Sized>(
+        &mut self,
+        policy: &mut RunPolicy,
+        source: &Src,
+        seeds: &[u64],
+        out: &mut Vec<SeedResult>,
+    ) {
+        units_batch_core(
+            self.mode,
+            policy,
+            source,
+            seeds,
+            &mut self.ws,
+            self.sink,
+            out,
+            |_, _| {},
+        );
+    }
+
+    /// [`RunRequest::run_units_src`] with a per-seed observer that sees
+    /// each finished seed's [`SeedResult`] together with the raw
+    /// [`RunRecord`] (copy residency intervals and transfers) before the
+    /// runtime is reset for the next seed. Pure observation: the record
+    /// is borrowed, never cloned, and results are bit-identical with any
+    /// observer. The fleet layer uses this door to harvest per-item
+    /// residency intervals for the capacity sweep without a second run.
+    pub fn run_units_observed<Src: UnitSource + ?Sized>(
+        &mut self,
+        policy: &mut RunPolicy,
+        source: &Src,
+        seeds: &[u64],
+        out: &mut Vec<SeedResult>,
+        observe: impl FnMut(&SeedResult, &RunRecord<f64>),
+    ) {
+        units_batch_core(
+            self.mode,
+            policy,
+            source,
+            seeds,
+            &mut self.ws,
+            self.sink,
+            out,
+            observe,
         );
     }
 
@@ -457,7 +592,8 @@ pub fn fold_fault_stats(results: &[SeedResult]) -> FaultStats {
     total
 }
 
-/// Audit dispatch: the streaming single pass, or the exhaustive replay.
+/// Audit dispatch: the streaming single pass, the exhaustive replay, or
+/// nothing at all (reported as a clean run).
 fn audit_findings(
     inst: &Instance<f64>,
     rec: &RunRecord<f64>,
@@ -465,10 +601,11 @@ fn audit_findings(
     transfers: usize,
     plan: Option<&FaultPlan>,
     scratch: &mut AuditScratch,
-    exhaustive: bool,
+    regime: AuditRegime,
 ) -> usize {
-    if exhaustive {
-        ScheduleAuditor::default()
+    match regime {
+        AuditRegime::Off => 0,
+        AuditRegime::Exhaustive => ScheduleAuditor::default()
             .audit(
                 inst,
                 &rec.to_schedule(),
@@ -476,9 +613,8 @@ fn audit_findings(
                 Some(transfers),
                 plan,
             )
-            .len()
-    } else {
-        StreamingAuditor::default()
+            .len(),
+        AuditRegime::Streaming => StreamingAuditor::default()
             .audit_record_in(
                 inst,
                 rec,
@@ -487,7 +623,7 @@ fn audit_findings(
                 plan,
                 scratch,
             )
-            .len()
+            .len(),
     }
 }
 
@@ -648,16 +784,18 @@ pub const BATCH_UNITS: usize = 8;
 /// seed (covering the measurement half; the shared staging + kernel time
 /// lands in the batch counters), so a sweep's unit accounting is
 /// unchanged.
-fn units_batch_core(
+#[allow(clippy::too_many_arguments)] // private core; the public doors curry it
+fn units_batch_core<Src: UnitSource + ?Sized>(
     mode: RunMode,
     policy: &mut RunPolicy,
-    workload: &dyn Workload,
+    source: &Src,
     seeds: &[u64],
     ws: &mut RunWorkspace,
     sink: &dyn Sink,
     out: &mut Vec<SeedResult>,
+    mut observe: impl FnMut(&SeedResult, &RunRecord<f64>),
 ) {
-    for chunk in seeds.chunks(BATCH_UNITS) {
+    for chunk in seeds.chunks(ws.batch_units) {
         if ws.batch_gen.len() < chunk.len() {
             ws.batch_gen.resize_with(chunk.len(), InstanceBuf::new);
         }
@@ -665,7 +803,7 @@ fn units_batch_core(
         {
             let _stage = Span::start(sink, Counter::SolveBatchStageNanos);
             for (slot, &seed) in ws.batch_gen.iter_mut().zip(chunk) {
-                let inst = workload.generate_into(seed, slot);
+                let inst = source.generate_into(seed, slot);
                 ws.batch.push(inst);
             }
         }
@@ -681,6 +819,7 @@ fn units_batch_core(
                     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                 );
             }
+            observe(&result, ws.run.rt.record());
             out.push(result);
         }
     }
@@ -718,7 +857,7 @@ fn seed_core(
         stats.transfers,
         None,
         &mut ws.audit,
-        ws.exhaustive,
+        ws.regime,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
     let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
@@ -787,7 +926,7 @@ fn seed_faulty_body<P: OnlinePolicy<f64>>(
         stats.transfers,
         Some(wrapped.plan()),
         &mut ws.audit,
-        ws.exhaustive,
+        ws.regime,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
     let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
@@ -859,7 +998,7 @@ fn seed_oblivious_body(
         stats.transfers,
         Some(&ws.fault_plan),
         &mut ws.audit,
-        ws.exhaustive,
+        ws.regime,
     );
     let breakdown = Breakdown::from_record(rec, inst.cost());
     let opt = opt_cost_for(inst, precomputed_opt, ws, sink);
@@ -1143,7 +1282,7 @@ mod tests {
         let mut plan = FaultPlan::none();
         let mut gen = mcc_workloads::InstanceBuf::new();
         for r in &via_spec {
-            let inst = w.generate_into(r.seed, &mut gen);
+            let inst = Workload::generate_into(&w, r.seed, &mut gen);
             spec.plan_for_into(
                 r.seed,
                 inst.servers(),

@@ -9,12 +9,13 @@
 //! allocation.
 //!
 //! This file must remain the SOLE test in its integration-test binary:
-//! the counting `#[global_allocator]` observes the whole process, and the
-//! test harness runs tests in one process (concurrently, by default) —
-//! any sibling test's allocations would race the counter.
+//! the counting `#[global_allocator]` is process-global state, and only
+//! one test at a time may own the armed window on its thread —
+//! a sibling test armed concurrently would race the shared counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mcc_model::Instance;
 use mcc_obs::{Counter, Registry};
@@ -24,12 +25,24 @@ use mcc_workloads::{CommonParams, PoissonWorkload, Workload};
 /// Counts allocation *events* (alloc/realloc/alloc_zeroed) while armed.
 struct CountingAlloc;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    // Arming is thread-local (const-initialized, droppable-free TLS, so
+    // neither reading nor first access allocates): only the test
+    // thread's allocations count. Every pipeline exercised here is
+    // single-threaded on this thread, and harness threads (libtest's
+    // monitor, parallel workers under load) cannot race the counter.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 static EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the *current thread* is armed; `false` during TLS teardown.
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             EVENTS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
@@ -40,14 +53,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             EVENTS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             EVENTS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc_zeroed(layout)
@@ -117,7 +130,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
         ));
     }
 
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     for _ in 0..3 {
         for (i, inst) in instances.iter().enumerate() {
             let seed = i as u64;
@@ -132,7 +145,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
             assert_eq!(c.audit_findings, expect[i].3);
         }
     }
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let events = EVENTS.load(Ordering::SeqCst);
     assert_eq!(
@@ -161,7 +174,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
         assert_eq!(c.online_cost, expect[seed as usize].2);
     }
 
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     for _ in 0..3 {
         for seed in 0..4u64 {
             let a = req_plain.run_unit(&mut p_plain, &workload, seed);
@@ -173,7 +186,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
             assert_eq!(c.online_cost, unit_expect[seed as usize].2);
         }
     }
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let events = EVENTS.load(Ordering::SeqCst);
     assert_eq!(
@@ -200,7 +213,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
         assert_eq!(r.online_cost, unit_expect[i].1, "batched vs unit, faulty");
     }
 
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     for _ in 0..3 {
         out.clear();
         req_plain.run_units(&mut p_plain, &workload, &seeds, &mut out);
@@ -213,7 +226,7 @@ fn warm_request_units_allocate_nothing_even_with_a_live_sink() {
             assert_eq!(r.online_cost, unit_expect[i].1);
         }
     }
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let events = EVENTS.load(Ordering::SeqCst);
     assert_eq!(

@@ -86,6 +86,94 @@ impl Zipf {
     }
 }
 
+/// Distribution a fleet draws per-item parameters (μ, λ) from.
+///
+/// Kept as a small closed enum so fleet specs stay `Copy`, comparable and
+/// serializable by hand; the string form (`fixed:X`, `uniform:LO,HI`,
+/// `exp:MEAN`) is what the CLI and bench grids use.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum ParamDist {
+    /// Every item gets exactly this value.
+    Fixed(f64),
+    /// Uniform on `[lo, hi)` (`lo == hi` degenerates to `Fixed(lo)`).
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// `Exp(1/mean)` — heavy right tail, mean `mean`.
+    Exp {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+}
+
+impl ParamDist {
+    /// Checks the parameters describe a sampler over positive reals.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |v: f64| v.is_finite() && v > 0.0;
+        match *self {
+            ParamDist::Fixed(v) if ok(v) => Ok(()),
+            ParamDist::Uniform { lo, hi } if ok(lo) && ok(hi) && lo <= hi => Ok(()),
+            ParamDist::Exp { mean } if ok(mean) => Ok(()),
+            other => Err(format!("invalid parameter distribution: {other:?}")),
+        }
+    }
+
+    /// Draws one positive value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`ParamDist::validate`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ParamDist::Fixed(v) => {
+                assert!(v.is_finite() && v > 0.0, "fixed value must be positive");
+                v
+            }
+            ParamDist::Uniform { lo, hi } => {
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi,
+                    "uniform bounds must satisfy 0 < lo <= hi"
+                );
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            ParamDist::Exp { mean } => {
+                assert!(mean.is_finite() && mean > 0.0, "exp mean must be positive");
+                exponential(rng, 1.0 / mean)
+            }
+        }
+    }
+
+    /// Parses the CLI form: `fixed:X`, `uniform:LO,HI` or `exp:MEAN`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let bad = |t: &str| {
+            format!("invalid distribution '{t}' (want fixed:X, uniform:LO,HI or exp:MEAN)")
+        };
+        let (kind, body) = text.split_once(':').ok_or_else(|| bad(text))?;
+        let num = |s: &str| s.trim().parse::<f64>().map_err(|_| bad(text));
+        let dist = match kind.trim() {
+            "fixed" => ParamDist::Fixed(num(body)?),
+            "exp" => ParamDist::Exp { mean: num(body)? },
+            "uniform" => {
+                let (lo, hi) = body.split_once(',').ok_or_else(|| bad(text))?;
+                ParamDist::Uniform {
+                    lo: num(lo)?,
+                    hi: num(hi)?,
+                }
+            }
+            _ => return Err(bad(text)),
+        };
+        dist.validate()?;
+        Ok(dist)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +248,57 @@ mod tests {
             assert!(z.sample(&mut r) < 3);
         }
         assert_eq!(z.n(), 3);
+    }
+
+    #[test]
+    fn param_dist_samples_positive_and_in_range() {
+        let mut r = rng(23);
+        for _ in 0..500 {
+            assert_eq!(ParamDist::Fixed(2.5).sample(&mut r), 2.5);
+            let u = ParamDist::Uniform { lo: 0.5, hi: 2.0 }.sample(&mut r);
+            assert!((0.5..2.0).contains(&u));
+            assert!(ParamDist::Exp { mean: 1.5 }.sample(&mut r) > 0.0);
+        }
+        assert_eq!(
+            ParamDist::Uniform { lo: 3.0, hi: 3.0 }.sample(&mut r),
+            3.0,
+            "degenerate uniform is fixed"
+        );
+    }
+
+    #[test]
+    fn param_dist_exp_mean_converges() {
+        let mut r = rng(29);
+        let d = ParamDist::Exp { mean: 2.0 };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.08, "mean {mean} should approach 2.0");
+    }
+
+    #[test]
+    fn param_dist_parses_cli_forms() {
+        assert_eq!(ParamDist::parse("fixed:1.5"), Ok(ParamDist::Fixed(1.5)));
+        assert_eq!(
+            ParamDist::parse("uniform:0.5,2.0"),
+            Ok(ParamDist::Uniform { lo: 0.5, hi: 2.0 })
+        );
+        assert_eq!(
+            ParamDist::parse("exp: 3.0"),
+            Ok(ParamDist::Exp { mean: 3.0 })
+        );
+        for bad in [
+            "fixed",
+            "fixed:x",
+            "uniform:1.0",
+            "uniform:2.0,1.0",
+            "exp:-1",
+            "exp:0",
+            "fixed:0",
+            "norm:1.0",
+            "uniform:0,1",
+        ] {
+            assert!(ParamDist::parse(bad).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   workload generators with a learned location predictor
 //!   ([`workloads`]), classic capacity-based caching for the Table I
 //!   comparison ([`classic`]), the heterogeneous-cost extension
-//!   ([`hetero`]), and analysis/reporting tools ([`analysis`]).
+//!   ([`hetero`]), the fleet layer scaling the pipeline to millions of
+//!   independent items with capacity-constrained servers ([`fleet`]),
+//!   and analysis/reporting tools ([`analysis`]).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use mcc_classic as classic;
 pub use mcc_core::hetero;
 pub use mcc_core::offline;
 pub use mcc_core::online;
+pub use mcc_fleet as fleet;
 pub use mcc_model as model;
 pub use mcc_obs as obs;
 pub use mcc_simnet as simnet;
@@ -69,6 +72,9 @@ pub mod prelude {
     pub use mcc_core::online::{
         analyze, double_transfer, run_policy, Follow, KeepEverywhere, OnlinePolicy, OnlineRun,
         SpeculativeCaching, StayAtOrigin,
+    };
+    pub use mcc_fleet::{
+        naive_item_loop, run_fleet, EvictionPolicy, FleetSpec, FleetSummary, FleetWorkspace,
     };
     pub use mcc_model::{
         unit_instance, validate, CostModel, Fixed, Instance, InstanceBuilder, Prescan, Request,
