@@ -1,7 +1,7 @@
 //! Competitive-ratio aggregation across seeds and workloads.
 
 use mcc_core::offline::optimal_cost;
-use mcc_core::online::{run_policy, OnlinePolicy};
+use mcc_core::online::{run_policy, OnlineDecider};
 use mcc_model::Instance;
 
 use crate::stats::Summary;
@@ -38,7 +38,10 @@ impl RatioSample {
 }
 
 /// Measures one policy against the optimum on one instance.
-pub fn measure<P: OnlinePolicy<f64> + ?Sized>(policy: &mut P, inst: &Instance<f64>) -> RatioSample {
+pub fn measure<P: OnlineDecider<f64> + ?Sized>(
+    policy: &mut P,
+    inst: &Instance<f64>,
+) -> RatioSample {
     let run = run_policy(policy, inst);
     RatioSample {
         online: run.total_cost,

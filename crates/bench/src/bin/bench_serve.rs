@@ -1,0 +1,86 @@
+//! Writes the machine-readable daemon decision-latency trajectory to
+//! `BENCH_serve.json` in the current directory. `--quick` shrinks the
+//! stream sizes to test scale; `--stdout` prints instead of writing the
+//! file; `--check` is the CI gate — it validates the committed
+//! `BENCH_serve.json` against the `bench-serve/1` schema, re-measures
+//! the quick-scale decision throughput (fails when it regresses more
+//! than 25% below the committed value — decision work is microseconds,
+//! so only a hot-path regression moves it that far), and re-checks the
+//! freshly measured p99 decision latency against the generous absolute
+//! budget.
+
+use mcc_bench::exp::bench_serve::{self, ServeScale};
+use mcc_model::Json;
+
+/// Relative regression budget for `--check`: the freshly measured quick
+/// throughput may fall at most this far below the committed one.
+const REGRESSION_BUDGET: f64 = 0.25;
+
+fn check() -> Result<(), String> {
+    let body = std::fs::read_to_string("BENCH_serve.json")
+        .map_err(|e| format!("cannot read committed BENCH_serve.json: {e}"))?;
+    let committed = Json::parse(&body).map_err(|e| format!("committed BENCH_serve.json: {e:?}"))?;
+    bench_serve::validate(&committed).map_err(|e| format!("committed BENCH_serve.json: {e}"))?;
+    let committed_quick = committed
+        .get("quick")
+        .and_then(|q| q.get("decisions_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or("committed quick.decisions_per_sec missing")?;
+
+    // Best of three attempts: interference deflates a measured rate,
+    // never inflates it, so the max is the noise-robust estimate — a
+    // real regression drags every attempt down.
+    let mut best_rate = f64::NEG_INFINITY;
+    let mut best_p99 = f64::INFINITY;
+    for _ in 0..3 {
+        let r = bench_serve::serve_rate(ServeScale::quick().accept_items);
+        best_rate = best_rate.max(r.decisions_per_sec);
+        best_p99 = best_p99.min(r.p99_us);
+    }
+    let floor = committed_quick * (1.0 - REGRESSION_BUDGET);
+    eprintln!(
+        "quick serve throughput: fresh {best_rate:.0}/s vs committed {committed_quick:.0}/s \
+         (floor {floor:.0}/s); fresh p99 {best_p99:.2}us (budget {:.0}us)",
+        bench_serve::P99_BUDGET_US
+    );
+    if best_rate < floor {
+        return Err(format!(
+            "serve decision path regressed: fresh quick throughput {best_rate:.0}/s is more \
+             than 25% below the committed {committed_quick:.0}/s"
+        ));
+    }
+    if best_p99 > bench_serve::P99_BUDGET_US {
+        return Err(format!(
+            "serve decision latency regressed: fresh p99 {best_p99:.2}us exceeds the \
+             {:.0}us budget",
+            bench_serve::P99_BUDGET_US
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        if let Err(e) = check() {
+            eprintln!("bench_serve --check FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench_serve --check OK");
+        return;
+    }
+
+    let doc = bench_serve::report(ServeScale::from_args());
+    let body = doc.to_string_pretty();
+    if std::env::args().any(|a| a == "--stdout") {
+        println!("{body}");
+        return;
+    }
+    let path = "BENCH_serve.json";
+    std::fs::write(path, &body).expect("write BENCH_serve.json");
+    let p99 = doc
+        .get("acceptance")
+        .and_then(|a| a.get("p99_us"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    eprintln!("wrote {path} (p99 decision latency {p99:.2}us)");
+}

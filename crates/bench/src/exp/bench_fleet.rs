@@ -48,7 +48,7 @@ use std::time::Instant;
 
 use mcc_fleet::{naive_item_loop, run_fleet, EvictionPolicy, FleetSpec, FleetWorkspace};
 use mcc_model::Json;
-use mcc_obs::noop;
+use mcc_obs::{noop, Hist, Registry};
 use mcc_simnet::{factory, PolicyFactory};
 use mcc_workloads::distributions::ParamDist;
 
@@ -318,6 +318,32 @@ fn capacity_section(items: usize) -> Json {
     ])
 }
 
+/// One audited fleet pass with a real registry, reduced to the per-item
+/// cost tail: p50/p99/p999 of the `fleet_item_cost_centi` histogram,
+/// reported back in cost units. This is the ROADMAP follow-up — the
+/// histogram existed since the fleet PR, the tail numbers now ship in
+/// the document (and in the `mcc fleet` summary).
+fn item_cost_section(items: usize) -> Json {
+    let s = spec(items, 1);
+    let f = sc();
+    let mut ws = FleetWorkspace::new();
+    let reg = Registry::new();
+    let sum = run_fleet(&s, &f, &mut ws, &reg).expect("bench spec is valid");
+    let snap = reg.snapshot();
+    let h = snap.hist(Hist::FleetItemCostCenti);
+    Json::Obj(vec![
+        ("items".into(), Json::Int(items as i64)),
+        ("samples".into(), Json::Int(h.count as i64)),
+        (
+            "mean".into(),
+            Json::Float(sum.online_cost / (items.max(1) as f64)),
+        ),
+        ("p50".into(), Json::Float(h.quantile(0.50) / 100.0)),
+        ("p99".into(), Json::Float(h.quantile(0.99) / 100.0)),
+        ("p999".into(), Json::Float(h.quantile(0.999) / 100.0)),
+    ])
+}
+
 /// Runs the full measurement and assembles the JSON document. The
 /// `quick` section is always measured at [`FleetScale::quick`], whatever
 /// the main grid — it is the hardware-relative anchor CI re-measures.
@@ -416,6 +442,7 @@ pub fn report(scale: FleetScale) -> Json {
         ),
         ("scaling".into(), scaling),
         ("capacity".into(), capacity),
+        ("item_cost".into(), item_cost_section(scale.scale_items)),
         (
             "quick".into(),
             Json::Obj(vec![("speedup".into(), Json::Float(quick))]),
@@ -545,6 +572,24 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     if cap.get("evictions").and_then(Json::as_i64).unwrap_or(-1) < 0 {
         return Err("capacity.evictions must be a non-negative integer".into());
     }
+    let ic = doc.get("item_cost").ok_or("item_cost section missing")?;
+    if ic.get("samples").and_then(Json::as_i64).unwrap_or(0) <= 0 {
+        return Err("item_cost.samples must be positive".into());
+    }
+    for key in ["mean", "p50", "p99", "p999"] {
+        let v = ic.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+        if v.is_nan() || v < 0.0 {
+            return Err(format!("item_cost.{key} must be non-negative"));
+        }
+    }
+    let (p50, p99, p999) = (
+        ic.get("p50").and_then(Json::as_f64).unwrap_or(-1.0),
+        ic.get("p99").and_then(Json::as_f64).unwrap_or(-1.0),
+        ic.get("p999").and_then(Json::as_f64).unwrap_or(-1.0),
+    );
+    if !(p50 <= p99 && p99 <= p999) {
+        return Err("item_cost percentiles must be non-decreasing".into());
+    }
     let q = doc
         .get("quick")
         .and_then(|q| q.get("speedup"))
@@ -661,6 +706,33 @@ mod tests {
             },
             "missing capacity section",
         );
+        rejects_mutation(
+            |doc| set(doc, &["item_cost", "p99"], Json::Float(f64::NAN)),
+            "NaN item-cost percentile",
+        );
+        rejects_mutation(
+            |doc| {
+                set(doc, &["item_cost", "p50"], Json::Float(9.0));
+                set(doc, &["item_cost", "p99"], Json::Float(1.0));
+            },
+            "shuffled item-cost percentiles",
+        );
+        rejects_mutation(
+            |doc| set(doc, &["item_cost", "samples"], Json::Int(0)),
+            "empty item-cost histogram",
+        );
+    }
+
+    /// The item-cost tail really measures the audited fleet: samples
+    /// equal the item count and the percentiles order correctly.
+    #[test]
+    fn item_cost_section_reports_the_tail() {
+        let sec = item_cost_section(512);
+        assert_eq!(sec.get("samples").and_then(Json::as_i64), Some(512));
+        let p50 = sec.get("p50").and_then(Json::as_f64).unwrap();
+        let p99 = sec.get("p99").and_then(Json::as_f64).unwrap();
+        let p999 = sec.get("p999").and_then(Json::as_f64).unwrap();
+        assert!(0.0 < p50 && p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
     }
 
     /// The capacity section really exercises the sweep: the 1/64 slot

@@ -8,6 +8,7 @@ pub mod adversary;
 pub mod alpha;
 pub mod baseline;
 pub mod bench_fleet;
+pub mod bench_serve;
 pub mod bench_solver;
 pub mod bench_sweep;
 pub mod breakdown;

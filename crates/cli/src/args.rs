@@ -24,6 +24,10 @@ pub enum Command {
     /// Fleet of independent per-item SC instances with capacity-
     /// constrained servers.
     Fleet,
+    /// Long-lived `serve/1` JSONL decision daemon (stdin/stdout or TCP).
+    Serve,
+    /// Render a workload as `serve/1` request lines for the daemon.
+    Load,
     /// Usage text.
     Help,
 }
@@ -102,6 +106,11 @@ const VALUE_OPTIONS: &[&str] = &[
     "eviction-price",
     "mu-dist",
     "lambda-dist",
+    "max-items",
+    "max-copies",
+    "listen",
+    "crash",
+    "target-rate",
 ];
 /// Bare flags.
 const BARE_FLAGS: &[&str] = &[
@@ -112,6 +121,7 @@ const BARE_FLAGS: &[&str] = &[
     "json",
     "metrics-report",
     "no-audit",
+    "stats",
 ];
 
 /// Parses `argv` (without the program name).
@@ -127,6 +137,8 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
         Some("classic") => Command::Classic,
         Some("sweep") => Command::Sweep,
         Some("fleet") => Command::Fleet,
+        Some("serve") => Command::Serve,
+        Some("load") => Command::Load,
         Some(other) => return Err(format!("unknown command `{other}` (try `mcc help`)")),
     };
     let mut parsed = ParsedArgs {

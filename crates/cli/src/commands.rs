@@ -5,14 +5,21 @@ use std::path::Path;
 
 use mobile_cloud_cache::analysis::{fnum, render, render_metrics, Summary, Table};
 use mobile_cloud_cache::fleet::EvictionPolicy;
+use mobile_cloud_cache::online::{CrashWindow, FaultPlan};
 use mobile_cloud_cache::prelude::{
-    analyze, factory, optimal_cost, optimal_schedule, run_fleet, run_policy, solve_fast,
-    sweep_with, validate, CommonParams, FaultSpec, FleetSpec, FleetWorkspace, Follow, GridCell,
-    Instance, KeepEverywhere, MarkovWorkload, OnlinePolicy, PoissonWorkload, PolicyFactory,
-    Prescan, Registry, SpeculativeCaching, StayAtOrigin, Workload,
+    analyze, factory, optimal_cost, optimal_schedule, run_fleet, run_policy, serve_lines,
+    solve_fast, sweep_with, validate, CommonParams, DaemonOptions, FaultSpec, FleetSpec,
+    FleetWorkspace, Follow, GridCell, Instance, KeepEverywhere, MarkovWorkload, OnlineDecider,
+    PoissonWorkload, PolicyFactory, Prescan, Registry, ServeConfig, ServeEngine, ServerId,
+    SpeculativeCaching, StayAtOrigin, Workload,
 };
+use mobile_cloud_cache::serve::daemon::serve_tcp;
+use mobile_cloud_cache::serve::wire::{request_line, WireRequest};
+use mobile_cloud_cache::simnet::WallClock;
 use mobile_cloud_cache::workloads::distributions::ParamDist;
-use mobile_cloud_cache::workloads::{trace, AdversarialScWorkload, BurstyWorkload, ZipfWorkload};
+use mobile_cloud_cache::workloads::{
+    load_events, rescale_to_rate, trace, AdversarialScWorkload, BurstyWorkload, ZipfWorkload,
+};
 
 use crate::args::ParsedArgs;
 
@@ -35,6 +42,11 @@ USAGE:
                [--mu-dist D] [--lambda-dist D] [--seed N] [--threads N]
                [--capacity N] [--eviction lru|none] [--eviction-price X]
                [--no-audit] [--metrics FILE] [--metrics-report]
+  mcc serve    [--policy P] [--servers N] [--mu X] [--lambda X]
+               [--max-items N] [--max-copies N] [--crash S:FROM:TO[,..]]
+               [--listen ADDR] [--stats] [--metrics FILE]
+  mcc load     <family> [--items N] [--seed N] [--target-rate X]
+               [generate options]
 
 TRACES:   a .json / .csv trace file, a compact-format text file, or an inline
           instance: -c \"m=2 mu=1 lambda=1 | s2@0.5 s1@2.0\"
@@ -54,6 +66,14 @@ FLEET:    --items independent per-item SC instances, each drawing (μ, λ)
           charges --eviction-price per eviction, --eviction none reports
           capacity violations); --no-audit selects the sim-only
           throughput regime (identical costs, no per-item verification)
+SERVE:    reads serve/1 JSONL request lines from stdin (or a TCP client with
+          --listen ADDR) and answers one decision line per request; --stats
+          appends an engine-stats line at shutdown/EOF, --metrics FILE writes
+          the metrics/1 snapshot, --crash injects offline windows whose
+          requests queue and replay on recovery. `mcc load <family>` renders
+          a multi-item workload as the matching request lines, so
+          `mcc load poisson --items 50 | mcc serve --stats` is a one-liner
+          daemon demo (--target-rate rescales the merged arrival rate)
 "
     .to_string()
 }
@@ -81,7 +101,7 @@ pub fn load_instance(args: &ParsedArgs) -> Result<Instance<f64>, String> {
 }
 
 /// Builds the policy named by `--policy`.
-pub fn build_policy(spec: &str) -> Result<Box<dyn OnlinePolicy<f64>>, String> {
+pub fn build_policy(spec: &str) -> Result<Box<dyn OnlineDecider<f64>>, String> {
     let (name, param) = match spec.split_once(':') {
         Some((n, p)) => (n, Some(p)),
         None => (spec, None),
@@ -506,6 +526,17 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, String> {
         fnum(sum.mean_ratio),
         fnum(sum.max_ratio)
     );
+    let snap = reg.snapshot();
+    let cost_hist = snap.hist(mobile_cloud_cache::obs::Hist::FleetItemCostCenti);
+    if cost_hist.count > 0 {
+        let _ = writeln!(
+            out,
+            "  per-item cost: p99 {}  p999 {}  (from {} samples)",
+            fnum(cost_hist.quantile(0.99) / 100.0),
+            fnum(cost_hist.quantile(0.999) / 100.0),
+            cost_hist.count
+        );
+    }
     let _ = writeln!(
         out,
         "  transfers: {}  audit findings: {}{}",
@@ -545,6 +576,150 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, String> {
         out.push('\n');
         out.push_str(&render_metrics(&reg.snapshot()));
     }
+    Ok(out)
+}
+
+/// Parses `--crash S:FROM:TO[,S:FROM:TO...]` into a pure-outage
+/// [`FaultPlan`] (no random call failures; the daemon's offline queue
+/// buffers requests to crashed servers and replays them on recovery).
+fn parse_crash_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut windows = Vec::new();
+    for part in spec.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        let [server, from, to] = fields.as_slice() else {
+            return Err(format!("--crash: want S:FROM:TO, got `{part}`"));
+        };
+        let server: u32 = server
+            .parse()
+            .map_err(|_| format!("--crash: bad server `{server}`"))?;
+        let from: f64 = from
+            .parse()
+            .map_err(|_| format!("--crash: bad start `{from}`"))?;
+        let to: f64 = to.parse().map_err(|_| format!("--crash: bad end `{to}`"))?;
+        if !(from.is_finite() && to.is_finite() && from >= 0.0 && to > from) {
+            return Err(format!(
+                "--crash: window `{part}` must satisfy 0 <= FROM < TO"
+            ));
+        }
+        windows.push(CrashWindow {
+            server: ServerId(server),
+            from,
+            to,
+        });
+    }
+    Ok(FaultPlan::new(windows, 0, 0.0, 0, 0.0))
+}
+
+/// The `mcc serve` loop over explicit IO (tests drive it with in-memory
+/// buffers; [`serve`] passes stdin/stdout). Returns the rendered
+/// run summary; response lines are written to `out` as they happen.
+pub fn serve_loop<R: std::io::BufRead, W: std::io::Write>(
+    args: &ParsedArgs,
+    input: R,
+    out: &mut W,
+) -> Result<String, String> {
+    let cost = mobile_cloud_cache::prelude::CostModel::new(
+        args.num_or("mu", 1.0f64)?,
+        args.num_or("lambda", 1.0f64)?,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut cfg = ServeConfig::new(args.num_or("servers", 8usize)?, cost).with_bounds(
+        args.num_or("max-items", 1usize << 16)?,
+        args.num_or("max-copies", 1usize << 20)?,
+    );
+    if let Some(spec) = args.options.get("crash") {
+        cfg = cfg.with_plan(parse_crash_plan(spec)?);
+    }
+    // Validate the policy spec once up front, so a typo fails the whole
+    // command instead of silently serving the fallback policy.
+    let spec = args.opt_or("policy", "sc").to_string();
+    build_policy(&spec)?;
+    let f: PolicyFactory = Box::new(move || {
+        build_policy(&spec).unwrap_or_else(|_| Box::new(SpeculativeCaching::paper()))
+    });
+    let reg = Registry::new();
+    let mut engine = ServeEngine::new(cfg, f).with_sink(&reg);
+    let opts = DaemonOptions {
+        registry: Some(&reg),
+        stats_on_exit: args.has_flag("stats"),
+    };
+    let clock = WallClock::new();
+    let summary = match args.options.get("listen") {
+        Some(addr) => serve_tcp(addr, &mut engine, &clock, &opts)?,
+        None => serve_lines(&mut engine, &clock, input, out, &opts)?,
+    };
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "serve: {} lines -> {} decisions, {} sheds, {} reports, {} replays, {} errors ({})",
+        summary.lines,
+        summary.decisions,
+        summary.sheds,
+        summary.reports,
+        summary.replays,
+        summary.errors,
+        if summary.shutdown { "shutdown" } else { "eof" }
+    );
+    if let Some(path) = args.options.get("metrics") {
+        let doc = reg.snapshot().to_json();
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
+        let _ = writeln!(text, "wrote metrics/1 snapshot to {path}");
+    }
+    Ok(text)
+}
+
+/// `mcc serve`: the long-lived `serve/1` JSONL decision daemon.
+/// Reads request lines from stdin and answers on stdout (one response
+/// line per request, flushed immediately); `--listen ADDR` serves TCP
+/// connections instead, one at a time, until a client sends `shutdown`.
+pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    if args.operand.is_some() || args.inline.is_some() {
+        return Err("`mcc serve` reads serve/1 request lines from stdin (no trace operand)".into());
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    serve_loop(args, stdin.lock(), &mut out)
+}
+
+/// `mcc load`: render a multi-item workload as `serve/1` request lines —
+/// `--items` independent streams from the generate-style family (item
+/// `k` seeded from a SplitMix64 scramble of `(--seed, k)`), merged onto
+/// one global timeline, followed by a `finish` per item and a
+/// `shutdown`. `--target-rate X` rescales the merged timeline to `X`
+/// arrivals per unit time. Pipe straight into `mcc serve`.
+pub fn load(args: &ParsedArgs) -> Result<String, String> {
+    let workload = build_workload(args)?;
+    let items = args.num_or("items", 4usize)?;
+    if items == 0 {
+        return Err("--items must be at least 1".into());
+    }
+    let seed = args.num_or("seed", 0u64)?;
+    let mut events = load_events(workload.as_ref(), items, seed);
+    if args.options.contains_key("target-rate") {
+        let rate = args.num_or("target-rate", 0.0f64)?;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err("--target-rate must be a positive number".into());
+        }
+        rescale_to_rate(&mut events, rate);
+    }
+    let mut out = String::with_capacity(events.len() * 48);
+    for e in &events {
+        let line = request_line(&WireRequest::Req {
+            item: e.item,
+            server: e.server,
+            t: Some(e.t),
+        });
+        out.push_str(&line.to_string_compact());
+        out.push('\n');
+    }
+    for item in 0..items as u64 {
+        out.push_str(&request_line(&WireRequest::Finish { item }).to_string_compact());
+        out.push('\n');
+    }
+    out.push_str(&request_line(&WireRequest::Shutdown).to_string_compact());
+    out.push('\n');
     Ok(out)
 }
 
@@ -639,6 +814,99 @@ mod tests {
     }
 
     const FIG6: &str = "m=4 mu=1 lambda=1 | s2@0.5 s3@0.8 s4@1.1 s1@1.4 s2@2.6 s2@3.2 s3@4.0";
+
+    /// Parses a `serve` argv and runs the loop over in-memory IO.
+    fn serve_in_memory(line: &str, input: &str) -> (String, Vec<mobile_cloud_cache::model::Json>) {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let p = parse(&argv).unwrap();
+        let mut out = Vec::new();
+        let summary = serve_loop(&p, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let docs = text
+            .lines()
+            .map(|l| mobile_cloud_cache::model::Json::parse(l).unwrap())
+            .collect();
+        (summary, docs)
+    }
+
+    #[test]
+    fn load_renders_serve1_request_lines() {
+        let out =
+            run_line("load poisson --servers 4 --requests 6 --items 3 --seed 1 --target-rate 10")
+                .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // 3 items × 6 requests, one finish per item, one shutdown.
+        assert_eq!(lines.len(), 3 * 6 + 3 + 1);
+        assert!(lines[0].starts_with("{\"op\":\"req\""), "{}", lines[0]);
+        assert!(lines[3 * 6].starts_with("{\"op\":\"finish\""));
+        assert_eq!(lines[lines.len() - 1], "{\"op\":\"shutdown\"}");
+        // Deterministic: same seed, same bytes.
+        let again =
+            run_line("load poisson --servers 4 --requests 6 --items 3 --seed 1 --target-rate 10")
+                .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn serve_smoke_a_thousand_requests() {
+        // The documented pipeline `mcc load ... | mcc serve --stats`, in
+        // memory: 20 items × 50 requests = 1000 decisions, a report per
+        // item, a stats line, and a clean shutdown.
+        let input = run_line("load poisson --servers 4 --requests 50 --items 20 --seed 7").unwrap();
+        let (summary, docs) = serve_in_memory("serve --servers 4 --stats", &input);
+        assert!(
+            summary.contains("1021 lines -> 1000 decisions"),
+            "{summary}"
+        );
+        assert!(summary.contains("20 reports"), "{summary}");
+        assert!(summary.contains("0 errors (shutdown)"), "{summary}");
+        assert_eq!(docs.len(), 1000 + 20 + 2); // decisions + reports + stats + bye
+        for doc in &docs {
+            mobile_cloud_cache::serve::wire::validate_response(doc).unwrap();
+        }
+        assert_eq!(
+            docs[docs.len() - 1]
+                .get("kind")
+                .and_then(mobile_cloud_cache::model::Json::as_str),
+            Some("bye")
+        );
+    }
+
+    #[test]
+    fn serve_crash_windows_defer_and_replay() {
+        // Both servers down over [1, 2): the two mid-outage requests are
+        // deferred into the offline queue and replayed on recovery.
+        let input = concat!(
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":0.5}\n",
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":1.2}\n",
+            "{\"op\":\"req\",\"item\":1,\"server\":0,\"t\":1.5}\n",
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":2.6}\n",
+            "{\"op\":\"finish\",\"item\":1}\n",
+            "{\"op\":\"shutdown\"}\n",
+        );
+        let (summary, docs) =
+            serve_in_memory("serve --servers 2 --crash 0:1:2,1:1:2 --stats", input);
+        assert!(summary.contains("2 replays"), "{summary}");
+        let kinds: Vec<&str> = docs
+            .iter()
+            .filter_map(|d| {
+                d.get("kind")
+                    .and_then(mobile_cloud_cache::model::Json::as_str)
+            })
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "replayed").count(), 2);
+        assert!(kinds.contains(&"report"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_specs_before_reading_input() {
+        assert!(run_line("serve --crash nope").is_err());
+        assert!(run_line("serve --crash 0:5:1").is_err());
+        assert!(run_line("serve --policy warp").is_err());
+        assert!(run_line("serve trace.json").is_err());
+        assert!(run_line("load --items 3").is_err()); // missing family
+        assert!(run_line("load poisson --target-rate 0").is_err());
+    }
 
     #[test]
     fn solve_reports_the_fig6_optimum() {
@@ -806,6 +1074,8 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("ratio: mean"), "{out}");
+        assert!(out.contains("per-item cost: p99"), "{out}");
+        assert!(out.contains("(from 64 samples)"), "{out}");
         assert!(out.contains("audit findings: 0"), "{out}");
         assert!(out.contains("fleet layer"), "{out}");
     }

@@ -14,6 +14,10 @@
 //!              [--metrics FILE] [--metrics-report]   policy sweep table
 //! mcc fleet    [--items N] [--capacity N] [--eviction lru|none]
 //!              [--mu-dist D] [--lambda-dist D]       per-item fleet summary
+//! mcc serve    [--policy P] [--listen ADDR] [--stats]
+//!              [--metrics FILE] [--crash S:FROM:TO]  serve/1 decision daemon
+//! mcc load     <family> [--items N] [--seed N]
+//!              [--target-rate X]                     workload → serve/1 lines
 //! ```
 //!
 //! `<trace>` is a `.json` trace file, a compact-format file, or an inline
@@ -48,6 +52,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Classic => commands::classic(&parsed),
         Command::Sweep => commands::sweep(&parsed),
         Command::Fleet => commands::fleet(&parsed),
+        Command::Serve => commands::serve(&parsed),
+        Command::Load => commands::load(&parsed),
         Command::Help => Ok(commands::help()),
     }
 }

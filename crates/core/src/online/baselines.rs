@@ -18,6 +18,7 @@
 
 use mcc_model::{CostModel, Scalar, ServerId};
 
+use super::decider::OnlineDecider;
 use super::policy::{OnlinePolicy, ServeAction};
 use super::tracker::CopyOps;
 
@@ -136,6 +137,13 @@ impl<S: Scalar> OnlinePolicy<S> for KeepEverywhere {
         last_touch.max2(horizon)
     }
 }
+
+// The baselines keep no TTL state, so the all-default decider impl is
+// exactly right: expirations happen nowhere, `observe` delegates to
+// `on_request`, and the daemon never needs a timer for them.
+impl<S: Scalar> OnlineDecider<S> for Follow {}
+impl<S: Scalar> OnlineDecider<S> for StayAtOrigin {}
+impl<S: Scalar> OnlineDecider<S> for KeepEverywhere {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,203 @@
+//! The incremental decision API: one request in, one [`Decision`] out.
+//!
+//! [`OnlineDecider`] extracts the per-request decision step out of the
+//! batch executor so the same decision core can drive both regimes:
+//!
+//! * **batch replay** — [`crate::online::run_policy`] and
+//!   [`crate::online::run_policy_record`] are thin drivers that feed a
+//!   materialized request sequence through [`OnlineDecider::observe`];
+//! * **live serving** — a long-lived daemon (`mcc-serve`) feeds requests
+//!   as they arrive, uses [`OnlineDecider::next_expiry`] to schedule its
+//!   TTL timer wheel, and sweeps lapsed speculative copies between
+//!   requests with [`OnlineDecider::expire`].
+//!
+//! Every method has a default so an [`OnlinePolicy`] lifts into a decider
+//! with an empty `impl` block: `observe` delegates to
+//! [`OnlinePolicy::on_request`], `expire` is a no-op and `next_expiry`
+//! reports no deadline (the policy's expirations, if any, then happen
+//! lazily inside `observe` — exactly the batch-replay behavior).
+//! Policies with real TTL state (Speculative Caching, the fault-tolerant
+//! wrapper) override them.
+
+use mcc_model::{Request, Scalar, ServerId};
+
+use super::policy::{OnlinePolicy, ServeAction};
+use super::tracker::CopyOps;
+
+/// The answer to one observed request: the serve action, with the
+/// request echoed so the decision is self-describing on a wire.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Decision<S> {
+    /// The request's time.
+    pub t: S,
+    /// The requesting server.
+    pub server: ServerId,
+    /// How the request was served.
+    pub action: ServeAction,
+}
+
+impl<S: Scalar> Decision<S> {
+    /// Builds the decision for `req` answered with `action`.
+    #[inline]
+    pub fn new(req: Request<S>, action: ServeAction) -> Self {
+        Decision {
+            t: req.time,
+            server: req.server,
+            action,
+        }
+    }
+}
+
+/// Frozen incremental counters of a decider, cheap enough to keep on
+/// every instance and snapshot per request.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeciderStats {
+    /// Requests observed.
+    pub requests: u64,
+    /// Requests served from a live local copy.
+    pub cache_hits: u64,
+    /// Requests served by a transfer.
+    pub transfers: u64,
+    /// Requests deferred into a degraded-mode queue.
+    pub deferred: u64,
+    /// Copies the decider dropped (lapsed speculative windows and epoch
+    /// resets).
+    pub expirations: u64,
+}
+
+impl DeciderStats {
+    /// Folds one decision into the counters.
+    #[inline]
+    pub fn record<S: Scalar>(&mut self, d: &Decision<S>) {
+        self.requests += 1;
+        match d.action {
+            ServeAction::Cache => self.cache_hits += 1,
+            ServeAction::Transfer { .. } => self.transfers += 1,
+            ServeAction::Deferred => self.deferred += 1,
+        }
+    }
+}
+
+/// An incremental online decider: the per-request decision step shared by
+/// batch replay and the live daemon.
+///
+/// Implementations must be *online* (decisions depend only on requests
+/// seen so far) and, for a given request stream, must behave identically
+/// whether expirations are swept eagerly (`expire` between requests, as
+/// the daemon's timer wheel does) or lazily (inside `observe`, as batch
+/// replay does) — the serve-vs-replay equivalence property the `mcc-serve`
+/// proptests pin down.
+pub trait OnlineDecider<S: Scalar>: OnlinePolicy<S> {
+    /// Serves one request, mutating the copy state through `rt`.
+    fn observe(&mut self, req: Request<S>, rt: &mut dyn CopyOps<S>) -> Decision<S> {
+        let action = self.on_request(req.time, req.server, rt);
+        Decision::new(req, action)
+    }
+
+    /// Sweeps every speculative-copy expiration strictly before `now`.
+    /// Default: no-op (expirations, if any, happen lazily in `observe`).
+    fn expire(&mut self, _now: S, _rt: &mut dyn CopyOps<S>) {}
+
+    /// The earliest pending copy-expiration deadline, if the decider
+    /// tracks any — the daemon's timer wheel re-arms from this after
+    /// every observe/expire. `None` means "no timer needed": either the
+    /// decider has no TTL state, or (fault-tolerant wrapper) deadlines
+    /// can only be resolved in request order.
+    fn next_expiry(&self) -> Option<S> {
+        None
+    }
+
+    /// Frozen view of the incremental counters since the last reset.
+    fn snapshot_stats(&self) -> DeciderStats {
+        DeciderStats::default()
+    }
+}
+
+impl<S: Scalar, P: OnlineDecider<S> + ?Sized> OnlineDecider<S> for Box<P> {
+    fn observe(&mut self, req: Request<S>, rt: &mut dyn CopyOps<S>) -> Decision<S> {
+        (**self).observe(req, rt)
+    }
+    fn expire(&mut self, now: S, rt: &mut dyn CopyOps<S>) {
+        (**self).expire(now, rt)
+    }
+    fn next_expiry(&self) -> Option<S> {
+        (**self).next_expiry()
+    }
+    fn snapshot_stats(&self) -> DeciderStats {
+        (**self).snapshot_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_model::CostModel;
+
+    /// A minimal policy lifted into a decider with the all-default impl.
+    struct Pin;
+    impl OnlinePolicy<f64> for Pin {
+        fn name(&self) -> String {
+            "pin".into()
+        }
+        fn reset(&mut self, _servers: usize, _cost: &CostModel<f64>) {}
+        fn on_request(
+            &mut self,
+            t: f64,
+            server: ServerId,
+            rt: &mut dyn CopyOps<f64>,
+        ) -> ServeAction {
+            if rt.is_open(server) {
+                rt.touch(server, t);
+                ServeAction::Cache
+            } else {
+                rt.transfer(ServerId::ORIGIN, server, t);
+                ServeAction::Transfer {
+                    from: ServerId::ORIGIN,
+                }
+            }
+        }
+    }
+    impl OnlineDecider<f64> for Pin {}
+
+    #[test]
+    fn default_observe_delegates_to_on_request() {
+        let mut rt = crate::online::tracker::Runtime::new(2);
+        rt.reset(2);
+        let mut p = Pin;
+        let d = p.observe(Request::at(0, 1.0), &mut rt);
+        assert_eq!(d.action, ServeAction::Cache);
+        assert_eq!(d.server, ServerId(0));
+        assert_eq!(d.t, 1.0);
+        assert_eq!(p.next_expiry(), None);
+        assert_eq!(p.snapshot_stats(), DeciderStats::default());
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxes_delegate() {
+        let mut rt = crate::online::tracker::Runtime::new(2);
+        rt.reset(2);
+        let mut p: Box<dyn OnlineDecider<f64>> = Box::new(Pin);
+        p.reset(2, &CostModel::unit());
+        let d = p.observe(Request::at(1, 0.5), &mut rt);
+        assert_eq!(d.action, ServeAction::Transfer { from: ServerId(0) });
+        p.expire(9.0, &mut rt);
+        assert_eq!(p.next_expiry(), None);
+    }
+
+    #[test]
+    fn stats_record_counts_every_action() {
+        let mut s = DeciderStats::default();
+        for action in [
+            ServeAction::Cache,
+            ServeAction::Cache,
+            ServeAction::Transfer { from: ServerId(0) },
+            ServeAction::Deferred,
+        ] {
+            s.record(&Decision::<f64>::new(Request::at(0, 1.0), action));
+        }
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.deferred, 1);
+    }
+}

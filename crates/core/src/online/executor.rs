@@ -1,8 +1,15 @@
 //! Drives an online policy over a request sequence and assembles the
 //! outcome.
+//!
+//! Both runners are thin drivers over the incremental
+//! [`OnlineDecider`] API: each materialized request is fed through
+//! [`OnlineDecider::observe`], exactly the call a live `mcc-serve`
+//! daemon makes per arriving request — batch replay and real-time
+//! serving share one decision core.
 
-use mcc_model::{Instance, Scalar, Schedule};
+use mcc_model::{Instance, Request, Scalar, Schedule};
 
+use super::decider::OnlineDecider;
 use super::policy::{OnlinePolicy, ServeAction};
 use super::tracker::{RunRecord, Runtime};
 
@@ -73,7 +80,7 @@ pub struct RunStats<S> {
 /// warm runtime the whole run touches no allocator. Feasibility checking
 /// is the caller's job (the sweep pipeline audits every run with the
 /// streaming auditor; `run_policy` keeps the debug-build referee).
-pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
+pub fn run_policy_record<'rt, S: Scalar, P: OnlineDecider<S> + ?Sized>(
     policy: &mut P,
     inst: &Instance<S>,
     rt: &'rt mut Runtime<S>,
@@ -83,22 +90,46 @@ pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
     let mut cache_hits = 0usize;
     let mut deferred = 0usize;
     for i in 1..=inst.n() {
-        match policy.on_request(inst.t(i), inst.server(i), rt) {
+        let req = Request::new(inst.server(i), inst.t(i));
+        match policy.observe(req, rt).action {
             ServeAction::Cache => cache_hits += 1,
             ServeAction::Deferred => deferred += 1,
             ServeAction::Transfer { .. } => {}
         }
     }
     policy.on_finish();
-    let horizon = inst.horizon();
-    let record = if inst.n() == 0 {
+    let record = finalize_record(policy, rt, inst.n(), inst.horizon());
+    let stats = stats_from_record(record, inst.cost(), cache_hits, deferred);
+    (stats, record)
+}
+
+/// Finalizes `rt` exactly the way batch replay does: every copy still
+/// live closes at the policy's [`OnlinePolicy::close_time`], except that
+/// an empty sequence never speculates. Shared with the `mcc-serve`
+/// engine so a served item and a replayed one finalize bit-identically.
+pub fn finalize_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
+    policy: &P,
+    rt: &'rt mut Runtime<S>,
+    requests: usize,
+    horizon: S,
+) -> &'rt RunRecord<S> {
+    if requests == 0 {
         // No service period at all: the initial copy never speculates.
         rt.finalize(|_, last_touch| last_touch)
     } else {
         rt.finalize(|server, last_touch| policy.close_time(server, last_touch, horizon))
-    };
+    }
+}
 
-    let cost = inst.cost();
+/// Sums a finished record into [`RunStats`] — one shared summation (same
+/// op order, same rounding) for batch replay and the serve engine, so
+/// their totals agree to the bit.
+pub fn stats_from_record<S: Scalar>(
+    record: &RunRecord<S>,
+    cost: &mcc_model::CostModel<S>,
+    cache_hits: usize,
+    deferred: usize,
+) -> RunStats<S> {
     let mut caching_cost = S::ZERO;
     for r in &record.records {
         caching_cost = caching_cost + cost.caching(r.to - r.from);
@@ -107,15 +138,14 @@ pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
     for _ in &record.transfers {
         transfer_cost = transfer_cost + cost.lambda;
     }
-    let stats = RunStats {
+    RunStats {
         total_cost: caching_cost + transfer_cost,
         caching_cost,
         transfer_cost,
         transfers: record.transfers.len(),
         cache_hits,
         deferred,
-    };
-    (stats, record)
+    }
 }
 
 /// Runs `policy` over `inst`'s request sequence (strictly online: one
@@ -124,7 +154,7 @@ pub fn run_policy_record<'rt, S: Scalar, P: OnlinePolicy<S> + ?Sized>(
 /// The produced schedule is checked against the `mcc-model` referee in
 /// debug builds; a policy that fails to serve a request or breaks copy
 /// provenance panics immediately rather than producing a bogus cost.
-pub fn run_policy<S: Scalar, P: OnlinePolicy<S> + ?Sized>(
+pub fn run_policy<S: Scalar, P: OnlineDecider<S> + ?Sized>(
     policy: &mut P,
     inst: &Instance<S>,
 ) -> OnlineRun<S> {
@@ -132,8 +162,8 @@ pub fn run_policy<S: Scalar, P: OnlinePolicy<S> + ?Sized>(
     let mut rt = Runtime::new(inst.servers());
     let mut actions = Vec::with_capacity(inst.n());
     for i in 1..=inst.n() {
-        let action = policy.on_request(inst.t(i), inst.server(i), &mut rt);
-        actions.push(action);
+        let req = Request::new(inst.server(i), inst.t(i));
+        actions.push(policy.observe(req, &mut rt).action);
     }
     policy.on_finish();
     let horizon = inst.horizon();
@@ -205,6 +235,7 @@ mod tests {
             }
         }
     }
+    impl OnlineDecider<f64> for Follow {}
 
     #[test]
     fn executor_runs_and_costs_a_simple_policy() {

@@ -84,8 +84,9 @@
 // the lints below.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use mcc_model::{CostModel, Scalar, ServerId};
+use mcc_model::{CostModel, Request, Scalar, ServerId};
 
+use super::decider::{DeciderStats, Decision, OnlineDecider};
 use super::policy::{OnlinePolicy, ServeAction};
 use super::tracker::{CopyOps, RunRecord};
 
@@ -803,6 +804,8 @@ pub struct FaultTolerant<P> {
     queued: u32,
     /// Remaining per-run failed-attempt budget.
     budget_left: u32,
+    /// Incremental request counters for [`OnlineDecider::snapshot_stats`].
+    dstats: DeciderStats,
 }
 
 impl<P> FaultTolerant<P> {
@@ -820,6 +823,7 @@ impl<P> FaultTolerant<P> {
             bootstrapped: false,
             queued: 0,
             budget_left,
+            dstats: DeciderStats::default(),
         }
     }
 
@@ -1106,6 +1110,7 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
         self.bootstrapped = false;
         self.queued = 0;
         self.budget_left = self.plan.retry_budget();
+        self.dstats = DeciderStats::default();
     }
 
     fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
@@ -1155,6 +1160,53 @@ impl<S: Scalar, P: OnlinePolicy<S>> OnlinePolicy<S> for FaultTolerant<P> {
         // durable storage, so no request is ever silently lost.
         self.drain_queue();
         self.inner.on_finish();
+    }
+}
+
+impl<S: Scalar, P: OnlineDecider<S>> OnlineDecider<S> for FaultTolerant<P> {
+    fn observe(&mut self, req: Request<S>, rt: &mut dyn CopyOps<S>) -> Decision<S> {
+        let d = Decision::new(req, self.on_request(req.time, req.server, rt));
+        self.dstats.record(&d);
+        d
+    }
+
+    /// Mirrors [`OnlinePolicy::on_request`]'s fault handling without
+    /// serving anything: bootstrap insurance, fault events up to `now`,
+    /// then the inner decider's sweep through the mediating view.
+    fn expire(&mut self, now: S, rt: &mut dyn CopyOps<S>) {
+        if !self.bootstrapped {
+            self.bootstrapped = true;
+            if self.plan.has_crashes() {
+                self.ensure_redundancy(rt, S::ZERO, false);
+            }
+        }
+        self.advance_faults(rt, now.to_f64());
+        let mut view = FaultView {
+            rt,
+            plan: &self.plan,
+            stats: &mut self.stats,
+            lambda: self.lambda,
+            budget_left: &mut self.budget_left,
+        };
+        self.inner.expire(now, &mut view);
+    }
+
+    /// Always `None`: injected fault events are applied in *request*
+    /// order during replay, so a believed expiry can only be resolved
+    /// against post-crash reality at the next request. An eager timer
+    /// sweep between requests would close copies that a crash (later in
+    /// wall time, earlier in the replay's processing order) pre-empts —
+    /// so the daemon sweeps fault-wrapped items lazily, exactly like
+    /// batch replay.
+    fn next_expiry(&self) -> Option<S> {
+        None
+    }
+
+    fn snapshot_stats(&self) -> DeciderStats {
+        DeciderStats {
+            expirations: self.inner.snapshot_stats().expirations,
+            ..self.dstats
+        }
     }
 }
 

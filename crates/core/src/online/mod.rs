@@ -9,8 +9,12 @@
 //!   Theorem 3 chain, computable for any concrete run.
 //! * [`run_policy`] — the strictly-online executor producing a validated
 //!   [`mcc_model::Schedule`].
+//! * [`decider`] — the incremental [`OnlineDecider`] API (one request in,
+//!   one [`Decision`] out, TTL deadlines exposed for a timer wheel): the
+//!   decision core shared by batch replay and the `mcc-serve` daemon.
 
 pub mod baselines;
+pub mod decider;
 pub mod dt;
 pub mod executor;
 pub mod fault;
@@ -20,8 +24,11 @@ pub mod sc;
 pub mod tracker;
 
 pub use baselines::{Follow, KeepEverywhere, StayAtOrigin};
+pub use decider::{DeciderStats, Decision, OnlineDecider};
 pub use dt::{double_transfer, DtCache, DtSchedule, DtTransfer};
-pub use executor::{run_policy, run_policy_record, OnlineRun, RunStats};
+pub use executor::{
+    finalize_record, run_policy, run_policy_record, stats_from_record, OnlineRun, RunStats,
+};
 pub use fault::{
     brownout_surcharge, BrownoutWindow, CrashWindow, FaultPlan, FaultStats, FaultTolerant,
     PartitionWindow, RetryDraw,

@@ -26,8 +26,9 @@
 //! truncated there, which is the reading under which every speculative tail
 //! `ω ≤ αλ`, as Definition 10 requires for `α = 1`).
 
-use mcc_model::{CostModel, Scalar, ServerId};
+use mcc_model::{CostModel, Request, Scalar, ServerId};
 
+use super::decider::{DeciderStats, Decision, OnlineDecider};
 use super::policy::{OnlinePolicy, ServeAction};
 use super::tracker::CopyOps;
 
@@ -76,6 +77,8 @@ pub struct SpeculativeCaching<S> {
     /// transfer pair, but sized by whatever actually lapses). A field so
     /// the per-request path performs no heap allocation in steady state.
     lapsing: Vec<usize>,
+    /// Incremental counters for [`OnlineDecider::snapshot_stats`].
+    stats: DeciderStats,
 }
 
 impl<S: Scalar> SpeculativeCaching<S> {
@@ -128,6 +131,7 @@ impl<S: Scalar> SpeculativeCaching<S> {
             prev_server: ServerId::ORIGIN,
             transfers_in_epoch: 0,
             lapsing: Vec::new(),
+            stats: DeciderStats::default(),
         }
     }
 
@@ -185,24 +189,16 @@ impl<S: Scalar> SpeculativeCaching<S> {
                 return;
             }
             if live == 1 {
-                // Sole copy: its window keeps extending until it reaches
-                // the next request. Fixed mode jumps arithmetically;
-                // randomized mode draws each extension.
-                let idx = self
-                    .expiry
-                    .iter()
-                    .position(|e| e.is_some())
-                    .expect("one live copy must have an expiry");
-                let mut e = self.expiry[idx].expect("checked above");
-                if matches!(self.mode, WindowMode::Fixed) {
-                    let gap = (until - e).div(self.window).to_f64();
-                    let steps = S::from_f64(gap.floor() + 1.0);
-                    e = e + self.window.mul(steps);
-                }
-                while e < until {
-                    e = e + self.next_window(); // fixed: f64-rounding guard
-                }
-                self.expiry[idx] = Some(e);
+                // Sole copy: its window keeps extending until the next
+                // request, so its believed expiry is *lazy* — left stale
+                // rather than advanced. The stored value is unobservable
+                // while the copy stays sole (the hit check is `is_some()`,
+                // every serve refreshes it, and a transfer overwrites both
+                // ends of the pair), and laziness makes this sweep
+                // insensitive to *when* it runs: sweeping at an eager
+                // timer-wheel deadline and sweeping lazily at the next
+                // request leave bit-identical state, the property the
+                // serve-vs-replay equivalence tests pin down.
                 return;
             }
             // Collect the (at most two: transfer source + target) copies
@@ -248,6 +244,21 @@ impl<S: Scalar> SpeculativeCaching<S> {
     fn drop_copy(&mut self, rt: &mut dyn CopyOps<S>, idx: usize, at: S) {
         rt.close(ServerId::from_index(idx), at);
         self.expiry[idx] = None;
+        self.stats.expirations += 1;
+    }
+
+    /// The policy's believed live-copy count and the earliest believed
+    /// expiry among them.
+    fn earliest_expiry(&self) -> (usize, Option<S>) {
+        let mut live = 0usize;
+        let mut min: Option<S> = None;
+        for e in self.expiry.iter().flatten() {
+            live += 1;
+            if min.is_none_or(|m| *e < m) {
+                min = Some(*e);
+            }
+        }
+        (live, min)
     }
 }
 
@@ -278,15 +289,16 @@ impl<S: Scalar> OnlinePolicy<S> for SpeculativeCaching<S> {
         self.expiry[ServerId::ORIGIN.index()] = Some(w0);
         self.prev_server = ServerId::ORIGIN;
         self.transfers_in_epoch = 0;
+        self.stats = DeciderStats::default();
     }
 
     fn on_request(&mut self, t: S, server: ServerId, rt: &mut dyn CopyOps<S>) -> ServeAction {
         self.process_expiries(rt, t);
         let idx = server.index();
         let action = if self.expiry[idx].is_some() {
-            // Live local copy (its expiry is ≥ t: all earlier events were
-            // just processed): serve by caching.
-            debug_assert!(self.expiry[idx].expect("checked") >= t);
+            // Live local copy: serve by caching. (A sole copy's believed
+            // expiry may be stale — lazily un-advanced — so it is not
+            // compared against `t`; liveness is the `is_some` itself.)
             rt.touch(server, t);
             let w = self.next_window();
             self.expiry[idx] = Some(t + w);
@@ -339,6 +351,32 @@ impl<S: Scalar> OnlinePolicy<S> for SpeculativeCaching<S> {
 
     fn close_time(&self, _server: ServerId, last_touch: S, _horizon: S) -> S {
         last_touch + self.window
+    }
+}
+
+impl<S: Scalar> OnlineDecider<S> for SpeculativeCaching<S> {
+    fn observe(&mut self, req: Request<S>, rt: &mut dyn CopyOps<S>) -> Decision<S> {
+        let d = Decision::new(req, self.on_request(req.time, req.server, rt));
+        self.stats.record(&d);
+        d
+    }
+
+    fn expire(&mut self, now: S, rt: &mut dyn CopyOps<S>) {
+        self.process_expiries(rt, now);
+    }
+
+    fn next_expiry(&self) -> Option<S> {
+        // The sole live copy never expires (its window extends lazily);
+        // with two or more believed copies the earliest believed expiry
+        // is the next TTL deadline.
+        match self.earliest_expiry() {
+            (live, earliest) if live >= 2 => earliest,
+            _ => None,
+        }
+    }
+
+    fn snapshot_stats(&self) -> DeciderStats {
+        self.stats
     }
 }
 

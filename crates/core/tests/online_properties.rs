@@ -12,8 +12,8 @@
 
 use mcc_core::offline::{optimal_schedule, reconstruct, solve_fast_with};
 use mcc_core::online::{
-    analyze, double_transfer, run_policy, Follow, KeepEverywhere, OnlinePolicy, SpeculativeCaching,
-    StayAtOrigin,
+    analyze, double_transfer, run_policy, Follow, KeepEverywhere, OnlineDecider,
+    SpeculativeCaching, StayAtOrigin,
 };
 use mcc_model::{validate_with, Instance, Prescan, Request, Scalar, ValidateOptions};
 use proptest::prelude::*;
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn no_online_policy_beats_opt(inst in random_instance()) {
         let opt = mcc_core::offline::optimal_cost(&inst);
-        let policies: Vec<Box<dyn OnlinePolicy<f64>>> = vec![
+        let policies: Vec<Box<dyn OnlineDecider<f64>>> = vec![
             Box::new(SpeculativeCaching::paper()),
             Box::new(SpeculativeCaching::with_options(0.5, None)),
             Box::new(SpeculativeCaching::with_options(2.0, Some(4))),

@@ -113,6 +113,19 @@ pub enum Counter {
     FleetEvictionCostMicros,
     /// Over-capacity admissions observed with eviction disabled.
     FleetCapacityViolations,
+    // --- serve daemon -----------------------------------------------------
+    /// Requests answered by the serve engine (decisions issued).
+    ServeRequests,
+    /// Requests refused by the serve engine's admission bounds.
+    ServeSheds,
+    /// Requests deferred into the serve engine's offline queue.
+    ServeDeferred,
+    /// Offline-queued requests replayed after recovery.
+    ServeReplayed,
+    /// Timer-wheel sweeps that fired a live (non-stale) expiration.
+    ServeExpirations,
+    /// Items finalized (finished) by the serve engine.
+    ServeItemsFinished,
 }
 
 /// Last-write / high-water gauges.
@@ -131,6 +144,10 @@ pub enum Gauge {
     FleetCapacitySlots,
     /// Highest server occupancy any fleet capacity sweep reached.
     FleetOccupancyPeak,
+    /// Most items the serve engine tracked at once (high-water).
+    ServeItemsPeak,
+    /// Most live copies the serve engine tracked at once (high-water).
+    ServeCopiesPeak,
 }
 
 /// Fixed-bucket (power-of-two) histograms.
@@ -155,11 +172,13 @@ pub enum Hist {
     FleetItemCostCenti,
     /// Peak occupancy one server reached during a fleet capacity sweep.
     FleetServerOccupancyPeak,
+    /// Wall time of one serve-engine decision, nanoseconds.
+    ServeDecisionNanos,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = Counter::FleetCapacityViolations as usize + 1;
+    pub const COUNT: usize = Counter::ServeItemsFinished as usize + 1;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -211,6 +230,12 @@ impl Counter {
         Counter::FleetEvictions,
         Counter::FleetEvictionCostMicros,
         Counter::FleetCapacityViolations,
+        Counter::ServeRequests,
+        Counter::ServeSheds,
+        Counter::ServeDeferred,
+        Counter::ServeReplayed,
+        Counter::ServeExpirations,
+        Counter::ServeItemsFinished,
     ];
 
     /// Stable snake_case snapshot key.
@@ -264,13 +289,19 @@ impl Counter {
             Counter::FleetEvictions => "fleet_evictions",
             Counter::FleetEvictionCostMicros => "fleet_eviction_cost_micros",
             Counter::FleetCapacityViolations => "fleet_capacity_violations",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeSheds => "serve_sheds",
+            Counter::ServeDeferred => "serve_deferred",
+            Counter::ServeReplayed => "serve_replayed",
+            Counter::ServeExpirations => "serve_expirations",
+            Counter::ServeItemsFinished => "serve_items_finished",
         }
     }
 }
 
 impl Gauge {
     /// Number of gauges (array sizing).
-    pub const COUNT: usize = Gauge::FleetOccupancyPeak as usize + 1;
+    pub const COUNT: usize = Gauge::ServeCopiesPeak as usize + 1;
 
     /// Every gauge, in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -280,6 +311,8 @@ impl Gauge {
         Gauge::FleetSize,
         Gauge::FleetCapacitySlots,
         Gauge::FleetOccupancyPeak,
+        Gauge::ServeItemsPeak,
+        Gauge::ServeCopiesPeak,
     ];
 
     /// Stable snake_case snapshot key.
@@ -291,13 +324,15 @@ impl Gauge {
             Gauge::FleetSize => "fleet_size",
             Gauge::FleetCapacitySlots => "fleet_capacity_slots",
             Gauge::FleetOccupancyPeak => "fleet_occupancy_peak",
+            Gauge::ServeItemsPeak => "serve_items_peak",
+            Gauge::ServeCopiesPeak => "serve_copies_peak",
         }
     }
 }
 
 impl Hist {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = Hist::FleetServerOccupancyPeak as usize + 1;
+    pub const COUNT: usize = Hist::ServeDecisionNanos as usize + 1;
 
     /// Every histogram, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -310,6 +345,7 @@ impl Hist {
         Hist::FaultBackoffWaitMicros,
         Hist::FleetItemCostCenti,
         Hist::FleetServerOccupancyPeak,
+        Hist::ServeDecisionNanos,
     ];
 
     /// Stable snake_case snapshot key.
@@ -324,6 +360,7 @@ impl Hist {
             Hist::FaultBackoffWaitMicros => "fault_backoff_wait_micros",
             Hist::FleetItemCostCenti => "fleet_item_cost_centi",
             Hist::FleetServerOccupancyPeak => "fleet_server_occupancy_peak",
+            Hist::ServeDecisionNanos => "serve_decision_nanos",
         }
     }
 }

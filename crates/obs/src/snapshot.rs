@@ -28,6 +28,38 @@ impl HistSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) of the observed values,
+    /// interpolated linearly inside the power-of-two bucket that holds the
+    /// `⌈q·count⌉`-th observation. `0` when empty. Resolution is bounded
+    /// by the bucket geometry (each bucket spans one octave), which is
+    /// plenty for tail reporting (p99/p999 of costs and latencies).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if seen + b >= rank {
+                // Bucket `i` covers `[2^(i-1), 2^i)`; bucket 0 holds zeros.
+                let (lo, hi) = if i == 0 {
+                    (0.0, 1.0)
+                } else {
+                    (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+                };
+                let into = (rank - seen) as f64 / b as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += b;
+        }
+        // Counts beyond the last bucket (can't happen for registry-built
+        // snapshots): report the top edge.
+        2f64.powi(self.buckets.len() as i32)
+    }
 }
 
 /// A frozen view of every metric, in stable declaration order.
@@ -264,6 +296,26 @@ mod tests {
             }
         }
         assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn quantile_tracks_bucket_edges() {
+        let reg = Registry::new();
+        assert_eq!(reg.snapshot().hist(Hist::UnitNanos).quantile(0.99), 0.0);
+        for _ in 0..99 {
+            reg.observe(Hist::UnitNanos, 10);
+        }
+        reg.observe(Hist::UnitNanos, 100_000);
+        let h = reg.snapshot();
+        let h = h.hist(Hist::UnitNanos);
+        // p50 sits in the bucket holding 10 (octave [8, 16)).
+        let p50 = h.quantile(0.5);
+        assert!((8.0..=16.0).contains(&p50), "p50 = {p50}");
+        // p999 lands in the outlier's octave (65536..131072].
+        let p999 = h.quantile(0.999);
+        assert!((65536.0..=131072.0).contains(&p999), "p999 = {p999}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Daemon transports: a JSONL loop over any `BufRead`/`Write` pair
+//! (stdin/stdout in production, in-memory buffers in tests) and a
+//! blocking TCP listener that runs the same loop per connection.
+//!
+//! The loop is a thin shell around [`ServeEngine`]: parse a line with
+//! [`parse_request`], act, write exactly one response line (plus any
+//! pending [`ReplayNote`]s as `replayed` lines), flush. Malformed lines
+//! get an `error` response and the loop keeps serving — a daemon must
+//! not die because one client sent garbage. The loop ends at EOF or an
+//! explicit `shutdown` op (answered with `bye`).
+//!
+//! Time stamping: a `req` line carrying `t` uses it verbatim (simulated
+//! event time). A `req` without `t` is stamped with
+//! `max(clock.now(), high-water)` — the [`TimeSource`] supplies "now"
+//! (wall seconds since start, or a test-controlled [`SimClock`]), and
+//! the high-water clamp keeps wall-stamped events from regressing
+//! behind explicit event times, which the engine would shed.
+//!
+//! [`SimClock`]: mcc_simnet::SimClock
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use mcc_obs::Registry;
+use mcc_simnet::TimeSource;
+
+use crate::engine::{ServeEngine, ServeReply};
+use crate::wire::{
+    bye_response, decision_response, error_response, metrics_response, parse_request,
+    replayed_response, report_response, shed_response, stats_response, WireRequest,
+};
+
+/// Knobs for one serving loop.
+#[derive(Clone, Copy, Default)]
+pub struct DaemonOptions<'r> {
+    /// Registry behind the `metrics` op (absent → the op answers with an
+    /// `error` line saying metrics are not enabled).
+    pub registry: Option<&'r Registry>,
+    /// Emit a final `stats` line (before `bye` / at EOF).
+    pub stats_on_exit: bool,
+}
+
+/// What one serving loop did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Non-empty input lines consumed.
+    pub lines: u64,
+    /// Decision lines emitted.
+    pub decisions: u64,
+    /// Shed lines emitted.
+    pub sheds: u64,
+    /// Report lines emitted.
+    pub reports: u64,
+    /// Replayed lines emitted.
+    pub replays: u64,
+    /// Error lines emitted.
+    pub errors: u64,
+    /// Ended by an explicit `shutdown` op (vs EOF).
+    pub shutdown: bool,
+}
+
+fn emit<W: Write>(out: &mut W, doc: &mcc_model::Json) -> Result<(), String> {
+    writeln!(out, "{}", doc.to_string_compact()).map_err(|e| format!("write: {e}"))?;
+    out.flush().map_err(|e| format!("flush: {e}"))
+}
+
+fn drain_replays<W: Write>(
+    engine: &mut ServeEngine<'_>,
+    out: &mut W,
+    summary: &mut DaemonSummary,
+) -> Result<(), String> {
+    for note in engine.take_replayed() {
+        emit(out, &replayed_response(&note))?;
+        summary.replays += 1;
+    }
+    Ok(())
+}
+
+/// Runs the JSONL serving loop until EOF or `shutdown`. Every input
+/// line gets exactly one response line; offline-queue recoveries ride
+/// along as extra `replayed` lines. IO errors (not client errors) abort
+/// the loop with `Err`.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &mut ServeEngine<'_>,
+    clock: &dyn TimeSource,
+    input: R,
+    out: &mut W,
+    opts: &DaemonOptions<'_>,
+) -> Result<DaemonSummary, String> {
+    let mut summary = DaemonSummary::default();
+    let mut high_water = 0.0f64;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        match parse_request(trimmed) {
+            Err(detail) => {
+                summary.errors += 1;
+                emit(out, &error_response(&detail))?;
+            }
+            Ok(WireRequest::Req { item, server, t }) => {
+                let t = t.unwrap_or_else(|| clock.now()).max(high_water);
+                high_water = t;
+                match engine.observe(item, server, t) {
+                    ServeReply::Decision(d) => {
+                        summary.decisions += 1;
+                        emit(out, &decision_response(&d))?;
+                    }
+                    ServeReply::Shed { item, reason } => {
+                        summary.sheds += 1;
+                        emit(out, &shed_response(item, reason))?;
+                    }
+                }
+                drain_replays(engine, out, &mut summary)?;
+            }
+            Ok(WireRequest::Finish { item }) => match engine.finish(item) {
+                Some(report) => {
+                    summary.reports += 1;
+                    emit(out, &report_response(&report))?;
+                }
+                None => {
+                    summary.errors += 1;
+                    emit(out, &error_response("finish: item not tracked"))?;
+                }
+            },
+            Ok(WireRequest::Stats) => emit(out, &stats_response(&engine.stats()))?,
+            Ok(WireRequest::Metrics) => match opts.registry {
+                Some(reg) => emit(out, &metrics_response(reg.snapshot().to_json()))?,
+                None => {
+                    summary.errors += 1;
+                    emit(out, &error_response("metrics: no registry attached"))?;
+                }
+            },
+            Ok(WireRequest::Shutdown) => {
+                summary.shutdown = true;
+                if opts.stats_on_exit {
+                    emit(out, &stats_response(&engine.stats()))?;
+                }
+                emit(out, &bye_response())?;
+                return Ok(summary);
+            }
+        }
+    }
+    if opts.stats_on_exit {
+        emit(out, &stats_response(&engine.stats()))?;
+    }
+    Ok(summary)
+}
+
+/// Binds `addr` and serves connections one at a time, each through
+/// [`serve_lines`], until a client sends `shutdown`. Returns the
+/// summaries aggregated across connections.
+pub fn serve_tcp(
+    addr: &str,
+    engine: &mut ServeEngine<'_>,
+    clock: &dyn TimeSource,
+    opts: &DaemonOptions<'_>,
+) -> Result<DaemonSummary, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let mut total = DaemonSummary::default();
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("accept: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        let mut writer = stream;
+        let s = serve_lines(engine, clock, reader, &mut writer, opts)?;
+        total.lines += s.lines;
+        total.decisions += s.decisions;
+        total.sheds += s.sheds;
+        total.reports += s.reports;
+        total.replays += s.replays;
+        total.errors += s.errors;
+        if s.shutdown {
+            total.shutdown = true;
+            return Ok(total);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::wire::validate_response;
+    use mcc_core::online::SpeculativeCaching;
+    use mcc_model::{CostModel, Json};
+    use mcc_simnet::{factory, SimClock};
+
+    fn run(input: &str, opts: &DaemonOptions<'_>) -> (DaemonSummary, Vec<Json>) {
+        let cfg = ServeConfig::new(4, CostModel::unit());
+        let mut engine = ServeEngine::new(cfg, factory(SpeculativeCaching::paper()));
+        let clock = SimClock::default();
+        let mut out = Vec::new();
+        let summary =
+            serve_lines(&mut engine, &clock, input.as_bytes(), &mut out, opts).expect("io");
+        let text = String::from_utf8(out).expect("utf8");
+        let docs = text
+            .lines()
+            .map(|l| Json::parse(l).expect("response json"))
+            .collect();
+        (summary, docs)
+    }
+
+    #[test]
+    fn one_response_line_per_request_line() {
+        let input = concat!(
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":0.5}\n",
+            "\n",
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":1.0}\n",
+            "{\"op\":\"stats\"}\n",
+            "{\"op\":\"finish\",\"item\":1}\n",
+            "{\"op\":\"shutdown\"}\n",
+        );
+        let (summary, docs) = run(input, &DaemonOptions::default());
+        assert_eq!(summary.lines, 5);
+        assert_eq!(summary.decisions, 2);
+        assert_eq!(summary.reports, 1);
+        assert!(summary.shutdown);
+        assert_eq!(docs.len(), 5);
+        for doc in &docs {
+            validate_response(doc).expect("valid serve/1 line");
+        }
+        let kinds: Vec<&str> = docs
+            .iter()
+            .map(|d| d.get("kind").and_then(Json::as_str).expect("kind"))
+            .collect();
+        assert_eq!(kinds, ["decision", "decision", "stats", "report", "bye"]);
+    }
+
+    #[test]
+    fn garbage_lines_do_not_kill_the_loop() {
+        let input = "nonsense\n{\"op\":\"req\",\"item\":1,\"server\":0,\"t\":1.0}\n";
+        let (summary, docs) = run(input, &DaemonOptions::default());
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.decisions, 1);
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("kind").and_then(Json::as_str), Some("error"));
+    }
+
+    #[test]
+    fn unstamped_requests_never_regress_behind_event_time() {
+        // Explicit t=5, then a t-less line: the SimClock says 0 but the
+        // high-water clamp stamps it at 5, so the engine serves it.
+        let input = concat!(
+            "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":5.0}\n",
+            "{\"op\":\"req\",\"item\":1,\"server\":1}\n",
+        );
+        let (summary, docs) = run(input, &DaemonOptions::default());
+        assert_eq!(summary.decisions, 2);
+        assert_eq!(summary.sheds, 0);
+        assert_eq!(docs[1].get("t").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn stats_on_exit_and_missing_registry() {
+        let opts = DaemonOptions {
+            stats_on_exit: true,
+            ..Default::default()
+        };
+        let input = "{\"op\":\"metrics\"}\n";
+        let (summary, docs) = run(input, &opts);
+        assert_eq!(summary.errors, 1);
+        // error line + EOF stats line
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].get("kind").and_then(Json::as_str), Some("stats"));
+    }
+
+    #[test]
+    fn metrics_op_serves_a_metrics1_document() {
+        let cfg = ServeConfig::new(2, CostModel::unit());
+        let reg = mcc_obs::Registry::new();
+        let mut engine =
+            ServeEngine::new(cfg, factory(SpeculativeCaching::paper())).with_sink(&reg);
+        let clock = SimClock::default();
+        let mut out = Vec::new();
+        let opts = DaemonOptions {
+            registry: Some(&reg),
+            ..Default::default()
+        };
+        let input = "{\"op\":\"req\",\"item\":1,\"server\":1,\"t\":0.5}\n{\"op\":\"metrics\"}\n";
+        serve_lines(&mut engine, &clock, input.as_bytes(), &mut out, &opts).expect("io");
+        let text = String::from_utf8(out).expect("utf8");
+        let last = text.lines().last().expect("metrics line");
+        let doc = Json::parse(last).expect("json");
+        validate_response(&doc).expect("valid metrics response");
+        let served = doc
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("serve_requests"))
+            .and_then(Json::as_i64);
+        assert_eq!(served, Some(1));
+    }
+}

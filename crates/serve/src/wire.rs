@@ -1,0 +1,448 @@
+//! The versioned `serve/1` JSONL wire schema.
+//!
+//! One JSON object per line in each direction. Requests name an `"op"`;
+//! every response carries `"schema": "serve/1"` and a `"kind"`
+//! discriminator, so clients can dispatch without guessing and old
+//! clients fail loudly on a future `serve/2`. The schema is **additive**
+//! like `metrics/1`: unknown extra fields are legal, missing declared
+//! fields are not ([`validate_response`] enforces exactly that, and the
+//! golden-file test in `tests/wire_golden.rs` pins the rendered shape).
+//!
+//! Request ops:
+//!
+//! | op         | fields                                | effect |
+//! |------------|---------------------------------------|--------|
+//! | `req`      | `item`, `server`, optional `t`        | one decision (`t` defaults to the daemon clock) |
+//! | `finish`   | `item`                                | close the item, emit its report |
+//! | `stats`    | —                                     | emit an engine-stats snapshot |
+//! | `metrics`  | —                                     | emit the embedded `metrics/1` document |
+//! | `shutdown` | —                                     | emit `bye` and stop serving |
+//!
+//! Response kinds: `decision`, `shed`, `replayed`, `report`, `stats`,
+//! `metrics`, `error`, `bye`.
+
+use mcc_model::Json;
+
+use crate::engine::{EngineStats, ItemReport, ReplayNote, ServeDecision, ShedReason};
+use mcc_core::online::ServeAction;
+
+/// The schema tag every response line carries.
+pub const SCHEMA: &str = "serve/1";
+
+/// A parsed request line.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum WireRequest {
+    /// One placement request.
+    Req {
+        /// Item the request is for.
+        item: u64,
+        /// Requesting server.
+        server: u32,
+        /// Event time; `None` means "stamp with the daemon clock".
+        t: Option<f64>,
+    },
+    /// Close an item and emit its [`ItemReport`].
+    Finish {
+        /// Item to close.
+        item: u64,
+    },
+    /// Emit an engine-stats snapshot.
+    Stats,
+    /// Emit the embedded `metrics/1` document.
+    Metrics,
+    /// Emit `bye` and stop serving.
+    Shutdown,
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| format!("{key} must be a non-negative integer"))
+}
+
+/// Parses one request line. Errors describe the problem without echoing
+/// unbounded input.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let doc = Json::parse(line).map_err(|e| format!("bad json: {e}"))?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "op must be a string".to_string())?;
+    match op {
+        "req" => {
+            let item = field_u64(&doc, "item")?;
+            let server = u32::try_from(field_u64(&doc, "server")?)
+                .map_err(|_| "server must fit in u32".to_string())?;
+            let t = match doc.get("t") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_f64()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| "t must be a finite non-negative number".to_string())?,
+                ),
+            };
+            Ok(WireRequest::Req { item, server, t })
+        }
+        "finish" => Ok(WireRequest::Finish {
+            item: field_u64(&doc, "item")?,
+        }),
+        "stats" => Ok(WireRequest::Stats),
+        "metrics" => Ok(WireRequest::Metrics),
+        "shutdown" => Ok(WireRequest::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Renders a request line — the inverse of [`parse_request`]. Load
+/// generators (`mcc load`) use this so the client side of the wire goes
+/// through the same typed schema as the server side.
+pub fn request_line(req: &WireRequest) -> Json {
+    let op = |name: &str| ("op".to_string(), Json::Str(name.into()));
+    match *req {
+        WireRequest::Req { item, server, t } => {
+            let mut fields = vec![op("req"), ("item".into(), int(item))];
+            fields.push(("server".into(), int(u64::from(server))));
+            if let Some(t) = t {
+                fields.push(("t".into(), Json::Float(t)));
+            }
+            Json::Obj(fields)
+        }
+        WireRequest::Finish { item } => Json::Obj(vec![op("finish"), ("item".into(), int(item))]),
+        WireRequest::Stats => Json::Obj(vec![op("stats")]),
+        WireRequest::Metrics => Json::Obj(vec![op("metrics")]),
+        WireRequest::Shutdown => Json::Obj(vec![op("shutdown")]),
+    }
+}
+
+fn head(kind: &str) -> Vec<(String, Json)> {
+    vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("kind".into(), Json::Str(kind.into())),
+    ]
+}
+
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Renders a decision line.
+pub fn decision_response(d: &ServeDecision) -> Json {
+    let mut fields = head("decision");
+    fields.push(("item".into(), int(d.item)));
+    fields.push(("t".into(), Json::Float(d.t)));
+    fields.push(("server".into(), int(u64::from(d.server.0))));
+    match d.action {
+        ServeAction::Cache => fields.push(("action".into(), Json::Str("cache".into()))),
+        ServeAction::Transfer { from } => {
+            fields.push(("action".into(), Json::Str("transfer".into())));
+            fields.push(("from".into(), int(u64::from(from.0))));
+        }
+        ServeAction::Deferred => fields.push(("action".into(), Json::Str("deferred".into()))),
+    }
+    fields.push(("latency_ns".into(), int(d.latency_ns)));
+    Json::Obj(fields)
+}
+
+/// Renders a shed line.
+pub fn shed_response(item: u64, reason: ShedReason) -> Json {
+    let mut fields = head("shed");
+    fields.push(("item".into(), int(item)));
+    fields.push(("reason".into(), Json::Str(reason.name().into())));
+    Json::Obj(fields)
+}
+
+/// Renders an offline-queue replay notification.
+pub fn replayed_response(n: &ReplayNote) -> Json {
+    let mut fields = head("replayed");
+    fields.push(("item".into(), int(n.item)));
+    fields.push(("server".into(), int(u64::from(n.server.0))));
+    fields.push(("t".into(), Json::Float(n.t)));
+    fields.push(("at".into(), Json::Float(n.at)));
+    Json::Obj(fields)
+}
+
+/// Renders a finished item's accounting.
+pub fn report_response(r: &ItemReport) -> Json {
+    let mut fields = head("report");
+    fields.push(("item".into(), int(r.item)));
+    fields.push(("requests".into(), int(r.requests)));
+    fields.push(("cache_hits".into(), int(r.cache_hits)));
+    fields.push(("transfers".into(), int(r.transfers)));
+    fields.push(("deferred".into(), int(r.deferred)));
+    fields.push(("online_cost".into(), Json::Float(r.online_cost)));
+    fields.push(("caching_cost".into(), Json::Float(r.caching_cost)));
+    fields.push(("transfer_cost".into(), Json::Float(r.transfer_cost)));
+    Json::Obj(fields)
+}
+
+/// Renders an engine-stats snapshot.
+pub fn stats_response(s: &EngineStats) -> Json {
+    let mut fields = head("stats");
+    fields.push(("requests".into(), int(s.requests)));
+    fields.push(("cache_hits".into(), int(s.cache_hits)));
+    fields.push(("transfers".into(), int(s.transfers)));
+    fields.push(("deferred".into(), int(s.deferred)));
+    fields.push(("replayed".into(), int(s.replayed)));
+    fields.push(("sheds".into(), int(s.sheds)));
+    fields.push(("expirations".into(), int(s.expirations)));
+    fields.push(("items_live".into(), int(s.items_live)));
+    fields.push(("items_peak".into(), int(s.items_peak)));
+    fields.push(("copies_live".into(), int(s.copies_live)));
+    fields.push(("copies_peak".into(), int(s.copies_peak)));
+    fields.push(("items_finished".into(), int(s.items_finished)));
+    fields.push(("finished_cost".into(), Json::Float(s.finished_cost)));
+    Json::Obj(fields)
+}
+
+/// Wraps a `metrics/1` document in a response line.
+pub fn metrics_response(doc: Json) -> Json {
+    let mut fields = head("metrics");
+    fields.push(("metrics".into(), doc));
+    Json::Obj(fields)
+}
+
+/// Renders a per-line error (the daemon keeps serving after these).
+pub fn error_response(detail: &str) -> Json {
+    let mut fields = head("error");
+    fields.push(("detail".into(), Json::Str(detail.into())));
+    Json::Obj(fields)
+}
+
+/// Renders the farewell line.
+pub fn bye_response() -> Json {
+    Json::Obj(head("bye"))
+}
+
+fn need_u64(doc: &Json, kind: &str, key: &str) -> Result<(), String> {
+    doc.get(key)
+        .and_then(Json::as_i64)
+        .filter(|&v| v >= 0)
+        .map(|_| ())
+        .ok_or_else(|| format!("{kind}.{key} must be a non-negative integer"))
+}
+
+fn need_f64(doc: &Json, kind: &str, key: &str) -> Result<(), String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .map(|_| ())
+        .ok_or_else(|| format!("{kind}.{key} must be a finite number"))
+}
+
+/// Validates one response line against the documented `serve/1` shape
+/// (additive: extra fields pass, missing declared fields fail).
+pub fn validate_response(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "kind must be a string".to_string())?;
+    match kind {
+        "decision" => {
+            need_u64(doc, kind, "item")?;
+            need_f64(doc, kind, "t")?;
+            need_u64(doc, kind, "server")?;
+            need_u64(doc, kind, "latency_ns")?;
+            match doc.get("action").and_then(Json::as_str) {
+                Some("cache") | Some("deferred") => Ok(()),
+                Some("transfer") => need_u64(doc, kind, "from"),
+                _ => Err("decision.action must be cache|transfer|deferred".into()),
+            }
+        }
+        "shed" => {
+            need_u64(doc, kind, "item")?;
+            match doc.get("reason").and_then(Json::as_str) {
+                Some("max-items")
+                | Some("max-copies")
+                | Some("time-regression")
+                | Some("bad-server") => Ok(()),
+                _ => Err("shed.reason must be a known reason tag".into()),
+            }
+        }
+        "replayed" => {
+            need_u64(doc, kind, "item")?;
+            need_u64(doc, kind, "server")?;
+            need_f64(doc, kind, "t")?;
+            need_f64(doc, kind, "at")
+        }
+        "report" => {
+            need_u64(doc, kind, "item")?;
+            for key in ["requests", "cache_hits", "transfers", "deferred"] {
+                need_u64(doc, kind, key)?;
+            }
+            for key in ["online_cost", "caching_cost", "transfer_cost"] {
+                need_f64(doc, kind, key)?;
+            }
+            Ok(())
+        }
+        "stats" => {
+            for key in [
+                "requests",
+                "cache_hits",
+                "transfers",
+                "deferred",
+                "replayed",
+                "sheds",
+                "expirations",
+                "items_live",
+                "items_peak",
+                "copies_live",
+                "copies_peak",
+                "items_finished",
+            ] {
+                need_u64(doc, kind, key)?;
+            }
+            need_f64(doc, kind, "finished_cost")
+        }
+        "metrics" => doc
+            .get("metrics")
+            .map(mcc_obs::snapshot::validate)
+            .unwrap_or_else(|| Err("metrics.metrics missing".into())),
+        "error" => doc
+            .get("detail")
+            .and_then(Json::as_str)
+            .map(|_| ())
+            .ok_or_else(|| "error.detail must be a string".into()),
+        "bye" => Ok(()),
+        other => Err(format!("unknown kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_model::ServerId;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(
+            parse_request(r#"{"op":"req","item":7,"server":2,"t":1.5}"#).unwrap(),
+            WireRequest::Req {
+                item: 7,
+                server: 2,
+                t: Some(1.5)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"req","item":7,"server":2}"#).unwrap(),
+            WireRequest::Req {
+                item: 7,
+                server: 2,
+                t: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"finish","item":7}"#).unwrap(),
+            WireRequest::Finish { item: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            WireRequest::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            WireRequest::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            WireRequest::Shutdown
+        );
+    }
+
+    #[test]
+    fn request_lines_round_trip_through_the_parser() {
+        let reqs = [
+            WireRequest::Req {
+                item: 7,
+                server: 2,
+                t: Some(1.5),
+            },
+            WireRequest::Req {
+                item: 7,
+                server: 2,
+                t: None,
+            },
+            WireRequest::Finish { item: 7 },
+            WireRequest::Stats,
+            WireRequest::Metrics,
+            WireRequest::Shutdown,
+        ];
+        for req in &reqs {
+            let line = request_line(req).to_string_compact();
+            assert_eq!(parse_request(&line).as_ref(), Ok(req), "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"item":1}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"req","item":-1,"server":0}"#,
+            r#"{"op":"req","item":1}"#,
+            r#"{"op":"req","item":1,"server":0,"t":-2.0}"#,
+            r#"{"op":"req","item":1,"server":0,"t":"soon"}"#,
+            r#"{"op":"finish"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_validate_and_reject_mutations() {
+        use mcc_core::online::ServeAction;
+        let d = ServeDecision {
+            item: 3,
+            t: 1.25,
+            server: ServerId(1),
+            action: ServeAction::Transfer { from: ServerId(0) },
+            latency_ns: 420,
+        };
+        let docs = [
+            decision_response(&d),
+            shed_response(9, ShedReason::MaxItems),
+            replayed_response(&ReplayNote {
+                item: 3,
+                server: ServerId(1),
+                t: 1.25,
+                at: 2.5,
+            }),
+            report_response(&ItemReport {
+                item: 3,
+                requests: 4,
+                cache_hits: 1,
+                transfers: 2,
+                deferred: 0,
+                online_cost: 3.5,
+                caching_cost: 1.5,
+                transfer_cost: 2.0,
+            }),
+            stats_response(&EngineStats::default()),
+            error_response("bad json: truncated"),
+            bye_response(),
+        ];
+        for doc in &docs {
+            validate_response(doc).unwrap();
+            // Round-trips through text.
+            let reparsed = Json::parse(&doc.to_string_compact()).unwrap();
+            validate_response(&reparsed).unwrap();
+            // Dropping the schema tag must fail.
+            let mut broken = reparsed;
+            if let Json::Obj(fields) = &mut broken {
+                fields.retain(|(k, _)| k != "schema");
+            }
+            assert!(validate_response(&broken).is_err());
+        }
+        // A transfer decision without its source is malformed.
+        let mut doc = decision_response(&d);
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "from");
+        }
+        assert!(validate_response(&doc).is_err());
+    }
+}

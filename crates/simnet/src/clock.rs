@@ -1,0 +1,113 @@
+//! Event-time sources: where "now" comes from.
+//!
+//! The run pipeline replays recorded request sequences, so its notion of
+//! time is the timestamps inside the instance. A live daemon
+//! (`mcc-serve`) instead observes *arrivals* and must decide what clock
+//! each one carries: the wall clock for real deployments, or a
+//! simulated clock driven by the request stream itself for deterministic
+//! tests and the serve-vs-replay equivalence property.
+//!
+//! [`TimeSource`] is that seam. Both implementations are deliberately
+//! tiny — the daemon reads the clock once per arrival and once per
+//! timer-wheel sweep, nothing else.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotone source of event time, in the same unit as request
+/// timestamps (seconds).
+///
+/// Implementations need not enforce monotonicity themselves; consumers
+/// that require it (the serve engine) clamp or reject regressions at the
+/// point of use.
+pub trait TimeSource {
+    /// Current event time in seconds since the source's origin.
+    fn now(&self) -> f64;
+}
+
+/// Simulated clock: time is whatever the driver last set it to.
+///
+/// The serve engine under test advances this clock from the timestamps
+/// of the incoming request stream, which makes a daemon run a pure
+/// function of the stream — the property the serve-vs-replay equivalence
+/// tests rely on. Starts at `0.0`.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Cell<f64>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Moves the clock forward to `t`. Regressions are ignored (the
+    /// clock stays put), so feeding timestamps in arrival order keeps
+    /// the clock monotone even if the stream jitters.
+    pub fn advance_to(&self, t: f64) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+}
+
+impl TimeSource for SimClock {
+    fn now(&self) -> f64 {
+        self.now.get()
+    }
+}
+
+/// Wall clock: seconds elapsed since construction, measured on the OS
+/// monotonic clock. This is what a real `mcc serve` deployment runs on.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(2.5);
+        assert_eq!(c.now(), 2.5);
+        c.advance_to(1.0); // regression ignored
+        assert_eq!(c.now(), 2.5);
+        c.advance_to(3.0);
+        assert_eq!(c.now(), 3.0);
+    }
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

@@ -22,6 +22,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
+pub mod clock;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -33,6 +34,7 @@ pub mod runner;
 pub mod streaming;
 
 pub use audit::{AuditFinding, AuditReport, ScheduleAuditor};
+pub use clock::{SimClock, TimeSource, WallClock};
 pub use engine::{
     simulate, simulate_under_faults, ArrivalProcess, FaultySimOutcome, Replay, SimConfig,
     SimOutcome,

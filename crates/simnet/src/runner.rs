@@ -37,7 +37,7 @@
 
 use mcc_core::offline::{solve_auto_obs_in, BatchWorkspace, SolverWorkspace};
 use mcc_core::online::{
-    brownout_surcharge, run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlinePolicy,
+    brownout_surcharge, run_policy_record, FaultPlan, FaultStats, FaultTolerant, OnlineDecider,
     RunRecord, Runtime,
 };
 use mcc_model::Instance;
@@ -51,12 +51,12 @@ use crate::streaming::{AuditScratch, StreamingAuditor};
 
 /// Factory for fresh policy instances (policies are stateful, so each run
 /// gets its own). The factory must be `Sync` for the parallel sweeps.
-pub type PolicyFactory = Box<dyn Fn() -> Box<dyn OnlinePolicy<f64>> + Send + Sync>;
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn OnlineDecider<f64>> + Send + Sync>;
 
 /// Builds a policy factory from a clonable policy value.
 pub fn factory<P>(proto: P) -> PolicyFactory
 where
-    P: OnlinePolicy<f64> + Clone + Send + Sync + 'static,
+    P: OnlineDecider<f64> + Clone + Send + Sync + 'static,
 {
     Box::new(move || Box::new(proto.clone()))
 }
@@ -216,9 +216,9 @@ impl RunMode {
 #[allow(clippy::large_enum_variant)]
 pub enum RunPolicy {
     /// Healthy cell, or a fault cell run oblivious.
-    Plain(Box<dyn OnlinePolicy<f64>>),
+    Plain(Box<dyn OnlineDecider<f64>>),
     /// Fault cell run behind the fault-tolerant wrapper.
-    Tolerant(FaultTolerant<Box<dyn OnlinePolicy<f64>>>),
+    Tolerant(FaultTolerant<Box<dyn OnlineDecider<f64>>>),
 }
 
 /// The run pipeline's single front door: one value owns the workspace,
@@ -842,7 +842,7 @@ fn cell_core(
 }
 
 fn seed_core(
-    policy: &mut dyn OnlinePolicy<f64>,
+    policy: &mut dyn OnlineDecider<f64>,
     seed: u64,
     inst: &Instance<f64>,
     precomputed_opt: Option<f64>,
@@ -879,7 +879,7 @@ fn seed_core(
     result
 }
 
-fn seed_faulty_core<P: OnlinePolicy<f64>>(
+fn seed_faulty_core<P: OnlineDecider<f64>>(
     wrapped: &mut FaultTolerant<P>,
     spec: &FaultSpec,
     seed: u64,
@@ -903,7 +903,7 @@ fn seed_faulty_core<P: OnlinePolicy<f64>>(
 /// against the surcharged cost, and fold every wrapper surcharge
 /// (retries, replays, reseeds, brownouts) into `online_cost` so the ratio
 /// prices the whole degradation.
-fn seed_faulty_body<P: OnlinePolicy<f64>>(
+fn seed_faulty_body<P: OnlineDecider<f64>>(
     wrapped: &mut FaultTolerant<P>,
     seed: u64,
     inst: &Instance<f64>,
@@ -954,7 +954,7 @@ fn seed_faulty_body<P: OnlinePolicy<f64>>(
 }
 
 fn seed_oblivious_core(
-    policy: &mut dyn OnlinePolicy<f64>,
+    policy: &mut dyn OnlineDecider<f64>,
     spec: &FaultSpec,
     seed: u64,
     inst: &Instance<f64>,
@@ -977,7 +977,7 @@ fn seed_oblivious_core(
 /// whether or not the policy knows about it — so both the audited and the
 /// reported cost carry it.
 fn seed_oblivious_body(
-    policy: &mut dyn OnlinePolicy<f64>,
+    policy: &mut dyn OnlineDecider<f64>,
     seed: u64,
     inst: &Instance<f64>,
     precomputed_opt: Option<f64>,

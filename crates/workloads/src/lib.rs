@@ -12,6 +12,7 @@
 
 pub mod distributions;
 pub mod gen;
+pub mod loadgen;
 pub mod predictor;
 pub mod trace;
 
@@ -20,5 +21,6 @@ pub use gen::{
     InstanceBuf, MarkovWorkload, MergedUsersWorkload, PoissonWorkload, UnderSpeculationWorkload,
     Workload, ZipfWorkload,
 };
+pub use loadgen::{load_events, rescale_to_rate, LoadEvent};
 pub use predictor::MarkovPredictor;
 pub use trace::TraceWorkload;

@@ -21,7 +21,9 @@
 //!   comparison ([`classic`]), the heterogeneous-cost extension
 //!   ([`hetero`]), the fleet layer scaling the pipeline to millions of
 //!   independent items with capacity-constrained servers ([`fleet`]),
-//!   and analysis/reporting tools ([`analysis`]).
+//!   the real-time serving daemon answering live placement requests over
+//!   the incremental decision API ([`serve`]), and analysis/reporting
+//!   tools ([`analysis`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use mcc_core::online;
 pub use mcc_fleet as fleet;
 pub use mcc_model as model;
 pub use mcc_obs as obs;
+pub use mcc_serve as serve;
 pub use mcc_simnet as simnet;
 pub use mcc_workloads as workloads;
 
@@ -70,8 +73,8 @@ pub use mcc_workloads as workloads;
 pub mod prelude {
     pub use mcc_core::offline::{optimal_cost, optimal_schedule, solve_fast, DpSolution};
     pub use mcc_core::online::{
-        analyze, double_transfer, run_policy, Follow, KeepEverywhere, OnlinePolicy, OnlineRun,
-        SpeculativeCaching, StayAtOrigin,
+        analyze, double_transfer, run_policy, DeciderStats, Decision, Follow, KeepEverywhere,
+        OnlineDecider, OnlinePolicy, OnlineRun, SpeculativeCaching, StayAtOrigin,
     };
     pub use mcc_fleet::{
         naive_item_loop, run_fleet, EvictionPolicy, FleetSpec, FleetSummary, FleetWorkspace,
@@ -81,6 +84,9 @@ pub mod prelude {
         Scalar, Schedule, ServerId,
     };
     pub use mcc_obs::{MetricsSnapshot, Registry, Sink};
+    pub use mcc_serve::{
+        serve_lines, DaemonOptions, ServeConfig, ServeEngine, ServeReply, ShedReason,
+    };
     pub use mcc_simnet::{
         factory, fold_fault_stats, sweep, sweep_with, CellResult, FaultSpec, GridCell,
         PolicyFactory, RunMode, RunPolicy, RunRequest, RunWorkspace, SeedResult,

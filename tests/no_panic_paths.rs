@@ -1,7 +1,9 @@
 //! Guards the no-panic contract on user-input-reachable paths: non-test
-//! code in `mcc-simnet` and `mcc-cli` must not call `.unwrap()` or
-//! `.expect(` — errors there surface as typed `SimError` / `ModelError`
-//! values and CLI exit codes, never as panics. (The same rule is enforced
+//! code in `mcc-simnet`, `mcc-cli` and `mcc-serve` must not call
+//! `.unwrap()` or `.expect(` — errors there surface as typed `SimError`
+//! / `ModelError` values, CLI exit codes, or `serve/1` error lines,
+//! never as panics (a daemon parsing untrusted JSONL lines must not be
+//! killable by one bad client). (The same rule is enforced
 //! at lint level by `clippy::unwrap_used` in those crates and `-D
 //! warnings` in CI; this test keeps it honest for plain `cargo test`.)
 
@@ -47,7 +49,7 @@ fn scan_crate(dir: &Path, offenders: &mut Vec<String>) {
 fn simnet_and_cli_non_test_code_never_unwraps() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();
-    for krate in ["crates/simnet/src", "crates/cli/src"] {
+    for krate in ["crates/simnet/src", "crates/cli/src", "crates/serve/src"] {
         scan_crate(&root.join(krate), &mut offenders);
     }
     assert!(
